@@ -1,0 +1,77 @@
+// Ablation — DVFS governor model: idealized linear throttling vs a
+// realistic stepped frequency ladder, under sustained segmentation load.
+// The stepped governor over-throttles (it rounds the thermal excursion up
+// to the next trip point), so run-rule compliance (cooldown, ambient
+// temperature) matters even more on real devices than the linear model
+// suggests.
+#include <cstdio>
+
+#include "backends/vendor_policy.h"
+#include "common/table.h"
+#include "models/zoo.h"
+#include "soc/simulator.h"
+
+namespace {
+
+using namespace mlpm;
+
+struct Sustained {
+  double first_ms, last_ms, temp_c;
+};
+
+Sustained Run(soc::GovernorMode mode, int steps) {
+  soc::ChipsetDesc chip = soc::Snapdragon888();
+  chip.thermal.governor = mode;
+  chip.thermal.governor_steps = steps;
+  const models::BenchmarkEntry seg =
+      models::SuiteFor(models::SuiteVersion::kV1_0)[2];
+  const graph::Graph model = models::BuildReferenceGraph(
+      seg, models::SuiteVersion::kV1_0, models::ModelScale::kFull);
+  const backends::SubmissionConfig sub = backends::GetSubmission(
+      chip, seg.task, models::SuiteVersion::kV1_0);
+  const soc::CompiledModel plan =
+      backends::CompileSubmission(chip, sub, model);
+
+  soc::SocSimulator sim(chip);
+  Sustained out{};
+  out.first_ms = sim.RunInference(plan).latency_s * 1e3;
+  double last = out.first_ms;
+  for (int i = 0; i < 12000; ++i)
+    last = sim.RunInference(plan).latency_s * 1e3;
+  out.last_ms = last;
+  out.temp_c = sim.thermal().temperature_c();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  TextTable t(
+      "governor ablation — 12k sustained segmentation inferences, SD888");
+  t.SetHeader({"Governor", "first latency", "steady latency", "degradation",
+               "die temp"});
+  struct Config {
+    const char* name;
+    soc::GovernorMode mode;
+    int steps;
+  };
+  for (const Config& c :
+       {Config{"linear (idealized)", soc::GovernorMode::kLinear, 0},
+        Config{"stepped, 8 levels", soc::GovernorMode::kStepped, 8},
+        Config{"stepped, 4 levels", soc::GovernorMode::kStepped, 4},
+        Config{"stepped, 2 levels", soc::GovernorMode::kStepped, 2}}) {
+    const Sustained r = Run(c.mode, c.steps == 0 ? 4 : c.steps);
+    t.AddRow({c.name, FormatDouble(r.first_ms, 2) + " ms",
+              FormatDouble(r.last_ms, 2) + " ms",
+              FormatPercent(r.last_ms / r.first_ms - 1.0, 1),
+              FormatDouble(r.temp_c, 1) + " C"});
+  }
+  std::printf("%s", t.Render().c_str());
+  std::printf(
+      "\nstepped governors overshoot the linear ideal: the thermal\n"
+      "equilibrium locks onto a discrete trip point, costing extra steady-\n"
+      "state latency regardless of ladder granularity for this load — one\n"
+      "more reason the run rules isolate benchmarking from thermal state\n"
+      "(§6.1).\n");
+  return 0;
+}

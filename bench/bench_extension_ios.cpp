@@ -1,0 +1,41 @@
+// Extension — iOS support (paper App. E: iOS results were expected shortly
+// after publication).  Runs the v1.0 suite on the Apple A14 / Core ML stack
+// beside the Android v1.0 submissions.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace mlpm;
+  const models::SuiteVersion version = models::SuiteVersion::kV1_0;
+
+  std::vector<soc::ChipsetDesc> chips = {
+      soc::Dimensity1100(), soc::Exynos2100(), soc::Snapdragon888(),
+      soc::AppleA14()};
+
+  TextTable t("iOS extension — v1.0 single-stream p90 latency, phones + A14");
+  t.SetHeader({"Chipset", "Stack", "classification", "detection",
+               "segmentation", "NLP"});
+  for (const soc::ChipsetDesc& chip : chips) {
+    const backends::SubmissionConfig ic = backends::GetSubmission(
+        chip, models::TaskType::kImageClassification, version);
+    std::vector<std::string> row{chip.name, ic.framework.name};
+    for (const models::TaskType task :
+         {models::TaskType::kImageClassification,
+          models::TaskType::kObjectDetection,
+          models::TaskType::kImageSegmentation,
+          models::TaskType::kQuestionAnswering}) {
+      const benchutil::PerfOutcome p =
+          benchutil::RunSingleStream(chip, version, task);
+      row.push_back(FormatMs(p.p90_latency_s));
+    }
+    t.AddRow(std::move(row));
+  }
+  std::printf("%s", t.Render().c_str());
+  std::printf(
+      "\nthe A14's Core ML stack brings \"additional hardware and software\n"
+      "diversity\" (App. E): a natively-FP16 neural engine changes the\n"
+      "numerics trade-off on the NLP task.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 7 — v0.7 single-stream results for the three smartphone chipsets
+// across the four tasks: latency and throughput, with the winner per task.
+//
+// Paper shape: MediaTek Dimensity scores highest throughput on object
+// detection and image segmentation; Samsung Exynos wins image
+// classification and NLP; Qualcomm Snapdragon is competitive on image
+// segmentation and NLP.  The same general trend holds in v1.0.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/barchart.h"
+#include "common/table.h"
+
+int main() {
+  using namespace mlpm;
+
+  const models::TaskType tasks[] = {
+      models::TaskType::kImageClassification,
+      models::TaskType::kObjectDetection,
+      models::TaskType::kImageSegmentation,
+      models::TaskType::kQuestionAnswering,
+  };
+  const char* task_names[] = {"classification", "detection", "segmentation",
+                              "NLP"};
+
+  for (const models::SuiteVersion version :
+       {models::SuiteVersion::kV0_7, models::SuiteVersion::kV1_0}) {
+    std::vector<soc::ChipsetDesc> phones;
+    for (soc::ChipsetDesc& c : version == models::SuiteVersion::kV0_7
+                                   ? soc::CatalogV07()
+                                   : soc::CatalogV10())
+      if (!c.name.starts_with("Core i7")) phones.push_back(std::move(c));
+
+    TextTable t("Figure 7 — " + std::string(ToString(version)) +
+                " smartphone single-stream (p90 latency / throughput q/s)");
+    t.SetHeader({"Chipset", "classification", "detection", "segmentation",
+                 "NLP"});
+    std::map<std::size_t, std::pair<std::string, double>> winner;
+    for (const soc::ChipsetDesc& chipset : phones) {
+      std::vector<std::string> row{chipset.name};
+      for (std::size_t i = 0; i < 4; ++i) {
+        const benchutil::PerfOutcome p =
+            benchutil::RunSingleStream(chipset, version, tasks[i]);
+        const double qps = 1.0 / p.p90_latency_s;
+        row.push_back(FormatMs(p.p90_latency_s) + " / " +
+                      FormatDouble(qps, 1));
+        if (!winner.contains(i) || qps > winner[i].second)
+          winner[i] = {chipset.name, qps};
+      }
+      t.AddRow(std::move(row));
+    }
+    std::vector<std::string> wrow{"highest throughput"};
+    for (std::size_t i = 0; i < 4; ++i) wrow.push_back(winner[i].first);
+    t.AddSeparator();
+    t.AddRow(std::move(wrow));
+    std::printf("%s\n", t.Render().c_str());
+
+    // The figure itself: throughput bars per task (as in the paper).
+    BarChart chart("throughput (queries/second), " +
+                       std::string(ToString(version)),
+                   "q/s");
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (const soc::ChipsetDesc& chipset : phones) {
+        const benchutil::PerfOutcome p =
+            benchutil::RunSingleStream(chipset, version, tasks[i]);
+        chart.Add(std::string(task_names[i]) + " " + chipset.name,
+                  1.0 / p.p90_latency_s);
+      }
+      chart.AddGap();
+    }
+    std::printf("%s\n", chart.Render().c_str());
+  }
+  std::printf(
+      "paper shape: no one chipset dominates (insight 2) — MediaTek wins\n"
+      "detection + segmentation, Samsung wins classification + NLP,\n"
+      "Qualcomm stays competitive on segmentation + NLP.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Engineering microbenchmarks (google-benchmark): the numeric kernels the
+// functional plane runs on, the INT8-vs-FP32 arithmetic gap motivating
+// §7.5, and the LoadGen bookkeeping overhead per query.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/fp16.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "infer/executor.h"
+#include "infer/int8_conv.h"
+#include "infer/int8_gemm.h"
+#include "infer/weights.h"
+#include "models/mobilenet_edgetpu.h"
+
+namespace {
+
+using namespace mlpm;
+
+void BM_GemmF32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : b) v = static_cast<float>(rng.NextGaussian());
+  for (auto _ : state) {
+    infer::GemmF32(a, b, n, n, n, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmF32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmU8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::uint8_t> a(n * n), b(n * n);
+  std::vector<std::int32_t> c(n * n);
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.NextBelow(256));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.NextBelow(256));
+  for (auto _ : state) {
+    infer::GemmU8U8I32(a, 128, b, 128, n, n, n, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmU8)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvInt8Im2col(benchmark::State& state) {
+  const auto c = static_cast<std::int64_t>(state.range(0));
+  Rng rng(7);
+  infer::Tensor input(graph::TensorShape({1, 16, 16, c}));
+  infer::Tensor weights(graph::TensorShape({c, 3, 3, c}));
+  infer::Tensor bias(graph::TensorShape({c}));
+  for (auto& v : input.values())
+    v = static_cast<float>(rng.NextUniform(-1, 1));
+  for (auto& v : weights.values())
+    v = static_cast<float>(rng.NextUniform(-0.5, 0.5));
+  const infer::QuantizationParams in_q =
+      infer::ChooseQuantParams(-1.0f, 1.0f);
+  const infer::QuantizationParams w_q =
+      infer::ChooseQuantParams(-0.5f, 0.5f);
+  for (auto _ : state) {
+    auto out = infer::ConvInt8NHWC(input, weights, bias, 1,
+                                   graph::Padding::kSame, in_q, w_q);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          16 * 16 * c * 9 * c);
+}
+BENCHMARK(BM_ConvInt8Im2col)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Fp16RoundTrip(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<float> v(4096);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+  for (auto _ : state) {
+    for (auto& x : v) x = RoundToHalf(x);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_Fp16RoundTrip);
+
+void BM_MiniClassifierInference(benchmark::State& state) {
+  const graph::Graph g =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kMini);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  const infer::Executor exec(g, w);
+  infer::Tensor input(g.tensor(g.input_ids()[0]).shape);
+  Rng rng(3);
+  for (auto& v : input.values()) v = static_cast<float>(rng.NextDouble());
+  const std::vector<infer::Tensor> inputs{input};
+  for (auto _ : state) {
+    auto out = exec.Run(inputs);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MiniClassifierInference);
+
+void BM_Percentile(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> lat(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : lat) v = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Percentile(lat, 90.0));
+  }
+}
+BENCHMARK(BM_Percentile)->Arg(1024)->Arg(24576);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// §7.2 offline results — image-classification offline throughput.
+//
+// Paper anchors (v0.7): Exynos 990 delivered 674.4 FPS and Snapdragon 865+
+// delivered 605.37 FPS; not all submitters entered the offline scenario.
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace mlpm;
+
+  struct Anchor {
+    const char* chipset;
+    double paper_fps;
+  };
+  const Anchor anchors[] = {{"Exynos 990", 674.4},
+                            {"Snapdragon 865+", 605.37}};
+
+  for (const models::SuiteVersion version :
+       {models::SuiteVersion::kV0_7, models::SuiteVersion::kV1_0}) {
+    TextTable t("offline image classification, 24,576-sample burst — " +
+                std::string(ToString(version)));
+    t.SetHeader({"Chipset", "Offline engines", "Simulated FPS", "Paper FPS",
+                 "error"});
+    const auto catalog = version == models::SuiteVersion::kV0_7
+                             ? soc::CatalogV07()
+                             : soc::CatalogV10();
+    for (const soc::ChipsetDesc& chipset : catalog) {
+      const backends::SubmissionConfig sub = backends::GetSubmission(
+          chipset, models::TaskType::kImageClassification, version);
+      if (sub.offline_replicas.empty()) {
+        t.AddRow({chipset.name, "not submitted", "-", "-", "-"});
+        continue;
+      }
+      std::string engines;
+      for (const auto& r : sub.offline_replicas) {
+        if (!engines.empty()) engines += "+";
+        engines += r.engines.front();
+      }
+      const benchutil::PerfOutcome p = benchutil::RunOffline(
+          chipset, version, models::TaskType::kImageClassification);
+
+      std::optional<double> paper;
+      if (version == models::SuiteVersion::kV0_7)
+        for (const Anchor& a : anchors)
+          if (chipset.name == a.chipset) paper = a.paper_fps;
+
+      t.AddRow({chipset.name, engines, FormatDouble(p.throughput_sps, 1),
+                paper ? FormatDouble(*paper, 2) : "-",
+                paper ? FormatPercent(p.throughput_sps / *paper - 1.0, 1)
+                      : "-"});
+    }
+    std::printf("%s\n", t.Render().c_str());
+  }
+  std::printf(
+      "offline mode exercises accelerator-level parallelism (insight 3): "
+      "every\nofflinesubmission drives multiple engines concurrently.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 1 — the MLPerf Mobile benchmark suite with its quality targets,
+// regenerated: for every suite entry we report the measured parameter count
+// of the full-scale reference model and whether INT8 PTQ / FP16 clear the
+// minimum quality target on the functional plane.
+//
+// Paper values: MobileNetEdgeTPU 4M params / 98% of FP32; SSD-MobileNet v2
+// 17M / 93%; MobileDET-SSD 4M / 95%; DeepLab v3+ 2M / 97%; MobileBERT
+// 25M / 93%.
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/run_session.h"
+
+int main() {
+  using namespace mlpm;
+  harness::SuiteBundles bundles;
+
+  for (const models::SuiteVersion version :
+       {models::SuiteVersion::kV0_7, models::SuiteVersion::kV1_0}) {
+    TextTable t("Table 1 — MLPerf Mobile suite " +
+                std::string(ToString(version)));
+    t.SetHeader({"Task", "Reference model", "Params (measured)", "Data set",
+                 "Quality target", "FP32 score", "INT8 PTQ", "FP16",
+                 "INT8 passes"});
+    for (const models::BenchmarkEntry& e : models::SuiteFor(version)) {
+      const graph::Graph full =
+          models::BuildReferenceGraph(e, version, models::ModelScale::kFull);
+      const harness::TaskBundle& bundle = bundles.Get(e, version);
+      const double fp32 = bundle.Fp32Score();
+
+      const harness::TaskBundle::PreparedModel int8 =
+          bundle.Prepare(infer::NumericsMode::kInt8);
+      const double r_int8 = bundle.ScoreAccuracy(*int8.executor) / fp32;
+      const harness::TaskBundle::PreparedModel fp16 =
+          bundle.Prepare(infer::NumericsMode::kFp16);
+      const double r_fp16 = bundle.ScoreAccuracy(*fp16.executor) / fp32;
+
+      t.AddRow({e.id, e.model_name,
+                FormatDouble(static_cast<double>(full.ParameterCount()) / 1e6,
+                             2) +
+                    "M",
+                e.dataset_name,
+                FormatPercent(e.quality_target, 0) + " of FP32",
+                FormatDouble(fp32, 4) + " " + e.metric_name,
+                FormatPercent(r_int8, 1), FormatPercent(r_fp16, 1),
+                r_int8 >= e.quality_target ? "PASS" : "FAIL"});
+    }
+    std::printf("%s\n", t.Render().c_str());
+  }
+  std::printf(
+      "paper parameter counts: 4M / 17M (v0.7 SSD) / 4M (v1.0 MobileDet) / "
+      "2M / 25M.\nquality is measured relative to FP32, as in the paper; "
+      "the mini functional\nplane sets the absolute FP32 scores "
+      "(DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Framework-comparison mode (paper App. E "measuring software frameworks"):
+// fixed hardware, sweep the runtime layer.  Reproduces the Table 3 setup —
+// generic NNAPI vs the vendor's Neuron delegate on the Dimensity 1100 —
+// and the worst-case buggy-driver pathology from §8/App. D where NNAPI can
+// be 7x slower than the vendor path.
+#include <cstdio>
+
+#include "backends/vendor_policy.h"
+#include "common/table.h"
+#include "models/zoo.h"
+#include "soc/chipset.h"
+
+int main() {
+  using namespace mlpm;
+
+  const soc::ChipsetDesc chipset = soc::Dimensity1100();
+  TextTable table("framework sweep on " + chipset.name +
+                  " (single-stream latency)");
+  table.SetHeader({"Task", "Neuron delegate", "NNAPI", "NNAPI delta",
+                   "NNAPI w/ buggy ops", "buggy slowdown"});
+
+  for (const models::BenchmarkEntry& e :
+       models::SuiteFor(models::SuiteVersion::kV1_0)) {
+    if (e.task == models::TaskType::kQuestionAnswering) continue;
+    const graph::Graph model = models::BuildReferenceGraph(
+        e, models::SuiteVersion::kV1_0, models::ModelScale::kFull);
+
+    backends::SubmissionConfig neuron = backends::GetSubmission(
+        chipset, e.task, models::SuiteVersion::kV1_0);
+
+    backends::SubmissionConfig nnapi = neuron;
+    nnapi.framework = backends::NnapiTraits("default");
+    nnapi.single_stream.force_partition_every =
+        nnapi.framework.force_partition_every;
+
+    // The pathology: an op in every fifth node is buggy and falls back.
+    backends::SubmissionConfig buggy = nnapi;
+    buggy.framework = backends::NnapiBuggyTraits("default", 0.2);
+    buggy.single_stream.cpu_fallback_fraction =
+        buggy.framework.cpu_fallback_fraction;
+
+    const double t_neuron =
+        backends::CompileSubmission(chipset, neuron, model).LatencySeconds();
+    const double t_nnapi =
+        backends::CompileSubmission(chipset, nnapi, model).LatencySeconds();
+    const double t_buggy =
+        backends::CompileSubmission(chipset, buggy, model).LatencySeconds();
+
+    table.AddRow({e.id, FormatMs(t_neuron), FormatMs(t_nnapi),
+                  FormatPercent(t_nnapi / t_neuron - 1.0, 1),
+                  FormatMs(t_buggy),
+                  FormatDouble(t_buggy / t_neuron, 1) + "x"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nvendor SDKs unlock the SoC (paper insight 4); a buggy generic\n"
+      "driver can cost multiples of the vendor-path latency (App. D).\n");
+  return 0;
+}

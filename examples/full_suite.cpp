@@ -1,0 +1,47 @@
+// Full benchmark session: the headless equivalent of the MLPerf Mobile app
+// (paper App. A) — accuracy + performance for all four tasks under the run
+// rules, followed by the submission checker and the independent audit.
+//
+// Usage: full_suite [chipset-index 0..7]
+//   0 Dimensity 820    4 Dimensity 1100
+//   1 Exynos 990       5 Exynos 2100
+//   2 Snapdragon 865+  6 Snapdragon 888
+//   3 Core i7-1165G7   7 Core i7-11375H
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harness/app.h"
+#include "harness/audit.h"
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  using namespace mlpm;
+
+  std::vector<soc::ChipsetDesc> all = soc::CatalogV07();
+  for (soc::ChipsetDesc& c : soc::CatalogV10()) all.push_back(std::move(c));
+  const std::size_t pick =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 5;
+  if (pick >= all.size()) {
+    std::fprintf(stderr, "chipset index must be 0..%zu\n", all.size() - 1);
+    return 1;
+  }
+  const soc::ChipsetDesc& chipset = all[pick];
+  const models::SuiteVersion version = pick < 4
+                                           ? models::SuiteVersion::kV0_7
+                                           : models::SuiteVersion::kV1_0;
+
+  std::printf("running the full MLPerf Mobile %s suite on %s ...\n\n",
+              std::string(ToString(version)).c_str(), chipset.name.c_str());
+
+  harness::SuiteBundles bundles;
+  const harness::AppRunOutput out =
+      harness::RunMobileApp(chipset, version, bundles);
+  std::printf("%s\n%s\n", out.report_text.c_str(), out.checker_text.c_str());
+
+  // Independent audit: re-run and require agreement within 5% (§6.2).
+  const harness::AuditReport audit =
+      harness::AuditSubmission(chipset, out.result, bundles);
+  std::printf("%s\n", harness::FormatAuditReport(audit).c_str());
+  return out.submission_valid && audit.accepted ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// The headless native command-line application (paper §4.3: "for laptops,
+// submitters can build a native command-line application. The LoadGen
+// integrates this application... The only difference is the absence of a
+// graphical user interface").
+//
+// Usage:
+//   headless_cli [--chipset NAME] [--version v0.7|v1.0]
+//                [--scenario single_stream|offline|server|multi_stream]
+//                [--task all|ic|od|is|nlp] [--accuracy] [--e2e]
+//                [--cooldown SECONDS] [--csv FILE] [--log FILE]
+//
+// Examples:
+//   headless_cli --chipset "Core i7-11375H" --version v1.0
+//   headless_cli --chipset "Exynos 2100" --task is --accuracy
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "harness/app.h"
+#include "harness/export.h"
+#include "harness/report.h"
+
+namespace {
+
+using namespace mlpm;
+
+struct CliOptions {
+  std::string chipset = "Core i7-11375H";
+  models::SuiteVersion version = models::SuiteVersion::kV1_0;
+  std::optional<models::TaskType> only_task;
+  bool accuracy = true;
+  bool end_to_end = false;
+  double cooldown_s = 60.0;
+  std::string csv_path;
+  std::string log_path;
+};
+
+std::optional<CliOptions> Parse(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) return {};
+      return argv[++i];
+    };
+    if (arg == "--chipset") {
+      o.chipset = value();
+    } else if (arg == "--version") {
+      const std::string v = value();
+      if (v == "v0.7") o.version = models::SuiteVersion::kV0_7;
+      else if (v == "v1.0") o.version = models::SuiteVersion::kV1_0;
+      else return std::nullopt;
+    } else if (arg == "--task") {
+      const std::string t = value();
+      if (t == "ic") o.only_task = models::TaskType::kImageClassification;
+      else if (t == "od") o.only_task = models::TaskType::kObjectDetection;
+      else if (t == "is") o.only_task = models::TaskType::kImageSegmentation;
+      else if (t == "nlp") o.only_task = models::TaskType::kQuestionAnswering;
+      else if (t != "all") return std::nullopt;
+    } else if (arg == "--accuracy") {
+      o.accuracy = true;
+    } else if (arg == "--performance-only") {
+      o.accuracy = false;
+    } else if (arg == "--e2e") {
+      o.end_to_end = true;
+    } else if (arg == "--cooldown") {
+      o.cooldown_s = std::atof(value().c_str());
+    } else if (arg == "--csv") {
+      o.csv_path = value();
+    } else if (arg == "--log") {
+      o.log_path = value();
+    } else {
+      return std::nullopt;
+    }
+  }
+  return o;
+}
+
+std::optional<soc::ChipsetDesc> FindChipset(const std::string& name) {
+  for (auto catalog : {soc::CatalogV07(), soc::CatalogV10()})
+    for (soc::ChipsetDesc& c : catalog)
+      if (c.name == name) return c;
+  if (name == "Apple A14") return soc::AppleA14();
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> opts = Parse(argc, argv);
+  if (!opts) {
+    std::fprintf(stderr,
+                 "usage: headless_cli [--chipset NAME] [--version v0.7|v1.0]"
+                 " [--task all|ic|od|is|nlp]\n"
+                 "                    [--accuracy|--performance-only] [--e2e]"
+                 " [--cooldown S] [--csv FILE] [--log FILE]\n");
+    return 2;
+  }
+  const std::optional<soc::ChipsetDesc> chipset = FindChipset(opts->chipset);
+  if (!chipset) {
+    std::fprintf(stderr, "unknown chipset '%s'; known chipsets:\n",
+                 opts->chipset.c_str());
+    for (auto catalog : {soc::CatalogV07(), soc::CatalogV10()})
+      for (const soc::ChipsetDesc& c : catalog)
+        std::fprintf(stderr, "  %s\n", c.name.c_str());
+    std::fprintf(stderr, "  Apple A14\n");
+    return 2;
+  }
+
+  harness::RunOptions run;
+  run.run_accuracy = opts->accuracy;
+  run.end_to_end = opts->end_to_end;
+  run.cooldown_s = opts->cooldown_s;
+
+  harness::SuiteBundles bundles;
+  harness::AppRunOutput out =
+      harness::RunMobileApp(*chipset, opts->version, bundles, run);
+
+  // --task filters the displayed rows (the rules still run the full order).
+  if (opts->only_task) {
+    harness::SubmissionResult filtered;
+    filtered.chipset_name = out.result.chipset_name;
+    filtered.version = out.result.version;
+    for (harness::TaskRunResult& t : out.result.tasks)
+      if (t.entry.task == *opts->only_task)
+        filtered.tasks.push_back(std::move(t));
+    out.result = std::move(filtered);
+    out.report_text = harness::FormatSubmission(out.result);
+  }
+
+  std::printf("%s\n%s", out.report_text.c_str(), out.checker_text.c_str());
+
+  if (!opts->csv_path.empty()) {
+    std::ofstream csv(opts->csv_path);
+    csv << harness::ToCsv(out.result);
+    std::printf("wrote %s\n", opts->csv_path.c_str());
+  }
+  if (!opts->log_path.empty() && !out.result.tasks.empty() &&
+      out.result.tasks[0].single_stream) {
+    std::ofstream log(opts->log_path);
+    log << out.result.tasks[0].single_stream->log.Serialize();
+    std::printf("wrote %s (unedited LoadGen log, first task)\n",
+                opts->log_path.c_str());
+  }
+  return out.submission_valid ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Quickstart: measure image classification on one simulated chipset.
+//
+// Shows the minimal API path: pick a chipset from the catalog, look up the
+// vendor's submission configuration (numerics + framework + accelerator,
+// i.e. a Table 2 cell), compile the full-scale reference model onto the
+// chipset, and let the LoadGen run the single-stream scenario against the
+// simulator.
+#include <cstdio>
+
+#include "backends/simulated_backend.h"
+#include "backends/vendor_policy.h"
+#include "core/dataset_qsl.h"
+#include "core/loadgen.h"
+#include "datasets/classification_dataset.h"
+#include "models/mobilenet_edgetpu.h"
+#include "models/zoo.h"
+#include "soc/chipset.h"
+
+int main() {
+  using namespace mlpm;
+
+  // The system under test: a Snapdragon 888 running the SNPE vendor stack.
+  const soc::ChipsetDesc chipset = soc::Snapdragon888();
+  const backends::SubmissionConfig submission = backends::GetSubmission(
+      chipset, models::TaskType::kImageClassification,
+      models::SuiteVersion::kV1_0);
+
+  // Full-scale MobileNetEdgeTPU, compiled onto the chipset.
+  const graph::Graph model =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kFull);
+  std::printf("model: %s, %.2fM parameters\n", model.name().c_str(),
+              static_cast<double>(model.ParameterCount()) / 1e6);
+
+  // A small synthetic ImageNet stand-in provides the query sample library.
+  const graph::Graph mini =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kMini);
+  const infer::WeightStore weights = infer::InitializeWeights(mini, 7);
+  const datasets::ClassificationDataset dataset(mini, weights, {});
+  loadgen::DatasetQsl qsl(dataset);
+
+  // LoadGen + simulator share a virtual clock.
+  loadgen::VirtualClock clock;
+  backends::SimulatedBackend sut(
+      chipset.name, soc::SocSimulator(chipset),
+      backends::CompileSubmission(chipset, submission, model),
+      backends::CompileOfflineReplicas(chipset, submission, model), clock);
+
+  loadgen::TestSettings settings;  // single-stream run rules by default
+  const loadgen::TestResult result =
+      loadgen::RunTest(sut, qsl, settings, clock);
+
+  std::printf(
+      "%s / %s / %s\n  samples: %zu   duration: %.1f s (virtual)\n"
+      "  90th-percentile latency: %.2f ms   mean: %.2f ms\n",
+      chipset.name.c_str(), submission.framework.name.c_str(),
+      submission.accelerator_label.c_str(), result.sample_count,
+      result.duration_s, result.percentile_latency_s * 1e3,
+      result.mean_latency_s * 1e3);
+  std::printf("  run rules met: %s\n",
+              result.min_duration_met && result.min_query_count_met ? "yes"
+                                                                    : "no");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Rolling submissions (paper App. E): vendors submit continuously as new
+// devices ship; the result store keeps the full history and reports the
+// latest score per device, which is what roadmaps like IRDS consume.
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/result_store.h"
+
+int main() {
+  using namespace mlpm;
+
+  harness::SuiteBundles bundles;
+  harness::ResultStore store;
+  harness::RunOptions perf_only;
+  perf_only.run_accuracy = false;  // keep the demo fast
+
+  // v0.7 round (October 2020), then the v1.0 round (April 2021), then a
+  // rolling re-submission with an improved driver three months later.
+  store.Add("2020-10-28",
+            harness::RunSubmission(soc::Exynos990(),
+                                   models::SuiteVersion::kV0_7, bundles,
+                                   perf_only));
+  store.Add("2021-04-21",
+            harness::RunSubmission(soc::Exynos2100(),
+                                   models::SuiteVersion::kV1_0, bundles,
+                                   perf_only));
+  store.Add("2021-07-15",
+            harness::RunSubmission(soc::Exynos2100(),
+                                   models::SuiteVersion::kV1_0, bundles,
+                                   perf_only));
+  store.Add("2020-10-28",
+            harness::RunSubmission(soc::Snapdragon865Plus(),
+                                   models::SuiteVersion::kV0_7, bundles,
+                                   perf_only));
+
+  TextTable table("rolling result store: latest submission per device");
+  table.SetHeader({"Date", "Chipset", "Round", "IC p90", "NLP p90"});
+  for (const harness::DatedSubmission& s : store.LatestPerDevice()) {
+    const auto& tasks = s.result.tasks;
+    table.AddRow({s.date_iso, s.result.chipset_name,
+                  std::string(ToString(s.result.version)),
+                  tasks[0].single_stream
+                      ? FormatMs(tasks[0].single_stream->percentile_latency_s)
+                      : "-",
+                  tasks[3].single_stream
+                      ? FormatMs(tasks[3].single_stream->percentile_latency_s)
+                      : "-"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nhistory for Exynos 2100: %zu dated submissions\n",
+              store.HistoryFor("Exynos 2100").size());
+  return 0;
+}

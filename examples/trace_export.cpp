@@ -1,0 +1,62 @@
+// Execution-trace export: writes Chrome-trace JSON (open in
+// chrome://tracing or https://ui.perfetto.dev) for the v0.7 Exynos 990 and
+// v1.0 Exynos 2100 segmentation runs.  The 12.7x generational gap is
+// visible as the interconnect lane collapsing between the two traces
+// (paper Appendix C).
+#include <cstdio>
+#include <fstream>
+
+#include "backends/vendor_policy.h"
+#include "models/zoo.h"
+#include "soc/trace.h"
+
+namespace {
+
+using namespace mlpm;
+
+void ExportTrace(const soc::ChipsetDesc& chip, models::SuiteVersion version,
+                 const std::string& path) {
+  const auto suite = models::SuiteFor(version);
+  const graph::Graph model = models::BuildReferenceGraph(
+      suite[2], version, models::ModelScale::kFull);
+  const backends::SubmissionConfig sub = backends::GetSubmission(
+      chip, models::TaskType::kImageSegmentation, version);
+  const soc::CompiledModel cm =
+      backends::CompileSubmission(chip, sub, model);
+  const soc::ExecutionTrace trace = soc::TraceInference(cm, chip);
+
+  std::ofstream out(path);
+  out << trace.ToChromeJson();
+
+  double engine_s = 0.0, interconnect_s = 0.0, runtime_s = 0.0;
+  for (const soc::TraceEvent& e : trace.events()) {
+    if (e.lane == "interconnect")
+      interconnect_s += e.duration_s;
+    else if (e.lane == "runtime")
+      runtime_s += e.duration_s;
+    else
+      engine_s += e.duration_s;
+  }
+  std::printf(
+      "%-12s segmentation on %s: %.2f ms total\n"
+      "             engines %.2f ms | interconnect %.2f ms | runtime %.3f "
+      "ms\n             -> %s (%zu events)\n",
+      std::string(ToString(version)).c_str(), chip.name.c_str(),
+      trace.TotalDuration() * 1e3, engine_s * 1e3, interconnect_s * 1e3,
+      runtime_s * 1e3, path.c_str(), trace.events().size());
+}
+
+}  // namespace
+
+int main() {
+  ExportTrace(soc::Exynos990(), models::SuiteVersion::kV0_7,
+              "trace_exynos990_segmentation.json");
+  ExportTrace(soc::Exynos2100(), models::SuiteVersion::kV1_0,
+              "trace_exynos2100_segmentation.json");
+  std::printf(
+      "\nopen both files in chrome://tracing: the v0.7 run is dominated by\n"
+      "NPU<->GPU tensor transfers on the interconnect lane; the v1.0 run\n"
+      "is almost pure NPU compute — the paper's 12.7x story in one "
+      "picture.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// The "dummy" backend (paper §4.1: "We also provide a 'dummy' back end as
+// an example reference for proprietary back ends; submitters replace it
+// with whatever corresponds to their system" — Qualcomm with SNPE, Samsung
+// with ENN).
+//
+// It documents the full SUT contract a vendor must implement:
+//   * name() identifies the backend in logs and reports;
+//   * IssueQuery() must complete every sample exactly once, after the
+//     backend's real work, against the test clock;
+//   * accuracy mode requires real output tensors; performance mode may
+//     drop them.
+// This implementation answers instantly with empty outputs — it will pass
+// the LoadGen's protocol checks and fail every accuracy target, which is
+// exactly what a skeleton should do.
+#pragma once
+
+#include <string>
+
+#include "core/query.h"
+
+namespace mlpm::backends {
+
+class DummyBackend final : public loadgen::SystemUnderTest {
+ public:
+  explicit DummyBackend(std::string vendor_name = "dummy")
+      : name_("dummy(" + std::move(vendor_name) + ")") {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  void IssueQuery(std::span<const loadgen::QuerySample> samples,
+                  loadgen::ResponseSink& sink) override {
+    // A real backend would: stage inputs -> run the compiled model on the
+    // vendor runtime -> complete with the outputs.  The dummy completes
+    // immediately with nothing.
+    for (const loadgen::QuerySample& s : samples) {
+      sink.Complete(loadgen::QuerySampleResponse{s.id, {}});
+      ++queries_answered_;
+    }
+  }
+
+  [[nodiscard]] std::size_t queries_answered() const {
+    return queries_answered_;
+  }
+
+ private:
+  std::string name_;
+  std::size_t queries_answered_ = 0;
+};
+
+}  // namespace mlpm::backends

@@ -1,0 +1,62 @@
+#include "backends/framework.h"
+
+namespace mlpm::backends {
+
+FrameworkTraits VendorSdkTraits(std::string name) {
+  FrameworkTraits t;
+  t.name = std::move(name);
+  t.kind = FrameworkKind::kVendorSdk;
+  t.per_inference_overhead_us = 40.0;
+  t.per_partition_sync_us = 8.0;  // direct driver submission
+  t.copies_boundary_tensors = false;
+  t.multi_accelerator_offline = true;
+  t.fuses_elementwise = true;
+  return t;
+}
+
+FrameworkTraits NnapiTraits(std::string driver_label) {
+  FrameworkTraits t;
+  t.name = "NNAPI (" + std::move(driver_label) + ")";
+  t.kind = FrameworkKind::kNnapi;
+  t.per_inference_overhead_us = 60.0;
+  t.per_partition_sync_us = 65.0;  // HAL synchronization (Table 3 / §7.1)
+  t.force_partition_every = 18;
+  t.copies_boundary_tensors = true;
+  // NNAPI's intermediate abstraction cannot drive multiple accelerators
+  // concurrently (e.g. no multi-MDLA support, §7.4).
+  t.multi_accelerator_offline = false;
+  return t;
+}
+
+FrameworkTraits NnapiBuggyTraits(std::string driver_label,
+                                 double fallback_fraction) {
+  FrameworkTraits t = NnapiTraits(std::move(driver_label));
+  t.name += " [buggy ops]";
+  t.cpu_fallback_fraction = fallback_fraction;
+  return t;
+}
+
+FrameworkTraits TfliteGpuDelegateTraits() {
+  FrameworkTraits t;
+  t.name = "TFLite delegate";
+  t.kind = FrameworkKind::kTfliteDelegate;
+  t.per_inference_overhead_us = 80.0;
+  t.per_partition_sync_us = 15.0;
+  t.copies_boundary_tensors = false;
+  t.multi_accelerator_offline = false;
+  return t;
+}
+
+FrameworkTraits OpenVinoTraits() {
+  FrameworkTraits t;
+  t.name = "OpenVINO";
+  t.kind = FrameworkKind::kOpenVino;
+  t.per_inference_overhead_us = 30.0;
+  t.per_partition_sync_us = 5.0;
+  t.copies_boundary_tensors = false;
+  t.multi_accelerator_offline = true;
+  t.fuses_elementwise = true;
+  return t;
+}
+
+}  // namespace mlpm::backends

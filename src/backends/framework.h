@@ -1,0 +1,62 @@
+// Framework / runtime layer descriptions (paper §2.2, §5.2, §7.4).
+//
+// A framework choice determines the runtime overheads and the graph
+// partitioning a model suffers on a given chipset:
+//   * vendor SDKs (SNPE, ENN, Neuron) execute the compiled graph directly —
+//     few partitions, cheap boundaries, full accelerator control, ALP in
+//     offline mode;
+//   * NNAPI inserts a hardware-abstraction layer — per-partition
+//     synchronization, HAL buffer copies, possible op-coverage holes with
+//     CPU fallback (the 7x "buggy delegate" pathology, §8 / App. D);
+//   * the TFLite GPU delegate runs FP16 on the mobile GPU;
+//   * OpenVINO is the laptop path (code path 3 of Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "soc/compile.h"
+
+namespace mlpm::backends {
+
+enum class FrameworkKind : std::uint8_t {
+  kVendorSdk,
+  kNnapi,
+  kTfliteDelegate,
+  kOpenVino,
+};
+
+struct FrameworkTraits {
+  std::string name;  // display label, e.g. "SNPE" / "NNAPI (neuron-ann)"
+  FrameworkKind kind = FrameworkKind::kVendorSdk;
+  double per_inference_overhead_us = 50.0;
+  double per_partition_sync_us = 0.0;
+  int force_partition_every = 0;  // HAL partition granularity (NNAPI)
+  bool copies_boundary_tensors = false;
+  // Fraction of ops the runtime must fall back to CPU for; >0 only for
+  // generic runtimes with incomplete accelerator coverage.
+  double cpu_fallback_fraction = 0.0;
+  // Whether offline mode may run several accelerators concurrently (ALP).
+  bool multi_accelerator_offline = true;
+  // Vendor compilers fuse elementwise ops into the preceding kernel.
+  bool fuses_elementwise = false;
+
+  [[nodiscard]] soc::RuntimeOverheads ToOverheads() const {
+    return soc::RuntimeOverheads{per_inference_overhead_us * 1e-6,
+                                 per_partition_sync_us * 1e-6,
+                                 copies_boundary_tensors,
+                                 fuses_elementwise};
+  }
+};
+
+// Canonical trait sets.
+[[nodiscard]] FrameworkTraits VendorSdkTraits(std::string name);
+[[nodiscard]] FrameworkTraits NnapiTraits(std::string driver_label);
+// `buggy_fallback_fraction` > 0 reproduces the poor/buggy-op pathology that
+// makes NNAPI up to 7x slower than the vendor path (App. D).
+[[nodiscard]] FrameworkTraits NnapiBuggyTraits(std::string driver_label,
+                                               double fallback_fraction);
+[[nodiscard]] FrameworkTraits TfliteGpuDelegateTraits();
+[[nodiscard]] FrameworkTraits OpenVinoTraits();
+
+}  // namespace mlpm::backends

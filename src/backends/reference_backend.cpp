@@ -1,0 +1,20 @@
+#include "backends/reference_backend.h"
+
+namespace mlpm::backends {
+
+ReferenceBackend::ReferenceBackend(std::string name,
+                                   const infer::Executor& executor,
+                                   const loadgen::DatasetQsl& qsl)
+    : name_(std::move(name)), executor_(executor), qsl_(qsl) {}
+
+void ReferenceBackend::IssueQuery(
+    std::span<const loadgen::QuerySample> samples,
+    loadgen::ResponseSink& sink) {
+  for (const loadgen::QuerySample& s : samples) {
+    std::vector<infer::Tensor> outputs =
+        executor_.Run(qsl_.Loaded(s.index));
+    sink.Complete(loadgen::QuerySampleResponse{s.id, std::move(outputs)});
+  }
+}
+
+}  // namespace mlpm::backends

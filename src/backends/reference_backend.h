@@ -1,0 +1,34 @@
+// The functional reference backend: runs mini-scale models numerically on
+// the host CPU through the reference executor.  This is the repo's analogue
+// of the paper's poorly-optimized reference TFLite backend (§3.3/§4.1) and
+// is what accuracy mode runs against (model outputs are real tensors the
+// data set can score).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/dataset_qsl.h"
+#include "core/query.h"
+#include "infer/executor.h"
+
+namespace mlpm::backends {
+
+class ReferenceBackend final : public loadgen::SystemUnderTest {
+ public:
+  // `executor` runs the model at the submission's numerics; `qsl` stages
+  // the inputs.  Both must outlive the backend.
+  ReferenceBackend(std::string name, const infer::Executor& executor,
+                   const loadgen::DatasetQsl& qsl);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void IssueQuery(std::span<const loadgen::QuerySample> samples,
+                  loadgen::ResponseSink& sink) override;
+
+ private:
+  std::string name_;
+  const infer::Executor& executor_;
+  const loadgen::DatasetQsl& qsl_;
+};
+
+}  // namespace mlpm::backends

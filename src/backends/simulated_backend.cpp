@@ -1,0 +1,49 @@
+#include "backends/simulated_backend.h"
+
+#include <utility>
+
+namespace mlpm::backends {
+
+SimulatedBackend::SimulatedBackend(std::string name,
+                                   soc::SocSimulator simulator,
+                                   soc::CompiledModel single_stream,
+                                   std::vector<soc::CompiledModel>
+                                       offline_replicas,
+                                   loadgen::VirtualClock& clock,
+                                   EndToEndCosts end_to_end)
+    : name_(std::move(name)),
+      simulator_(std::move(simulator)),
+      single_stream_(std::move(single_stream)),
+      offline_replicas_(std::move(offline_replicas)),
+      clock_(clock),
+      end_to_end_(end_to_end) {}
+
+void SimulatedBackend::IssueQuery(
+    std::span<const loadgen::QuerySample> samples,
+    loadgen::ResponseSink& sink) {
+  Expects(!samples.empty(), "empty query");
+  if (samples.size() == 1) {
+    // Single-stream: one inference, clock advances by its latency.
+    const soc::InferenceResult r = simulator_.RunInference(single_stream_);
+    total_energy_j_ += r.energy_j;
+    clock_.Advance(loadgen::Seconds{r.latency_s + end_to_end_.Total()});
+    sink.Complete(loadgen::QuerySampleResponse{samples[0].id, {}});
+    return;
+  }
+
+  // Offline burst: ALP across the replica set.
+  std::span<const soc::CompiledModel> replicas = offline_replicas_;
+  if (replicas.empty()) replicas = {&single_stream_, 1};
+  const soc::BatchResult batch =
+      simulator_.RunBatch(replicas, samples.size());
+  total_energy_j_ += batch.energy_j;
+  const loadgen::Seconds start = clock_.Now();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    clock_.AdvanceTo(start +
+                     loadgen::Seconds{batch.completion_times_s[i] +
+                                      end_to_end_.Total()});
+    sink.Complete(loadgen::QuerySampleResponse{samples[i].id, {}});
+  }
+}
+
+}  // namespace mlpm::backends

@@ -1,0 +1,52 @@
+#include "common/barchart.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace mlpm {
+
+BarChart::BarChart(std::string title, std::string unit)
+    : title_(std::move(title)), unit_(std::move(unit)) {}
+
+void BarChart::Add(std::string label, double value) {
+  Expects(value >= 0.0, "bar values must be non-negative");
+  rows_.push_back(Row{std::move(label), value, false});
+}
+
+void BarChart::AddGap() { rows_.push_back(Row{{}, 0.0, true}); }
+
+std::string BarChart::Render(std::size_t max_width) const {
+  Expects(max_width >= 4, "chart too narrow");
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const Row& r : rows_) {
+    if (r.gap) continue;
+    max_value = std::max(max_value, r.value);
+    label_width = std::max(label_width, r.label.size());
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  for (const Row& r : rows_) {
+    if (r.gap) {
+      os << '\n';
+      continue;
+    }
+    const auto cells =
+        max_value > 0.0
+            ? static_cast<std::size_t>(r.value / max_value *
+                                       static_cast<double>(max_width))
+            : 0;
+    os << "  " << r.label << std::string(label_width - r.label.size(), ' ')
+       << " |" << std::string(cells, '#')
+       << (cells == 0 && r.value > 0.0 ? "|" : "") << ' '
+       << FormatDouble(r.value, 2) << (unit_.empty() ? "" : " ") << unit_
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mlpm

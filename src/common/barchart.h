@@ -1,0 +1,34 @@
+// Horizontal text bar charts for the figure-reproduction benches: the
+// paper's Figures 6 and 7 are bar charts, so their regenerated outputs
+// render as bars too (plain monospace text, no dependencies).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlpm {
+
+class BarChart {
+ public:
+  // `title` printed above; `unit` appended to each value label.
+  BarChart(std::string title, std::string unit);
+
+  void Add(std::string label, double value);
+  // Inserts a blank separator row (group boundary).
+  void AddGap();
+
+  // Renders with bars scaled so the maximum value spans `max_width` cells.
+  [[nodiscard]] std::string Render(std::size_t max_width = 48) const;
+
+ private:
+  struct Row {
+    std::string label;
+    double value = 0.0;
+    bool gap = false;
+  };
+  std::string title_;
+  std::string unit_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mlpm

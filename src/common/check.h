@@ -1,0 +1,44 @@
+// Lightweight runtime-check helpers.
+//
+// Per the C++ Core Guidelines (I.6/I.8, E.12), preconditions and invariants
+// are expressed as named check functions that throw on violation rather than
+// as macros.  All library code uses these; callers that cannot tolerate
+// exceptions can catch `mlpm::CheckError` at the API boundary.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mlpm {
+
+// Thrown when a runtime precondition or invariant check fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void FailCheck(const char* kind, const std::string& what,
+                                   const std::source_location& loc) {
+  throw CheckError(std::string(kind) + " failed at " + loc.file_name() + ":" +
+                   std::to_string(loc.line()) + " in " + loc.function_name() +
+                   ": " + what);
+}
+}  // namespace detail
+
+// Precondition check: argument contracts at API boundaries.
+inline void Expects(bool cond, const std::string& what = "precondition",
+                    const std::source_location loc =
+                        std::source_location::current()) {
+  if (!cond) detail::FailCheck("Expects", what, loc);
+}
+
+// Postcondition / invariant check inside implementations.
+inline void Ensures(bool cond, const std::string& what = "invariant",
+                    const std::source_location loc =
+                        std::source_location::current()) {
+  if (!cond) detail::FailCheck("Ensures", what, loc);
+}
+
+}  // namespace mlpm

@@ -1,0 +1,72 @@
+#include "common/fp16.h"
+
+#include <bit>
+#include <cstring>
+
+namespace mlpm {
+
+std::uint16_t FloatToHalfBits(float f) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t exp = (bits >> 23) & 0xFFu;
+  std::uint32_t mant = bits & 0x7FFFFFu;
+
+  if (exp == 0xFF) {  // inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+
+  // Re-bias exponent from 127 to 15.
+  const int new_exp = static_cast<int>(exp) - 127 + 15;
+  if (new_exp >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (new_exp <= 0) {  // subnormal half or zero
+    if (new_exp < -10) return static_cast<std::uint16_t>(sign);  // underflow
+    // Add the implicit leading one, then shift into subnormal position.
+    mant |= 0x800000u;
+    const int shift = 14 - new_exp;
+    std::uint32_t half_mant = mant >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+
+  // Normalized: keep top 10 mantissa bits, round to nearest even.
+  std::uint32_t half = sign | (static_cast<std::uint32_t>(new_exp) << 10) |
+                       (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // may carry
+  return static_cast<std::uint16_t>(half);
+}
+
+float HalfBitsToFloat(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+
+  std::uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+             ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    bits = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+}  // namespace mlpm

@@ -1,0 +1,24 @@
+// IEEE-754 binary16 conversion used to *simulate* FP16 numerics.
+//
+// The executors keep all storage in float but round values through half
+// precision when a model runs in FP16 mode (paper §7.5: NLP submissions use
+// FP16 on mobile GPUs).  Round-to-nearest-even, with correct handling of
+// overflow to infinity and subnormals.
+#pragma once
+
+#include <cstdint>
+
+namespace mlpm {
+
+// Convert a float to the nearest binary16 bit pattern.
+[[nodiscard]] std::uint16_t FloatToHalfBits(float f);
+
+// Convert a binary16 bit pattern back to float (exact).
+[[nodiscard]] float HalfBitsToFloat(std::uint16_t h);
+
+// Round-trip a float through binary16 (the FP16 simulation primitive).
+[[nodiscard]] inline float RoundToHalf(float f) {
+  return HalfBitsToFloat(FloatToHalfBits(f));
+}
+
+}  // namespace mlpm

@@ -1,0 +1,63 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mlpm {
+
+double Percentile(std::span<const double> values, double p) {
+  Expects(!values.empty(), "Percentile of empty sample set");
+  Expects(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+SampleStats Summarize(std::span<const double> values) {
+  Expects(!values.empty(), "Summarize of empty sample set");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  SampleStats s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+
+  const auto pct = [&sorted](double p) {
+    if (sorted.size() == 1) return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+  };
+  s.p50 = pct(50.0);
+  s.p90 = pct(90.0);
+  s.p99 = pct(99.0);
+  return s;
+}
+
+double GeometricMean(std::span<const double> values) {
+  Expects(!values.empty(), "GeometricMean of empty sample set");
+  double log_sum = 0.0;
+  for (double v : values) {
+    Expects(v > 0.0, "GeometricMean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace mlpm

@@ -1,0 +1,34 @@
+// Descriptive statistics used by the LoadGen result summariser and the
+// benchmark report generators (90th-percentile latency is the paper's
+// single-stream metric, §6.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mlpm {
+
+// Summary of a latency (or any scalar) sample set.
+struct SampleStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Percentile with linear interpolation between closest ranks; `p` in [0,100].
+// The input need not be sorted.  Empty input throws CheckError.
+[[nodiscard]] double Percentile(std::span<const double> values, double p);
+
+// Full summary in one pass over a copy (values need not be sorted).
+[[nodiscard]] SampleStats Summarize(std::span<const double> values);
+
+// Geometric mean; all values must be positive.
+[[nodiscard]] double GeometricMean(std::span<const double> values);
+
+}  // namespace mlpm

@@ -1,0 +1,81 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mlpm {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::AddSeparator() { pending_separator_ = true; }
+
+std::string TextTable::Render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.cells.size());
+  Ensures(cols > 0, "table has no columns");
+
+  std::vector<std::size_t> width(cols, 0);
+  const auto account = [&width](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  account(header_);
+  for (const auto& r : rows_) account(r.cells);
+
+  std::ostringstream out;
+  const auto rule = [&] {
+    out << '+';
+    for (std::size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      out << ' ' << c << std::string(width[i] - c.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator_before) rule();
+    line(r.cells);
+  }
+  rule();
+  return out.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string FormatMs(double seconds, int precision) {
+  return FormatDouble(seconds * 1e3, precision) + " ms";
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  return FormatDouble(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace mlpm

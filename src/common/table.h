@@ -1,0 +1,42 @@
+// Plain-text table rendering for the benchmark report generators.
+//
+// Every bench binary reproduces one of the paper's tables/figures as an
+// aligned ASCII table so `bench_output.txt` reads like the paper's evaluation
+// section.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlpm {
+
+class TextTable {
+ public:
+  // `title` is printed above the table; may be empty.
+  explicit TextTable(std::string title = {});
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  // Inserts a horizontal rule before the next added row.
+  void AddSeparator();
+
+  // Render with column alignment.  Columns are sized to the widest cell.
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+// Fixed-precision float formatting helpers for table cells.
+[[nodiscard]] std::string FormatDouble(double v, int precision);
+[[nodiscard]] std::string FormatMs(double seconds, int precision = 2);
+[[nodiscard]] std::string FormatPercent(double fraction, int precision = 2);
+
+}  // namespace mlpm

@@ -1,0 +1,59 @@
+// Core scalar-type vocabulary shared by the graph IR, executors, quantizer
+// and the SoC performance model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace mlpm {
+
+// Numeric formats that appear in MLPerf Mobile submissions (paper Table 2).
+// kUInt8 and kInt8 are distinguished because vendors report both (Qualcomm /
+// MediaTek submit UINT8, Samsung / Intel submit INT8); they are identical for
+// cost purposes but tracked for report fidelity.
+enum class DataType : std::uint8_t {
+  kFloat32,
+  kFloat16,
+  kInt8,
+  kUInt8,
+  kInt32,
+};
+
+[[nodiscard]] constexpr std::size_t ByteSize(DataType t) {
+  switch (t) {
+    case DataType::kFloat32:
+    case DataType::kInt32:
+      return 4;
+    case DataType::kFloat16:
+      return 2;
+    case DataType::kInt8:
+    case DataType::kUInt8:
+      return 1;
+  }
+  return 4;  // unreachable; keeps -Wreturn-type quiet
+}
+
+[[nodiscard]] constexpr std::string_view ToString(DataType t) {
+  switch (t) {
+    case DataType::kFloat32:
+      return "FP32";
+    case DataType::kFloat16:
+      return "FP16";
+    case DataType::kInt8:
+      return "INT8";
+    case DataType::kUInt8:
+      return "UINT8";
+    case DataType::kInt32:
+      return "INT32";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool IsQuantized(DataType t) {
+  return t == DataType::kInt8 || t == DataType::kUInt8;
+}
+
+}  // namespace mlpm

@@ -1,0 +1,70 @@
+// Time source abstraction for the LoadGen.
+//
+// The LoadGen's control flow is identical whether the SUT is a functional
+// backend measured in wall-clock time or the SoC simulator measured in
+// virtual time; only the Clock differs (DESIGN.md §1).
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+
+namespace mlpm::loadgen {
+
+// All LoadGen timing is in seconds as a double-precision duration.
+using Seconds = std::chrono::duration<double>;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic time since an arbitrary epoch.
+  [[nodiscard]] virtual Seconds Now() const = 0;
+  // Blocks (or advances virtual time) until at least `t`.  Used by the
+  // server scenario to pace Poisson arrivals; a no-op if `t` has passed.
+  virtual void WaitUntil(Seconds t) = 0;
+};
+
+// Wall-clock time (steady), for functional backends.
+class RealClock final : public Clock {
+ public:
+  RealClock() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] Seconds Now() const override {
+    return std::chrono::duration_cast<Seconds>(
+        std::chrono::steady_clock::now() - start_);
+  }
+  void WaitUntil(Seconds t) override {
+    while (Now() < t) {
+      // Sleep in small slices so short waits stay accurate.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Manually-advanced time, for the SoC simulator.  The simulator SUT advances
+// the clock by each inference's simulated latency before completing the
+// query; the LoadGen observes latencies exactly as it would wall-clock ones.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] Seconds Now() const override { return now_; }
+  void WaitUntil(Seconds t) override {
+    if (t > now_) now_ = t;
+  }
+
+  void Advance(Seconds delta) {
+    Expects(delta.count() >= 0.0, "cannot advance time backwards");
+    now_ += delta;
+  }
+  void AdvanceTo(Seconds t) {
+    Expects(t >= now_, "cannot advance time backwards");
+    now_ = t;
+  }
+
+ private:
+  Seconds now_{0.0};
+};
+
+}  // namespace mlpm::loadgen

@@ -1,0 +1,33 @@
+#include "core/dataset_qsl.h"
+
+namespace mlpm::loadgen {
+
+DatasetQsl::DatasetQsl(const datasets::TaskDataset& dataset,
+                       std::size_t performance_sample_count)
+    : dataset_(dataset),
+      performance_sample_count_(performance_sample_count == 0
+                                    ? dataset.size()
+                                    : performance_sample_count) {}
+
+std::size_t DatasetQsl::TotalSampleCount() const { return dataset_.size(); }
+
+std::size_t DatasetQsl::PerformanceSampleCount() const {
+  return performance_sample_count_;
+}
+
+void DatasetQsl::LoadSamplesToRam(std::span<const std::size_t> indices) {
+  for (std::size_t i : indices) loaded_.try_emplace(i, dataset_.InputsFor(i));
+}
+
+void DatasetQsl::UnloadSamplesFromRam(std::span<const std::size_t> indices) {
+  for (std::size_t i : indices) loaded_.erase(i);
+}
+
+const std::vector<infer::Tensor>& DatasetQsl::Loaded(std::size_t index) const {
+  const auto it = loaded_.find(index);
+  Expects(it != loaded_.end(),
+          "sample " + std::to_string(index) + " not staged in RAM");
+  return it->second;
+}
+
+}  // namespace mlpm::loadgen

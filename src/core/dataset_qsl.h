@@ -1,0 +1,38 @@
+// QuerySampleLibrary adapter over a TaskDataset: stages sample inputs into
+// RAM on LoadSamplesToRam so input generation never lands inside the timed
+// region (paper Fig. 4 — the app "queries input samples for the task, loads
+// them to memory").
+#pragma once
+
+#include <unordered_map>
+
+#include "core/query.h"
+#include "datasets/task_dataset.h"
+
+namespace mlpm::loadgen {
+
+class DatasetQsl final : public QuerySampleLibrary {
+ public:
+  // `dataset` must outlive the QSL.  `performance_sample_count` of 0 means
+  // the whole data set fits.
+  explicit DatasetQsl(const datasets::TaskDataset& dataset,
+                      std::size_t performance_sample_count = 0);
+
+  [[nodiscard]] std::string_view name() const override { return "dataset_qsl"; }
+  [[nodiscard]] std::size_t TotalSampleCount() const override;
+  [[nodiscard]] std::size_t PerformanceSampleCount() const override;
+  void LoadSamplesToRam(std::span<const std::size_t> indices) override;
+  void UnloadSamplesFromRam(std::span<const std::size_t> indices) override;
+
+  // Staged inputs for a loaded sample; throws if the sample is not loaded
+  // (catches SUT/LoadGen protocol violations in tests).
+  [[nodiscard]] const std::vector<infer::Tensor>& Loaded(
+      std::size_t index) const;
+
+ private:
+  const datasets::TaskDataset& dataset_;
+  std::size_t performance_sample_count_;
+  std::unordered_map<std::size_t, std::vector<infer::Tensor>> loaded_;
+};
+
+}  // namespace mlpm::loadgen

@@ -1,0 +1,299 @@
+#include "core/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+
+namespace mlpm::loadgen {
+namespace {
+
+// Collects completions and pairs them with issue timestamps.
+class Collector final : public ResponseSink {
+ public:
+  Collector(const Clock& clock, TestLog& log, bool keep_outputs)
+      : clock_(clock), log_(log), keep_outputs_(keep_outputs) {}
+
+  void ExpectSample(const QuerySample& s) { ExpectSampleAt(s, clock_.Now()); }
+
+  // Server scenario: latency counts from the scheduled (Poisson) arrival,
+  // which includes any time the query spent queued behind earlier work.
+  void ExpectSampleAt(const QuerySample& s, Seconds scheduled) {
+    issue_time_[s.id] = scheduled;
+    sample_index_[s.id] = s.index;
+    if (issue_time_.size() == 1 || scheduled < first_issue_)
+      first_issue_ = scheduled;
+    log_.Record(LogEventKind::kQueryIssued, s.id, scheduled);
+  }
+
+  // Timestamp of the earliest issued query (the duration window start the
+  // checker re-derives from the raw events).
+  [[nodiscard]] Seconds first_issue() const { return first_issue_; }
+
+  void Complete(QuerySampleResponse response) override {
+    const Seconds now = clock_.Now();
+    const auto it = issue_time_.find(response.id);
+    Expects(it != issue_time_.end(),
+            "SUT completed a query that was never issued");
+    Expects(!completed_.contains(response.id),
+            "SUT completed the same query twice");
+    completed_.insert(response.id);
+    log_.Record(LogEventKind::kQueryCompleted, response.id, now);
+    latencies_s_.push_back((now - it->second).count());
+    last_completion_ = std::max(last_completion_, now);
+    if (keep_outputs_)
+      outputs_.emplace_back(sample_index_[response.id],
+                            std::move(response.outputs));
+  }
+
+  [[nodiscard]] std::size_t completed_count() const {
+    return completed_.size();
+  }
+  [[nodiscard]] const std::vector<double>& latencies() const {
+    return latencies_s_;
+  }
+  [[nodiscard]] Seconds last_completion() const { return last_completion_; }
+  [[nodiscard]] std::vector<std::pair<std::size_t,
+                                      std::vector<infer::Tensor>>>&&
+  TakeOutputs() {
+    return std::move(outputs_);
+  }
+
+ private:
+  const Clock& clock_;
+  TestLog& log_;
+  bool keep_outputs_;
+  std::unordered_map<std::uint64_t, Seconds> issue_time_;
+  std::unordered_map<std::uint64_t, std::size_t> sample_index_;
+  Seconds first_issue_{0.0};
+  std::unordered_set<std::uint64_t> completed_;
+  std::vector<double> latencies_s_;
+  Seconds last_completion_{0.0};
+  std::vector<std::pair<std::size_t, std::vector<infer::Tensor>>> outputs_;
+};
+
+void FillSummary(TestResult& r, const TestSettings& settings,
+                 const Collector& collector, Seconds start, Seconds end) {
+  r.latencies_s = collector.latencies();
+  r.sample_count = collector.completed_count();
+  r.duration_s = (end - start).count();
+  if (!r.latencies_s.empty()) {
+    r.percentile_latency_s =
+        Percentile(r.latencies_s, settings.latency_percentile);
+    r.mean_latency_s =
+        std::accumulate(r.latencies_s.begin(), r.latencies_s.end(), 0.0) /
+        static_cast<double>(r.latencies_s.size());
+  }
+  if (r.duration_s > 0.0)
+    r.throughput_sps =
+        static_cast<double>(r.sample_count) / r.duration_s;
+}
+
+}  // namespace
+
+TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
+                   const TestSettings& settings, Clock& clock) {
+  Expects(qsl.TotalSampleCount() > 0, "QSL is empty");
+  TestResult result;
+  result.scenario = settings.scenario;
+  result.mode = settings.mode;
+
+  TestLog& log = result.log;
+  log.SetField("loadgen_version", "mlpm-1.0");
+  log.SetField("sut", std::string(sut.name()));
+  log.SetField("qsl", std::string(qsl.name()));
+  log.SetField("scenario", std::string(ToString(settings.scenario)));
+  log.SetField("mode", std::string(ToString(settings.mode)));
+  log.SetField("seed", std::to_string(settings.seed));
+  log.SetField("min_query_count", std::to_string(settings.min_query_count));
+  log.SetField("min_duration_s",
+               std::to_string(settings.min_duration.count()));
+  log.SetField("offline_sample_count",
+               std::to_string(settings.offline_sample_count));
+  log.SetField("latency_percentile",
+               std::to_string(settings.latency_percentile));
+
+  const bool accuracy = settings.mode == TestMode::kAccuracyOnly;
+  Collector collector(clock, log, accuracy);
+  std::uint64_t next_id = 1;
+
+  if (accuracy) {
+    // Accuracy mode: the entire data set, in order (paper §4.1).
+    const std::size_t total = qsl.TotalSampleCount();
+    std::vector<std::size_t> all(total);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    qsl.LoadSamplesToRam(all);
+    const Seconds start = clock.Now();
+    for (std::size_t i = 0; i < total; ++i) {
+      const QuerySample s{next_id++, i};
+      collector.ExpectSample(s);
+      sut.IssueQuery({&s, 1}, collector);
+    }
+    sut.FlushQueries();
+    qsl.UnloadSamplesFromRam(all);
+    FillSummary(result, settings, collector, start,
+                collector.last_completion());
+    Ensures(collector.completed_count() == total,
+            "SUT did not complete every accuracy sample");
+    // Order outputs by dataset index.
+    auto outs = collector.TakeOutputs();
+    std::sort(outs.begin(), outs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    result.accuracy_outputs.reserve(outs.size());
+    for (auto& [idx, tensors] : outs)
+      result.accuracy_outputs.push_back(std::move(tensors));
+    result.min_duration_met = true;
+    result.min_query_count_met = true;
+    return result;
+  }
+
+  // Performance mode: a seeded random subset of the data set.
+  const std::size_t perf_count =
+      settings.performance_sample_count > 0
+          ? std::min(settings.performance_sample_count,
+                     qsl.TotalSampleCount())
+          : std::min(qsl.PerformanceSampleCount(), qsl.TotalSampleCount());
+  Expects(perf_count > 0, "performance sample count must be positive");
+  Rng rng(settings.seed);
+  std::vector<std::size_t> loaded(perf_count);
+  std::iota(loaded.begin(), loaded.end(), std::size_t{0});
+  qsl.LoadSamplesToRam(loaded);
+
+  const Seconds start = clock.Now();
+  if (settings.scenario == TestScenario::kSingleStream) {
+    // Issue one query, wait for completion, repeat (paper §4.2) until both
+    // the sample floor and the duration floor are met.
+    std::size_t issued = 0;
+    while (issued < settings.min_query_count ||
+           (clock.Now() - start) < settings.min_duration) {
+      const QuerySample s{next_id++,
+                          static_cast<std::size_t>(rng.NextBelow(perf_count))};
+      collector.ExpectSample(s);
+      sut.IssueQuery({&s, 1}, collector);
+      ++issued;
+      Ensures(collector.completed_count() == issued,
+              "single-stream SUT must complete each query before the next");
+    }
+  } else if (settings.scenario == TestScenario::kOffline) {
+    // Offline: the whole burst in one query (paper §4.2).
+    std::vector<QuerySample> burst;
+    burst.reserve(settings.offline_sample_count);
+    for (std::size_t i = 0; i < settings.offline_sample_count; ++i) {
+      burst.push_back(QuerySample{
+          next_id++, static_cast<std::size_t>(rng.NextBelow(perf_count))});
+      collector.ExpectSample(burst.back());
+    }
+    sut.IssueQuery(burst, collector);
+    Ensures(collector.completed_count() == burst.size(),
+            "offline SUT must complete the full burst");
+  } else if (settings.scenario == TestScenario::kMultiStream) {
+    // Multi-stream: a query of N samples every fixed interval (camera
+    // frames from N concurrent streams).  Per-query latency counts from
+    // the scheduled tick; the run is valid if the percentile latency fits
+    // inside the interval.
+    Expects(settings.multistream_samples_per_query > 0,
+            "multi-stream needs at least one sample per query");
+    std::vector<double> query_latencies;
+    query_latencies.reserve(settings.multistream_query_count);
+    for (std::size_t q = 0; q < settings.multistream_query_count; ++q) {
+      const Seconds scheduled =
+          start + settings.multistream_interval * static_cast<double>(q);
+      clock.WaitUntil(scheduled);
+      std::vector<QuerySample> query;
+      query.reserve(settings.multistream_samples_per_query);
+      for (std::size_t i = 0; i < settings.multistream_samples_per_query;
+           ++i) {
+        query.push_back(QuerySample{
+            next_id++,
+            static_cast<std::size_t>(rng.NextBelow(perf_count))});
+        collector.ExpectSampleAt(query.back(), scheduled);
+      }
+      sut.IssueQuery(query, collector);
+      query_latencies.push_back((clock.Now() - scheduled).count());
+    }
+    sut.FlushQueries();
+    qsl.UnloadSamplesFromRam(loaded);
+    FillSummary(result, settings, collector, collector.first_issue(),
+                collector.last_completion());
+    // The multi-stream metric is per-query, not per-sample.
+    result.latencies_s = query_latencies;
+    result.percentile_latency_s =
+        Percentile(query_latencies, settings.latency_percentile);
+    result.min_query_count_met = true;
+    result.min_duration_met = true;
+    result.latency_bound_met =
+        Seconds{result.percentile_latency_s} <=
+        settings.multistream_interval;
+    log.SetField("result_sample_count",
+                 std::to_string(result.sample_count));
+    log.SetField("result_percentile_latency_s",
+                 std::to_string(result.percentile_latency_s));
+    log.SetField("result_throughput_sps",
+                 std::to_string(result.throughput_sps));
+    return result;
+  } else {
+    // Server: seeded Poisson arrivals at the target rate; queries queue
+    // behind in-flight work and latency counts from the scheduled arrival.
+    Expects(settings.server_target_qps > 0.0,
+            "server scenario needs a positive target QPS");
+    Rng arrival_rng = rng.Split(0xA11);
+    Seconds arrival = start;
+    for (std::size_t i = 0; i < settings.server_query_count; ++i) {
+      const double gap = -std::log(1.0 - arrival_rng.NextDouble()) /
+                         settings.server_target_qps;
+      arrival += Seconds{gap};
+      const QuerySample s{next_id++,
+                          static_cast<std::size_t>(rng.NextBelow(perf_count))};
+      collector.ExpectSampleAt(s, arrival);
+      // If the device is free before the arrival, idle until it.
+      clock.WaitUntil(arrival);
+      sut.IssueQuery({&s, 1}, collector);
+    }
+  }
+  sut.FlushQueries();
+  qsl.UnloadSamplesFromRam(loaded);
+
+  const Seconds end = collector.last_completion();
+  FillSummary(result, settings, collector, collector.first_issue(), end);
+  result.min_query_count_met =
+      settings.scenario != TestScenario::kSingleStream ||
+      result.sample_count >= settings.min_query_count;
+  result.min_duration_met =
+      settings.scenario != TestScenario::kSingleStream ||
+      Seconds{result.duration_s} >= settings.min_duration;
+  result.latency_bound_met =
+      settings.scenario != TestScenario::kServer ||
+      Seconds{result.percentile_latency_s} <= settings.server_latency_bound;
+
+  log.SetField("result_sample_count", std::to_string(result.sample_count));
+  log.SetField("result_duration_s", std::to_string(result.duration_s));
+  log.SetField("result_percentile_latency_s",
+               std::to_string(result.percentile_latency_s));
+  log.SetField("result_throughput_sps",
+               std::to_string(result.throughput_sps));
+  return result;
+}
+
+double FindMaxServerQps(
+    const std::function<TestResult(double qps)>& run_at_qps, double lo,
+    double hi, int iterations) {
+  Expects(lo > 0.0 && hi > lo, "invalid QPS search bounds");
+  if (!run_at_qps(lo).latency_bound_met) return 0.0;
+  if (run_at_qps(hi).latency_bound_met) return hi;
+  double good = lo, bad = hi;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = (good + bad) / 2.0;
+    if (run_at_qps(mid).latency_bound_met)
+      good = mid;
+    else
+      bad = mid;
+  }
+  return good;
+}
+
+}  // namespace mlpm::loadgen

@@ -1,0 +1,60 @@
+// The Load Generator (paper §4).
+//
+// Creates inference requests in the scenario's pattern, measures latency /
+// throughput against the test clock, selects samples with the official
+// seeded RNG (precluding data-set-specific optimizations), and logs every
+// issue/completion for post-run validation.  Submitters may not modify this
+// component — nothing in it is backend- or vendor-specific.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/query.h"
+#include "core/settings.h"
+
+namespace mlpm::loadgen {
+
+struct TestResult {
+  TestScenario scenario = TestScenario::kSingleStream;
+  TestMode mode = TestMode::kPerformanceOnly;
+
+  // Performance outcomes.
+  std::vector<double> latencies_s;   // per-sample latency (seconds)
+  double duration_s = 0.0;           // first issue -> last completion
+  std::size_t sample_count = 0;
+  double percentile_latency_s = 0.0;  // at settings.latency_percentile
+  double mean_latency_s = 0.0;
+  double throughput_sps = 0.0;        // samples per second
+
+  // Run-rule validity (checked again, independently, by the submission
+  // checker from the raw log).
+  bool min_duration_met = false;
+  bool min_query_count_met = false;
+  // Server scenario: percentile latency within the latency bound.
+  bool latency_bound_met = false;
+
+  // Accuracy mode: model outputs per dataset sample index, for the
+  // harness to score against the data set.
+  std::vector<std::vector<infer::Tensor>> accuracy_outputs;
+
+  TestLog log;
+};
+
+// Runs one test.  The clock must be the same one the SUT uses to report
+// completions (wall clock for functional backends, the simulator's virtual
+// clock otherwise).
+[[nodiscard]] TestResult RunTest(SystemUnderTest& sut,
+                                 QuerySampleLibrary& qsl,
+                                 const TestSettings& settings, Clock& clock);
+
+// Binary-searches the highest server QPS whose run still meets the latency
+// bound.  `run_at_qps` must execute a fresh server-scenario test at the
+// given rate (fresh SUT + clock per probe) and return its result.
+// Returns 0 if even `lo` fails.
+[[nodiscard]] double FindMaxServerQps(
+    const std::function<TestResult(double qps)>& run_at_qps, double lo,
+    double hi, int iterations = 10);
+
+}  // namespace mlpm::loadgen

@@ -1,0 +1,75 @@
+#include "core/logging.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mlpm::loadgen {
+
+void TestLog::SetField(const std::string& key, std::string value) {
+  Expects(key.find(' ') == std::string::npos &&
+              key.find('\n') == std::string::npos,
+          "log field keys must not contain whitespace");
+  Expects(value.find('\n') == std::string::npos,
+          "log field values must be single-line");
+  fields_[key] = std::move(value);
+}
+
+const std::string* TestLog::FieldOrNull(const std::string& key) const {
+  const auto it = fields_.find(key);
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+void TestLog::Record(LogEventKind kind, std::uint64_t query_id, Seconds t) {
+  events_.push_back(LogEvent{kind, query_id, t});
+}
+
+std::string TestLog::Serialize() const {
+  std::ostringstream os;
+  os.precision(9);
+  os << "mlpm_loadgen_log v1\n";
+  for (const auto& [k, v] : fields_) os << "field " << k << ' ' << v << '\n';
+  for (const auto& e : events_) {
+    os << (e.kind == LogEventKind::kQueryIssued ? "issue " : "complete ")
+       << e.query_id << ' ' << std::fixed << e.timestamp.count() << '\n';
+  }
+  return os.str();
+}
+
+TestLog TestLog::Parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  Expects(static_cast<bool>(std::getline(is, line)), "empty log");
+  Expects(line == "mlpm_loadgen_log v1", "unknown log format: " + line);
+
+  TestLog log;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "field") {
+      std::string key;
+      ls >> key;
+      std::string value;
+      std::getline(ls, value);
+      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      log.fields_[key] = value;
+    } else if (tag == "issue" || tag == "complete") {
+      std::uint64_t id = 0;
+      double t = 0.0;
+      ls >> id >> t;
+      Expects(!ls.fail(), "malformed log event: " + line);
+      log.events_.push_back(LogEvent{tag == "issue"
+                                         ? LogEventKind::kQueryIssued
+                                         : LogEventKind::kQueryCompleted,
+                                     id, Seconds{t}});
+    } else {
+      Expects(false, "unknown log line tag: " + tag);
+    }
+  }
+  return log;
+}
+
+}  // namespace mlpm::loadgen

@@ -1,0 +1,49 @@
+// Structured test log (paper §4.1: the LoadGen "logs information about the
+// system during execution to enable post-run validation"; §6.2: submissions
+// include all log files unedited, and the checker validates them).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+
+namespace mlpm::loadgen {
+
+enum class LogEventKind : std::uint8_t {
+  kQueryIssued,
+  kQueryCompleted,
+};
+
+struct LogEvent {
+  LogEventKind kind = LogEventKind::kQueryIssued;
+  std::uint64_t query_id = 0;
+  Seconds timestamp{0.0};
+};
+
+// Header fields + per-query event trace.  Serializes to a line-oriented
+// text format; the submission checker parses it back and cross-checks the
+// summary against the raw events.
+class TestLog {
+ public:
+  void SetField(const std::string& key, std::string value);
+  [[nodiscard]] const std::string* FieldOrNull(const std::string& key) const;
+  [[nodiscard]] const std::map<std::string, std::string>& fields() const {
+    return fields_;
+  }
+
+  void Record(LogEventKind kind, std::uint64_t query_id, Seconds t);
+  [[nodiscard]] const std::vector<LogEvent>& events() const { return events_; }
+
+  [[nodiscard]] std::string Serialize() const;
+  // Throws CheckError on malformed input.
+  [[nodiscard]] static TestLog Parse(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> fields_;
+  std::vector<LogEvent> events_;
+};
+
+}  // namespace mlpm::loadgen

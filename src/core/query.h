@@ -1,0 +1,65 @@
+// Query vocabulary shared between the LoadGen and systems under test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "infer/tensor.h"
+
+namespace mlpm::loadgen {
+
+// One inference request for one dataset sample.
+struct QuerySample {
+  std::uint64_t id = 0;     // unique per issued sample within a test
+  std::size_t index = 0;    // dataset sample index
+};
+
+// Completion record the SUT hands back.  `outputs` is only populated in
+// accuracy mode (performance mode discards model outputs, as the real
+// LoadGen does).
+struct QuerySampleResponse {
+  std::uint64_t id = 0;
+  std::vector<infer::Tensor> outputs;
+};
+
+// The LoadGen-side sink the SUT completes queries into.  Completion time is
+// taken from the test clock at the moment Complete() is called.
+class ResponseSink {
+ public:
+  virtual ~ResponseSink() = default;
+  virtual void Complete(QuerySampleResponse response) = 0;
+};
+
+// System under test (paper §4.3): anything that can run queries — the
+// reference TFLite-style functional backend, a vendor-backend simulation on
+// a simulated chipset, or a laptop OpenVINO-style backend.
+class SystemUnderTest {
+ public:
+  virtual ~SystemUnderTest() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // Process the given samples, calling sink.Complete() once per sample.
+  // Single-stream issues one sample per call; offline issues the whole
+  // 24,576-sample burst in one call.
+  virtual void IssueQuery(std::span<const QuerySample> samples,
+                          ResponseSink& sink) = 0;
+
+  // Finalize any batched work (end of test).
+  virtual void FlushQueries() {}
+};
+
+// Query sample library (paper Fig. 4): wraps a data set; the LoadGen tells
+// it which samples to stage into memory before timing starts.
+class QuerySampleLibrary {
+ public:
+  virtual ~QuerySampleLibrary() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::size_t TotalSampleCount() const = 0;
+  // How many samples fit in RAM for performance mode (the subset size).
+  [[nodiscard]] virtual std::size_t PerformanceSampleCount() const = 0;
+  virtual void LoadSamplesToRam(std::span<const std::size_t> indices) = 0;
+  virtual void UnloadSamplesFromRam(std::span<const std::size_t> indices) = 0;
+};
+
+}  // namespace mlpm::loadgen

@@ -1,0 +1,79 @@
+// Test settings (paper §4.2, §6.1).
+//
+// Defaults encode the MLPerf Mobile run rules: single-stream measures the
+// 90th-percentile latency over >= 1,024 samples and >= 60 seconds; offline
+// issues 24,576 samples in one burst and reports average throughput.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/clock.h"
+
+namespace mlpm::loadgen {
+
+// kSingleStream and kOffline are the two modes MLPerf Mobile uses (§4.2).
+// The other two complete the LoadGen's pattern vocabulary (§4.1 mentions
+// latency-bounded throughput):
+//   kServer      — queries arrive in a seeded Poisson process at a target
+//                  rate and queue at the device;
+//   kMultiStream — a camera-style pattern: a query of N samples (frames
+//                  from N concurrent streams) every fixed interval; the run
+//                  is valid if queries complete within the interval.
+enum class TestScenario : std::uint8_t {
+  kSingleStream,
+  kOffline,
+  kServer,
+  kMultiStream,
+};
+enum class TestMode : std::uint8_t { kPerformanceOnly, kAccuracyOnly };
+
+[[nodiscard]] constexpr std::string_view ToString(TestScenario s) {
+  switch (s) {
+    case TestScenario::kSingleStream: return "single_stream";
+    case TestScenario::kOffline: return "offline";
+    case TestScenario::kServer: return "server";
+    case TestScenario::kMultiStream: return "multi_stream";
+  }
+  return "?";
+}
+[[nodiscard]] constexpr std::string_view ToString(TestMode m) {
+  return m == TestMode::kPerformanceOnly ? "performance" : "accuracy";
+}
+
+// The official seed all submissions must use (checker-verified); an
+// arbitrary but fixed constant, spelling "MLPerf".
+inline constexpr std::uint64_t kOfficialSeed = 0x4D4C50657266ULL;
+
+struct TestSettings {
+  TestScenario scenario = TestScenario::kSingleStream;
+  TestMode mode = TestMode::kPerformanceOnly;
+  std::uint64_t seed = kOfficialSeed;
+
+  // Single-stream run rules.
+  std::size_t min_query_count = 1024;
+  Seconds min_duration{60.0};
+
+  // Offline run rules.
+  std::size_t offline_sample_count = 24'576;
+
+  // Latency percentile reported for single-stream / server.
+  double latency_percentile = 90.0;
+
+  // Server run rules: Poisson arrival rate and the latency bound a run
+  // must meet at the reported percentile to be valid.
+  double server_target_qps = 100.0;
+  Seconds server_latency_bound{0.050};
+  std::size_t server_query_count = 2048;
+
+  // Multi-stream run rules: N samples per query, a query every interval;
+  // the run is valid if the percentile per-query latency fits the interval.
+  std::size_t multistream_samples_per_query = 8;
+  Seconds multistream_interval{0.050};  // 20 Hz camera cadence
+  std::size_t multistream_query_count = 512;
+
+  // 0 means "use the QSL's PerformanceSampleCount()".
+  std::size_t performance_sample_count = 0;
+};
+
+}  // namespace mlpm::loadgen

@@ -1,0 +1,28 @@
+#include "datasets/calibration_set.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace mlpm::datasets {
+
+std::vector<std::size_t> ApprovedCalibrationIndices(std::size_t pool_size,
+                                                    std::size_t count,
+                                                    std::uint64_t official_seed) {
+  Expects(count <= pool_size, "calibration count exceeds pool");
+  Rng rng(official_seed);
+  std::vector<std::size_t> idx = rng.SampleWithoutReplacement(pool_size, count);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+std::vector<quant::CalibrationSample> GatherCalibrationSamples(
+    const TaskDataset& dataset, std::span<const std::size_t> indices) {
+  std::vector<quant::CalibrationSample> samples;
+  samples.reserve(indices.size());
+  for (std::size_t i : indices)
+    samples.push_back(dataset.CalibrationInputsFor(i));
+  return samples;
+}
+
+}  // namespace mlpm::datasets

@@ -1,0 +1,32 @@
+// Image preprocessing stages (paper §4.1): every submitter must run the
+// same resize / crop / normalize steps; they are dataset-specific and
+// implemented here once.  Operates on NHWC batch-1 float tensors.
+#pragma once
+
+#include "infer/tensor.h"
+
+namespace mlpm::datasets {
+
+// Bilinear resize to out_h x out_w (half-pixel centers).
+[[nodiscard]] infer::Tensor ResizeBilinear(const infer::Tensor& image,
+                                           std::int64_t out_h,
+                                           std::int64_t out_w);
+
+// Center crop to size x size; image must be at least that large.
+[[nodiscard]] infer::Tensor CenterCrop(const infer::Tensor& image,
+                                       std::int64_t size);
+
+// In-place channel-uniform normalization: (v - mean) / std.
+void Normalize(infer::Tensor& image, float mean, float stddev);
+
+// The classification pipeline from the paper: resize (shorter side to
+// size*1.143, the 256/224 ratio), center-crop to size, normalize to [-1,1].
+[[nodiscard]] infer::Tensor ClassificationPreprocess(
+    const infer::Tensor& raw_image, std::int64_t size);
+
+// Detection / segmentation pipeline: direct resize to size x size plus
+// normalization (COCO / ADE20K treatment in the reference app).
+[[nodiscard]] infer::Tensor DirectResizePreprocess(
+    const infer::Tensor& raw_image, std::int64_t size);
+
+}  // namespace mlpm::datasets

@@ -1,0 +1,67 @@
+#include "datasets/superres_dataset.h"
+
+#include <algorithm>
+
+#include "datasets/preprocess.h"
+#include "datasets/synthetic_image.h"
+#include "metrics/psnr.h"
+
+namespace mlpm::datasets {
+namespace {
+constexpr std::uint64_t kValidationSpace = 0;
+constexpr std::uint64_t kCalibrationSpace = 1'000'000;
+}  // namespace
+
+SuperResDataset::SuperResDataset(SuperResDatasetConfig config)
+    : cfg_(config) {
+  Expects(cfg_.num_samples > 0, "dataset must be non-empty");
+  Expects(cfg_.upscale == 2, "only 2x is implemented");
+}
+
+infer::Tensor SuperResDataset::HighResFor(std::uint64_t name_space,
+                                          std::size_t index) const {
+  SyntheticImageConfig img;
+  img.height = img.width = cfg_.lr_size * cfg_.upscale;
+  img.control_grid = 6;
+  img.noise_level = 0.02f;
+  return GenerateImage(img, cfg_.seed + name_space,
+                       static_cast<std::uint64_t>(index));
+}
+
+std::vector<infer::Tensor> SuperResDataset::InputsFor(
+    std::size_t index) const {
+  Expects(index < cfg_.num_samples, "sample index out of range");
+  std::vector<infer::Tensor> v;
+  v.push_back(ResizeBilinear(HighResFor(kValidationSpace, index),
+                             cfg_.lr_size, cfg_.lr_size));
+  return v;
+}
+
+std::vector<infer::Tensor> SuperResDataset::CalibrationInputsFor(
+    std::size_t index) const {
+  std::vector<infer::Tensor> v;
+  v.push_back(ResizeBilinear(HighResFor(kCalibrationSpace, index),
+                             cfg_.lr_size, cfg_.lr_size));
+  return v;
+}
+
+double SuperResDataset::MeanPsnrDb(
+    std::span<const std::vector<infer::Tensor>> outputs) const {
+  Expects(outputs.size() == cfg_.num_samples,
+          "output count does not cover the dataset");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    Expects(!outputs[i].empty(), "missing model output");
+    const double psnr =
+        metrics::Psnr(outputs[i][0], HighResFor(kValidationSpace, i));
+    sum += std::min(psnr, 60.0);  // cap infinities for the mean
+  }
+  return sum / static_cast<double>(outputs.size());
+}
+
+double SuperResDataset::ScoreOutputs(
+    std::span<const std::vector<infer::Tensor>> outputs) const {
+  return std::clamp(MeanPsnrDb(outputs) / 50.0, 0.0, 1.0);
+}
+
+}  // namespace mlpm::datasets

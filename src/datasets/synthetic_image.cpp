@@ -1,0 +1,60 @@
+#include "datasets/synthetic_image.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace mlpm::datasets {
+
+infer::Tensor GenerateImage(const SyntheticImageConfig& cfg,
+                            std::uint64_t seed, std::uint64_t index) {
+  Expects(cfg.height > 0 && cfg.width > 0 && cfg.channels > 0,
+          "image dims must be positive");
+  Expects(cfg.control_grid >= 2, "control grid needs at least 2 points");
+  Rng rng = Rng(seed).Split(index);
+
+  const int g = cfg.control_grid;
+  std::vector<float> control(
+      static_cast<std::size_t>(g) * static_cast<std::size_t>(g) *
+      static_cast<std::size_t>(cfg.channels));
+  for (auto& v : control) v = static_cast<float>(rng.NextDouble());
+
+  infer::Tensor img(
+      graph::TensorShape({1, cfg.height, cfg.width, cfg.channels}));
+  float* p = img.data();
+  for (std::int64_t y = 0; y < cfg.height; ++y) {
+    const float fy = static_cast<float>(y) /
+                     static_cast<float>(cfg.height - 1 > 0 ? cfg.height - 1
+                                                           : 1) *
+                     static_cast<float>(g - 1);
+    const int y0 = std::min(static_cast<int>(fy), g - 2);
+    const float wy = fy - static_cast<float>(y0);
+    for (std::int64_t x = 0; x < cfg.width; ++x) {
+      const float fx = static_cast<float>(x) /
+                       static_cast<float>(cfg.width - 1 > 0 ? cfg.width - 1
+                                                            : 1) *
+                       static_cast<float>(g - 1);
+      const int x0 = std::min(static_cast<int>(fx), g - 2);
+      const float wx = fx - static_cast<float>(x0);
+      for (std::int64_t c = 0; c < cfg.channels; ++c) {
+        const auto ctrl = [&](int yy, int xx) {
+          return control[(static_cast<std::size_t>(yy) *
+                              static_cast<std::size_t>(g) +
+                          static_cast<std::size_t>(xx)) *
+                             static_cast<std::size_t>(cfg.channels) +
+                         static_cast<std::size_t>(c)];
+        };
+        const float top = ctrl(y0, x0) * (1 - wx) + ctrl(y0, x0 + 1) * wx;
+        const float bot =
+            ctrl(y0 + 1, x0) * (1 - wx) + ctrl(y0 + 1, x0 + 1) * wx;
+        float v = top * (1 - wy) + bot * wy;
+        v += cfg.noise_level *
+             static_cast<float>(rng.NextGaussian());
+        p[(y * cfg.width + x) * cfg.channels + c] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace mlpm::datasets

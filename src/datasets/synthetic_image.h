@@ -1,0 +1,30 @@
+// Structured synthetic image generation.
+//
+// Stand-in for ImageNet / COCO / ADE20K images (DESIGN.md §1): each image is
+// deterministic in (seed, index) and is built from low-frequency content
+// (bilinearly upsampled control grids) plus mild high-frequency noise.  The
+// low-frequency structure matters: it gives activation distributions with
+// realistic dynamic range so PTQ calibration behaves the way it does on
+// natural images (white noise would flatten every activation histogram).
+#pragma once
+
+#include <cstdint>
+
+#include "infer/tensor.h"
+
+namespace mlpm::datasets {
+
+struct SyntheticImageConfig {
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::int64_t channels = 3;
+  int control_grid = 4;     // control points per side for the smooth field
+  float noise_level = 0.05f;  // high-frequency additive noise amplitude
+};
+
+// Pixel values in [0, 1].  Deterministic in (seed, index).
+[[nodiscard]] infer::Tensor GenerateImage(const SyntheticImageConfig& cfg,
+                                          std::uint64_t seed,
+                                          std::uint64_t index);
+
+}  // namespace mlpm::datasets

@@ -1,0 +1,44 @@
+// The common dataset interface the LoadGen's QSL and the harness's accuracy
+// mode consume (paper §4.1).
+//
+// Ground truth in every concrete dataset is teacher-derived: the FP32
+// reference model's own prediction corrupted with seeded noise so the FP32
+// score lands on the paper's published quality (DESIGN.md §1).  This makes
+// "x% of FP32" quality targets exact by construction while keeping the
+// quantization-degradation mechanism real.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "infer/tensor.h"
+
+namespace mlpm::datasets {
+
+class TaskDataset {
+ public:
+  virtual ~TaskDataset() = default;
+
+  // Number of validation samples.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  // Full set of graph inputs for sample `index` (deterministic).
+  [[nodiscard]] virtual std::vector<infer::Tensor> InputsFor(
+      std::size_t index) const = 0;
+
+  // Scores one full pass: outputs[i] holds the model's raw output tensors
+  // for sample i, i in [0, size()).  Returns the task metric in [0, 1].
+  [[nodiscard]] virtual double ScoreOutputs(
+      std::span<const std::vector<infer::Tensor>> outputs) const = 0;
+
+  [[nodiscard]] virtual std::string_view metric_name() const = 0;
+
+  // Samples from the *training* split used for PTQ calibration (disjoint
+  // seed namespace from validation; paper §5.1's approved ~500-sample set).
+  [[nodiscard]] virtual std::vector<infer::Tensor> CalibrationInputsFor(
+      std::size_t index) const = 0;
+};
+
+}  // namespace mlpm::datasets

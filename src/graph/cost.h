@@ -1,0 +1,52 @@
+// Static cost analysis of a graph: multiply-accumulate counts, parameter
+// bytes and activation traffic per node.
+//
+// These numbers drive the SoC performance model (src/soc): per-layer latency
+// is max(compute-time, memory-time) for the op's MACs and bytes on the
+// assigned accelerator.  They also back the paper-fidelity checks (Table 1
+// parameter counts: 4M / 17M / 4M / 2M / 25M).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace mlpm::graph {
+
+struct NodeCost {
+  std::int64_t macs = 0;          // multiply-accumulates
+  std::int64_t weight_elems = 0;  // parameter elements read
+  std::int64_t input_elems = 0;   // activation elements read
+  std::int64_t output_elems = 0;  // activation elements written
+  OpClass op_class = OpClass::kElementwise;
+  // Dilated (atrous) convolution — mobile accelerators often run these at a
+  // fraction of their dense-conv rate (DeepLab's ASPP-era backbones).
+  bool dilated = false;
+
+  // Bytes moved for a given numerics choice (weights + activations share the
+  // format in this model, as they do in TFLite INT8 / FP16 deployments).
+  [[nodiscard]] std::int64_t TotalBytes(DataType dtype) const {
+    return static_cast<std::int64_t>(ByteSize(dtype)) *
+           (weight_elems + input_elems + output_elems);
+  }
+};
+
+struct GraphCost {
+  std::vector<NodeCost> per_node;  // parallel to graph.nodes()
+  std::int64_t total_macs = 0;
+  std::int64_t total_weight_elems = 0;
+
+  [[nodiscard]] double TotalGMacs() const {
+    return static_cast<double>(total_macs) * 1e-9;
+  }
+};
+
+// Cost of a single node within its graph.
+[[nodiscard]] NodeCost AnalyzeNode(const Graph& g, const Node& n);
+
+// Cost of every node plus totals.
+[[nodiscard]] GraphCost AnalyzeGraph(const Graph& g);
+
+}  // namespace mlpm::graph

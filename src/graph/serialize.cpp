@@ -1,0 +1,352 @@
+#include "graph/serialize.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <variant>
+
+#include "graph/validate.h"
+
+namespace mlpm::graph {
+namespace {
+
+const char* OpToken(OpType t) {
+  switch (t) {
+    case OpType::kInput: return "input_op";
+    case OpType::kConv2d: return "conv2d";
+    case OpType::kDepthwiseConv2d: return "dwconv2d";
+    case OpType::kFullyConnected: return "fc";
+    case OpType::kAdd: return "add";
+    case OpType::kMul: return "mul";
+    case OpType::kAvgPool: return "avgpool";
+    case OpType::kMaxPool: return "maxpool";
+    case OpType::kGlobalAvgPool: return "gap";
+    case OpType::kResizeBilinear: return "resize";
+    case OpType::kConcat: return "concat";
+    case OpType::kReshape: return "reshape";
+    case OpType::kSoftmax: return "softmax";
+    case OpType::kActivation: return "act";
+    case OpType::kLayerNorm: return "layernorm";
+    case OpType::kEmbeddingLookup: return "embedding";
+    case OpType::kMultiHeadAttention: return "mha";
+    case OpType::kLstm: return "lstm";
+  }
+  return "?";
+}
+
+OpType OpFromToken(const std::string& s) {
+  static const std::unordered_map<std::string, OpType> map = {
+      {"input_op", OpType::kInput},
+      {"conv2d", OpType::kConv2d},
+      {"dwconv2d", OpType::kDepthwiseConv2d},
+      {"fc", OpType::kFullyConnected},
+      {"add", OpType::kAdd},
+      {"mul", OpType::kMul},
+      {"avgpool", OpType::kAvgPool},
+      {"maxpool", OpType::kMaxPool},
+      {"gap", OpType::kGlobalAvgPool},
+      {"resize", OpType::kResizeBilinear},
+      {"concat", OpType::kConcat},
+      {"reshape", OpType::kReshape},
+      {"softmax", OpType::kSoftmax},
+      {"act", OpType::kActivation},
+      {"layernorm", OpType::kLayerNorm},
+      {"embedding", OpType::kEmbeddingLookup},
+      {"mha", OpType::kMultiHeadAttention},
+      {"lstm", OpType::kLstm},
+  };
+  const auto it = map.find(s);
+  Expects(it != map.end(), "unknown op token: " + s);
+  return it->second;
+}
+
+int ActToInt(Activation a) { return static_cast<int>(a); }
+Activation ActFromInt(int v) {
+  Expects(v >= 0 && v <= static_cast<int>(Activation::kGelu),
+          "bad activation code");
+  return static_cast<Activation>(v);
+}
+
+void WriteAttrs(std::ostream& os, const Node& n) {
+  switch (n.op) {
+    case OpType::kConv2d: {
+      const auto& a = std::get<Conv2dAttrs>(n.attrs);
+      os << "oc=" << a.out_channels << " k=" << a.kernel_h
+         << " s=" << a.stride << " d=" << a.dilation
+         << " p=" << (a.padding == Padding::kSame ? 1 : 0)
+         << " a=" << ActToInt(a.activation);
+      break;
+    }
+    case OpType::kDepthwiseConv2d: {
+      const auto& a = std::get<DepthwiseConv2dAttrs>(n.attrs);
+      os << "k=" << a.kernel_h << " s=" << a.stride << " d=" << a.dilation
+         << " p=" << (a.padding == Padding::kSame ? 1 : 0)
+         << " a=" << ActToInt(a.activation);
+      break;
+    }
+    case OpType::kFullyConnected: {
+      const auto& a = std::get<FullyConnectedAttrs>(n.attrs);
+      os << "of=" << a.out_features << " a=" << ActToInt(a.activation);
+      break;
+    }
+    case OpType::kAvgPool:
+    case OpType::kMaxPool: {
+      const auto& a = std::get<PoolAttrs>(n.attrs);
+      os << "k=" << a.kernel << " s=" << a.stride;
+      break;
+    }
+    case OpType::kResizeBilinear: {
+      const auto& a = std::get<ResizeAttrs>(n.attrs);
+      os << "h=" << a.out_h << " w=" << a.out_w;
+      break;
+    }
+    case OpType::kConcat: {
+      os << "axis=" << std::get<ConcatAttrs>(n.attrs).axis;
+      break;
+    }
+    case OpType::kReshape: {
+      const auto& a = std::get<ReshapeAttrs>(n.attrs);
+      os << "rank=" << a.new_dims.size();
+      for (auto d : a.new_dims) os << " dim=" << d;
+      break;
+    }
+    case OpType::kSoftmax: {
+      os << "axis=" << std::get<SoftmaxAttrs>(n.attrs).axis;
+      break;
+    }
+    case OpType::kActivation: {
+      os << "a=" << ActToInt(std::get<ActivationAttrs>(n.attrs).activation);
+      break;
+    }
+    case OpType::kEmbeddingLookup: {
+      const auto& a = std::get<EmbeddingAttrs>(n.attrs);
+      os << "vocab=" << a.vocab_size << " dim=" << a.embed_dim;
+      break;
+    }
+    case OpType::kMultiHeadAttention: {
+      const auto& a = std::get<AttentionAttrs>(n.attrs);
+      os << "heads=" << a.num_heads << " hd=" << a.head_dim;
+      break;
+    }
+    case OpType::kLstm: {
+      os << "hidden=" << std::get<LstmAttrs>(n.attrs).hidden_dim;
+      break;
+    }
+    case OpType::kInput:
+    case OpType::kAdd:
+    case OpType::kMul:
+    case OpType::kGlobalAvgPool:
+    case OpType::kLayerNorm:
+      break;  // no attrs
+  }
+}
+
+// Key=value attribute scanner.
+class AttrScanner {
+ public:
+  explicit AttrScanner(std::istream& is) : is_(is) {}
+
+  // Reads "key=value"; throws if the key differs.
+  std::int64_t Expect(const std::string& key) {
+    std::string tok;
+    Expects(static_cast<bool>(is_ >> tok), "missing attr " + key);
+    const auto eq = tok.find('=');
+    Expects(eq != std::string::npos && tok.substr(0, eq) == key,
+            "expected attr " + key + ", got " + tok);
+    return std::stoll(tok.substr(eq + 1));
+  }
+
+ private:
+  std::istream& is_;
+};
+
+OpAttrs ReadAttrs(OpType op, std::istream& is) {
+  AttrScanner scan(is);
+  switch (op) {
+    case OpType::kConv2d: {
+      Conv2dAttrs a;
+      a.out_channels = scan.Expect("oc");
+      a.kernel_h = a.kernel_w = static_cast<int>(scan.Expect("k"));
+      a.stride = static_cast<int>(scan.Expect("s"));
+      a.dilation = static_cast<int>(scan.Expect("d"));
+      a.padding = scan.Expect("p") == 1 ? Padding::kSame : Padding::kValid;
+      a.activation = ActFromInt(static_cast<int>(scan.Expect("a")));
+      return a;
+    }
+    case OpType::kDepthwiseConv2d: {
+      DepthwiseConv2dAttrs a;
+      a.kernel_h = a.kernel_w = static_cast<int>(scan.Expect("k"));
+      a.stride = static_cast<int>(scan.Expect("s"));
+      a.dilation = static_cast<int>(scan.Expect("d"));
+      a.padding = scan.Expect("p") == 1 ? Padding::kSame : Padding::kValid;
+      a.activation = ActFromInt(static_cast<int>(scan.Expect("a")));
+      return a;
+    }
+    case OpType::kFullyConnected: {
+      FullyConnectedAttrs a;
+      a.out_features = scan.Expect("of");
+      a.activation = ActFromInt(static_cast<int>(scan.Expect("a")));
+      return a;
+    }
+    case OpType::kAvgPool:
+    case OpType::kMaxPool: {
+      PoolAttrs a;
+      a.kernel = static_cast<int>(scan.Expect("k"));
+      a.stride = static_cast<int>(scan.Expect("s"));
+      return a;
+    }
+    case OpType::kResizeBilinear: {
+      ResizeAttrs a;
+      a.out_h = scan.Expect("h");
+      a.out_w = scan.Expect("w");
+      return a;
+    }
+    case OpType::kConcat:
+      return ConcatAttrs{static_cast<int>(scan.Expect("axis"))};
+    case OpType::kReshape: {
+      ReshapeAttrs a;
+      const std::int64_t rank = scan.Expect("rank");
+      for (std::int64_t i = 0; i < rank; ++i)
+        a.new_dims.push_back(scan.Expect("dim"));
+      return a;
+    }
+    case OpType::kSoftmax:
+      return SoftmaxAttrs{static_cast<int>(scan.Expect("axis"))};
+    case OpType::kActivation:
+      return ActivationAttrs{
+          ActFromInt(static_cast<int>(scan.Expect("a")))};
+    case OpType::kEmbeddingLookup: {
+      EmbeddingAttrs a;
+      a.vocab_size = scan.Expect("vocab");
+      a.embed_dim = scan.Expect("dim");
+      return a;
+    }
+    case OpType::kMultiHeadAttention: {
+      AttentionAttrs a;
+      a.num_heads = static_cast<int>(scan.Expect("heads"));
+      a.head_dim = scan.Expect("hd");
+      return a;
+    }
+    case OpType::kLstm:
+      return LstmAttrs{scan.Expect("hidden")};
+    case OpType::kInput:
+    case OpType::kAdd:
+    case OpType::kMul:
+    case OpType::kGlobalAvgPool:
+    case OpType::kLayerNorm:
+      return EmptyAttrs{};
+  }
+  return EmptyAttrs{};
+}
+
+}  // namespace
+
+std::string SerializeGraph(const Graph& g) {
+  std::ostringstream os;
+  os << "mlpm_graph v1\n";
+  os << "name " << g.name() << '\n';
+  for (std::size_t i = 0; i < g.tensors().size(); ++i) {
+    const TensorInfo& t = g.tensors()[i];
+    os << "tensor " << i << ' '
+       << (t.kind == TensorKind::kWeight ? 'w' : 'a') << ' '
+       << t.shape.rank();
+    for (auto d : t.shape.dims()) os << ' ' << d;
+    os << ' ' << t.name << '\n';
+  }
+  for (const Node& n : g.nodes()) {
+    os << "node " << n.name << ' ' << OpToken(n.op) << " [";
+    WriteAttrs(os, n);
+    os << "] in " << n.inputs.size();
+    for (auto id : n.inputs) os << ' ' << id;
+    os << " w " << n.weights.size();
+    for (auto id : n.weights) os << ' ' << id;
+    os << " out " << n.output << '\n';
+  }
+  for (auto id : g.input_ids()) os << "graph_input " << id << '\n';
+  for (auto id : g.output_ids()) os << "graph_output " << id << '\n';
+  return os.str();
+}
+
+Graph ParseGraph(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  Expects(static_cast<bool>(std::getline(is, line)) &&
+              line == "mlpm_graph v1",
+          "unknown graph format");
+
+  Graph g;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "name") {
+      ls >> g.name_;
+    } else if (tag == "tensor") {
+      std::size_t id = 0;
+      char kind = 'a';
+      std::size_t rank = 0;
+      ls >> id >> kind >> rank;
+      Expects(!ls.fail(), "malformed tensor line: " + line);
+      Expects(id == g.tensors_.size(), "tensor ids must be dense");
+      std::vector<std::int64_t> dims(rank);
+      for (auto& d : dims) ls >> d;
+      TensorInfo info;
+      ls >> info.name;
+      Expects(!ls.fail(), "malformed tensor line: " + line);
+      info.shape = TensorShape(std::move(dims));
+      info.kind = kind == 'w' ? TensorKind::kWeight : TensorKind::kActivation;
+      g.tensors_.push_back(std::move(info));
+    } else if (tag == "node") {
+      Node n;
+      std::string op_token;
+      ls >> n.name >> op_token;
+      n.op = OpFromToken(op_token);
+      // Attrs live between the brackets; splice them out.
+      std::string rest;
+      std::getline(ls, rest);
+      const auto open = rest.find('[');
+      const auto close = rest.find(']');
+      Expects(open != std::string::npos && close != std::string::npos &&
+                  open < close,
+              "malformed node line: " + line);
+      std::istringstream attrs(rest.substr(open + 1, close - open - 1));
+      n.attrs = ReadAttrs(n.op, attrs);
+      std::istringstream tail(rest.substr(close + 1));
+      std::string kw;
+      std::size_t count = 0;
+      tail >> kw >> count;
+      Expects(kw == "in", "malformed node inputs");
+      n.inputs.resize(count);
+      for (auto& id : n.inputs) tail >> id;
+      tail >> kw >> count;
+      Expects(kw == "w", "malformed node weights");
+      n.weights.resize(count);
+      for (auto& id : n.weights) tail >> id;
+      tail >> kw >> n.output;
+      Expects(kw == "out" && !tail.fail(), "malformed node output");
+      if (n.output >= 0 &&
+          static_cast<std::size_t>(n.output) < g.tensors_.size())
+        g.tensors_[static_cast<std::size_t>(n.output)].producer =
+            static_cast<std::int32_t>(g.nodes_.size());
+      g.nodes_.push_back(std::move(n));
+    } else if (tag == "graph_input") {
+      TensorId id = kInvalidTensor;
+      ls >> id;
+      g.inputs_.push_back(id);
+    } else if (tag == "graph_output") {
+      TensorId id = kInvalidTensor;
+      ls >> id;
+      g.outputs_.push_back(id);
+    } else {
+      Expects(false, "unknown line tag: " + tag);
+    }
+  }
+
+  const ValidationReport report = Validate(g);
+  Expects(report.valid, "parsed graph failed validation: " +
+                            (report.problems.empty() ? std::string{}
+                                                     : report.problems[0]));
+  return g;
+}
+
+}  // namespace mlpm::graph

@@ -1,0 +1,61 @@
+// Tensor shapes.
+//
+// Vision tensors use NHWC layout (as TFLite does); sequence tensors are
+// [seq_len, features].  Shapes are small, value-typed and cheap to copy.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mlpm::graph {
+
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+    for (auto d : dims_) Expects(d > 0, "shape dims must be positive");
+  }
+  explicit TensorShape(std::vector<std::int64_t> dims)
+      : dims_(std::move(dims)) {
+    for (auto d : dims_) Expects(d > 0, "shape dims must be positive");
+  }
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const {
+    Expects(i < dims_.size(), "shape dim index out of range");
+    return dims_[i];
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  // Total element count (1 for a scalar / rank-0 shape).
+  [[nodiscard]] std::int64_t elements() const {
+    std::int64_t n = 1;
+    for (auto d : dims_) n *= d;
+    return n;
+  }
+
+  // NHWC accessors; valid only for rank-4 shapes.
+  [[nodiscard]] std::int64_t batch() const { return dim4(0); }
+  [[nodiscard]] std::int64_t height() const { return dim4(1); }
+  [[nodiscard]] std::int64_t width() const { return dim4(2); }
+  [[nodiscard]] std::int64_t channels() const { return dim4(3); }
+
+  [[nodiscard]] bool operator==(const TensorShape& o) const {
+    return dims_ == o.dims_;
+  }
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  [[nodiscard]] std::int64_t dim4(std::size_t i) const {
+    Expects(dims_.size() == 4, "NHWC accessor on non rank-4 shape");
+    return dims_[i];
+  }
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace mlpm::graph

@@ -1,0 +1,38 @@
+#include "graph/summary.h"
+
+#include <sstream>
+
+#include "common/table.h"
+#include "graph/cost.h"
+
+namespace mlpm::graph {
+
+std::string Summarize(const Graph& g) {
+  const GraphCost cost = AnalyzeGraph(g);
+  TextTable t(g.name());
+  t.SetHeader({"Layer", "Op", "Output", "Params", "MACs"});
+  for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+    const Node& n = g.nodes()[i];
+    if (n.op == OpType::kInput) continue;
+    const NodeCost& c = cost.per_node[i];
+    t.AddRow({n.name, std::string(ToString(n.op)),
+              g.tensor(n.output).shape.ToString(),
+              std::to_string(c.weight_elems), std::to_string(c.macs)});
+  }
+  t.AddSeparator();
+  t.AddRow({"total", "", "", std::to_string(g.ParameterCount()),
+            std::to_string(cost.total_macs)});
+  return t.Render();
+}
+
+std::string OneLineSummary(const Graph& g) {
+  const GraphCost cost = AnalyzeGraph(g);
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << g.name() << ": " << g.nodes().size() << " nodes, "
+     << static_cast<double>(g.ParameterCount()) / 1e6 << "M params, "
+     << cost.TotalGMacs() << " GMACs";
+  return os.str();
+}
+
+}  // namespace mlpm::graph

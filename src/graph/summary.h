@@ -1,0 +1,18 @@
+// Human-readable model summaries (layer table + totals), used by the docs,
+// the examples, and anyone integrating a new model into the suite (paper
+// App. B: model designers package new models into the app).
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mlpm::graph {
+
+// Per-layer table: name, op, output shape, params, MACs — plus totals.
+[[nodiscard]] std::string Summarize(const Graph& g);
+
+// One-line totals: "<name>: <nodes> nodes, <params>M params, <gmacs> GMACs".
+[[nodiscard]] std::string OneLineSummary(const Graph& g);
+
+}  // namespace mlpm::graph

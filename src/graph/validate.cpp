@@ -1,0 +1,80 @@
+#include "graph/validate.h"
+
+#include <unordered_set>
+
+namespace mlpm::graph {
+
+ValidationReport Validate(const Graph& g) {
+  ValidationReport report;
+  const auto tensor_count = static_cast<TensorId>(g.tensors().size());
+  const auto in_range = [&](TensorId id) {
+    return id >= 0 && id < tensor_count;
+  };
+
+  std::unordered_set<TensorId> defined(g.input_ids().begin(),
+                                       g.input_ids().end());
+  std::unordered_set<TensorId> consumed;
+  std::unordered_set<TensorId> produced;
+
+  for (const TensorId id : g.input_ids())
+    if (!in_range(id)) report.Problem("graph input id out of range");
+
+  for (std::size_t ni = 0; ni < g.nodes().size(); ++ni) {
+    const Node& n = g.nodes()[ni];
+    const std::string where = "node '" + n.name + "'";
+    for (const TensorId id : n.inputs) {
+      if (!in_range(id)) {
+        report.Problem(where + ": input id out of range");
+        continue;
+      }
+      if (g.tensor(id).kind != TensorKind::kActivation)
+        report.Problem(where + ": input references a weight tensor");
+      if (!defined.contains(id))
+        report.Problem(where + ": uses tensor '" + g.tensor(id).name +
+                       "' before it is produced");
+      consumed.insert(id);
+    }
+    for (const TensorId id : n.weights) {
+      if (!in_range(id)) {
+        report.Problem(where + ": weight id out of range");
+        continue;
+      }
+      if (g.tensor(id).kind != TensorKind::kWeight)
+        report.Problem(where + ": weight references an activation tensor");
+    }
+    if (!in_range(n.output)) {
+      report.Problem(where + ": output id out of range");
+      continue;
+    }
+    if (produced.contains(n.output))
+      report.Problem(where + ": output tensor produced twice");
+    produced.insert(n.output);
+    defined.insert(n.output);
+  }
+
+  for (const TensorId id : g.input_ids())
+    if (produced.contains(id))
+      report.Problem("graph input '" + g.tensor(id).name +
+                     "' is also produced by a node");
+
+  const std::unordered_set<TensorId> outputs(g.output_ids().begin(),
+                                             g.output_ids().end());
+  for (const TensorId id : g.output_ids()) {
+    if (!in_range(id)) {
+      report.Problem("graph output id out of range");
+      continue;
+    }
+    if (!defined.contains(id))
+      report.Problem("graph output '" + g.tensor(id).name +
+                     "' is never produced");
+  }
+
+  // Dead-end activations: produced but neither consumed nor an output.
+  for (const TensorId id : produced)
+    if (!consumed.contains(id) && !outputs.contains(id))
+      report.Problem("tensor '" + g.tensor(id).name +
+                     "' is produced but never used");
+  return report;
+}
+
+}  // namespace mlpm::graph

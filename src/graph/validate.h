@@ -1,0 +1,37 @@
+// Structural validation of a graph, used by the audit flow before a
+// submitted model is accepted for execution (paper §6.2: the audit reviews
+// submitted models and code for compliance and validity).
+//
+// GraphBuilder cannot construct most of these defects, but models arriving
+// through deserialization or composition could; the validator re-checks the
+// invariants from first principles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mlpm::graph {
+
+struct ValidationReport {
+  bool valid = true;
+  std::vector<std::string> problems;
+
+  void Problem(std::string what) {
+    valid = false;
+    problems.push_back(std::move(what));
+  }
+};
+
+// Checks:
+//  * every node input/weight/output id is in range;
+//  * activations are produced before use (topological order);
+//  * node inputs reference activation tensors, node weights reference
+//    weight tensors;
+//  * every non-input tensor consumed somewhere or marked as output
+//    (no dead ends), and every graph output exists;
+//  * graph inputs are not produced by any node.
+[[nodiscard]] ValidationReport Validate(const Graph& g);
+
+}  // namespace mlpm::graph

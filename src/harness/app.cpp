@@ -1,0 +1,21 @@
+#include "harness/app.h"
+
+#include "harness/checker.h"
+#include "harness/report.h"
+
+namespace mlpm::harness {
+
+AppRunOutput RunMobileApp(const soc::ChipsetDesc& chipset,
+                          models::SuiteVersion version, SuiteBundles& bundles,
+                          const RunOptions& options) {
+  AppRunOutput out;
+  out.result = RunSubmission(chipset, version, bundles, options);
+  out.report_text = FormatSubmission(out.result);
+  const CheckReport check =
+      CheckSubmission(out.result, options.performance_settings);
+  out.checker_text = FormatCheckReport(check);
+  out.submission_valid = check.valid;
+  return out;
+}
+
+}  // namespace mlpm::harness

@@ -1,0 +1,55 @@
+#include "harness/audit.h"
+
+#include <cmath>
+
+namespace mlpm::harness {
+namespace {
+
+AuditFinding Compare(std::string what, double submitted, double reproduced,
+                     double tolerance) {
+  AuditFinding f;
+  f.what = std::move(what);
+  f.submitted = submitted;
+  f.reproduced = reproduced;
+  const double scale = std::max(std::abs(submitted), std::abs(reproduced));
+  f.relative_delta =
+      scale > 0 ? std::abs(submitted - reproduced) / scale : 0.0;
+  f.within_tolerance = f.relative_delta <= tolerance;
+  return f;
+}
+
+}  // namespace
+
+AuditReport AuditSubmission(const soc::ChipsetDesc& chipset,
+                            const SubmissionResult& submitted,
+                            SuiteBundles& bundles, const RunOptions& options,
+                            double tolerance) {
+  AuditReport report;
+  const SubmissionResult rerun =
+      RunSubmission(chipset, submitted.version, bundles, options);
+  Expects(rerun.tasks.size() == submitted.tasks.size(),
+          "audit re-run produced a different task list");
+
+  for (std::size_t i = 0; i < submitted.tasks.size(); ++i) {
+    const TaskRunResult& a = submitted.tasks[i];
+    const TaskRunResult& b = rerun.tasks[i];
+    const std::string& id = a.entry.id;
+
+    report.findings.push_back(
+        Compare(id + " accuracy", a.accuracy, b.accuracy, tolerance));
+    if (a.single_stream && b.single_stream)
+      report.findings.push_back(Compare(
+          id + " p90 latency", a.single_stream->percentile_latency_s,
+          b.single_stream->percentile_latency_s, tolerance));
+    if (a.offline && b.offline)
+      report.findings.push_back(Compare(id + " offline throughput",
+                                        a.offline->throughput_sps,
+                                        b.offline->throughput_sps,
+                                        tolerance));
+  }
+  for (const AuditFinding& f : report.findings)
+    if (!f.within_tolerance) report.accepted = false;
+  return report;
+}
+
+}  // namespace mlpm::harness

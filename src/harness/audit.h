@@ -1,0 +1,36 @@
+// Result audit (paper §6.2): an independent party rebuilds the
+// vendor-specific app, reproduces the run on a factory-reset device, and
+// accepts the submission if its numbers land within 5% of the submitted
+// scores.  Here the "independent re-run" is a fresh simulator + fresh
+// functional executor driven by the same frozen inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/run_session.h"
+
+namespace mlpm::harness {
+
+struct AuditFinding {
+  std::string what;
+  double submitted = 0.0;
+  double reproduced = 0.0;
+  double relative_delta = 0.0;
+  bool within_tolerance = true;
+};
+
+struct AuditReport {
+  bool accepted = true;
+  std::vector<AuditFinding> findings;
+};
+
+// Re-runs the submission and compares latency / throughput / accuracy.
+// `tolerance` is the acceptance band (the rules use 5%).
+[[nodiscard]] AuditReport AuditSubmission(const soc::ChipsetDesc& chipset,
+                                          const SubmissionResult& submitted,
+                                          SuiteBundles& bundles,
+                                          const RunOptions& options = {},
+                                          double tolerance = 0.05);
+
+}  // namespace mlpm::harness

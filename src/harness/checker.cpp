@@ -1,0 +1,239 @@
+#include "harness/checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/statistics.h"
+#include "datasets/calibration_set.h"
+#include "harness/task_bundle.h"
+
+namespace mlpm::harness {
+namespace {
+
+bool Near(double a, double b, double rel_tol) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return scale == 0.0 || std::abs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace
+
+CheckReport CheckPerformanceLog(const std::string& serialized_log,
+                                const loadgen::TestSettings& expected) {
+  CheckReport report;
+  loadgen::TestLog log;
+  try {
+    log = loadgen::TestLog::Parse(serialized_log);
+  } catch (const CheckError& e) {
+    report.Problem(std::string("unparseable log: ") + e.what());
+    return report;
+  }
+
+  const auto field = [&](const std::string& key) -> std::string {
+    const std::string* v = log.FieldOrNull(key);
+    if (v == nullptr) {
+      report.Problem("missing log field: " + key);
+      return {};
+    }
+    return *v;
+  };
+
+  if (field("seed") != std::to_string(expected.seed))
+    report.Problem("seed differs from the official seed");
+  if (field("scenario") != std::string(ToString(expected.scenario)))
+    report.Problem("scenario mismatch");
+  if (field("mode") != std::string(ToString(expected.mode)))
+    report.Problem("mode mismatch");
+
+  // Reconstruct per-query latencies from raw events.
+  std::unordered_map<std::uint64_t, double> issued;
+  std::vector<double> latencies;
+  double first_issue = -1.0, last_complete = 0.0;
+  double last_issue_time = -1.0;
+  bool outstanding = false;
+  bool serialized = true;
+  for (const loadgen::LogEvent& e : log.events()) {
+    const double t = e.timestamp.count();
+    if (e.kind == loadgen::LogEventKind::kQueryIssued) {
+      if (issued.contains(e.query_id)) {
+        report.Problem("query " + std::to_string(e.query_id) +
+                       " issued twice");
+      }
+      if (outstanding) serialized = false;
+      outstanding = true;
+      issued[e.query_id] = t;
+      if (first_issue < 0) first_issue = t;
+      if (t < last_issue_time)
+        report.Problem("issue timestamps are not monotonic");
+      last_issue_time = t;
+    } else {
+      const auto it = issued.find(e.query_id);
+      if (it == issued.end()) {
+        report.Problem("completion for unknown query " +
+                       std::to_string(e.query_id));
+        continue;
+      }
+      if (t < it->second)
+        report.Problem("query " + std::to_string(e.query_id) +
+                       " completed before it was issued");
+      latencies.push_back(t - it->second);
+      last_complete = std::max(last_complete, t);
+      issued.erase(it);
+      if (issued.empty()) outstanding = false;
+    }
+  }
+  if (!issued.empty())
+    report.Problem(std::to_string(issued.size()) +
+                   " queries were never completed");
+  if (latencies.empty()) {
+    report.Problem("log contains no completed queries");
+    return report;
+  }
+
+  const double duration = last_complete - first_issue;
+  switch (expected.scenario) {
+    case loadgen::TestScenario::kSingleStream:
+      if (!serialized)
+        report.Problem("single-stream queries overlapped in flight");
+      if (latencies.size() < expected.min_query_count)
+        report.Problem("fewer than " +
+                       std::to_string(expected.min_query_count) +
+                       " samples");
+      if (duration + 1e-9 < expected.min_duration.count())
+        report.Problem("run shorter than the 60 s minimum");
+      break;
+    case loadgen::TestScenario::kOffline:
+      if (latencies.size() != expected.offline_sample_count)
+        report.Problem("offline sample count is not " +
+                       std::to_string(expected.offline_sample_count));
+      break;
+    case loadgen::TestScenario::kServer: {
+      if (latencies.size() != expected.server_query_count)
+        report.Problem("server query count is not " +
+                       std::to_string(expected.server_query_count));
+      const double pct =
+          Percentile(latencies, expected.latency_percentile);
+      if (pct > expected.server_latency_bound.count() + 1e-9)
+        report.Problem("server percentile latency exceeds the bound");
+      break;
+    }
+    case loadgen::TestScenario::kMultiStream: {
+      const std::size_t expected_samples =
+          expected.multistream_query_count *
+          expected.multistream_samples_per_query;
+      if (latencies.size() != expected_samples)
+        report.Problem("multi-stream sample count is not " +
+                       std::to_string(expected_samples));
+      // Re-derive per-query latency: samples of one query share the
+      // scheduled issue timestamp; the query finishes with its last sample.
+      std::map<double, double> per_query;  // scheduled -> max completion
+      std::unordered_map<std::uint64_t, double> issue_at;
+      for (const loadgen::LogEvent& e : log.events()) {
+        if (e.kind == loadgen::LogEventKind::kQueryIssued) {
+          issue_at[e.query_id] = e.timestamp.count();
+        } else if (issue_at.contains(e.query_id)) {
+          const double sched = issue_at[e.query_id];
+          auto [it, inserted] =
+              per_query.try_emplace(sched, e.timestamp.count());
+          if (!inserted)
+            it->second = std::max(it->second, e.timestamp.count());
+        }
+      }
+      std::vector<double> query_lat;
+      query_lat.reserve(per_query.size());
+      for (const auto& [sched, done] : per_query)
+        query_lat.push_back(done - sched);
+      if (!query_lat.empty() &&
+          Percentile(query_lat, expected.latency_percentile) >
+              expected.multistream_interval.count() + 1e-9)
+        report.Problem("multi-stream queries overflow the frame interval");
+      break;
+    }
+  }
+
+  // Cross-check the reported summary against the raw events.
+  // (Multi-stream reports a per-query percentile, recomputed above.)
+  if (const std::string* rep = log.FieldOrNull("result_percentile_latency_s");
+      rep != nullptr &&
+      (expected.scenario == loadgen::TestScenario::kSingleStream ||
+       expected.scenario == loadgen::TestScenario::kServer)) {
+    const double recomputed =
+        Percentile(latencies, expected.latency_percentile);
+    if (!Near(std::stod(*rep), recomputed, 1e-3))
+      report.Problem("reported percentile latency does not match events");
+  }
+  if (const std::string* rep = log.FieldOrNull("result_throughput_sps");
+      rep != nullptr) {
+    const double recomputed =
+        duration > 0 ? static_cast<double>(latencies.size()) / duration : 0;
+    if (!Near(std::stod(*rep), recomputed, 1e-3))
+      report.Problem("reported throughput does not match events");
+  }
+  return report;
+}
+
+CheckReport CheckTaskRun(const TaskRunResult& task,
+                         const loadgen::TestSettings& expected) {
+  CheckReport report;
+
+  // Quality gate: performance results only count above the threshold.
+  // (dataset_size == 0 means accuracy mode was skipped, e.g. an
+  // engineering performance-only run, which is not a submission.)
+  if (task.dataset_size > 0 && !task.quality_passed)
+    report.Problem(task.entry.id + ": accuracy " +
+                   std::to_string(task.ratio_to_fp32) +
+                   " of FP32 is below the quality target " +
+                   std::to_string(task.entry.quality_target));
+
+  // Accuracy mode must cover the entire validation set (§4.1).
+  if (task.dataset_size > 0 &&
+      task.accuracy_sample_count != task.dataset_size)
+    report.Problem(task.entry.id + ": accuracy mode scored " +
+                   std::to_string(task.accuracy_sample_count) + " of " +
+                   std::to_string(task.dataset_size) +
+                   " validation samples");
+
+  // Calibration legality (INT8 submissions only).
+  if (IsQuantized(task.numerics)) {
+    const std::vector<std::size_t> approved =
+        datasets::ApprovedCalibrationIndices(
+            kCalibrationPoolSize, kCalibrationSetSize, kCalibrationSeed);
+    const quant::LegalityReport cal =
+        quant::CheckCalibrationSet(approved, task.calibration_indices);
+    for (const std::string& v : cal.violations) report.Problem(v);
+  }
+
+  if (task.single_stream) {
+    loadgen::TestSettings ss = expected;
+    ss.scenario = loadgen::TestScenario::kSingleStream;
+    ss.mode = loadgen::TestMode::kPerformanceOnly;
+    CheckReport log_report =
+        CheckPerformanceLog(task.single_stream->log.Serialize(), ss);
+    for (std::string& p : log_report.problems)
+      report.Problem(task.entry.id + ": " + p);
+  }
+  if (task.offline) {
+    loadgen::TestSettings off = expected;
+    off.scenario = loadgen::TestScenario::kOffline;
+    off.mode = loadgen::TestMode::kPerformanceOnly;
+    CheckReport log_report =
+        CheckPerformanceLog(task.offline->log.Serialize(), off);
+    for (std::string& p : log_report.problems)
+      report.Problem(task.entry.id + " (offline): " + p);
+  }
+  return report;
+}
+
+CheckReport CheckSubmission(const SubmissionResult& submission,
+                            const loadgen::TestSettings& expected) {
+  CheckReport report;
+  if (submission.tasks.empty()) report.Problem("submission has no tasks");
+  for (const TaskRunResult& t : submission.tasks) {
+    CheckReport task_report = CheckTaskRun(t, expected);
+    for (std::string& p : task_report.problems) report.Problem(std::move(p));
+  }
+  return report;
+}
+
+}  // namespace mlpm::harness

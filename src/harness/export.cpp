@@ -1,0 +1,67 @@
+#include "harness/export.h"
+
+#include <sstream>
+
+namespace mlpm::harness {
+namespace {
+
+constexpr const char* kHeader =
+    "chipset,version,task,model,numerics,framework,accelerator,accuracy,"
+    "fp32_reference,ratio_to_fp32,quality_passed,p90_latency_ms,"
+    "mean_latency_ms,offline_fps,energy_mj_per_inference";
+
+// CSV-quote a field if it contains a comma or quote.
+std::string Field(const std::string& v) {
+  if (v.find(',') == std::string::npos &&
+      v.find('"') == std::string::npos)
+    return v;
+  std::string quoted = "\"";
+  for (char c : v) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void AppendRows(std::ostringstream& os, const SubmissionResult& result,
+                const std::string& date_prefix) {
+  os.precision(6);
+  for (const TaskRunResult& t : result.tasks) {
+    os << date_prefix << Field(result.chipset_name) << ','
+       << ToString(result.version) << ',' << t.entry.id << ','
+       << Field(t.entry.model_name) << ',' << ToString(t.numerics) << ','
+       << Field(t.framework_name) << ',' << Field(t.accelerator_label) << ','
+       << t.accuracy << ',' << t.fp32_reference << ',' << t.ratio_to_fp32
+       << ',' << (t.quality_passed ? "true" : "false") << ',';
+    if (t.single_stream)
+      os << t.single_stream->percentile_latency_s * 1e3 << ','
+         << t.single_stream->mean_latency_s * 1e3 << ',';
+    else
+      os << ",,";
+    if (t.offline)
+      os << t.offline->throughput_sps << ',';
+    else
+      os << ',';
+    os << t.energy_per_inference_j * 1e3 << '\n';
+  }
+}
+
+}  // namespace
+
+std::string ToCsv(const SubmissionResult& result, bool include_header) {
+  std::ostringstream os;
+  if (include_header) os << kHeader << '\n';
+  AppendRows(os, result, "");
+  return os.str();
+}
+
+std::string ToCsv(const ResultStore& store) {
+  std::ostringstream os;
+  os << "date," << kHeader << '\n';
+  for (const DatedSubmission& s : store.all())
+    AppendRows(os, s.result, s.date_iso + ",");
+  return os.str();
+}
+
+}  // namespace mlpm::harness

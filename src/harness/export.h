@@ -1,0 +1,23 @@
+// Machine-readable result export (paper App. B: technical analysts and
+// performance-crowdsourcing platforms consume benchmark results for
+// apples-to-apples comparisons; roadmaps like IRDS consume rolling data).
+#pragma once
+
+#include <string>
+
+#include "harness/result_store.h"
+#include "harness/run_session.h"
+
+namespace mlpm::harness {
+
+// One CSV row per (submission, task).  Columns:
+// chipset,version,task,model,numerics,framework,accelerator,accuracy,
+// fp32_reference,ratio_to_fp32,quality_passed,p90_latency_ms,
+// mean_latency_ms,offline_fps,energy_mj_per_inference
+[[nodiscard]] std::string ToCsv(const SubmissionResult& result,
+                                bool include_header = true);
+
+// Whole store, one header, rows ordered as stored; `date` column prepended.
+[[nodiscard]] std::string ToCsv(const ResultStore& store);
+
+}  // namespace mlpm::harness

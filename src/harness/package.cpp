@@ -1,0 +1,121 @@
+#include "harness/package.h"
+
+#include <sstream>
+
+#include "graph/serialize.h"
+#include "harness/export.h"
+#include "quant/rules.h"
+
+namespace mlpm::harness {
+namespace {
+
+std::string ModelPath(const models::BenchmarkEntry& e) {
+  return "models/" + e.id + ".graph";
+}
+std::string LogPath(const models::BenchmarkEntry& e, const char* scenario) {
+  return "logs/" + e.id + "." + scenario + ".log";
+}
+
+}  // namespace
+
+SubmissionPackage PackageSubmission(const SubmissionResult& result,
+                                    SuiteBundles& bundles) {
+  SubmissionPackage pkg;
+  pkg.chipset_name = result.chipset_name;
+  pkg.version = result.version;
+
+  for (const TaskRunResult& t : result.tasks) {
+    const TaskBundle& bundle = bundles.Get(t.entry, result.version);
+    pkg.files[ModelPath(t.entry)] =
+        graph::SerializeGraph(bundle.mini_graph());
+    if (t.single_stream)
+      pkg.files[LogPath(t.entry, "single_stream")] =
+          t.single_stream->log.Serialize();
+    if (t.offline)
+      pkg.files[LogPath(t.entry, "offline")] = t.offline->log.Serialize();
+  }
+  pkg.files["results.csv"] = ToCsv(result);
+
+  std::ostringstream manifest;
+  for (const auto& [path, contents] : pkg.files)
+    manifest << path << ' ' << contents.size() << '\n';
+  pkg.files["MANIFEST"] = manifest.str();
+  return pkg;
+}
+
+CheckReport AuditPackage(const SubmissionPackage& package,
+                         SuiteBundles& bundles,
+                         const loadgen::TestSettings& expected) {
+  CheckReport report;
+
+  // Manifest must list every file with its exact size (tamper evidence).
+  const auto manifest_it = package.files.find("MANIFEST");
+  if (manifest_it == package.files.end()) {
+    report.Problem("package is missing its MANIFEST");
+  } else {
+    std::istringstream ms(manifest_it->second);
+    std::string path;
+    std::size_t size = 0;
+    std::size_t listed = 0;
+    while (ms >> path >> size) {
+      ++listed;
+      const auto it = package.files.find(path);
+      if (it == package.files.end())
+        report.Problem("MANIFEST lists missing file " + path);
+      else if (it->second.size() != size)
+        report.Problem("size mismatch for " + path +
+                       " (file edited after packaging?)");
+    }
+    if (listed + 1 != package.files.size())
+      report.Problem("MANIFEST does not cover every packaged file");
+  }
+
+  for (const models::BenchmarkEntry& e : models::SuiteFor(package.version)) {
+    // Model equivalence against the frozen reference (§5.1).
+    const auto model_it = package.files.find(ModelPath(e));
+    if (model_it == package.files.end()) {
+      report.Problem("package is missing " + ModelPath(e));
+    } else {
+      try {
+        const graph::Graph submitted = graph::ParseGraph(model_it->second);
+        const TaskBundle& bundle = bundles.Get(e, package.version);
+        const quant::LegalityReport eq = quant::CheckModelEquivalence(
+            bundle.mini_graph(), submitted);
+        for (const std::string& v : eq.violations)
+          report.Problem(e.id + ": " + v);
+      } catch (const CheckError& err) {
+        report.Problem(e.id + ": unparseable model file: " + err.what());
+      }
+    }
+
+    // Unedited single-stream log (every task must have one).
+    const auto log_it = package.files.find(LogPath(e, "single_stream"));
+    if (log_it == package.files.end()) {
+      report.Problem("package is missing " + LogPath(e, "single_stream"));
+    } else {
+      loadgen::TestSettings ss = expected;
+      ss.scenario = loadgen::TestScenario::kSingleStream;
+      ss.mode = loadgen::TestMode::kPerformanceOnly;
+      CheckReport log_report = CheckPerformanceLog(log_it->second, ss);
+      for (std::string& p : log_report.problems)
+        report.Problem(e.id + ": " + p);
+    }
+
+    // Offline logs are optional but validated when present.
+    const auto off_it = package.files.find(LogPath(e, "offline"));
+    if (off_it != package.files.end()) {
+      loadgen::TestSettings off = expected;
+      off.scenario = loadgen::TestScenario::kOffline;
+      off.mode = loadgen::TestMode::kPerformanceOnly;
+      CheckReport log_report = CheckPerformanceLog(off_it->second, off);
+      for (std::string& p : log_report.problems)
+        report.Problem(e.id + " (offline): " + p);
+    }
+  }
+
+  if (!package.files.contains("results.csv"))
+    report.Problem("package is missing results.csv");
+  return report;
+}
+
+}  // namespace mlpm::harness

@@ -1,0 +1,44 @@
+// Submission packaging (paper §6.2): "Submissions include all of the
+// mobile benchmark app's log files, unedited.  Post submission, all of the
+// results are independently audited, along with any modified models and
+// code used in the respective submissions."
+//
+// A SubmissionPackage is that artifact: the submitted model graphs, the
+// raw LoadGen logs, and the results, as named files.  AuditPackage replays
+// the §6.2 review: parse every model file and fingerprint-compare it
+// against the frozen reference, re-validate every log event-by-event, and
+// cross-check the packaged results.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "harness/checker.h"
+#include "harness/run_session.h"
+
+namespace mlpm::harness {
+
+struct SubmissionPackage {
+  std::string chipset_name;
+  models::SuiteVersion version = models::SuiteVersion::kV1_0;
+  // Path -> file contents.  Layout:
+  //   MANIFEST                       one line per file
+  //   models/<task>.graph            submitted (frozen) model structure
+  //   logs/<task>.single_stream.log  unedited LoadGen log
+  //   logs/<task>.offline.log        (when the vendor submitted offline)
+  //   results.csv                    machine-readable results
+  std::map<std::string, std::string> files;
+};
+
+// Packages a finished submission.  Model files are the mini reference
+// graphs the accuracy plane ran (what a submitter ships back).
+[[nodiscard]] SubmissionPackage PackageSubmission(
+    const SubmissionResult& result, SuiteBundles& bundles);
+
+// Full package audit: model equivalence against the frozen references,
+// log validation against the run rules, manifest completeness.
+[[nodiscard]] CheckReport AuditPackage(
+    const SubmissionPackage& package, SuiteBundles& bundles,
+    const loadgen::TestSettings& expected);
+
+}  // namespace mlpm::harness

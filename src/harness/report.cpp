@@ -1,0 +1,67 @@
+#include "harness/report.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace mlpm::harness {
+
+std::string FormatSubmission(const SubmissionResult& result) {
+  TextTable t("MLPerf Mobile " + std::string(ToString(result.version)) +
+              " — " + result.chipset_name);
+  t.SetHeader({"Task", "Numerics", "Framework", "Accelerator", "Accuracy",
+               "vs FP32", "Quality", "p90 latency", "1/latency (q/s)",
+               "Offline FPS", "mJ/inf"});
+  for (const TaskRunResult& task : result.tasks) {
+    std::vector<std::string> row;
+    row.push_back(task.entry.id);
+    row.push_back(std::string(ToString(task.numerics)));
+    row.push_back(task.framework_name);
+    row.push_back(task.accelerator_label);
+    row.push_back(FormatDouble(task.accuracy, 4) + " " +
+                  task.entry.metric_name);
+    row.push_back(FormatPercent(task.ratio_to_fp32, 1));
+    row.push_back(task.quality_passed ? "PASS" : "FAIL");
+    if (task.single_stream) {
+      row.push_back(FormatMs(task.single_stream->percentile_latency_s));
+      row.push_back(FormatDouble(
+          task.single_stream->percentile_latency_s > 0
+              ? 1.0 / task.single_stream->percentile_latency_s
+              : 0.0,
+          1));
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    row.push_back(task.offline
+                      ? FormatDouble(task.offline->throughput_sps, 1)
+                      : "-");
+    row.push_back(FormatDouble(task.energy_per_inference_j * 1e3, 2));
+    t.AddRow(std::move(row));
+  }
+  return t.Render();
+}
+
+std::string FormatCheckReport(const CheckReport& report) {
+  std::ostringstream os;
+  os << "submission checker: " << (report.valid ? "VALID" : "INVALID")
+     << '\n';
+  for (const std::string& p : report.problems) os << "  problem: " << p
+                                                  << '\n';
+  return os.str();
+}
+
+std::string FormatAuditReport(const AuditReport& report) {
+  TextTable t(std::string("audit (5% tolerance): ") +
+              (report.accepted ? "ACCEPTED" : "REJECTED"));
+  t.SetHeader({"Metric", "Submitted", "Reproduced", "Delta", "OK"});
+  for (const AuditFinding& f : report.findings) {
+    t.AddRow({f.what, FormatDouble(f.submitted, 6),
+              FormatDouble(f.reproduced, 6),
+              FormatPercent(f.relative_delta, 2),
+              f.within_tolerance ? "yes" : "NO"});
+  }
+  return t.Render();
+}
+
+}  // namespace mlpm::harness

@@ -1,0 +1,24 @@
+// Result rendering: the transparency layer of the app (paper App. A) —
+// results always appear together with the numerics, framework and
+// accelerator that produced them.
+#pragma once
+
+#include <string>
+
+#include "harness/audit.h"
+#include "harness/checker.h"
+#include "harness/run_session.h"
+
+namespace mlpm::harness {
+
+// Per-task result table for one submission (latency, throughput, accuracy,
+// configuration columns).
+[[nodiscard]] std::string FormatSubmission(const SubmissionResult& result);
+
+// Checker report as text.
+[[nodiscard]] std::string FormatCheckReport(const CheckReport& report);
+
+// Audit report as text.
+[[nodiscard]] std::string FormatAuditReport(const AuditReport& report);
+
+}  // namespace mlpm::harness

@@ -1,0 +1,45 @@
+#include "harness/result_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mlpm::harness {
+
+void ResultStore::Add(std::string date_iso, SubmissionResult result) {
+  Expects(date_iso.size() == 10 && date_iso[4] == '-' && date_iso[7] == '-',
+          "date must be ISO yyyy-mm-dd");
+  submissions_.push_back(DatedSubmission{std::move(date_iso),
+                                         std::move(result)});
+}
+
+std::vector<DatedSubmission> ResultStore::LatestPerDevice() const {
+  std::map<std::pair<std::string, models::SuiteVersion>,
+           const DatedSubmission*>
+      latest;
+  for (const DatedSubmission& s : submissions_) {
+    const auto key = std::make_pair(s.result.chipset_name, s.result.version);
+    const auto it = latest.find(key);
+    // ISO dates compare lexicographically.
+    if (it == latest.end() || it->second->date_iso < s.date_iso)
+      latest[key] = &s;
+  }
+  std::vector<DatedSubmission> out;
+  out.reserve(latest.size());
+  for (const auto& [key, sub] : latest) out.push_back(*sub);
+  return out;
+}
+
+std::vector<DatedSubmission> ResultStore::HistoryFor(
+    const std::string& chipset_name) const {
+  std::vector<DatedSubmission> out;
+  for (const DatedSubmission& s : submissions_)
+    if (s.result.chipset_name == chipset_name) out.push_back(s);
+  std::sort(out.begin(), out.end(),
+            [](const DatedSubmission& a, const DatedSubmission& b) {
+              return a.date_iso < b.date_iso;
+            });
+  return out;
+}
+
+}  // namespace mlpm::harness

@@ -1,0 +1,174 @@
+#include "harness/run_session.h"
+
+#include <utility>
+
+#include "backends/reference_backend.h"
+#include "core/dataset_qsl.h"
+
+namespace mlpm::harness {
+namespace {
+
+infer::NumericsMode ModeFor(DataType numerics) {
+  switch (numerics) {
+    case DataType::kInt8:
+    case DataType::kUInt8:
+      return infer::NumericsMode::kInt8;
+    case DataType::kFloat16:
+      return infer::NumericsMode::kFp16;
+    case DataType::kFloat32:
+    case DataType::kInt32:
+      return infer::NumericsMode::kFp32;
+  }
+  return infer::NumericsMode::kFp32;
+}
+
+// Analytical pre/post-processing cost on the CPU (the "AI tax" the
+// end-to-end extension includes; paper App. E).
+backends::EndToEndCosts EstimateEndToEndCosts(
+    const models::BenchmarkEntry& e) {
+  backends::EndToEndCosts c;
+  const double cpu_elem_rate = 2.0e9;  // elementwise ops per second
+  const double pixels = static_cast<double>(e.input_size * e.input_size);
+  switch (e.task) {
+    case models::TaskType::kImageClassification:
+      c.preprocess_s = pixels * 3 * 12 / cpu_elem_rate;  // resize+crop+norm
+      c.postprocess_s = 1e-5;                            // top-k
+      break;
+    case models::TaskType::kObjectDetection:
+      c.preprocess_s = pixels * 3 * 8 / cpu_elem_rate;
+      c.postprocess_s = 4e-4;  // decode + NMS
+      break;
+    case models::TaskType::kImageSegmentation:
+      c.preprocess_s = pixels * 3 * 8 / cpu_elem_rate;
+      c.postprocess_s = pixels * 32 / cpu_elem_rate;  // per-pixel argmax
+      break;
+    case models::TaskType::kQuestionAnswering:
+      c.preprocess_s = 5e-5;   // tokenization of one question
+      c.postprocess_s = 1e-4;  // span search
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+const TaskBundle& SuiteBundles::Get(const models::BenchmarkEntry& e,
+                                    models::SuiteVersion version) {
+  const std::string key =
+      std::string(ToString(version)) + "/" + e.id;
+  auto it = cache_.find(key);
+  if (it == cache_.end())
+    it = cache_.emplace(key, TaskBundle::Create(e, version)).first;
+  return *it->second;
+}
+
+loadgen::TestResult RunSingleStreamPerformance(
+    const soc::ChipsetDesc& chipset, const backends::SubmissionConfig& config,
+    const graph::Graph& full_graph, const datasets::TaskDataset& dataset,
+    const loadgen::TestSettings& settings) {
+  loadgen::TestSettings s = settings;
+  s.scenario = loadgen::TestScenario::kSingleStream;
+  s.mode = loadgen::TestMode::kPerformanceOnly;
+
+  loadgen::VirtualClock clock;
+  backends::SimulatedBackend sut(
+      chipset.name + "/" + config.framework.name,
+      soc::SocSimulator(chipset),
+      backends::CompileSubmission(chipset, config, full_graph),
+      backends::CompileOfflineReplicas(chipset, config, full_graph), clock);
+  loadgen::DatasetQsl qsl(dataset);
+  return loadgen::RunTest(sut, qsl, s, clock);
+}
+
+SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
+                               models::SuiteVersion version,
+                               SuiteBundles& bundles,
+                               const RunOptions& options) {
+  SubmissionResult result;
+  result.chipset_name = chipset.name;
+  result.version = version;
+
+  // The prescribed task order is the suite order (§6.1).
+  for (const models::BenchmarkEntry& entry : models::SuiteFor(version)) {
+    const TaskBundle& bundle = bundles.Get(entry, version);
+    const backends::SubmissionConfig sub =
+        backends::GetSubmission(chipset, entry.task, version);
+
+    TaskRunResult tr;
+    tr.entry = entry;
+    tr.numerics = sub.numerics;
+    tr.framework_name = sub.framework.name;
+    tr.accelerator_label = sub.accelerator_label;
+
+    if (options.run_accuracy) {
+      // Accuracy mode: the whole validation set through the LoadGen and
+      // the functional reference backend at the submission numerics.
+      const infer::NumericsMode mode = ModeFor(sub.numerics);
+      const TaskBundle::PreparedModel prepared =
+          bundle.Prepare(mode, options.use_qat_weights &&
+                                   mode == infer::NumericsMode::kInt8);
+      tr.calibration_indices = prepared.calibration_indices;
+
+      loadgen::DatasetQsl qsl(bundle.dataset());
+      loadgen::RealClock clock;
+      backends::ReferenceBackend ref_sut("reference/" + entry.id,
+                                         *prepared.executor, qsl);
+      loadgen::TestSettings acc;
+      acc.mode = loadgen::TestMode::kAccuracyOnly;
+      const loadgen::TestResult acc_result =
+          loadgen::RunTest(ref_sut, qsl, acc, clock);
+      tr.accuracy = bundle.dataset().ScoreOutputs(acc_result.accuracy_outputs);
+      tr.accuracy_sample_count = acc_result.sample_count;
+      tr.dataset_size = bundle.dataset().size();
+      tr.fp32_reference = bundle.Fp32Score();
+      tr.ratio_to_fp32 =
+          tr.fp32_reference > 0 ? tr.accuracy / tr.fp32_reference : 0.0;
+      tr.quality_passed = tr.ratio_to_fp32 >= entry.quality_target;
+    }
+
+    if (options.run_performance) {
+      const graph::Graph full =
+          models::BuildReferenceGraph(entry, version,
+                                      models::ModelScale::kFull);
+      const backends::EndToEndCosts e2e =
+          options.end_to_end ? EstimateEndToEndCosts(entry)
+                             : backends::EndToEndCosts{};
+
+      loadgen::VirtualClock clock;
+      backends::SimulatedBackend sut(
+          chipset.name + "/" + sub.framework.name,
+          soc::SocSimulator(chipset),
+          backends::CompileSubmission(chipset, sub, full),
+          backends::CompileOfflineReplicas(chipset, sub, full), clock, e2e);
+      loadgen::DatasetQsl qsl(bundle.dataset());
+
+      loadgen::TestSettings ss = options.performance_settings;
+      ss.scenario = loadgen::TestScenario::kSingleStream;
+      ss.mode = loadgen::TestMode::kPerformanceOnly;
+      tr.single_stream = loadgen::RunTest(sut, qsl, ss, clock);
+      tr.peak_temperature_c = sut.simulator().thermal().temperature_c();
+      if (tr.single_stream->sample_count > 0)
+        tr.energy_per_inference_j =
+            sut.total_energy_j() /
+            static_cast<double>(tr.single_stream->sample_count);
+
+      const bool has_offline =
+          options.run_offline && !sub.offline_replicas.empty();
+      if (has_offline) {
+        // Cooldown interval between the two performance tests (§6.1).
+        sut.Cooldown(options.cooldown_s);
+        loadgen::TestSettings off = options.performance_settings;
+        off.scenario = loadgen::TestScenario::kOffline;
+        off.mode = loadgen::TestMode::kPerformanceOnly;
+        tr.offline = loadgen::RunTest(sut, qsl, off, clock);
+        tr.peak_temperature_c = std::max(
+            tr.peak_temperature_c,
+            sut.simulator().thermal().temperature_c());
+      }
+    }
+    result.tasks.push_back(std::move(tr));
+  }
+  return result;
+}
+
+}  // namespace mlpm::harness

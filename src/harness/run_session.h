@@ -1,0 +1,95 @@
+// Submission runner: executes the full benchmark flow for one chipset and
+// one suite version, exactly as the mobile app does (paper §6.1): for each
+// task in the prescribed order, accuracy mode over the whole validation set
+// first, then performance mode; cooldown intervals between tests.
+//
+// Accuracy runs on the functional plane (mini models through the reference
+// executor at the submission's numerics); performance runs on the simulated
+// plane (full-scale graphs on the chipset model through the LoadGen with a
+// virtual clock).  See DESIGN.md §1.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backends/simulated_backend.h"
+#include "backends/vendor_policy.h"
+#include "core/loadgen.h"
+#include "harness/task_bundle.h"
+#include "models/zoo.h"
+#include "soc/chipset.h"
+
+namespace mlpm::harness {
+
+// Cache of task bundles so repeated submissions (multiple chipsets, audit
+// re-runs) reuse the expensive teacher-labelled data sets.
+class SuiteBundles {
+ public:
+  [[nodiscard]] const TaskBundle& Get(const models::BenchmarkEntry& e,
+                                      models::SuiteVersion version);
+
+ private:
+  std::map<std::string, std::unique_ptr<TaskBundle>> cache_;
+};
+
+struct RunOptions {
+  bool run_accuracy = true;
+  bool run_performance = true;
+  bool run_offline = true;
+  // Cooldown between tests, seconds (run rules: 0-5 minutes).
+  double cooldown_s = 60.0;
+  // Include pre/post-processing in the measured latency (App. E extension).
+  bool end_to_end = false;
+  loadgen::TestSettings performance_settings;  // scenario set internally
+  // Use the mutually-agreed QAT weights for INT8 accuracy (paper §5.1).
+  bool use_qat_weights = false;
+};
+
+struct TaskRunResult {
+  models::BenchmarkEntry entry;
+  DataType numerics = DataType::kInt8;
+  std::string framework_name;
+  std::string accelerator_label;
+
+  // Accuracy phase.
+  double accuracy = 0.0;
+  double fp32_reference = 0.0;
+  double ratio_to_fp32 = 0.0;
+  bool quality_passed = false;
+  std::vector<std::size_t> calibration_indices;
+  // Accuracy-mode coverage: samples scored vs the data set size (the rules
+  // require the *entire* validation set in accuracy mode, §4.1).
+  std::size_t accuracy_sample_count = 0;
+  std::size_t dataset_size = 0;
+
+  // Performance phase.
+  std::optional<loadgen::TestResult> single_stream;
+  std::optional<loadgen::TestResult> offline;
+  double energy_per_inference_j = 0.0;
+  double peak_temperature_c = 0.0;
+};
+
+struct SubmissionResult {
+  std::string chipset_name;
+  models::SuiteVersion version = models::SuiteVersion::kV1_0;
+  std::vector<TaskRunResult> tasks;
+};
+
+// Runs the full suite for one chipset.  `bundles` may be shared across
+// calls; it is populated on demand.
+[[nodiscard]] SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
+                                             models::SuiteVersion version,
+                                             SuiteBundles& bundles,
+                                             const RunOptions& options = {});
+
+// Performance-only single-task run (used by the delegate-comparison and
+// ablation benches).  Returns the LoadGen result for the compiled plan.
+[[nodiscard]] loadgen::TestResult RunSingleStreamPerformance(
+    const soc::ChipsetDesc& chipset, const backends::SubmissionConfig& config,
+    const graph::Graph& full_graph, const datasets::TaskDataset& dataset,
+    const loadgen::TestSettings& settings = {});
+
+}  // namespace mlpm::harness

@@ -1,0 +1,107 @@
+#include "harness/task_bundle.h"
+
+#include "datasets/calibration_set.h"
+#include "datasets/classification_dataset.h"
+#include "datasets/detection_dataset.h"
+#include "datasets/qa_dataset.h"
+#include "datasets/segmentation_dataset.h"
+#include "models/deeplab.h"
+#include "models/mobilebert.h"
+#include "models/mobilenet_edgetpu.h"
+#include "quant/calibration.h"
+
+namespace mlpm::harness {
+
+std::unique_ptr<TaskBundle> TaskBundle::Create(
+    const models::BenchmarkEntry& e, models::SuiteVersion version,
+    std::uint64_t weight_seed) {
+  auto b = std::unique_ptr<TaskBundle>(new TaskBundle());
+  b->entry_ = e;
+  b->version_ = version;
+
+  switch (e.task) {
+    case models::TaskType::kImageClassification: {
+      b->owned_graph_ = std::make_unique<graph::Graph>(
+          models::BuildMobileNetEdgeTpu(models::ModelScale::kMini));
+      b->graph_ = b->owned_graph_.get();
+      b->weights_ = infer::InitializeWeights(*b->graph_, weight_seed);
+      b->dataset_ = std::make_unique<datasets::ClassificationDataset>(
+          *b->graph_, b->weights_, datasets::ClassificationDatasetConfig{});
+      break;
+    }
+    case models::TaskType::kObjectDetection: {
+      b->detection_model_ = std::make_unique<models::DetectionModel>(
+          version == models::SuiteVersion::kV0_7
+              ? models::BuildSsdMobileNetV2(models::ModelScale::kMini)
+              : models::BuildMobileDetSsd(models::ModelScale::kMini));
+      b->graph_ = &b->detection_model_->graph;
+      b->weights_ = infer::InitializeWeights(*b->graph_, weight_seed);
+      b->dataset_ = std::make_unique<datasets::DetectionDataset>(
+          *b->detection_model_, b->weights_,
+          datasets::DetectionDatasetConfig{});
+      break;
+    }
+    case models::TaskType::kImageSegmentation: {
+      b->owned_graph_ = std::make_unique<graph::Graph>(
+          models::BuildDeepLabV3Plus(models::ModelScale::kMini));
+      b->graph_ = b->owned_graph_.get();
+      b->weights_ = infer::InitializeWeights(*b->graph_, weight_seed);
+      b->dataset_ = std::make_unique<datasets::SegmentationDataset>(
+          *b->graph_, b->weights_, datasets::SegmentationDatasetConfig{});
+      break;
+    }
+    case models::TaskType::kQuestionAnswering: {
+      const models::MobileBertConfig cfg = models::MiniMobileBertConfig();
+      b->owned_graph_ = std::make_unique<graph::Graph>(
+          models::BuildMobileBert(cfg));
+      b->graph_ = b->owned_graph_.get();
+      b->weights_ = infer::InitializeWeights(*b->graph_, weight_seed);
+      b->dataset_ = std::make_unique<datasets::QaDataset>(
+          *b->graph_, b->weights_, cfg, datasets::QaDatasetConfig{});
+      break;
+    }
+  }
+  return b;
+}
+
+TaskBundle::PreparedModel TaskBundle::Prepare(infer::NumericsMode mode,
+                                              bool use_qat_weights) const {
+  PreparedModel p;
+  const infer::WeightStore* weights = &weights_;
+  if (use_qat_weights) {
+    if (!qat_weights_)
+      qat_weights_ = quant::RefineWeightsMseOptimal(*graph_, weights_);
+    weights = &*qat_weights_;
+  }
+  if (mode == infer::NumericsMode::kInt8) {
+    p.calibration_indices = datasets::ApprovedCalibrationIndices(
+        kCalibrationPoolSize, kCalibrationSetSize, kCalibrationSeed);
+    const std::vector<quant::CalibrationSample> samples =
+        datasets::GatherCalibrationSamples(*dataset_, p.calibration_indices);
+    const infer::QuantParams qp =
+        quant::CalibratePtq(*graph_, *weights, samples);
+    p.executor =
+        std::make_unique<infer::Executor>(*graph_, *weights, mode, &qp);
+  } else {
+    p.executor = std::make_unique<infer::Executor>(*graph_, *weights, mode);
+  }
+  return p;
+}
+
+double TaskBundle::ScoreAccuracy(const infer::Executor& executor) const {
+  std::vector<std::vector<infer::Tensor>> outputs;
+  outputs.reserve(dataset_->size());
+  for (std::size_t i = 0; i < dataset_->size(); ++i)
+    outputs.push_back(executor.Run(dataset_->InputsFor(i)));
+  return dataset_->ScoreOutputs(outputs);
+}
+
+double TaskBundle::Fp32Score() const {
+  if (!fp32_score_) {
+    const infer::Executor fp32(*graph_, weights_, infer::NumericsMode::kFp32);
+    fp32_score_ = ScoreAccuracy(fp32);
+  }
+  return *fp32_score_;
+}
+
+}  // namespace mlpm::harness

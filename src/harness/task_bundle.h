@@ -1,0 +1,73 @@
+// A task bundle: everything the functional accuracy plane needs for one
+// benchmark task — the mini-scale reference model (frozen synthetic
+// weights), its data set, and numerics preparation (PTQ against the
+// approved calibration set, FP16 rounding, optional QAT-agreed weights).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "datasets/task_dataset.h"
+#include "infer/executor.h"
+#include "models/ssd.h"
+#include "models/zoo.h"
+
+namespace mlpm::harness {
+
+// The approved calibration set size (paper §5.1: "typically 500 samples");
+// scaled to the mini data plane.
+inline constexpr std::size_t kCalibrationSetSize = 128;
+inline constexpr std::size_t kCalibrationPoolSize = 1000;
+inline constexpr std::uint64_t kCalibrationSeed = 0xCA11B;
+
+class TaskBundle {
+ public:
+  // Builds the mini reference model + data set for a suite entry.
+  // `weight_seed` is the frozen-checkpoint seed (fixed per suite release).
+  static std::unique_ptr<TaskBundle> Create(const models::BenchmarkEntry& e,
+                                            models::SuiteVersion version,
+                                            std::uint64_t weight_seed = 7);
+
+  [[nodiscard]] const models::BenchmarkEntry& entry() const { return entry_; }
+  [[nodiscard]] const graph::Graph& mini_graph() const { return *graph_; }
+  [[nodiscard]] const infer::WeightStore& weights() const { return weights_; }
+  [[nodiscard]] const datasets::TaskDataset& dataset() const {
+    return *dataset_;
+  }
+
+  struct PreparedModel {
+    std::unique_ptr<infer::Executor> executor;
+    // Calibration sample indices consumed (for the checker); empty unless
+    // INT8.
+    std::vector<std::size_t> calibration_indices;
+  };
+
+  // Prepares an executor at the given numerics.  INT8 runs PTQ over the
+  // approved calibration subset; `use_qat_weights` selects the
+  // mutually-agreed QAT-equivalent weights instead of the plain frozen ones.
+  [[nodiscard]] PreparedModel Prepare(infer::NumericsMode mode,
+                                      bool use_qat_weights = false) const;
+
+  // Runs the full validation set through `executor` and scores it.
+  [[nodiscard]] double ScoreAccuracy(const infer::Executor& executor) const;
+
+  // FP32 reference score (cached after first call).
+  [[nodiscard]] double Fp32Score() const;
+
+ private:
+  TaskBundle() = default;
+
+  models::BenchmarkEntry entry_;
+  models::SuiteVersion version_ = models::SuiteVersion::kV1_0;
+  // For detection tasks the graph lives inside detection_model_.
+  std::unique_ptr<models::DetectionModel> detection_model_;
+  std::unique_ptr<graph::Graph> owned_graph_;
+  const graph::Graph* graph_ = nullptr;
+  infer::WeightStore weights_;
+  mutable std::optional<infer::WeightStore> qat_weights_;  // lazy
+  std::unique_ptr<datasets::TaskDataset> dataset_;
+  mutable std::optional<double> fp32_score_;
+};
+
+}  // namespace mlpm::harness

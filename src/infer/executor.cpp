@@ -1,0 +1,686 @@
+#include "infer/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <variant>
+
+#include "common/fp16.h"
+
+namespace mlpm::infer {
+namespace {
+
+using graph::Activation;
+using graph::Graph;
+using graph::Node;
+using graph::OpType;
+using graph::Padding;
+using graph::TensorId;
+using graph::TensorShape;
+
+float ApplyActivation(float v, Activation a) {
+  switch (a) {
+    case Activation::kNone:
+      return v;
+    case Activation::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case Activation::kRelu6:
+      return std::clamp(v, 0.0f, 6.0f);
+    case Activation::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+    case Activation::kTanh:
+      return std::tanh(v);
+    case Activation::kGelu: {
+      // tanh approximation of GELU.
+      const float c = 0.7978845608f;  // sqrt(2/pi)
+      const float inner = c * (v + 0.044715f * v * v * v);
+      return 0.5f * v * (1.0f + std::tanh(inner));
+    }
+  }
+  return v;
+}
+
+// Padding offset at the start of one spatial dimension for SAME padding.
+std::int64_t PadBegin(std::int64_t in, std::int64_t out, int kernel,
+                      int stride, int dilation, Padding pad) {
+  if (pad == Padding::kValid) return 0;
+  const std::int64_t eff_k =
+      static_cast<std::int64_t>(dilation) * (kernel - 1) + 1;
+  const std::int64_t total =
+      std::max<std::int64_t>(0, (out - 1) * stride + eff_k - in);
+  return total / 2;
+}
+
+void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
+               const Tensor& w, const Tensor& bias, Tensor& out) {
+  const TensorShape& is = in.shape();
+  const TensorShape& os = out.shape();
+  const std::int64_t N = is.batch(), IH = is.height(), IW = is.width(),
+                     IC = is.channels();
+  const std::int64_t OH = os.height(), OW = os.width(), OC = os.channels();
+  const std::int64_t ph =
+      PadBegin(IH, OH, a.kernel_h, a.stride, a.dilation, a.padding);
+  const std::int64_t pw =
+      PadBegin(IW, OW, a.kernel_w, a.stride, a.dilation, a.padding);
+  const float* __restrict wp = w.data();
+  const float* __restrict bp = bias.data();
+  const float* __restrict ip = in.data();
+  float* __restrict op = out.data();
+
+  for (std::int64_t b = 0; b < N; ++b) {
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        for (std::int64_t oc = 0; oc < OC; ++oc) {
+          float acc = bp[oc];
+          // Kernel window; weights laid out [OC, KH, KW, IC].
+          for (int kh = 0; kh < a.kernel_h; ++kh) {
+            const std::int64_t ih =
+                oh * a.stride - ph + static_cast<std::int64_t>(kh) *
+                                         a.dilation;
+            if (ih < 0 || ih >= IH) continue;
+            for (int kw = 0; kw < a.kernel_w; ++kw) {
+              const std::int64_t iw =
+                  ow * a.stride - pw + static_cast<std::int64_t>(kw) *
+                                           a.dilation;
+              if (iw < 0 || iw >= IW) continue;
+              const float* in_px = ip + ((b * IH + ih) * IW + iw) * IC;
+              const float* w_px =
+                  wp + ((oc * a.kernel_h + kh) * a.kernel_w + kw) * IC;
+              for (std::int64_t ic = 0; ic < IC; ++ic)
+                acc += in_px[ic] * w_px[ic];
+            }
+          }
+          op[((b * OH + oh) * OW + ow) * OC + oc] =
+              ApplyActivation(acc, a.activation);
+        }
+      }
+    }
+  }
+  (void)n;
+}
+
+void RunDepthwiseConv2d(const graph::DepthwiseConv2dAttrs& a, const Tensor& in,
+                        const Tensor& w, const Tensor& bias, Tensor& out) {
+  const TensorShape& is = in.shape();
+  const TensorShape& os = out.shape();
+  const std::int64_t N = is.batch(), IH = is.height(), IW = is.width(),
+                     C = is.channels();
+  const std::int64_t OH = os.height(), OW = os.width();
+  const std::int64_t ph =
+      PadBegin(IH, OH, a.kernel_h, a.stride, a.dilation, a.padding);
+  const std::int64_t pw =
+      PadBegin(IW, OW, a.kernel_w, a.stride, a.dilation, a.padding);
+  const float* __restrict wp = w.data();  // [C, KH, KW]
+  const float* __restrict bp = bias.data();
+  const float* __restrict ip = in.data();
+  float* __restrict op = out.data();
+
+  for (std::int64_t b = 0; b < N; ++b) {
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        for (std::int64_t c = 0; c < C; ++c) {
+          float acc = bp[c];
+          for (int kh = 0; kh < a.kernel_h; ++kh) {
+            const std::int64_t ih =
+                oh * a.stride - ph + static_cast<std::int64_t>(kh) *
+                                         a.dilation;
+            if (ih < 0 || ih >= IH) continue;
+            for (int kw = 0; kw < a.kernel_w; ++kw) {
+              const std::int64_t iw =
+                  ow * a.stride - pw + static_cast<std::int64_t>(kw) *
+                                           a.dilation;
+              if (iw < 0 || iw >= IW) continue;
+              acc += ip[((b * IH + ih) * IW + iw) * C + c] *
+                     wp[(c * a.kernel_h + kh) * a.kernel_w + kw];
+            }
+          }
+          op[((b * OH + oh) * OW + ow) * C + c] =
+              ApplyActivation(acc, a.activation);
+        }
+      }
+    }
+  }
+}
+
+void RunFullyConnected(const graph::FullyConnectedAttrs& a, const Tensor& in,
+                       const Tensor& w, const Tensor& bias, Tensor& out) {
+  const TensorShape& is = in.shape();
+  const std::int64_t in_f = is.dim(is.rank() - 1);
+  const std::int64_t out_f = a.out_features;
+  const std::int64_t rows = is.elements() / in_f;
+  const float* __restrict ip = in.data();
+  const float* __restrict wp = w.data();  // [out_f, in_f]
+  const float* __restrict bp = bias.data();
+  float* __restrict op = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = ip + r * in_f;
+    for (std::int64_t o = 0; o < out_f; ++o) {
+      const float* wrow = wp + o * in_f;
+      float acc = bp[o];
+      for (std::int64_t i = 0; i < in_f; ++i) acc += row[i] * wrow[i];
+      op[r * out_f + o] = ApplyActivation(acc, a.activation);
+    }
+  }
+}
+
+void RunPool(OpType op_type, const graph::PoolAttrs& a, const Tensor& in,
+             Tensor& out) {
+  const TensorShape& is = in.shape();
+  const TensorShape& os = out.shape();
+  const std::int64_t N = is.batch(), IH = is.height(), IW = is.width(),
+                     C = is.channels();
+  const std::int64_t OH = os.height(), OW = os.width();
+  const float* ip = in.data();
+  float* op = out.data();
+  const bool is_max = op_type == OpType::kMaxPool;
+  for (std::int64_t b = 0; b < N; ++b) {
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        for (std::int64_t c = 0; c < C; ++c) {
+          float acc = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+          int count = 0;
+          for (int kh = 0; kh < a.kernel; ++kh) {
+            const std::int64_t ih = oh * a.stride + kh;
+            if (ih >= IH) continue;
+            for (int kw = 0; kw < a.kernel; ++kw) {
+              const std::int64_t iw = ow * a.stride + kw;
+              if (iw >= IW) continue;
+              const float v = ip[((b * IH + ih) * IW + iw) * C + c];
+              if (is_max)
+                acc = std::max(acc, v);
+              else
+                acc += v;
+              ++count;
+            }
+          }
+          op[((b * OH + oh) * OW + ow) * C + c] =
+              is_max ? acc : acc / static_cast<float>(std::max(count, 1));
+        }
+      }
+    }
+  }
+}
+
+void RunGlobalAvgPool(const Tensor& in, Tensor& out) {
+  const TensorShape& is = in.shape();
+  const std::int64_t N = is.batch(), H = is.height(), W = is.width(),
+                     C = is.channels();
+  const float* ip = in.data();
+  float* op = out.data();
+  for (std::int64_t b = 0; b < N; ++b) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      double acc = 0.0;
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w)
+          acc += ip[((b * H + h) * W + w) * C + c];
+      op[b * C + c] = static_cast<float>(acc / static_cast<double>(H * W));
+    }
+  }
+}
+
+void RunResizeBilinear(const Tensor& in, Tensor& out) {
+  const TensorShape& is = in.shape();
+  const TensorShape& os = out.shape();
+  const std::int64_t N = is.batch(), IH = is.height(), IW = is.width(),
+                     C = is.channels();
+  const std::int64_t OH = os.height(), OW = os.width();
+  const float* ip = in.data();
+  float* op = out.data();
+  const double sh = static_cast<double>(IH) / static_cast<double>(OH);
+  const double sw = static_cast<double>(IW) / static_cast<double>(OW);
+  for (std::int64_t b = 0; b < N; ++b) {
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      // Half-pixel centers, clamped to the valid range.
+      const double fy = std::max(
+          0.0, (static_cast<double>(oh) + 0.5) * sh - 0.5);
+      const auto y0 = std::min<std::int64_t>(static_cast<std::int64_t>(fy),
+                                             IH - 1);
+      const auto y1 = std::min<std::int64_t>(y0 + 1, IH - 1);
+      const float wy = static_cast<float>(fy - static_cast<double>(y0));
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        const double fx = std::max(
+            0.0, (static_cast<double>(ow) + 0.5) * sw - 0.5);
+        const auto x0 = std::min<std::int64_t>(static_cast<std::int64_t>(fx),
+                                               IW - 1);
+        const auto x1 = std::min<std::int64_t>(x0 + 1, IW - 1);
+        const float wx = static_cast<float>(fx - static_cast<double>(x0));
+        for (std::int64_t c = 0; c < C; ++c) {
+          const auto px = [&](std::int64_t y, std::int64_t x) {
+            return ip[((b * IH + y) * IW + x) * C + c];
+          };
+          const float top = px(y0, x0) * (1 - wx) + px(y0, x1) * wx;
+          const float bot = px(y1, x0) * (1 - wx) + px(y1, x1) * wx;
+          op[((b * OH + oh) * OW + ow) * C + c] = top * (1 - wy) + bot * wy;
+        }
+      }
+    }
+  }
+}
+
+void RunConcat(const Graph& g, const Node& n,
+               const std::vector<const Tensor*>& ins, Tensor& out) {
+  const auto& a = std::get<graph::ConcatAttrs>(n.attrs);
+  const TensorShape& os = out.shape();
+  const auto rank = static_cast<int>(os.rank());
+  const int ax = a.axis >= 0 ? a.axis : rank + a.axis;
+  // outer = product of dims before axis; inner = product after.
+  std::int64_t outer = 1, inner = 1;
+  for (int d = 0; d < ax; ++d) outer *= os.dim(static_cast<std::size_t>(d));
+  for (int d = ax + 1; d < rank; ++d)
+    inner *= os.dim(static_cast<std::size_t>(d));
+
+  float* op = out.data();
+  std::int64_t axis_offset = 0;
+  for (const Tensor* t : ins) {
+    const std::int64_t t_axis = t->shape().dim(static_cast<std::size_t>(ax));
+    const float* ip = t->data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+      const std::int64_t src = o * t_axis * inner;
+      const std::int64_t dst =
+          (o * os.dim(static_cast<std::size_t>(ax)) + axis_offset) * inner;
+      std::copy_n(ip + src, t_axis * inner, op + dst);
+    }
+    axis_offset += t_axis;
+  }
+  (void)g;
+}
+
+void RunSoftmaxLastDim(const Tensor& in, Tensor& out) {
+  const TensorShape& s = in.shape();
+  const std::int64_t d = s.dim(s.rank() - 1);
+  const std::int64_t rows = s.elements() / d;
+  const float* ip = in.data();
+  float* op = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = ip + r * d;
+    float* orow = op + r * d;
+    float m = row[0];
+    for (std::int64_t i = 1; i < d; ++i) m = std::max(m, row[i]);
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) {
+      orow[i] = std::exp(row[i] - m);
+      sum += orow[i];
+    }
+    const auto inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t i = 0; i < d; ++i) orow[i] *= inv;
+  }
+}
+
+void RunLayerNorm(const graph::LayerNormAttrs& a, const Tensor& in,
+                  const Tensor& gamma, const Tensor& beta, Tensor& out) {
+  const TensorShape& s = in.shape();
+  const std::int64_t d = s.dim(s.rank() - 1);
+  const std::int64_t rows = s.elements() / d;
+  const float* ip = in.data();
+  const float* gp = gamma.data();
+  const float* bp = beta.data();
+  float* op = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = ip + r * d;
+    double mean = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) mean += row[i];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) {
+      const double x = row[i] - mean;
+      var += x * x;
+    }
+    var /= static_cast<double>(d);
+    const double inv = 1.0 / std::sqrt(var + a.epsilon);
+    float* orow = op + r * d;
+    for (std::int64_t i = 0; i < d; ++i)
+      orow[i] = static_cast<float>((row[i] - mean) * inv) * gp[i] + bp[i];
+  }
+}
+
+void RunEmbedding(const graph::EmbeddingAttrs& a, const Tensor& ids,
+                  const Tensor& table, Tensor& out) {
+  const std::int64_t seq = ids.shape().dim(0);
+  const float* tp = table.data();
+  float* op = out.data();
+  for (std::int64_t s = 0; s < seq; ++s) {
+    auto id = static_cast<std::int64_t>(ids.data()[s]);
+    id = std::clamp<std::int64_t>(id, 0, a.vocab_size - 1);
+    std::copy_n(tp + id * a.embed_dim, a.embed_dim, op + s * a.embed_dim);
+  }
+}
+
+void RunAttention(const graph::AttentionAttrs& a, const Tensor& in,
+                  const Tensor& wq, const Tensor& wk, const Tensor& wv,
+                  const Tensor& wo, Tensor& out) {
+  const std::int64_t S = in.shape().dim(0);
+  const std::int64_t D = in.shape().dim(1);
+  const std::int64_t H = a.num_heads;
+  const std::int64_t hd = a.head_dim;
+
+  const auto project = [&](const Tensor& w) {
+    std::vector<float> r(static_cast<std::size_t>(S * D));
+    const float* ip = in.data();
+    const float* wp = w.data();  // [D, D] as [out, in]
+    for (std::int64_t s = 0; s < S; ++s)
+      for (std::int64_t o = 0; o < D; ++o) {
+        float acc = 0.0f;
+        const float* row = ip + s * D;
+        const float* wrow = wp + o * D;
+        for (std::int64_t i = 0; i < D; ++i) acc += row[i] * wrow[i];
+        r[static_cast<std::size_t>(s * D + o)] = acc;
+      }
+    return r;
+  };
+  const std::vector<float> q = project(wq);
+  const std::vector<float> k = project(wk);
+  const std::vector<float> v = project(wv);
+
+  std::vector<float> ctx(static_cast<std::size_t>(S * D), 0.0f);
+  std::vector<float> scores(static_cast<std::size_t>(S));
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+  for (std::int64_t h = 0; h < H; ++h) {
+    const std::int64_t off = h * hd;
+    for (std::int64_t i = 0; i < S; ++i) {
+      // scores_j = q_i . k_j / sqrt(hd), softmaxed over j.
+      float m = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < S; ++j) {
+        float acc = 0.0f;
+        for (std::int64_t d = 0; d < hd; ++d)
+          acc += q[static_cast<std::size_t>(i * D + off + d)] *
+                 k[static_cast<std::size_t>(j * D + off + d)];
+        scores[static_cast<std::size_t>(j)] = acc * inv_sqrt;
+        m = std::max(m, scores[static_cast<std::size_t>(j)]);
+      }
+      double sum = 0.0;
+      for (std::int64_t j = 0; j < S; ++j) {
+        auto& sj = scores[static_cast<std::size_t>(j)];
+        sj = std::exp(sj - m);
+        sum += sj;
+      }
+      const auto inv = static_cast<float>(1.0 / sum);
+      for (std::int64_t d = 0; d < hd; ++d) {
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < S; ++j)
+          acc += scores[static_cast<std::size_t>(j)] *
+                 v[static_cast<std::size_t>(j * D + off + d)];
+        ctx[static_cast<std::size_t>(i * D + off + d)] = acc * inv;
+      }
+    }
+  }
+
+  // Output projection.
+  const float* wop = wo.data();
+  float* op = out.data();
+  for (std::int64_t s = 0; s < S; ++s)
+    for (std::int64_t o = 0; o < D; ++o) {
+      float acc = 0.0f;
+      const float* row = ctx.data() + s * D;
+      const float* wrow = wop + o * D;
+      for (std::int64_t i = 0; i < D; ++i) acc += row[i] * wrow[i];
+      op[s * D + o] = acc;
+    }
+}
+
+void RunLstm(const graph::LstmAttrs& a, const Tensor& in, const Tensor& wx,
+             const Tensor& wh, const Tensor& bias, Tensor& out) {
+  const std::int64_t seq = in.shape().dim(0);
+  const std::int64_t d = in.shape().dim(1);
+  const std::int64_t h = a.hidden_dim;
+  const float* xp = in.data();
+  const float* wxp = wx.data();  // [4H, D]
+  const float* whp = wh.data();  // [4H, H]
+  const float* bp = bias.data();
+  float* op = out.data();
+
+  std::vector<float> hidden(static_cast<std::size_t>(h), 0.0f);
+  std::vector<float> cell(static_cast<std::size_t>(h), 0.0f);
+  std::vector<float> gates(static_cast<std::size_t>(4 * h));
+  const auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+
+  for (std::int64_t t = 0; t < seq; ++t) {
+    const float* x = xp + t * d;
+    for (std::int64_t g = 0; g < 4 * h; ++g) {
+      float acc = bp[g];
+      const float* wx_row = wxp + g * d;
+      for (std::int64_t i = 0; i < d; ++i) acc += wx_row[i] * x[i];
+      const float* wh_row = whp + g * h;
+      for (std::int64_t i = 0; i < h; ++i)
+        acc += wh_row[i] * hidden[static_cast<std::size_t>(i)];
+      gates[static_cast<std::size_t>(g)] = acc;
+    }
+    // Gate order: input, forget, cell candidate, output.
+    for (std::int64_t i = 0; i < h; ++i) {
+      const float ig = sigmoid(gates[static_cast<std::size_t>(i)]);
+      const float fg = sigmoid(gates[static_cast<std::size_t>(h + i)]);
+      const float gg = std::tanh(gates[static_cast<std::size_t>(2 * h + i)]);
+      const float og = sigmoid(gates[static_cast<std::size_t>(3 * h + i)]);
+      auto& c = cell[static_cast<std::size_t>(i)];
+      c = fg * c + ig * gg;
+      const float hv = og * std::tanh(c);
+      hidden[static_cast<std::size_t>(i)] = hv;
+      op[t * h + i] = hv;
+    }
+  }
+}
+
+void RoundTensorToHalf(Tensor& t) {
+  for (auto& v : t.values()) v = RoundToHalf(v);
+}
+
+// Symmetric per-channel (or per-tensor) weight fake quantization; channel ==
+// first dimension, matching the [out, ...] weight layouts used here.
+void FakeQuantWeights(Tensor& t, bool per_channel, int bits) {
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);  // e.g. 127
+  const std::int64_t channels =
+      per_channel && t.shape().rank() > 1 ? t.shape().dim(0) : 1;
+  const std::int64_t stride = static_cast<std::int64_t>(t.size()) / channels;
+  float* p = t.data();
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float* chan = p + c * stride;
+    float amax = 0.0f;
+    for (std::int64_t i = 0; i < stride; ++i)
+      amax = std::max(amax, std::abs(chan[i]));
+    if (amax == 0.0f) continue;
+    const float scale = amax / qmax;
+    for (std::int64_t i = 0; i < stride; ++i) {
+      const float q = std::clamp(std::round(chan[i] / scale), -qmax, qmax);
+      chan[i] = q * scale;
+    }
+  }
+}
+
+}  // namespace
+
+float FakeQuantActivation(float v, const TensorRange& r, int bits) {
+  // Asymmetric uint grid nudged so zero is exactly representable (TFLite
+  // requirement; keeps zero-padding exact).
+  float lo = std::min(r.min, 0.0f);
+  float hi = std::max(r.max, 0.0f);
+  if (hi - lo < 1e-12f) return v;
+  const float qmax = static_cast<float>((1 << bits) - 1);  // 255
+  const float scale = (hi - lo) / qmax;
+  const float zp = std::round(-lo / scale);
+  const float q = std::clamp(std::round(v / scale) + zp, 0.0f, qmax);
+  return (q - zp) * scale;
+}
+
+Executor::Executor(const Graph& graph, const WeightStore& weights,
+                   NumericsMode mode, const QuantParams* quant)
+    : graph_(graph), mode_(mode) {
+  if (mode_ == NumericsMode::kInt8) {
+    Expects(quant != nullptr, "INT8 execution requires QuantParams");
+    quant_ = *quant;
+  }
+  prepared_weights_.resize(graph_.tensors().size());
+  for (graph::TensorId id = 0;
+       id < static_cast<graph::TensorId>(graph_.tensors().size()); ++id) {
+    const auto& info = graph_.tensor(id);
+    if (info.kind != graph::TensorKind::kWeight) continue;
+    auto t = std::make_unique<Tensor>(weights.Get(info.name));
+    const bool is_bias_like = info.shape.rank() == 1;
+    switch (mode_) {
+      case NumericsMode::kFp32:
+        break;
+      case NumericsMode::kFp16:
+        RoundTensorToHalf(*t);
+        break;
+      case NumericsMode::kInt8:
+        // Biases stay high precision (INT32 accumulators on real hardware).
+        if (!is_bias_like)
+          FakeQuantWeights(*t, quant_.per_channel_weights, quant_.weight_bits);
+        break;
+    }
+    prepared_weights_[static_cast<std::size_t>(id)] = std::move(t);
+  }
+}
+
+const Tensor& Executor::WeightFor(TensorId id) const {
+  const auto& p = prepared_weights_[static_cast<std::size_t>(id)];
+  Expects(p != nullptr, "missing prepared weight");
+  return *p;
+}
+
+std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs) const {
+  return Run(inputs, NodeObserver{});
+}
+
+std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
+                                  const NodeObserver& observer) const {
+  Expects(inputs.size() == graph_.input_ids().size(),
+          "wrong number of graph inputs");
+  std::vector<Tensor> slots(graph_.tensors().size());
+  std::vector<bool> ready(graph_.tensors().size(), false);
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const TensorId id = graph_.input_ids()[i];
+    Expects(inputs[i].shape() == graph_.tensor(id).shape,
+            "input shape mismatch for " + graph_.tensor(id).name);
+    slots[static_cast<std::size_t>(id)] = inputs[i];
+    ready[static_cast<std::size_t>(id)] = true;
+  }
+
+  const auto fetch = [&](TensorId id) -> const Tensor& {
+    Expects(ready[static_cast<std::size_t>(id)],
+            "use of unready tensor " + graph_.tensor(id).name);
+    return slots[static_cast<std::size_t>(id)];
+  };
+
+  for (const Node& n : graph_.nodes()) {
+    Tensor out(graph_.tensor(n.output).shape);
+    switch (n.op) {
+      case OpType::kInput:
+        continue;
+      case OpType::kConv2d:
+        RunConv2d(n, std::get<graph::Conv2dAttrs>(n.attrs), fetch(n.inputs[0]),
+                  WeightFor(n.weights[0]), WeightFor(n.weights[1]), out);
+        break;
+      case OpType::kDepthwiseConv2d:
+        RunDepthwiseConv2d(std::get<graph::DepthwiseConv2dAttrs>(n.attrs),
+                           fetch(n.inputs[0]), WeightFor(n.weights[0]),
+                           WeightFor(n.weights[1]), out);
+        break;
+      case OpType::kFullyConnected:
+        RunFullyConnected(std::get<graph::FullyConnectedAttrs>(n.attrs),
+                          fetch(n.inputs[0]), WeightFor(n.weights[0]),
+                          WeightFor(n.weights[1]), out);
+        break;
+      case OpType::kAdd: {
+        const Tensor& x = fetch(n.inputs[0]);
+        const Tensor& y = fetch(n.inputs[1]);
+        for (std::size_t i = 0; i < out.size(); ++i)
+          out.data()[i] = x.data()[i] + y.data()[i];
+        break;
+      }
+      case OpType::kMul: {
+        const Tensor& x = fetch(n.inputs[0]);
+        const Tensor& y = fetch(n.inputs[1]);
+        for (std::size_t i = 0; i < out.size(); ++i)
+          out.data()[i] = x.data()[i] * y.data()[i];
+        break;
+      }
+      case OpType::kAvgPool:
+      case OpType::kMaxPool:
+        RunPool(n.op, std::get<graph::PoolAttrs>(n.attrs), fetch(n.inputs[0]),
+                out);
+        break;
+      case OpType::kGlobalAvgPool:
+        RunGlobalAvgPool(fetch(n.inputs[0]), out);
+        break;
+      case OpType::kResizeBilinear:
+        RunResizeBilinear(fetch(n.inputs[0]), out);
+        break;
+      case OpType::kConcat: {
+        std::vector<const Tensor*> ins;
+        ins.reserve(n.inputs.size());
+        for (TensorId t : n.inputs) ins.push_back(&fetch(t));
+        RunConcat(graph_, n, ins, out);
+        break;
+      }
+      case OpType::kReshape: {
+        const Tensor& x = fetch(n.inputs[0]);
+        std::copy_n(x.data(), x.size(), out.data());
+        break;
+      }
+      case OpType::kSoftmax: {
+        const auto& a = std::get<graph::SoftmaxAttrs>(n.attrs);
+        const auto rank = static_cast<int>(out.shape().rank());
+        Expects(a.axis == -1 || a.axis == rank - 1,
+                "softmax supported on last axis only");
+        RunSoftmaxLastDim(fetch(n.inputs[0]), out);
+        break;
+      }
+      case OpType::kActivation: {
+        const auto& a = std::get<graph::ActivationAttrs>(n.attrs);
+        const Tensor& x = fetch(n.inputs[0]);
+        for (std::size_t i = 0; i < out.size(); ++i)
+          out.data()[i] = ApplyActivation(x.data()[i], a.activation);
+        break;
+      }
+      case OpType::kLayerNorm:
+        RunLayerNorm(std::get<graph::LayerNormAttrs>(n.attrs),
+                     fetch(n.inputs[0]), WeightFor(n.weights[0]),
+                     WeightFor(n.weights[1]), out);
+        break;
+      case OpType::kEmbeddingLookup:
+        RunEmbedding(std::get<graph::EmbeddingAttrs>(n.attrs),
+                     fetch(n.inputs[0]), WeightFor(n.weights[0]), out);
+        break;
+      case OpType::kMultiHeadAttention:
+        RunAttention(std::get<graph::AttentionAttrs>(n.attrs),
+                     fetch(n.inputs[0]), WeightFor(n.weights[0]),
+                     WeightFor(n.weights[1]), WeightFor(n.weights[2]),
+                     WeightFor(n.weights[3]), out);
+        break;
+      case OpType::kLstm:
+        RunLstm(std::get<graph::LstmAttrs>(n.attrs), fetch(n.inputs[0]),
+                WeightFor(n.weights[0]), WeightFor(n.weights[1]),
+                WeightFor(n.weights[2]), out);
+        break;
+    }
+
+    if (observer) observer(n.output, out);
+
+    // Simulate the node's output numerics.
+    switch (mode_) {
+      case NumericsMode::kFp32:
+        break;
+      case NumericsMode::kFp16:
+        RoundTensorToHalf(out);
+        break;
+      case NumericsMode::kInt8: {
+        const auto it = quant_.activation_ranges.find(n.output);
+        if (it != quant_.activation_ranges.end()) {
+          for (auto& v : out.values())
+            v = FakeQuantActivation(v, it->second, quant_.activation_bits);
+        }
+        break;
+      }
+    }
+
+    slots[static_cast<std::size_t>(n.output)] = std::move(out);
+    ready[static_cast<std::size_t>(n.output)] = true;
+  }
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(graph_.output_ids().size());
+  for (TensorId id : graph_.output_ids()) outputs.push_back(fetch(id));
+  return outputs;
+}
+
+}  // namespace mlpm::infer

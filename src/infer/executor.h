@@ -1,0 +1,73 @@
+// Reference numeric executor.
+//
+// Executes a graph::Graph on the CPU with straightforward NHWC kernels.
+// This is the stand-in for the paper's poorly-optimized reference TFLite
+// implementation (§3.3): correct, simple, and the source of FP32 ground
+// truth for the teacher-labelled datasets.
+//
+// Numerics modes (paper §5.1/§7.5):
+//   kFp32 — plain float.
+//   kFp16 — weights and every node output rounded through binary16.
+//   kInt8 — weights fake-quantized symmetric (per-channel by default);
+//           activations fake-quantized asymmetric using calibrated ranges.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "infer/quant_params.h"
+#include "infer/tensor.h"
+#include "infer/weights.h"
+
+namespace mlpm::infer {
+
+enum class NumericsMode : std::uint8_t { kFp32, kFp16, kInt8 };
+
+[[nodiscard]] constexpr std::string_view ToString(NumericsMode m) {
+  switch (m) {
+    case NumericsMode::kFp32: return "FP32";
+    case NumericsMode::kFp16: return "FP16";
+    case NumericsMode::kInt8: return "INT8";
+  }
+  return "?";
+}
+
+// Called after each node executes, with the node's output tensor.  Used by
+// the quantizer to record activation ranges during calibration.
+using NodeObserver =
+    std::function<void(graph::TensorId, const Tensor&)>;
+
+class Executor {
+ public:
+  // `graph` and `weights` must outlive the executor.  For kInt8 mode,
+  // `quant` must be non-null and is copied.
+  Executor(const graph::Graph& graph, const WeightStore& weights,
+           NumericsMode mode = NumericsMode::kFp32,
+           const QuantParams* quant = nullptr);
+
+  // Runs the graph; `inputs` must match graph.input_ids() in order and
+  // shape.  Returns one tensor per graph output.
+  [[nodiscard]] std::vector<Tensor> Run(std::span<const Tensor> inputs) const;
+
+  // As Run, but invokes `observer` on every node output (pre-quantization).
+  [[nodiscard]] std::vector<Tensor> Run(std::span<const Tensor> inputs,
+                                        const NodeObserver& observer) const;
+
+  [[nodiscard]] NumericsMode mode() const { return mode_; }
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+
+ private:
+  [[nodiscard]] const Tensor& WeightFor(graph::TensorId id) const;
+
+  const graph::Graph& graph_;
+  NumericsMode mode_;
+  QuantParams quant_;
+  // Weights transformed once for the executor's numerics mode, indexed by
+  // TensorId (nullptr for activation slots).
+  std::vector<std::unique_ptr<Tensor>> prepared_weights_;
+};
+
+}  // namespace mlpm::infer

@@ -1,0 +1,37 @@
+// True-integer INT8 convolution: im2col + uint8 GEMM with INT32
+// accumulation and float requantization — the production-style kernel path
+// mobile inference stacks actually execute (the accuracy plane's fake-quant
+// float kernels model its *numerics*; this is the *arithmetic*).
+//
+// Padding inserts the input zero-point (the quantized representation of
+// 0.0), exactly as TFLite does, so SAME-padded borders stay exact.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/ops.h"
+#include "infer/tensor.h"
+
+namespace mlpm::infer {
+
+struct QuantizationParams {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+};
+
+// Derives asymmetric uint8 quantization parameters covering [min, max]
+// (range widened to include zero; zero-point exact).
+[[nodiscard]] QuantizationParams ChooseQuantParams(float min, float max);
+
+// Integer conv on float tensors: input [1,H,W,C] and weights [O,KH,KW,C]
+// are quantized with the given parameters (weights symmetric around
+// `weight_zero_point` 128), the GEMM runs in uint8/int32, and the result is
+// dequantized back to float with the bias added.  Only SAME/VALID padding,
+// square kernels, dilation 1.
+[[nodiscard]] Tensor ConvInt8NHWC(const Tensor& input, const Tensor& weights,
+                                  const Tensor& bias, int stride,
+                                  graph::Padding padding,
+                                  const QuantizationParams& input_params,
+                                  const QuantizationParams& weight_params);
+
+}  // namespace mlpm::infer

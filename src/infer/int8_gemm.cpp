@@ -1,0 +1,64 @@
+#include "infer/int8_gemm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mlpm::infer {
+
+void QuantizeU8(std::span<const float> src, float scale,
+                std::int32_t zero_point, std::span<std::uint8_t> dst) {
+  Expects(src.size() == dst.size(), "quantize size mismatch");
+  Expects(scale > 0.0f, "quantize scale must be positive");
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float q =
+        std::round(src[i] * inv) + static_cast<float>(zero_point);
+    dst[i] = static_cast<std::uint8_t>(std::clamp(q, 0.0f, 255.0f));
+  }
+}
+
+float DequantizeAcc(std::int32_t acc, float lhs_scale, float rhs_scale) {
+  return static_cast<float>(acc) * lhs_scale * rhs_scale;
+}
+
+void GemmU8U8I32(std::span<const std::uint8_t> a, std::int32_t a_zp,
+                 std::span<const std::uint8_t> b_t, std::int32_t b_zp,
+                 std::size_t m, std::size_t n, std::size_t k,
+                 std::span<std::int32_t> c) {
+  Expects(a.size() == m * k, "A size mismatch");
+  Expects(b_t.size() == n * k, "B size mismatch");
+  Expects(c.size() == m * n, "C size mismatch");
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint8_t* arow = a.data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint8_t* brow = b_t.data() + j * k;
+      std::int32_t acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += (static_cast<std::int32_t>(arow[kk]) - a_zp) *
+               (static_cast<std::int32_t>(brow[kk]) - b_zp);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void GemmF32(std::span<const float> a, std::span<const float> b_t,
+             std::size_t m, std::size_t n, std::size_t k,
+             std::span<float> c) {
+  Expects(a.size() == m * k, "A size mismatch");
+  Expects(b_t.size() == n * k, "B size mismatch");
+  Expects(c.size() == m * n, "C size mismatch");
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b_t.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace mlpm::infer

@@ -1,0 +1,36 @@
+// True integer INT8 GEMM with INT32 accumulation.
+//
+// The accuracy plane simulates INT8 with fake quantization (one float kernel
+// set), but a credible mobile-inference library also needs a real integer
+// path: this is it, used by the kernel microbenchmarks (bench_kernels) to
+// demonstrate the INT8-vs-FP32 arithmetic-throughput gap that motivates the
+// paper's numerics discussion (§7.5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mlpm::infer {
+
+// Quantizes `src` to uint8 with the given scale/zero-point.
+void QuantizeU8(std::span<const float> src, float scale,
+                std::int32_t zero_point, std::span<std::uint8_t> dst);
+
+// Dequantizes an INT32 accumulator given input scales.
+[[nodiscard]] float DequantizeAcc(std::int32_t acc, float lhs_scale,
+                                  float rhs_scale);
+
+// C[m,n] = sum_k (A[m,k]-a_zp) * (B[n,k]-b_zp), INT32 accumulators.
+// B is stored row-major transposed ([n, k]) to keep inner loops contiguous.
+void GemmU8U8I32(std::span<const std::uint8_t> a, std::int32_t a_zp,
+                 std::span<const std::uint8_t> b_t, std::int32_t b_zp,
+                 std::size_t m, std::size_t n, std::size_t k,
+                 std::span<std::int32_t> c);
+
+// Float reference for validation / speed comparison (same B-transposed
+// layout).
+void GemmF32(std::span<const float> a, std::span<const float> b_t,
+             std::size_t m, std::size_t n, std::size_t k,
+             std::span<float> c);
+
+}  // namespace mlpm::infer

@@ -1,0 +1,44 @@
+// Quantization parameter records shared between the executor (which applies
+// fake quantization) and the quantizer (src/quant, which derives the
+// parameters from a calibration run — paper §5.1).
+#pragma once
+
+#include <unordered_map>
+
+#include "graph/graph.h"
+
+namespace mlpm::infer {
+
+// Observed value range of one activation tensor.
+struct TensorRange {
+  float min = 0.0f;
+  float max = 0.0f;
+
+  void Update(float v) {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  void Merge(const TensorRange& o) {
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+};
+
+// Full post-training-quantization recipe for one graph.
+struct QuantParams {
+  // Activation ranges keyed by tensor id; derived from the calibration set.
+  std::unordered_map<graph::TensorId, TensorRange> activation_ranges;
+  // Per-output-channel symmetric weight quantization (TFLite convention)
+  // versus per-tensor.  Per-channel loses less accuracy.
+  bool per_channel_weights = true;
+  // Asymmetric activation quantization bit width (8 == UINT8/INT8).
+  int activation_bits = 8;
+  int weight_bits = 8;
+};
+
+// Rounds `v` through an asymmetric uint-style quantized grid for the given
+// range.  Degenerate ranges (min==max) pass values through unchanged.
+[[nodiscard]] float FakeQuantActivation(float v, const TensorRange& r,
+                                        int bits);
+
+}  // namespace mlpm::infer

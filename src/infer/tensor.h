@@ -1,0 +1,52 @@
+// Runtime tensor: a shape plus an owning float buffer.
+//
+// All functional execution keeps storage in float regardless of the model's
+// declared numerics; FP16 and INT8 behaviour is *simulated* by rounding
+// values through the target format (fake quantization).  This matches how
+// accuracy is affected on real hardware while keeping one set of kernels.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/shape.h"
+
+namespace mlpm::infer {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(graph::TensorShape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.elements()), 0.0f) {}
+  Tensor(graph::TensorShape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    Expects(static_cast<std::int64_t>(data_.size()) == shape_.elements(),
+            "tensor data size does not match shape");
+  }
+
+  [[nodiscard]] const graph::TensorShape& shape() const { return shape_; }
+  [[nodiscard]] std::span<float> values() { return data_; }
+  [[nodiscard]] std::span<const float> values() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] float& at(std::size_t i) {
+    Expects(i < data_.size(), "tensor index out of range");
+    return data_[i];
+  }
+  [[nodiscard]] float at(std::size_t i) const {
+    Expects(i < data_.size(), "tensor index out of range");
+    return data_[i];
+  }
+
+  // Unchecked linear access for kernel inner loops.
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+ private:
+  graph::TensorShape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace mlpm::infer

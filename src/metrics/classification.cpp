@@ -1,0 +1,37 @@
+#include "metrics/classification.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mlpm::metrics {
+
+int ArgMax(std::span<const float> logits) {
+  Expects(!logits.empty(), "ArgMax of empty logits");
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+bool InTopK(std::span<const float> logits, int label, int k) {
+  Expects(label >= 0 && static_cast<std::size_t>(label) < logits.size(),
+          "label out of range");
+  Expects(k > 0, "k must be positive");
+  const float lv = logits[static_cast<std::size_t>(label)];
+  int strictly_higher = 0;
+  for (float v : logits)
+    if (v > lv) ++strictly_higher;
+  return strictly_higher < k;
+}
+
+double TopOneAccuracy(std::span<const int> predictions,
+                      std::span<const int> labels) {
+  Expects(predictions.size() == labels.size(), "size mismatch");
+  Expects(!predictions.empty(), "empty prediction set");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    if (predictions[i] == labels[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+}  // namespace mlpm::metrics

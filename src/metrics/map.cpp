@@ -1,0 +1,113 @@
+#include "metrics/map.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace mlpm::metrics {
+namespace {
+
+struct RankedDet {
+  float score;
+  std::size_t image;
+  const models::Detection* det;
+};
+
+}  // namespace
+
+double AveragePrecision(std::span<const ImageDetections> detections,
+                        std::span<const ImageGroundTruth> ground_truth,
+                        int class_id, double iou_threshold) {
+  Expects(detections.size() == ground_truth.size(),
+          "detections / ground truth image count mismatch");
+
+  // Pool and rank this class's detections across all images.
+  std::vector<RankedDet> ranked;
+  for (std::size_t img = 0; img < detections.size(); ++img)
+    for (const auto& d : detections[img])
+      if (d.class_id == class_id) ranked.push_back({d.score, img, &d});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedDet& a, const RankedDet& b) {
+              return a.score > b.score;
+            });
+
+  std::size_t total_gt = 0;
+  for (const auto& g : ground_truth)
+    for (const auto& gt : g)
+      if (gt.class_id == class_id) ++total_gt;
+  if (total_gt == 0) return 0.0;  // class absent; caller skips it
+
+  // Greedy matching: each GT may match at most one detection.
+  std::vector<std::vector<bool>> gt_used(ground_truth.size());
+  for (std::size_t i = 0; i < ground_truth.size(); ++i)
+    gt_used[i].assign(ground_truth[i].size(), false);
+
+  std::vector<bool> is_tp(ranked.size(), false);
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    const auto& rd = ranked[r];
+    const auto& gts = ground_truth[rd.image];
+    double best_iou = 0.0;
+    std::size_t best_gt = gts.size();
+    for (std::size_t g = 0; g < gts.size(); ++g) {
+      if (gts[g].class_id != class_id || gt_used[rd.image][g]) continue;
+      const double iou = rd.det->box.IoU(gts[g].box);
+      if (iou > best_iou) {
+        best_iou = iou;
+        best_gt = g;
+      }
+    }
+    if (best_gt < gts.size() && best_iou >= iou_threshold) {
+      is_tp[r] = true;
+      gt_used[rd.image][best_gt] = true;
+    }
+  }
+
+  // Precision/recall curve and 101-point interpolated AP.
+  std::vector<double> precision(ranked.size());
+  std::vector<double> recall(ranked.size());
+  std::size_t tp = 0;
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    if (is_tp[r]) ++tp;
+    precision[r] = static_cast<double>(tp) / static_cast<double>(r + 1);
+    recall[r] = static_cast<double>(tp) / static_cast<double>(total_gt);
+  }
+  // Make precision monotonically non-increasing from the right.
+  for (std::size_t r = precision.size(); r-- > 1;)
+    precision[r - 1] = std::max(precision[r - 1], precision[r]);
+
+  double ap = 0.0;
+  std::size_t idx = 0;
+  for (int i = 0; i <= 100; ++i) {
+    const double r_level = static_cast<double>(i) / 100.0;
+    while (idx < recall.size() && recall[idx] < r_level) ++idx;
+    ap += idx < precision.size() ? precision[idx] : 0.0;
+  }
+  return ap / 101.0;
+}
+
+double MeanAveragePrecision(std::span<const ImageDetections> detections,
+                            std::span<const ImageGroundTruth> ground_truth,
+                            double iou_threshold) {
+  std::set<int> classes;
+  for (const auto& g : ground_truth)
+    for (const auto& gt : g) classes.insert(gt.class_id);
+  if (classes.empty()) return 0.0;
+  double sum = 0.0;
+  for (int c : classes)
+    sum += AveragePrecision(detections, ground_truth, c, iou_threshold);
+  return sum / static_cast<double>(classes.size());
+}
+
+double CocoMap(std::span<const ImageDetections> detections,
+               std::span<const ImageGroundTruth> ground_truth) {
+  double sum = 0.0;
+  int n = 0;
+  for (double t = 0.50; t < 0.96; t += 0.05) {
+    sum += MeanAveragePrecision(detections, ground_truth, t);
+    ++n;
+  }
+  return sum / n;
+}
+
+}  // namespace mlpm::metrics

@@ -1,0 +1,39 @@
+// COCO-style mean average precision (object-detection task metric).
+//
+// Matches the COCO protocol's core: per-class AP from a score-ranked greedy
+// matching against ground truth, 101-point interpolated precision, averaged
+// over classes and over IoU thresholds 0.50:0.05:0.95.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "models/detection.h"
+
+namespace mlpm::metrics {
+
+struct GroundTruthBox {
+  models::BBox box;
+  int class_id = 0;
+};
+
+// Detections/ground truth are parallel per-image lists.
+using ImageDetections = std::vector<models::Detection>;
+using ImageGroundTruth = std::vector<GroundTruthBox>;
+
+// AP for one class at one IoU threshold, pooled over all images.
+[[nodiscard]] double AveragePrecision(
+    std::span<const ImageDetections> detections,
+    std::span<const ImageGroundTruth> ground_truth, int class_id,
+    double iou_threshold);
+
+// Mean AP over all classes present in the ground truth at one threshold.
+[[nodiscard]] double MeanAveragePrecision(
+    std::span<const ImageDetections> detections,
+    std::span<const ImageGroundTruth> ground_truth, double iou_threshold);
+
+// COCO mAP: mean over IoU thresholds 0.50, 0.55, ..., 0.95.
+[[nodiscard]] double CocoMap(std::span<const ImageDetections> detections,
+                             std::span<const ImageGroundTruth> ground_truth);
+
+}  // namespace mlpm::metrics

@@ -1,0 +1,83 @@
+#include "metrics/miou.h"
+
+#include "common/check.h"
+
+namespace mlpm::metrics {
+
+MIoUAccumulator::MIoUAccumulator(int num_classes, int ignore_label)
+    : num_classes_(num_classes),
+      ignore_label_(ignore_label),
+      confusion_(static_cast<std::size_t>(num_classes) *
+                     static_cast<std::size_t>(num_classes),
+                 0) {
+  Expects(num_classes > 0, "need at least one class");
+}
+
+void MIoUAccumulator::Add(std::span<const int> predictions,
+                          std::span<const int> labels) {
+  Expects(predictions.size() == labels.size(),
+          "prediction / label size mismatch");
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const int gt = labels[i];
+    const int pr = predictions[i];
+    if (gt == ignore_label_) continue;
+    Expects(gt >= 0 && gt < num_classes_, "label out of range");
+    Expects(pr >= 0 && pr < num_classes_, "prediction out of range");
+    ++confusion_[static_cast<std::size_t>(gt) *
+                     static_cast<std::size_t>(num_classes_) +
+                 static_cast<std::size_t>(pr)];
+  }
+}
+
+std::vector<double> MIoUAccumulator::PerClassIoU() const {
+  std::vector<double> iou(static_cast<std::size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    std::int64_t tp = 0, fp = 0, fn = 0;
+    for (int o = 0; o < num_classes_; ++o) {
+      const auto gt_c_pred_o =
+          confusion_[static_cast<std::size_t>(c) *
+                         static_cast<std::size_t>(num_classes_) +
+                     static_cast<std::size_t>(o)];
+      const auto gt_o_pred_c =
+          confusion_[static_cast<std::size_t>(o) *
+                         static_cast<std::size_t>(num_classes_) +
+                     static_cast<std::size_t>(c)];
+      if (o == c) {
+        tp = gt_c_pred_o;
+      } else {
+        fn += gt_c_pred_o;
+        fp += gt_o_pred_c;
+      }
+    }
+    const std::int64_t uni = tp + fp + fn;
+    iou[static_cast<std::size_t>(c)] =
+        uni > 0 ? static_cast<double>(tp) / static_cast<double>(uni) : 0.0;
+  }
+  return iou;
+}
+
+double MIoUAccumulator::MeanIoU() const {
+  double sum = 0.0;
+  int present = 0;
+  const std::vector<double> iou = PerClassIoU();
+  for (int c = 0; c < num_classes_; ++c) {
+    if (c == ignore_label_) continue;
+    // A class participates if it appears in GT or predictions.
+    std::int64_t uni = 0;
+    for (int o = 0; o < num_classes_; ++o) {
+      uni += confusion_[static_cast<std::size_t>(c) *
+                            static_cast<std::size_t>(num_classes_) +
+                        static_cast<std::size_t>(o)];
+      if (o != c)
+        uni += confusion_[static_cast<std::size_t>(o) *
+                              static_cast<std::size_t>(num_classes_) +
+                          static_cast<std::size_t>(c)];
+    }
+    if (uni == 0) continue;
+    sum += iou[static_cast<std::size_t>(c)];
+    ++present;
+  }
+  return present > 0 ? sum / present : 0.0;
+}
+
+}  // namespace mlpm::metrics

@@ -1,0 +1,36 @@
+// Mean intersection-over-union (semantic-segmentation task metric).
+//
+// Per the paper (§3.2), the model predicts 32 classes and the mIoU counts
+// only pixels whose ground-truth label is one of the 31 frequent classes —
+// label 31 (the catch-all) is treated as "ignore" for scoring.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mlpm::metrics {
+
+// Streaming confusion-matrix accumulator over pixel label maps.
+class MIoUAccumulator {
+ public:
+  explicit MIoUAccumulator(int num_classes, int ignore_label = -1);
+
+  // Adds one image's per-pixel predictions/labels (same length).
+  void Add(std::span<const int> predictions, std::span<const int> labels);
+
+  // Mean IoU over classes that appear (union > 0), skipping the ignore
+  // label.  Returns 0 if nothing was accumulated.
+  [[nodiscard]] double MeanIoU() const;
+
+  // Per-class IoU (NaN-free: classes with empty union report 0 and are
+  // excluded from the mean).
+  [[nodiscard]] std::vector<double> PerClassIoU() const;
+
+ private:
+  int num_classes_;
+  int ignore_label_;
+  std::vector<std::int64_t> confusion_;  // num_classes x num_classes
+};
+
+}  // namespace mlpm::metrics

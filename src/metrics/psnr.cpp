@@ -1,0 +1,29 @@
+#include "metrics/psnr.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mlpm::metrics {
+
+double MeanSquaredError(const infer::Tensor& a, const infer::Tensor& b) {
+  Expects(a.shape() == b.shape(), "MSE requires equal shapes");
+  Expects(a.size() > 0, "MSE of empty tensors");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double Psnr(const infer::Tensor& image, const infer::Tensor& reference,
+            double peak) {
+  Expects(peak > 0.0, "peak must be positive");
+  const double mse = MeanSquaredError(image, reference);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+}  // namespace mlpm::metrics

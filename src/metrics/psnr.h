@@ -1,0 +1,21 @@
+// Peak signal-to-noise ratio — the standard quality metric for the
+// super-resolution extension (paper App. E: "super-resolution and
+// high-resolution models are important use cases, but... the metrics for
+// evaluating these tasks are not clearly defined" — PSNR is the baseline
+// everyone starts from).
+#pragma once
+
+#include "infer/tensor.h"
+
+namespace mlpm::metrics {
+
+// PSNR in dB between two same-shaped images with values in [0, peak].
+// Identical images return +infinity.
+[[nodiscard]] double Psnr(const infer::Tensor& image,
+                          const infer::Tensor& reference, double peak = 1.0);
+
+// Mean squared error between two same-shaped tensors.
+[[nodiscard]] double MeanSquaredError(const infer::Tensor& a,
+                                      const infer::Tensor& b);
+
+}  // namespace mlpm::metrics

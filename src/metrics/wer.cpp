@@ -1,0 +1,45 @@
+#include "metrics/wer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mlpm::metrics {
+
+std::size_t EditDistance(std::span<const int> prediction,
+                         std::span<const int> reference) {
+  const std::size_t n = prediction.size();
+  const std::size_t m = reference.size();
+  // Single-row dynamic program.
+  std::vector<std::size_t> row(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub =
+          diag + (prediction[i - 1] == reference[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = up;
+    }
+  }
+  return row[m];
+}
+
+double WordErrorRate(std::span<const std::vector<int>> predictions,
+                     std::span<const std::vector<int>> references) {
+  Expects(predictions.size() == references.size(),
+          "prediction / reference count mismatch");
+  std::size_t errors = 0, total = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    errors += EditDistance(predictions[i], references[i]);
+    total += references[i].size();
+  }
+  return total > 0 ? static_cast<double>(errors) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace mlpm::metrics

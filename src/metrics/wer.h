@@ -1,0 +1,22 @@
+// Word (token) error rate for the speech-recognition extension
+// (paper App. E): Levenshtein distance between predicted and reference
+// token sequences, normalized by reference length.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mlpm::metrics {
+
+// Minimum number of substitutions + insertions + deletions to turn
+// `prediction` into `reference`.
+[[nodiscard]] std::size_t EditDistance(std::span<const int> prediction,
+                                       std::span<const int> reference);
+
+// Total edit distance over all pairs divided by total reference tokens.
+// An empty reference set returns 0.  Can exceed 1 for pathological output.
+[[nodiscard]] double WordErrorRate(
+    std::span<const std::vector<int>> predictions,
+    std::span<const std::vector<int>> references);
+
+}  // namespace mlpm::metrics

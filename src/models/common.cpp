@@ -1,0 +1,33 @@
+#include "models/common.h"
+
+namespace mlpm::models {
+
+using graph::Activation;
+using graph::GraphBuilder;
+using graph::TensorId;
+
+TensorId InvertedBottleneck(GraphBuilder& b, TensorId in, std::int64_t out_ch,
+                            int expand_ratio, int stride, int kernel,
+                            bool fused, int dilation) {
+  const std::int64_t in_ch = b.ShapeOf(in).channels();
+  const std::int64_t expanded = in_ch * expand_ratio;
+
+  TensorId x = in;
+  if (fused) {
+    // Fused-IBN: expansion + spatial filtering in one dense KxK conv.
+    x = b.Conv2d(x, expanded, kernel, stride, Activation::kRelu6,
+                 graph::Padding::kSame, dilation);
+  } else {
+    if (expand_ratio != 1)
+      x = b.Conv2d(x, expanded, 1, 1, Activation::kRelu6);
+    x = b.DepthwiseConv2d(x, kernel, stride, Activation::kRelu6,
+                          graph::Padding::kSame, dilation);
+  }
+  // Linear bottleneck projection (no activation).
+  x = b.Conv2d(x, out_ch, 1, 1, Activation::kNone);
+
+  if (stride == 1 && in_ch == out_ch) x = b.Add(in, x);
+  return x;
+}
+
+}  // namespace mlpm::models

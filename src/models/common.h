@@ -1,0 +1,47 @@
+// Shared vocabulary for the reference model zoo (paper §3.2, Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "graph/graph.h"
+
+namespace mlpm::models {
+
+// The four benchmark task areas of MLPerf Mobile v0.7/v1.0.
+enum class TaskType : std::uint8_t {
+  kImageClassification,  // MobileNetEdgeTPU on ImageNet
+  kObjectDetection,      // SSD-MobileNet v2 (v0.7) / MobileDet-SSD (v1.0)
+  kImageSegmentation,    // DeepLab v3+ with MobileNet v2 backbone on ADE20K
+  kQuestionAnswering,    // MobileBERT on SQuAD v1.1
+};
+
+[[nodiscard]] constexpr std::string_view ToString(TaskType t) {
+  switch (t) {
+    case TaskType::kImageClassification: return "image_classification";
+    case TaskType::kObjectDetection: return "object_detection";
+    case TaskType::kImageSegmentation: return "image_segmentation";
+    case TaskType::kQuestionAnswering: return "question_answering";
+  }
+  return "?";
+}
+
+// Scale of a model build.
+//   kFull — the paper's architecture at full resolution; feeds the SoC
+//           timing simulator (never executed numerically).
+//   kMini — same block structure at reduced width/resolution; feeds the
+//           functional executor for accuracy/quantization experiments
+//           (DESIGN.md "two execution planes").
+enum class ModelScale : std::uint8_t { kFull, kMini };
+
+// Inverted-bottleneck block (MobileNet v2 family).  If `fused`, the expansion
+// and depthwise stages are a single regular KxK convolution
+// (MobileNetEdgeTPU / MobileDet "fused-IBN" — better accelerator
+// utilization, paper §3.2).  Adds a residual when stride==1 and channels
+// match.  Returns the block output tensor.
+graph::TensorId InvertedBottleneck(graph::GraphBuilder& b, graph::TensorId in,
+                                   std::int64_t out_ch, int expand_ratio,
+                                   int stride, int kernel = 3,
+                                   bool fused = false, int dilation = 1);
+
+}  // namespace mlpm::models

@@ -1,0 +1,58 @@
+#include "models/deeplab.h"
+
+#include "models/mobilenet_v2.h"
+
+namespace mlpm::models {
+
+using graph::Activation;
+using graph::GraphBuilder;
+using graph::TensorId;
+
+SegmentationConfig MiniSegmentationConfig() {
+  return SegmentationConfig{/*input_size=*/32, /*num_classes=*/8,
+                            /*aspp_channels=*/32};
+}
+
+graph::Graph BuildDeepLabV3Plus(ModelScale scale) {
+  return BuildDeepLabV3Plus(scale == ModelScale::kFull
+                                ? SegmentationConfig{}
+                                : MiniSegmentationConfig(),
+                            scale);
+}
+
+graph::Graph BuildDeepLabV3Plus(const SegmentationConfig& cfg,
+                                ModelScale scale) {
+  GraphBuilder b("deeplab_v3plus_mnv2");
+  TensorId input =
+      b.Input("images", {1, cfg.input_size, cfg.input_size, 3});
+
+  MobileNetV2Options opts;
+  opts.scale = scale;
+  opts.output_stride16 = true;
+  const BackboneFeatures f = BuildMobileNetV2Backbone(b, input, opts);
+
+  const auto& hs = b.ShapeOf(f.high);
+  const std::int64_t fh = hs.height();
+  const std::int64_t fw = hs.width();
+
+  // Slim ASPP: 1x1 conv branch + global image pooling branch.
+  const TensorId branch1 =
+      b.Conv2d(f.high, cfg.aspp_channels, 1, 1, Activation::kRelu6,
+               graph::Padding::kSame, 1, "aspp_1x1");
+  TensorId pool = b.GlobalAvgPool(f.high, "aspp_pool");
+  pool = b.Conv2d(pool, cfg.aspp_channels, 1, 1, Activation::kRelu6,
+                  graph::Padding::kSame, 1, "aspp_pool_conv");
+  pool = b.ResizeBilinear(pool, fh, fw, "aspp_pool_up");
+  TensorId x = b.Concat({branch1, pool}, /*axis=*/-1, "aspp_concat");
+  x = b.Conv2d(x, cfg.aspp_channels, 1, 1, Activation::kRelu6,
+               graph::Padding::kSame, 1, "aspp_project");
+
+  // Classifier + upsample to input resolution.
+  x = b.Conv2d(x, cfg.num_classes, 1, 1, Activation::kNone,
+               graph::Padding::kSame, 1, "logits_conv");
+  x = b.ResizeBilinear(x, cfg.input_size, cfg.input_size, "logits_up");
+  b.MarkOutput(x);
+  return std::move(b).Build();
+}
+
+}  // namespace mlpm::models

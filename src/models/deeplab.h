@@ -1,0 +1,30 @@
+// DeepLab v3+ with MobileNet v2 backbone — the semantic-segmentation
+// reference model (paper §3.2).
+//
+// Encoder/decoder with atrous spatial pyramid pooling on an output-stride-16
+// MobileNet v2.  The 2M-parameter mobile variant (Table 1) uses the slim
+// ASPP (1x1 branch + image pooling, no heavy 3x3 atrous branches) and a
+// direct classifier, matching the TFLite deployment of this model.  Trained
+// to predict 32 classes: the 31 most frequent ADE20K classes plus a
+// catch-all (paper §3.2).
+#pragma once
+
+#include "graph/graph.h"
+#include "models/common.h"
+
+namespace mlpm::models {
+
+struct SegmentationConfig {
+  std::int64_t input_size = 512;
+  std::int64_t num_classes = 32;
+  std::int64_t aspp_channels = 256;
+};
+
+[[nodiscard]] SegmentationConfig MiniSegmentationConfig();
+
+// Graph output: [1, input, input, num_classes] per-pixel logits.
+[[nodiscard]] graph::Graph BuildDeepLabV3Plus(ModelScale scale);
+[[nodiscard]] graph::Graph BuildDeepLabV3Plus(const SegmentationConfig& cfg,
+                                              ModelScale scale);
+
+}  // namespace mlpm::models

@@ -1,0 +1,118 @@
+#include "models/detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlpm::models {
+
+float BBox::IoU(const BBox& o) const {
+  const float iy0 = std::max(ymin, o.ymin);
+  const float ix0 = std::max(xmin, o.xmin);
+  const float iy1 = std::min(ymax, o.ymax);
+  const float ix1 = std::min(xmax, o.xmax);
+  if (iy1 <= iy0 || ix1 <= ix0) return 0.0f;
+  const float inter = (iy1 - iy0) * (ix1 - ix0);
+  const float uni = Area() + o.Area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+AnchorSet AnchorSet::Build(std::span<const FeatureMapSpec> maps) {
+  AnchorSet set;
+  for (const FeatureMapSpec& m : maps) {
+    Expects(m.grid > 0, "feature map grid must be positive");
+    Expects(!m.scales.empty() && !m.aspect_ratios.empty(),
+            "feature map needs scales and aspect ratios");
+    const float step = 1.0f / static_cast<float>(m.grid);
+    for (std::int64_t gy = 0; gy < m.grid; ++gy) {
+      for (std::int64_t gx = 0; gx < m.grid; ++gx) {
+        const float cy = (static_cast<float>(gy) + 0.5f) * step;
+        const float cx = (static_cast<float>(gx) + 0.5f) * step;
+        for (float s : m.scales) {
+          for (float ar : m.aspect_ratios) {
+            const float root = std::sqrt(ar);
+            set.anchors_.push_back(Anchor{cy, cx, s / root, s * root});
+          }
+        }
+      }
+    }
+  }
+  return set;
+}
+
+std::vector<Detection> DecodeDetections(std::span<const float> box_deltas,
+                                        std::span<const float> class_logits,
+                                        const AnchorSet& anchors,
+                                        std::int64_t num_classes,
+                                        const DecodeConfig& cfg) {
+  const std::size_t n = anchors.size();
+  Expects(box_deltas.size() == n * 4, "box delta count mismatch");
+  Expects(class_logits.size() == n * static_cast<std::size_t>(num_classes),
+          "class logit count mismatch");
+
+  std::vector<Detection> raw;
+  std::vector<float> probs(static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < n; ++i) {
+    // Softmax over this anchor's class logits.
+    const float* lg = class_logits.data() + i * num_classes;
+    float m = lg[0];
+    for (std::int64_t c = 1; c < num_classes; ++c) m = std::max(m, lg[c]);
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < num_classes; ++c) {
+      probs[static_cast<std::size_t>(c)] = std::exp(lg[c] - m);
+      sum += probs[static_cast<std::size_t>(c)];
+    }
+    // Best non-background class.
+    int best = -1;
+    float best_p = 0.0f;
+    for (std::int64_t c = 1; c < num_classes; ++c) {
+      const float p =
+          static_cast<float>(probs[static_cast<std::size_t>(c)] / sum);
+      if (p > best_p) {
+        best_p = p;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0 || best_p < cfg.score_threshold) continue;
+
+    // Box decode (SSD faster-rcnn box coder).
+    const Anchor& a = anchors.anchors()[i];
+    const float ty = box_deltas[i * 4 + 0] / cfg.scale_xy;
+    const float tx = box_deltas[i * 4 + 1] / cfg.scale_xy;
+    const float th = box_deltas[i * 4 + 2] / cfg.scale_hw;
+    const float tw = box_deltas[i * 4 + 3] / cfg.scale_hw;
+    const float cy = ty * a.h + a.cy;
+    const float cx = tx * a.w + a.cx;
+    const float h = std::exp(std::min(th, 8.0f)) * a.h;
+    const float w = std::exp(std::min(tw, 8.0f)) * a.w;
+    BBox box{cy - h / 2, cx - w / 2, cy + h / 2, cx + w / 2};
+    box.ymin = std::clamp(box.ymin, 0.0f, 1.0f);
+    box.xmin = std::clamp(box.xmin, 0.0f, 1.0f);
+    box.ymax = std::clamp(box.ymax, 0.0f, 1.0f);
+    box.xmax = std::clamp(box.xmax, 0.0f, 1.0f);
+    raw.push_back(Detection{box, best, best_p});
+  }
+  return Nms(std::move(raw), cfg.nms_iou_threshold, cfg.max_detections);
+}
+
+std::vector<Detection> Nms(std::vector<Detection> dets, float iou_threshold,
+                           int max_detections) {
+  std::sort(dets.begin(), dets.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.score > b.score;
+            });
+  std::vector<Detection> kept;
+  for (const Detection& d : dets) {
+    if (static_cast<int>(kept.size()) >= max_detections) break;
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if (k.class_id == d.class_id && k.box.IoU(d.box) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+}  // namespace mlpm::models

@@ -1,0 +1,84 @@
+// SSD detection post-processing: anchor grids, box decoding and NMS.
+//
+// Post-processing is a dataset-specific stage all submitters must implement
+// identically (paper §4.1); it runs on the CPU outside the measured model
+// (the "AI tax" the end-to-end extension can optionally include).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mlpm::models {
+
+// Box in normalized [0,1] corner coordinates.
+struct BBox {
+  float ymin = 0, xmin = 0, ymax = 0, xmax = 0;
+
+  [[nodiscard]] float Area() const {
+    return (ymax > ymin && xmax > xmin) ? (ymax - ymin) * (xmax - xmin) : 0.f;
+  }
+  [[nodiscard]] float IoU(const BBox& o) const;
+};
+
+// Anchor in center form (normalized).
+struct Anchor {
+  float cy = 0, cx = 0, h = 0, w = 0;
+};
+
+// The fixed anchor grid an SSD model's outputs are relative to.
+class AnchorSet {
+ public:
+  struct FeatureMapSpec {
+    std::int64_t grid = 0;            // grid x grid cells
+    std::vector<float> scales;        // anchor scales (fraction of image)
+    std::vector<float> aspect_ratios; // w/h ratios, applied per scale
+  };
+
+  static AnchorSet Build(std::span<const FeatureMapSpec> maps);
+
+  [[nodiscard]] const std::vector<Anchor>& anchors() const { return anchors_; }
+  [[nodiscard]] std::size_t size() const { return anchors_.size(); }
+
+  // Anchors per cell on map `i` (scales.size() * aspect_ratios.size()).
+  [[nodiscard]] static std::int64_t PerCell(const FeatureMapSpec& m) {
+    return static_cast<std::int64_t>(m.scales.size() *
+                                     m.aspect_ratios.size());
+  }
+
+ private:
+  std::vector<Anchor> anchors_;
+};
+
+struct Detection {
+  BBox box;
+  int class_id = 0;  // 0 is background and never emitted
+  float score = 0.0f;
+};
+
+struct DecodeConfig {
+  float score_threshold = 0.3f;
+  float nms_iou_threshold = 0.5f;
+  int max_detections = 10;
+  // SSD box-coder variances (TF object-detection defaults).
+  float scale_xy = 10.0f;
+  float scale_hw = 5.0f;
+};
+
+// Decodes raw SSD outputs to final detections: softmax over class logits
+// (class 0 = background), box-delta decode against anchors, per-class NMS.
+// `box_deltas` is [num_anchors * 4] (ty,tx,th,tw); `class_logits` is
+// [num_anchors * num_classes].
+[[nodiscard]] std::vector<Detection> DecodeDetections(
+    std::span<const float> box_deltas, std::span<const float> class_logits,
+    const AnchorSet& anchors, std::int64_t num_classes,
+    const DecodeConfig& cfg = {});
+
+// Greedy per-class NMS; input need not be sorted.
+[[nodiscard]] std::vector<Detection> Nms(std::vector<Detection> dets,
+                                         float iou_threshold,
+                                         int max_detections);
+
+}  // namespace mlpm::models

@@ -1,0 +1,82 @@
+#include "models/mobilebert.h"
+
+#include <string>
+
+namespace mlpm::models {
+
+using graph::Activation;
+using graph::GraphBuilder;
+using graph::TensorId;
+
+MobileBertConfig MiniMobileBertConfig() {
+  MobileBertConfig c;
+  c.vocab_size = 256;
+  c.seq_len = 48;
+  c.embed_dim = 32;
+  c.hidden_dim = 64;
+  c.bottleneck_dim = 32;
+  c.num_heads = 2;
+  c.ffn_intermediate = 64;
+  c.num_blocks = 3;
+  c.ffn_per_block = 2;
+  return c;
+}
+
+graph::Graph BuildMobileBert(ModelScale scale) {
+  return BuildMobileBert(scale == ModelScale::kFull ? MobileBertConfig{}
+                                                    : MiniMobileBertConfig());
+}
+
+graph::Graph BuildMobileBert(const MobileBertConfig& cfg) {
+  Expects(cfg.bottleneck_dim % cfg.num_heads == 0,
+          "bottleneck must divide evenly into heads");
+  GraphBuilder b("mobilebert");
+  TensorId ids = b.Input("token_ids", {cfg.seq_len});
+
+  // Embedding (narrow) then transform up to the body width; the real model
+  // uses a trigram convolution here, functionally a learned projection.
+  TensorId x = b.Embedding(ids, cfg.vocab_size, cfg.embed_dim, "embed");
+  x = b.FullyConnected(x, cfg.hidden_dim, Activation::kNone,
+                       "embed_transform");
+  x = b.LayerNorm(x, "embed_ln");
+
+  const std::int64_t head_dim = cfg.bottleneck_dim / cfg.num_heads;
+  for (int blk = 0; blk < cfg.num_blocks; ++blk) {
+    const std::string p = "block" + std::to_string(blk);
+    const TensorId block_in = x;
+
+    // Bottleneck entry: body width -> bottleneck width.
+    TensorId h = b.FullyConnected(x, cfg.bottleneck_dim, Activation::kNone,
+                                  p + "/bn_in");
+
+    // Self-attention on the bottleneck width.
+    TensorId att = b.MultiHeadAttention(h, cfg.num_heads, head_dim,
+                                        p + "/attn");
+    h = b.Add(h, att, p + "/attn_res");
+    h = b.LayerNorm(h, p + "/attn_ln");
+
+    // Stacked feed-forward networks.
+    for (int fi = 0; fi < cfg.ffn_per_block; ++fi) {
+      const std::string fp = p + "/ffn" + std::to_string(fi);
+      TensorId f = b.FullyConnected(h, cfg.ffn_intermediate,
+                                    Activation::kGelu, fp + "/up");
+      f = b.FullyConnected(f, cfg.bottleneck_dim, Activation::kNone,
+                           fp + "/down");
+      h = b.Add(h, f, fp + "/res");
+      h = b.LayerNorm(h, fp + "/ln");
+    }
+
+    // Bottleneck exit: back to body width, residual to block input.
+    TensorId out = b.FullyConnected(h, cfg.hidden_dim, Activation::kNone,
+                                    p + "/bn_out");
+    out = b.Add(block_in, out, p + "/block_res");
+    x = b.LayerNorm(out, p + "/block_ln");
+  }
+
+  // SQuAD span head: per-position start/end logits.
+  x = b.FullyConnected(x, 2, Activation::kNone, "qa_logits");
+  b.MarkOutput(x);
+  return std::move(b).Build();
+}
+
+}  // namespace mlpm::models

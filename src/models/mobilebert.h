@@ -1,0 +1,33 @@
+// MobileBERT — the question-answering reference model (paper §3.2).
+//
+// A compact, task-agnostic BERT for resource-limited devices: 24 thin
+// transformer blocks with bottleneck projections (512-wide body, 128-wide
+// bottleneck, 4 heads, 4 stacked FFNs per block), ~25M parameters, sequence
+// length 384, SQuAD v1.1 span extraction (start/end logits per position).
+#pragma once
+
+#include "graph/graph.h"
+#include "models/common.h"
+
+namespace mlpm::models {
+
+struct MobileBertConfig {
+  std::int64_t vocab_size = 30522;
+  std::int64_t seq_len = 384;
+  std::int64_t embed_dim = 128;
+  std::int64_t hidden_dim = 512;      // inter-block width
+  std::int64_t bottleneck_dim = 128;  // intra-block width
+  int num_heads = 4;                  // on the bottleneck width
+  std::int64_t ffn_intermediate = 640;
+  int num_blocks = 24;
+  int ffn_per_block = 4;  // MobileBERT's stacked feed-forward networks
+};
+
+[[nodiscard]] MobileBertConfig MiniMobileBertConfig();
+
+// Graph input: [seq_len] token ids (as floats).  Output: [seq_len, 2]
+// start/end span logits.
+[[nodiscard]] graph::Graph BuildMobileBert(ModelScale scale);
+[[nodiscard]] graph::Graph BuildMobileBert(const MobileBertConfig& cfg);
+
+}  // namespace mlpm::models

@@ -1,0 +1,84 @@
+#include "models/mobilenet_edgetpu.h"
+
+#include <vector>
+
+namespace mlpm::models {
+
+using graph::Activation;
+using graph::GraphBuilder;
+using graph::TensorId;
+
+namespace {
+
+struct BlockSpec {
+  std::int64_t out_ch;
+  int expand;
+  int stride;
+  int kernel;
+  bool fused;
+  int repeat;
+};
+
+}  // namespace
+
+ClassifierConfig MiniClassifierConfig() {
+  return ClassifierConfig{/*input_size=*/32, /*num_classes=*/16};
+}
+
+graph::Graph BuildMobileNetEdgeTpu(ModelScale scale) {
+  return BuildMobileNetEdgeTpu(
+      scale == ModelScale::kFull ? ClassifierConfig{} : MiniClassifierConfig(),
+      scale);
+}
+
+graph::Graph BuildMobileNetEdgeTpu(const ClassifierConfig& cfg,
+                                   ModelScale scale) {
+  GraphBuilder b("mobilenet_edgetpu");
+  TensorId x = b.Input("images",
+                       {1, cfg.input_size, cfg.input_size, 3});
+
+  // Stage list follows the published MobileNetEdgeTPU search result: fused
+  // IBNs through the 48-channel stage, depthwise IBNs after.
+  std::vector<BlockSpec> blocks;
+  std::int64_t stem_ch = 0;
+  std::int64_t head_ch = 0;
+  if (scale == ModelScale::kFull) {
+    stem_ch = 32;
+    head_ch = 1280;
+    blocks = {
+        {16, 1, 1, 3, true, 1},   // stage 1
+        {32, 8, 2, 3, true, 1},  {32, 4, 1, 3, true, 3},    // stage 2
+        {48, 8, 2, 3, true, 1},  {48, 4, 1, 3, true, 3},    // stage 3
+        {96, 8, 2, 3, false, 1}, {96, 4, 1, 3, false, 3},   // stage 4
+        {96, 8, 1, 3, false, 1}, {96, 4, 1, 3, false, 1},   // stage 5 head
+        {160, 8, 2, 5, false, 1}, {160, 4, 1, 5, false, 3},  // stage 6
+        {192, 8, 1, 5, false, 1},                            // stage 7
+    };
+  } else {
+    stem_ch = 8;
+    head_ch = 64;
+    blocks = {
+        {8, 1, 1, 3, true, 1},
+        {16, 4, 2, 3, true, 2},
+        {24, 4, 2, 3, false, 2},
+        {32, 4, 2, 3, false, 2},
+    };
+  }
+
+  x = b.Conv2d(x, stem_ch, 3, 2, Activation::kRelu6, graph::Padding::kSame, 1,
+               "stem");
+  for (const BlockSpec& s : blocks)
+    for (int r = 0; r < s.repeat; ++r)
+      x = InvertedBottleneck(b, x, s.out_ch, s.expand,
+                             r == 0 ? s.stride : 1, s.kernel, s.fused);
+
+  x = b.Conv2d(x, head_ch, 1, 1, Activation::kRelu6, graph::Padding::kSame, 1,
+               "head_conv");
+  x = b.GlobalAvgPool(x, "gap");
+  x = b.Reshape(x, {1, head_ch}, "flatten");
+  x = b.FullyConnected(x, cfg.num_classes, Activation::kNone, "logits");
+  b.MarkOutput(x);
+  return std::move(b).Build();
+}
+
+}  // namespace mlpm::models

@@ -1,0 +1,27 @@
+// MobileNetEdgeTPU — the image-classification reference model (paper §3.2).
+//
+// A MobileNet-v2 descendant optimized for mobile accelerators: early stages
+// use *fused* inverted bottlenecks (dense KxK expansion convs improve
+// hardware utilization), hard-swish and squeeze-excite blocks are removed,
+// later stages use regular depthwise inverted bottlenecks.  ~4M parameters,
+// 224x224 input, 1000 ImageNet classes (Table 1).
+#pragma once
+
+#include "graph/graph.h"
+#include "models/common.h"
+
+namespace mlpm::models {
+
+struct ClassifierConfig {
+  std::int64_t input_size = 224;
+  std::int64_t num_classes = 1000;
+};
+
+// Mini configuration used by the functional accuracy plane.
+[[nodiscard]] ClassifierConfig MiniClassifierConfig();
+
+[[nodiscard]] graph::Graph BuildMobileNetEdgeTpu(ModelScale scale);
+[[nodiscard]] graph::Graph BuildMobileNetEdgeTpu(const ClassifierConfig& cfg,
+                                                 ModelScale scale);
+
+}  // namespace mlpm::models

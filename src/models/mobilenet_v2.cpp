@@ -1,0 +1,90 @@
+#include "models/mobilenet_v2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mlpm::models {
+
+using graph::Activation;
+using graph::GraphBuilder;
+using graph::TensorId;
+
+namespace {
+
+// Round channels to a multiple of 8 after width scaling (standard MobileNet
+// "make divisible" rule; keeps vector units fully used).
+std::int64_t Scale(std::int64_t ch, double width) {
+  const auto scaled = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(ch) * width));
+  return std::max<std::int64_t>(8, (scaled + 4) / 8 * 8);
+}
+
+struct StageSpec {
+  std::int64_t out_ch;
+  int expand;
+  int stride;
+  int repeat;
+};
+
+}  // namespace
+
+BackboneFeatures BuildMobileNetV2Backbone(GraphBuilder& b, TensorId input,
+                                          const MobileNetV2Options& opts) {
+  const double w = opts.width;
+  std::vector<StageSpec> stages;
+  std::int64_t stem = 0;
+  if (opts.scale == ModelScale::kFull) {
+    stem = Scale(32, w);
+    stages = {
+        {Scale(16, w), 1, 1, 1},  {Scale(24, w), 6, 2, 2},
+        {Scale(32, w), 6, 2, 3},  {Scale(64, w), 6, 2, 4},
+        {Scale(96, w), 6, 1, 3},  {Scale(160, w), 6, 2, 3},
+        {Scale(320, w), 6, 1, 1},
+    };
+  } else {
+    stem = Scale(8, w);
+    stages = {
+        {Scale(8, w), 1, 1, 1},
+        {Scale(16, w), 4, 2, 2},
+        {Scale(24, w), 4, 2, 2},
+        {Scale(32, w), 4, 1, 1},
+    };
+  }
+
+  BackboneFeatures f;
+  TensorId x = b.Conv2d(input, stem, 3, 2, Activation::kRelu6,
+                        graph::Padding::kSame, 1, "mnv2_stem");
+
+  int stage_index = 0;
+  int dilation = 1;
+  for (const StageSpec& s : stages) {
+    int stride = s.stride;
+    // Output-stride-16 mode (DeepLab): convert the stride-2 of the
+    // 160-channel stage (full) / last stage (mini) into dilation.
+    const bool is_os16_stage =
+        opts.output_stride16 &&
+        ((opts.scale == ModelScale::kFull && stage_index == 5) ||
+         (opts.scale == ModelScale::kMini && stage_index == 3));
+    if (is_os16_stage && stride == 2) {
+      stride = 1;
+      dilation = 2;
+    }
+    for (int r = 0; r < s.repeat; ++r)
+      x = InvertedBottleneck(b, x, s.out_ch, s.expand, r == 0 ? stride : 1, 3,
+                             /*fused=*/false, dilation);
+
+    // Feature taps: low after the stride-4 stage, mid after stride-16.
+    if ((opts.scale == ModelScale::kFull && stage_index == 1) ||
+        (opts.scale == ModelScale::kMini && stage_index == 1))
+      f.low = x;
+    if ((opts.scale == ModelScale::kFull && stage_index == 4) ||
+        (opts.scale == ModelScale::kMini && stage_index == 2))
+      f.mid = x;
+    ++stage_index;
+  }
+  f.high = x;
+  return f;
+}
+
+}  // namespace mlpm::models

@@ -1,0 +1,28 @@
+// MobileNet v2 backbone, shared by SSD-MobileNet v2 (object detection,
+// v0.7) and DeepLab v3+ (segmentation) — paper §3.2.
+#pragma once
+
+#include "graph/graph.h"
+#include "models/common.h"
+
+namespace mlpm::models {
+
+struct MobileNetV2Options {
+  double width = 1.0;          // channel width multiplier
+  bool output_stride16 = false;  // DeepLab: last stride-2 stage dilated
+  ModelScale scale = ModelScale::kFull;
+};
+
+// Tensors a downstream head can attach to.
+struct BackboneFeatures {
+  graph::TensorId low = graph::kInvalidTensor;   // stride-4, for decoders
+  graph::TensorId mid = graph::kInvalidTensor;   // stride-16 expansion
+  graph::TensorId high = graph::kInvalidTensor;  // final feature map
+};
+
+// Appends the backbone to `b`, starting from `input` (NHWC image tensor).
+BackboneFeatures BuildMobileNetV2Backbone(graph::GraphBuilder& b,
+                                          graph::TensorId input,
+                                          const MobileNetV2Options& opts);
+
+}  // namespace mlpm::models

@@ -1,0 +1,61 @@
+#include "models/rnnt.h"
+
+#include <string>
+
+namespace mlpm::models {
+
+RnntConfig MiniRnntConfig() {
+  RnntConfig c;
+  c.frames = 32;
+  c.feature_dim = 8;
+  c.hidden_dim = 16;
+  c.encoder_layers = 2;
+  c.time_reduction_after = 1;
+  c.vocab_size = 24;
+  return c;
+}
+
+graph::Graph BuildMobileRnnt(ModelScale scale) {
+  return BuildMobileRnnt(scale == ModelScale::kFull ? RnntConfig{}
+                                                    : MiniRnntConfig());
+}
+
+graph::Graph BuildMobileRnnt(const RnntConfig& cfg) {
+  Expects(cfg.frames % 2 == 0, "frame count must be even (time reduction)");
+  Expects(cfg.time_reduction_after >= 1 &&
+              cfg.time_reduction_after < cfg.encoder_layers,
+          "time reduction must fall inside the encoder stack");
+  graph::GraphBuilder b("mobile_rnnt_encoder");
+  graph::TensorId x = b.Input("features", {cfg.frames, cfg.feature_dim});
+
+  for (int layer = 0; layer < cfg.encoder_layers; ++layer) {
+    x = b.Lstm(x, cfg.hidden_dim, "enc" + std::to_string(layer));
+    if (layer + 1 == cfg.time_reduction_after) {
+      // Streaming time reduction: stack adjacent frame pairs.
+      const auto& s = b.ShapeOf(x);
+      x = b.Reshape(x, {s.dim(0) / 2, s.dim(1) * 2}, "time_reduce");
+    }
+  }
+  x = b.FullyConnected(x, cfg.vocab_size, graph::Activation::kNone,
+                       "token_logits");
+  b.MarkOutput(x);
+  return std::move(b).Build();
+}
+
+std::vector<int> GreedyCtcDecode(const infer::Tensor& logits) {
+  const std::int64_t frames = logits.shape().dim(0);
+  const std::int64_t vocab = logits.shape().dim(1);
+  std::vector<int> tokens;
+  int prev = -1;
+  for (std::int64_t t = 0; t < frames; ++t) {
+    const float* row = logits.data() + t * vocab;
+    int best = 0;
+    for (std::int64_t v = 1; v < vocab; ++v)
+      if (row[v] > row[best]) best = static_cast<int>(v);
+    if (best != prev && best != 0) tokens.push_back(best);
+    prev = best;
+  }
+  return tokens;
+}
+
+}  // namespace mlpm::models

@@ -1,0 +1,40 @@
+// Mobile speech-recognition prototype (paper Appendix E: "a mobile version
+// of RNN-T for speech is in the works").
+//
+// Encoder-only prototype of the streaming RNN-T encoder (He et al. 2018):
+// stacked unidirectional LSTM layers with a time-reduction step, followed by
+// a per-frame token classifier and CTC-style greedy decoding (argmax,
+// collapse repeats, drop blanks).  The full prediction-network/joint decoder
+// is future work here exactly as the model itself was future work in the
+// paper; the encoder is where >90% of the compute lives.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "infer/tensor.h"
+#include "models/common.h"
+
+namespace mlpm::models {
+
+struct RnntConfig {
+  std::int64_t frames = 296;       // input sequence length (audio frames)
+  std::int64_t feature_dim = 80;   // log-mel features per frame
+  std::int64_t hidden_dim = 640;
+  int encoder_layers = 5;
+  int time_reduction_after = 2;    // stack pairs of frames after this layer
+  std::int64_t vocab_size = 1024;  // wordpiece vocabulary + blank at 0
+};
+
+[[nodiscard]] RnntConfig MiniRnntConfig();
+
+// Graph input: [frames, feature_dim].  Output: per-(reduced-)frame token
+// logits [frames/2, vocab_size]; index 0 is the CTC blank.
+[[nodiscard]] graph::Graph BuildMobileRnnt(ModelScale scale);
+[[nodiscard]] graph::Graph BuildMobileRnnt(const RnntConfig& cfg);
+
+// CTC greedy decode: per-frame argmax, collapse consecutive repeats, drop
+// blanks (token 0).  `logits` is [frames, vocab].
+[[nodiscard]] std::vector<int> GreedyCtcDecode(const infer::Tensor& logits);
+
+}  // namespace mlpm::models

@@ -1,0 +1,210 @@
+#include "models/ssd.h"
+
+#include <string>
+#include <vector>
+
+#include "models/mobilenet_v2.h"
+
+namespace mlpm::models {
+
+using graph::Activation;
+using graph::GraphBuilder;
+using graph::TensorId;
+
+namespace {
+
+// One SSD prediction head over a feature map.  Returns reshaped
+// ([n,4], [n,classes]) tensors.  `separable` selects SSDLite-style
+// depthwise-separable prediction convs.
+struct HeadOut {
+  TensorId boxes;
+  TensorId classes;
+};
+
+HeadOut PredictionHead(GraphBuilder& b, TensorId feat,
+                       std::int64_t anchors_per_cell, std::int64_t num_classes,
+                       bool separable, const std::string& name) {
+  const auto& s = b.ShapeOf(feat);
+  const std::int64_t cells = s.height() * s.width();
+
+  const auto head_conv = [&](std::int64_t out_ch, const std::string& n) {
+    if (separable) {
+      const TensorId dw =
+          b.DepthwiseConv2d(feat, 3, 1, Activation::kRelu6,
+                            graph::Padding::kSame, 1, n + "_dw");
+      return b.Conv2d(dw, out_ch, 1, 1, Activation::kNone,
+                      graph::Padding::kSame, 1, n + "_pw");
+    }
+    return b.Conv2d(feat, out_ch, 3, 1, Activation::kNone,
+                    graph::Padding::kSame, 1, n);
+  };
+
+  TensorId boxes = head_conv(anchors_per_cell * 4, name + "_box");
+  boxes = b.Reshape(boxes, {cells * anchors_per_cell, 4}, name + "_box_r");
+  TensorId cls = head_conv(anchors_per_cell * num_classes, name + "_cls");
+  cls = b.Reshape(cls, {cells * anchors_per_cell, num_classes},
+                  name + "_cls_r");
+  return HeadOut{boxes, cls};
+}
+
+DetectionModel FinishSsd(GraphBuilder&& b,
+                         const std::vector<TensorId>& feature_maps,
+                         const std::vector<AnchorSet::FeatureMapSpec>& specs,
+                         std::int64_t num_classes, std::int64_t input_size,
+                         bool separable_heads, std::size_t regular_head_count) {
+  Expects(feature_maps.size() == specs.size(),
+          "feature map / anchor spec mismatch");
+  std::vector<TensorId> box_parts;
+  std::vector<TensorId> cls_parts;
+  for (std::size_t i = 0; i < feature_maps.size(); ++i) {
+    const bool separable = separable_heads && i >= regular_head_count;
+    const HeadOut h = PredictionHead(
+        b, feature_maps[i], AnchorSet::PerCell(specs[i]), num_classes,
+        separable, "head" + std::to_string(i));
+    box_parts.push_back(h.boxes);
+    cls_parts.push_back(h.classes);
+  }
+  const TensorId boxes = b.Concat(box_parts, 0, "all_boxes");
+  const TensorId classes = b.Concat(cls_parts, 0, "all_classes");
+  b.MarkOutput(boxes);
+  b.MarkOutput(classes);
+
+  DetectionModel m{std::move(b).Build(), AnchorSet::Build(specs), num_classes,
+                   input_size};
+  // Output row count must equal the anchor count.
+  const auto& g = m.graph;
+  Ensures(g.tensor(g.output_ids()[0]).shape.dim(0) ==
+              static_cast<std::int64_t>(m.anchors.size()),
+          "anchor grid does not match model heads");
+  return m;
+}
+
+}  // namespace
+
+DetectionModel BuildSsdMobileNetV2(ModelScale scale) {
+  if (scale == ModelScale::kMini) {
+    GraphBuilder b("ssd_mobilenet_v2_mini");
+    TensorId x = b.Input("images", {1, 32, 32, 3});
+    x = b.Conv2d(x, 8, 3, 2, Activation::kRelu6);       // 16x16
+    x = InvertedBottleneck(b, x, 16, 4, 2);             // 8x8
+    TensorId f0 = InvertedBottleneck(b, x, 24, 4, 2);   // 4x4
+    f0 = InvertedBottleneck(b, f0, 24, 4, 1);
+    TensorId f1 = b.Conv2d(f0, 32, 3, 2, Activation::kRelu6);  // 2x2
+
+    std::vector<AnchorSet::FeatureMapSpec> specs = {
+        {4, {0.3f}, {1.0f, 2.0f, 0.5f}},
+        {2, {0.7f}, {1.0f, 2.0f, 0.5f}},
+    };
+    return FinishSsd(std::move(b), {f0, f1}, specs, /*num_classes=*/8,
+                     /*input_size=*/32, /*separable_heads=*/false,
+                     /*regular_head_count=*/2);
+  }
+
+  GraphBuilder b("ssd_mobilenet_v2");
+  TensorId input = b.Input("images", {1, 300, 300, 3});
+  MobileNetV2Options opts;
+  const BackboneFeatures f = BuildMobileNetV2Backbone(b, input, opts);
+
+  // Feature 1: stride-16 (19x19) tap; Feature 2: final 1x1 1280 conv (10x10).
+  const TensorId feat1 = f.mid;
+  const TensorId feat2 =
+      b.Conv2d(f.high, 1280, 1, 1, Activation::kRelu6, graph::Padding::kSame,
+               1, "feat2_conv");
+
+  // Extra SSD feature layers: 1x1 squeeze + 3x3 stride-2 expand.
+  const auto extra = [&b](TensorId in, std::int64_t squeeze,
+                          std::int64_t out_ch, const std::string& n) {
+    TensorId y = b.Conv2d(in, squeeze, 1, 1, Activation::kRelu6,
+                          graph::Padding::kSame, 1, n + "_sq");
+    return b.Conv2d(y, out_ch, 3, 2, Activation::kRelu6,
+                    graph::Padding::kSame, 1, n + "_ex");
+  };
+  const TensorId feat3 = extra(feat2, 256, 512, "extra3");  // 5x5
+  const TensorId feat4 = extra(feat3, 128, 256, "extra4");  // 3x3
+  const TensorId feat5 = extra(feat4, 128, 256, "extra5");  // 2x2
+  const TensorId feat6 = extra(feat5, 64, 128, "extra6");   // 1x1
+
+  // SSD300 anchor layout: 3 anchors on the first map, 6 on the rest.
+  const std::vector<float> ar3 = {1.0f, 2.0f, 0.5f};
+  const std::vector<float> ar6 = {1.0f, 2.0f, 0.5f, 3.0f, 1.0f / 3.0f, 1.3f};
+  std::vector<AnchorSet::FeatureMapSpec> specs = {
+      {19, {0.2f}, ar3},  {10, {0.35f}, ar6}, {5, {0.5f}, ar6},
+      {3, {0.65f}, ar6},  {2, {0.8f}, ar6},   {1, {0.95f}, ar6},
+  };
+  // Regular (non-separable) heads everywhere: this is the 17M-parameter
+  // v0.7 reference variant (Table 1).
+  return FinishSsd(std::move(b), {feat1, feat2, feat3, feat4, feat5, feat6},
+                   specs, /*num_classes=*/91, /*input_size=*/300,
+                   /*separable_heads=*/false, /*regular_head_count=*/6);
+}
+
+DetectionModel BuildMobileDetSsd(ModelScale scale) {
+  if (scale == ModelScale::kMini) {
+    GraphBuilder b("mobiledet_ssd_mini");
+    TensorId x = b.Input("images", {1, 32, 32, 3});
+    x = b.Conv2d(x, 8, 3, 2, Activation::kRelu6);               // 16x16
+    x = InvertedBottleneck(b, x, 16, 4, 2, 3, /*fused=*/true);  // 8x8
+    TensorId f0 = InvertedBottleneck(b, x, 24, 4, 2);           // 4x4
+    f0 = b.Conv2d(f0, 24, 3, 1, Activation::kRelu6);  // regular conv inject
+    TensorId f1 = b.Conv2d(f0, 32, 3, 2, Activation::kRelu6);   // 2x2
+
+    std::vector<AnchorSet::FeatureMapSpec> specs = {
+        {4, {0.3f}, {1.0f, 2.0f, 0.5f}},
+        {2, {0.7f}, {1.0f, 2.0f, 0.5f}},
+    };
+    return FinishSsd(std::move(b), {f0, f1}, specs, /*num_classes=*/8,
+                     /*input_size=*/32, /*separable_heads=*/true,
+                     /*regular_head_count=*/0);
+  }
+
+  GraphBuilder b("mobiledet_ssd");
+  TensorId x = b.Input("images", {1, 320, 320, 3});
+  // MobileDet backbone: fused IBNs early, regular convolutions injected at
+  // accuracy-latency sweet spots (paper §3.2), depthwise IBNs later.
+  x = b.Conv2d(x, 32, 3, 2, Activation::kRelu6, graph::Padding::kSame, 1,
+               "stem");                                          // 160
+  x = InvertedBottleneck(b, x, 16, 1, 1, 3, /*fused=*/true);
+  x = InvertedBottleneck(b, x, 32, 4, 2, 3, /*fused=*/true);     // 80
+  x = InvertedBottleneck(b, x, 32, 4, 1, 3, /*fused=*/true);
+  x = InvertedBottleneck(b, x, 48, 4, 2, 3, /*fused=*/true);     // 40
+  x = b.Conv2d(x, 48, 3, 1, Activation::kRelu6, graph::Padding::kSame, 1,
+               "reg_inject1");  // regular conv injection
+  x = InvertedBottleneck(b, x, 96, 4, 2);                        // 20
+  x = InvertedBottleneck(b, x, 96, 4, 1);
+  x = InvertedBottleneck(b, x, 136, 4, 1);
+  TensorId feat1 = InvertedBottleneck(b, x, 136, 4, 1);          // 20x20
+  x = InvertedBottleneck(b, feat1, 160, 8, 2);                   // 10
+  x = b.Conv2d(x, 160, 3, 1, Activation::kRelu6, graph::Padding::kSame, 1,
+               "reg_inject2");
+  x = InvertedBottleneck(b, x, 384, 8, 1);
+  const TensorId feat2 = b.Conv2d(x, 1280, 1, 1, Activation::kRelu6,
+                                  graph::Padding::kSame, 1,
+                                  "endpoint_conv");               // 10x10
+
+  const auto extra = [&b](TensorId in, std::int64_t squeeze,
+                          std::int64_t out_ch, const std::string& n) {
+    TensorId y = b.Conv2d(in, squeeze, 1, 1, Activation::kRelu6,
+                          graph::Padding::kSame, 1, n + "_sq");
+    TensorId dw = b.DepthwiseConv2d(y, 3, 2, Activation::kRelu6,
+                                    graph::Padding::kSame, 1, n + "_dw");
+    return b.Conv2d(dw, out_ch, 1, 1, Activation::kRelu6,
+                    graph::Padding::kSame, 1, n + "_pw");
+  };
+  const TensorId feat3 = extra(feat2, 192, 384, "extra3");  // 5x5
+  const TensorId feat4 = extra(feat3, 128, 256, "extra4");  // 3x3
+  const TensorId feat5 = extra(feat4, 128, 256, "extra5");  // 2x2
+  const TensorId feat6 = extra(feat5, 96, 192, "extra6");   // 1x1
+
+  const std::vector<float> ar3 = {1.0f, 2.0f, 0.5f};
+  const std::vector<float> ar6 = {1.0f, 2.0f, 0.5f, 3.0f, 1.0f / 3.0f, 1.3f};
+  std::vector<AnchorSet::FeatureMapSpec> specs = {
+      {20, {0.2f}, ar3},  {10, {0.35f}, ar6}, {5, {0.5f}, ar6},
+      {3, {0.65f}, ar6},  {2, {0.8f}, ar6},   {1, {0.95f}, ar6},
+  };
+  // SSDLite: all heads separable (this is what keeps MobileDet at ~4M).
+  return FinishSsd(std::move(b), {feat1, feat2, feat3, feat4, feat5, feat6},
+                   specs, /*num_classes=*/91, /*input_size=*/320,
+                   /*separable_heads=*/true, /*regular_head_count=*/0);
+}
+
+}  // namespace mlpm::models

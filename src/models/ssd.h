@@ -1,0 +1,29 @@
+// SSD object-detection reference models (paper §3.2):
+//   * SSD-MobileNet v2 (v0.7): MobileNet v2 feature extractor, SSD heads,
+//     300x300 input, ~17M parameters.
+//   * MobileDet-SSD (v1.0): MobileDet backbone that mixes fused-IBN /
+//     regular convolutions with SSDLite separable heads, 320x320 input,
+//     ~4M parameters — the update "more geared toward stressing mobile
+//     hardware accelerators".
+#pragma once
+
+#include "graph/graph.h"
+#include "models/common.h"
+#include "models/detection.h"
+
+namespace mlpm::models {
+
+// A detection model is the graph plus the anchor grid its outputs are
+// relative to.  Graph outputs: [num_anchors,4] box deltas, then
+// [num_anchors,num_classes] class logits.
+struct DetectionModel {
+  graph::Graph graph;
+  AnchorSet anchors;
+  std::int64_t num_classes = 0;
+  std::int64_t input_size = 0;
+};
+
+[[nodiscard]] DetectionModel BuildSsdMobileNetV2(ModelScale scale);
+[[nodiscard]] DetectionModel BuildMobileDetSsd(ModelScale scale);
+
+}  // namespace mlpm::models

@@ -1,0 +1,66 @@
+#include "models/superres.h"
+
+#include <string>
+
+namespace mlpm::models {
+
+using graph::Activation;
+using graph::GraphBuilder;
+using graph::TensorId;
+
+SuperResConfig MiniSuperResConfig() {
+  SuperResConfig c;
+  c.lr_size = 16;
+  c.channels = 12;
+  c.residual_blocks = 3;
+  return c;
+}
+
+graph::Graph BuildSuperResolution(ModelScale scale) {
+  return BuildSuperResolution(scale == ModelScale::kFull
+                                  ? SuperResConfig{}
+                                  : MiniSuperResConfig());
+}
+
+graph::Graph BuildSuperResolution(const SuperResConfig& cfg) {
+  Expects(cfg.upscale == 2, "only 2x upscaling is implemented");
+  GraphBuilder b("superres_edsr");
+  TensorId input = b.Input("lr_image", {1, cfg.lr_size, cfg.lr_size, 3});
+
+  TensorId x = b.Conv2d(input, cfg.channels, 3, 1, Activation::kNone,
+                        graph::Padding::kSame, 1, "feat");
+  const TensorId skip = x;
+  for (int i = 0; i < cfg.residual_blocks; ++i) {
+    const std::string p = "res" + std::to_string(i);
+    TensorId y = b.Conv2d(x, cfg.channels, 3, 1, Activation::kRelu,
+                          graph::Padding::kSame, 1, p + "/a");
+    y = b.Conv2d(y, cfg.channels, 3, 1, Activation::kNone,
+                 graph::Padding::kSame, 1, p + "/b");
+    x = b.Add(x, y, p + "/add");
+  }
+  x = b.Add(x, skip, "global_skip");
+
+  // Upsample in feature space, then reconstruct; finally add the bilinear
+  // upsample of the input so the network only learns the residual detail.
+  x = b.ResizeBilinear(x, cfg.lr_size * 2, cfg.lr_size * 2, "up");
+  x = b.Conv2d(x, cfg.channels, 3, 1, Activation::kRelu,
+               graph::Padding::kSame, 1, "up_conv");
+  x = b.Conv2d(x, 3, 3, 1, Activation::kNone, graph::Padding::kSame, 1,
+               "reconstruct");
+  const TensorId base =
+      b.ResizeBilinear(input, cfg.lr_size * 2, cfg.lr_size * 2, "base_up");
+  x = b.Add(x, base, "residual_out");
+  b.MarkOutput(x);
+  return std::move(b).Build();
+}
+
+infer::WeightStore InitializeSuperResWeights(const graph::Graph& g,
+                                             std::uint64_t seed) {
+  infer::WeightStore w = infer::InitializeWeights(g, seed);
+  infer::Tensor rec = w.Get("reconstruct/w");
+  for (auto& v : rec.values()) v *= 0.02f;
+  w.Put("reconstruct/w", std::move(rec));
+  return w;
+}
+
+}  // namespace mlpm::models

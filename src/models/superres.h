@@ -1,0 +1,37 @@
+// Super-resolution prototype (paper App. E: super-resolution is named as an
+// important evolving use case that was left out of the initial suite
+// because model versions and metrics had not stabilized).
+//
+// EDSR-style residual CNN: feature conv, K residual blocks, bilinear x2
+// upsample, reconstruction conv.  Unlike the classification-family tasks,
+// SR needs no teacher labels — the ground truth is the original
+// high-resolution image the input was downsampled from.
+#pragma once
+
+#include "graph/graph.h"
+#include "infer/weights.h"
+#include "models/common.h"
+
+namespace mlpm::models {
+
+struct SuperResConfig {
+  std::int64_t lr_size = 240;    // low-resolution input side
+  std::int64_t channels = 32;
+  int residual_blocks = 8;
+  int upscale = 2;               // only 2x is implemented
+};
+
+[[nodiscard]] SuperResConfig MiniSuperResConfig();
+
+// Input: [1, lr, lr, 3] in [0,1].  Output: [1, 2*lr, 2*lr, 3].
+[[nodiscard]] graph::Graph BuildSuperResolution(ModelScale scale);
+[[nodiscard]] graph::Graph BuildSuperResolution(const SuperResConfig& cfg);
+
+// Prototype initialization: frozen seeded weights with the residual
+// reconstruction branch damped, so the untrained network behaves like
+// "bilinear + small learned detail" (an EDSR-style model is initialized
+// near the identity residual for exactly this reason).
+[[nodiscard]] infer::WeightStore InitializeSuperResWeights(
+    const graph::Graph& g, std::uint64_t seed);
+
+}  // namespace mlpm::models

@@ -1,0 +1,55 @@
+#include "models/zoo.h"
+
+#include "models/deeplab.h"
+#include "models/mobilebert.h"
+#include "models/mobilenet_edgetpu.h"
+#include "models/ssd.h"
+
+namespace mlpm::models {
+
+std::vector<BenchmarkEntry> SuiteFor(SuiteVersion v) {
+  std::vector<BenchmarkEntry> suite;
+  suite.push_back(BenchmarkEntry{
+      "image_classification", TaskType::kImageClassification,
+      "MobileNetEdgeTPU", "ImageNet 2012", "Top-1", 224,
+      /*quality_target=*/0.98, /*fp32=*/0.7619, /*params=*/4'000'000});
+  if (v == SuiteVersion::kV0_7) {
+    suite.push_back(BenchmarkEntry{
+        "object_detection", TaskType::kObjectDetection, "SSD-MobileNet v2",
+        "COCO 2017", "mAP", 300,
+        /*quality_target=*/0.93, /*fp32=*/0.244, /*params=*/17'000'000});
+  } else {
+    suite.push_back(BenchmarkEntry{
+        "object_detection", TaskType::kObjectDetection, "MobileDET-SSD",
+        "COCO 2017", "mAP", 320,
+        /*quality_target=*/0.95, /*fp32=*/0.285, /*params=*/4'000'000});
+  }
+  suite.push_back(BenchmarkEntry{
+      "image_segmentation", TaskType::kImageSegmentation,
+      "DeepLab v3+ (MobileNet v2)", "ADE20K (32 classes)", "mIoU", 512,
+      /*quality_target=*/0.97, /*fp32=*/0.548, /*params=*/2'000'000});
+  suite.push_back(BenchmarkEntry{
+      "question_answering", TaskType::kQuestionAnswering, "MobileBERT",
+      "Mini SQuAD v1.1 dev", "F1", 384,
+      /*quality_target=*/0.93, /*fp32=*/0.9398, /*params=*/25'000'000});
+  return suite;
+}
+
+graph::Graph BuildReferenceGraph(const BenchmarkEntry& e, SuiteVersion v,
+                                 ModelScale scale) {
+  switch (e.task) {
+    case TaskType::kImageClassification:
+      return BuildMobileNetEdgeTpu(scale);
+    case TaskType::kObjectDetection:
+      return v == SuiteVersion::kV0_7 ? BuildSsdMobileNetV2(scale).graph
+                                      : BuildMobileDetSsd(scale).graph;
+    case TaskType::kImageSegmentation:
+      return BuildDeepLabV3Plus(scale);
+    case TaskType::kQuestionAnswering:
+      return BuildMobileBert(scale);
+  }
+  Expects(false, "unknown task");
+  return BuildMobileNetEdgeTpu(scale);  // unreachable
+}
+
+}  // namespace mlpm::models

@@ -1,0 +1,48 @@
+// The benchmark suite registry: Table 1 of the paper as data.
+//
+// Each entry binds a task to its reference model, data set, input
+// resolution, quality metric and minimum quality target (a fraction of the
+// FP32 score — accuracy comes first in MLPerf, performance is only valid
+// above the threshold).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "models/common.h"
+
+namespace mlpm::models {
+
+// Benchmark suite versions covered by the paper.
+enum class SuiteVersion : std::uint8_t { kV0_7, kV1_0 };
+
+[[nodiscard]] constexpr std::string_view ToString(SuiteVersion v) {
+  return v == SuiteVersion::kV0_7 ? "v0.7" : "v1.0";
+}
+
+struct BenchmarkEntry {
+  std::string id;             // stable identifier, e.g. "image_classification"
+  TaskType task;
+  std::string model_name;     // e.g. "MobileNetEdgeTPU"
+  std::string dataset_name;   // e.g. "ImageNet 2012"
+  std::string metric_name;    // "Top-1" / "mAP" / "mIoU" / "F1"
+  std::int64_t input_size;    // square image side, or sequence length
+  double quality_target;      // min fraction of FP32 score (e.g. 0.98)
+  double fp32_reference_score;  // the paper's published FP32 score
+  std::int64_t approx_params;   // Table 1 parameter count
+};
+
+// The suite for a given version.  v1.0 swaps SSD-MobileNet v2 for
+// MobileDet-SSD with a tighter target (93% -> 95%) and 320x320 input.
+[[nodiscard]] std::vector<BenchmarkEntry> SuiteFor(SuiteVersion v);
+
+// Builds the reference graph for a suite entry at the requested scale.
+// Detection entries return only the graph here; use BuildSsdMobileNetV2 /
+// BuildMobileDetSsd directly when the anchor set is needed.
+[[nodiscard]] graph::Graph BuildReferenceGraph(const BenchmarkEntry& e,
+                                               SuiteVersion v,
+                                               ModelScale scale);
+
+}  // namespace mlpm::models

@@ -1,0 +1,34 @@
+#include "quant/rules.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mlpm::quant {
+
+LegalityReport CheckModelEquivalence(const graph::Graph& reference,
+                                     const graph::Graph& submitted) {
+  LegalityReport r;
+  if (reference.nodes().size() != submitted.nodes().size())
+    r.Violate("node count differs from frozen reference (" +
+              std::to_string(reference.nodes().size()) + " vs " +
+              std::to_string(submitted.nodes().size()) + ")");
+  if (reference.ParameterCount() != submitted.ParameterCount())
+    r.Violate("parameter count differs from frozen reference");
+  if (reference.StructuralFingerprint() != submitted.StructuralFingerprint())
+    r.Violate("structural fingerprint mismatch (pruning / op substitution)");
+  return r;
+}
+
+LegalityReport CheckCalibrationSet(std::span<const std::size_t> approved,
+                                   std::span<const std::size_t> used) {
+  LegalityReport r;
+  const std::unordered_set<std::size_t> ok(approved.begin(), approved.end());
+  for (std::size_t idx : used) {
+    if (!ok.contains(idx))
+      r.Violate("calibration sample " + std::to_string(idx) +
+                " is not in the approved calibration set");
+  }
+  return r;
+}
+
+}  // namespace mlpm::quant

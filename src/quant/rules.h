@@ -1,0 +1,42 @@
+// Model-equivalence and numerics legality checks (paper §5.1, §6.2).
+//
+// The run rules forbid altering model computational complexity (channel /
+// filter pruning, weight skipping) and forbid quantization-aware retraining
+// by submitters; submissions must start from the frozen reference graph and
+// may only use the approved calibration subset.  The audit re-runs these
+// checks over submitted artifacts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mlpm::quant {
+
+struct LegalityReport {
+  bool legal = true;
+  std::vector<std::string> violations;
+
+  void Violate(std::string what) {
+    legal = false;
+    violations.push_back(std::move(what));
+  }
+};
+
+// A submitted model is legal iff its structural fingerprint matches the
+// frozen reference graph (same ops, shapes, connectivity — catches pruning
+// and weight skipping, which change shapes or drop nodes).
+[[nodiscard]] LegalityReport CheckModelEquivalence(
+    const graph::Graph& reference, const graph::Graph& submitted);
+
+// Calibration legality: every index used must come from the approved set
+// (paper: "submitters can only use the approved calibration data set",
+// typically 500 samples).
+[[nodiscard]] LegalityReport CheckCalibrationSet(
+    std::span<const std::size_t> approved,
+    std::span<const std::size_t> used);
+
+}  // namespace mlpm::quant

@@ -1,0 +1,102 @@
+// Accelerator performance descriptions (paper §2.1: a mobile SoC is a
+// heterogeneous complex of CPU clusters, GPU, DSP, NPU, APU, AIP blocks,
+// any of which can run ML work).
+//
+// Each engine is an analytical roofline: per-layer latency is
+// max(compute-time, memory-time) plus a dispatch overhead, where compute
+// throughput depends on the numerics and the op class (a DSP is superb at
+// dense INT8 conv and poor at attention; a GPU is the reverse — §7.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "graph/ops.h"
+
+namespace mlpm::soc {
+
+enum class EngineClass : std::uint8_t {
+  kCpuBig,
+  kCpuLittle,
+  kGpu,
+  kDsp,
+  kNpu,   // dedicated neural engines (Exynos NPU, MediaTek APU/MDLA)
+  kAip,   // Qualcomm AI-processing cluster (HTA + HVX)
+  kIGpu,  // laptop integrated GPU
+};
+
+[[nodiscard]] constexpr std::string_view ToString(EngineClass c) {
+  switch (c) {
+    case EngineClass::kCpuBig: return "CPU(big)";
+    case EngineClass::kCpuLittle: return "CPU(little)";
+    case EngineClass::kGpu: return "GPU";
+    case EngineClass::kDsp: return "DSP";
+    case EngineClass::kNpu: return "NPU";
+    case EngineClass::kAip: return "AIP";
+    case EngineClass::kIGpu: return "iGPU";
+  }
+  return "?";
+}
+
+// Fraction of peak throughput achieved per op class (0 disables the class
+// on this engine — the scheduler will not place such ops here).
+struct EfficiencyTable {
+  double conv_dense = 0.7;
+  double conv_depthwise = 0.35;  // bandwidth-bound on most engines
+  double gemm = 0.6;
+  double attention = 0.3;
+  double elementwise = 0.5;
+  // Extra multiplier applied to *dilated* (atrous) convolutions: most
+  // mobile accelerators lower to space-to-batch or strided gathers and run
+  // them at a fraction of the dense rate.
+  double dilated_scale = 1.0;
+
+  [[nodiscard]] double For(graph::OpClass c) const {
+    switch (c) {
+      case graph::OpClass::kConvDense: return conv_dense;
+      case graph::OpClass::kConvDepthwise: return conv_depthwise;
+      case graph::OpClass::kGemm: return gemm;
+      case graph::OpClass::kAttention: return attention;
+      case graph::OpClass::kElementwise: return elementwise;
+      case graph::OpClass::kMemory: return 1.0;  // pure data movement
+    }
+    return 0.5;
+  }
+};
+
+struct AcceleratorDesc {
+  std::string name;
+  EngineClass cls = EngineClass::kCpuBig;
+
+  // Peak arithmetic throughput in giga-MACs per second, by numerics.
+  // 0 means the format is unsupported on this engine (paper §7.5: most AI
+  // engines lack efficient non-vision / FP16 support or vice versa).
+  double peak_gmacs_int8 = 0.0;
+  double peak_gmacs_fp16 = 0.0;
+  double peak_gmacs_fp32 = 0.0;
+
+  double mem_bw_gbps = 10.0;          // effective DRAM bandwidth, GB/s
+  EfficiencyTable efficiency;
+  double per_layer_overhead_us = 1.0;  // kernel dispatch per node
+  double active_power_w = 1.0;         // while executing
+  double idle_power_w = 0.05;
+
+  [[nodiscard]] double PeakFor(DataType t) const {
+    switch (t) {
+      case DataType::kInt8:
+      case DataType::kUInt8:
+        return peak_gmacs_int8;
+      case DataType::kFloat16:
+        return peak_gmacs_fp16;
+      case DataType::kFloat32:
+      case DataType::kInt32:
+        return peak_gmacs_fp32;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] bool Supports(DataType t) const { return PeakFor(t) > 0.0; }
+};
+
+}  // namespace mlpm::soc

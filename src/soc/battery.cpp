@@ -1,0 +1,30 @@
+#include "soc/battery.h"
+
+namespace mlpm::soc {
+
+double AveragePowerWatts(const WorkloadDraw& w) {
+  Expects(w.energy_per_inference_j >= 0.0, "negative energy");
+  if (w.inferences_per_second > 0.0)
+    return w.energy_per_inference_j * w.inferences_per_second;
+  Expects(w.latency_s > 0.0,
+          "back-to-back workload needs a per-inference latency");
+  return w.energy_per_inference_j / w.latency_s;
+}
+
+double HoursOfOperation(const BatterySpec& battery, const WorkloadDraw& w) {
+  Expects(battery.capacity_wh > 0.0, "battery capacity must be positive");
+  const double total_power = AveragePowerWatts(w) + battery.baseline_power_w;
+  Expects(total_power > 0.0, "total draw must be positive");
+  return battery.capacity_wh / total_power;
+}
+
+double InferencesPerCharge(const BatterySpec& battery,
+                           const WorkloadDraw& w) {
+  const double hours = HoursOfOperation(battery, w);
+  const double rate = w.inferences_per_second > 0.0
+                          ? w.inferences_per_second
+                          : 1.0 / w.latency_s;
+  return hours * 3600.0 * rate;
+}
+
+}  // namespace mlpm::soc

@@ -1,0 +1,36 @@
+// Battery-life estimation (paper App. E: "since mobile devices are
+// battery-constrained, evaluating mobile AI's power draw is important").
+//
+// Simple energy accounting on top of the simulator's per-inference energy:
+// how long a charge sustains a given inference workload, with the rest of
+// the system drawing a baseline power.
+#pragma once
+
+#include "common/check.h"
+
+namespace mlpm::soc {
+
+struct BatterySpec {
+  double capacity_wh = 15.0;       // ~4000 mAh at 3.85 V
+  double baseline_power_w = 0.8;   // screen + radios + OS while benchmarking
+};
+
+struct WorkloadDraw {
+  double energy_per_inference_j = 0.0;
+  double inferences_per_second = 0.0;  // duty-cycled rate (0 = back-to-back)
+  double latency_s = 0.0;              // needed when running back-to-back
+};
+
+// Average power of the workload: duty-cycled at the given rate, or
+// continuous back-to-back execution when inferences_per_second == 0.
+[[nodiscard]] double AveragePowerWatts(const WorkloadDraw& w);
+
+// Hours of operation until the battery is empty under workload + baseline.
+[[nodiscard]] double HoursOfOperation(const BatterySpec& battery,
+                                      const WorkloadDraw& w);
+
+// Total inferences served on one charge.
+[[nodiscard]] double InferencesPerCharge(const BatterySpec& battery,
+                                         const WorkloadDraw& w);
+
+}  // namespace mlpm::soc

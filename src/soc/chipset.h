@@ -1,0 +1,57 @@
+// Chipset catalog: declarative descriptions of the eight systems whose
+// results the paper reports (§7.1, Appendix C).
+//
+// Chipsets are data, not code — the transparency argument of the paper
+// applied to the simulator itself.  Parameters are *sustained effective*
+// rates calibrated so the anchor numbers published in the paper (Table 3,
+// Figure 6 ratios, §7.2 offline FPS) emerge from the per-layer roofline
+// model; they are not marketing TOPS.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soc/accelerator.h"
+#include "soc/thermal.h"
+
+namespace mlpm::soc {
+
+struct ChipsetDesc {
+  std::string name;
+  std::string generation;  // benchmark round it was submitted to
+  std::vector<AcceleratorDesc> engines;
+  // Effective inter-IP-block transfer bandwidth, GB/s (Appendix C: the
+  // Exynos 2100's key win was "critical features that reduce data transfer
+  // between IP blocks").
+  double interconnect_gbps = 8.0;
+  double tdp_w = 3.0;  // smartphone thermal ceiling (Appendix E)
+  ThermalParams thermal;
+
+  [[nodiscard]] const AcceleratorDesc& Engine(std::string_view name) const;
+  [[nodiscard]] bool HasEngine(std::string_view name) const;
+};
+
+// v0.7 submission round (paper Figure 7 / Table 2).
+[[nodiscard]] ChipsetDesc Dimensity820();
+[[nodiscard]] ChipsetDesc Exynos990();
+[[nodiscard]] ChipsetDesc Snapdragon865Plus();
+[[nodiscard]] ChipsetDesc CoreI7_1165G7();
+
+// v1.0 submission round (paper Figure 6 / Table 3, Appendix C).
+[[nodiscard]] ChipsetDesc Dimensity1100();
+[[nodiscard]] ChipsetDesc Exynos2100();
+[[nodiscard]] ChipsetDesc Snapdragon888();
+[[nodiscard]] ChipsetDesc CoreI7_11375H();
+
+// iOS support extension (paper App. E: "Apple's iOS is a major
+// AI-performance player... we expect results in the near future").  Not
+// part of either published round's catalog; exercised by the extension
+// benches and the rolling-submission flow.
+[[nodiscard]] ChipsetDesc AppleA14();
+
+// All chipsets of one round, smartphone-only or including laptops.
+[[nodiscard]] std::vector<ChipsetDesc> CatalogV07();
+[[nodiscard]] std::vector<ChipsetDesc> CatalogV10();
+
+}  // namespace mlpm::soc

@@ -1,0 +1,74 @@
+#include "soc/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlpm::soc {
+
+SocSimulator::SocSimulator(ChipsetDesc chipset)
+    : chipset_(std::move(chipset)), thermal_(chipset_.thermal) {}
+
+InferenceResult SocSimulator::RunInference(const CompiledModel& model) {
+  InferenceResult r;
+  r.throttle_factor = thermal_.ThrottleFactor();
+  r.latency_s = model.LatencySeconds(r.throttle_factor);
+  r.energy_j = model.EnergyJoules();
+  // Power is capped by the chipset TDP (Appendix E: ~3 W ceiling); the cap
+  // manifests as extra heat-limited time already captured by throttling, so
+  // here it only bounds the dissipation fed to the thermal mass.
+  const double power =
+      std::min(model.AveragePowerWatts(), chipset_.tdp_w);
+  thermal_.Step(power, r.latency_s);
+  r.temperature_c = thermal_.temperature_c();
+  return r;
+}
+
+BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
+                                   std::size_t sample_count,
+                                   const BatchOptions& options) {
+  Expects(!replicas.empty(), "batch needs at least one replica");
+  Expects(sample_count > 0, "batch needs at least one sample");
+
+  BatchResult r;
+  r.completion_times_s.reserve(sample_count);
+
+  // Concurrent power of all replicas, TDP-capped.
+  double raw_power = 0.0;
+  for (const auto& m : replicas) raw_power += m.AveragePowerWatts();
+  const double power = std::min(raw_power, chipset_.tdp_w);
+
+  double now = 0.0;
+  double produced = 0.0;  // fractional samples completed so far
+  std::size_t emitted = 0;
+  while (emitted < sample_count) {
+    const double throttle = thermal_.ThrottleFactor();
+    double rate = 0.0;  // samples per second across all replicas
+    for (const auto& m : replicas) {
+      const double t = m.LatencySeconds(throttle, options.dispatch_scale) -
+                       m.overheads.per_inference_s *
+                           (1.0 - options.per_inference_overhead_scale);
+      Ensures(t > 0.0, "non-positive batched latency");
+      rate += options.batched_efficiency_gain / t;
+    }
+    const double remaining = static_cast<double>(sample_count) - produced;
+    const double dt = std::min(options.step_s, remaining / rate);
+    const double before = produced;
+    produced += rate * dt;
+    // Emit completion timestamps for the integer completions in this step.
+    while (emitted < sample_count &&
+           static_cast<double>(emitted + 1) <= produced + 1e-9) {
+      const double frac =
+          (static_cast<double>(emitted + 1) - before) / (produced - before);
+      r.completion_times_s.push_back(now + frac * dt);
+      ++emitted;
+    }
+    now += dt;
+    thermal_.Step(power, dt);
+    r.energy_j += power * dt;
+  }
+  r.makespan_s = r.completion_times_s.back();
+  r.final_temperature_c = thermal_.temperature_c();
+  return r;
+}
+
+}  // namespace mlpm::soc

@@ -1,0 +1,70 @@
+// The SoC simulator: executes compiled models against a chipset's thermal
+// state, in single-stream (one inference at a time) or offline batch mode
+// with accelerator-level parallelism (paper §7.3: vendors run multiple
+// accelerators concurrently to maximize offline throughput).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "soc/chipset.h"
+#include "soc/compile.h"
+#include "soc/thermal.h"
+
+namespace mlpm::soc {
+
+struct InferenceResult {
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+  double throttle_factor = 1.0;  // at the start of the inference
+  double temperature_c = 0.0;    // at the end of the inference
+};
+
+struct BatchOptions {
+  // Offline batches amortize kernel dispatch (larger effective batch per
+  // accelerator command) and runtime dispatch.
+  double dispatch_scale = 0.25;
+  double per_inference_overhead_scale = 0.1;
+  // Utilization gain from large effective batches (weights stay staged,
+  // pipelines stay full); multiplies each replica's throughput.
+  double batched_efficiency_gain = 1.28;
+  // Thermal integration step for long batch runs.
+  double step_s = 0.25;
+};
+
+struct BatchResult {
+  double makespan_s = 0.0;
+  double energy_j = 0.0;
+  // Completion time of each sample (monotonic), length == sample_count.
+  std::vector<double> completion_times_s;
+  double final_temperature_c = 0.0;
+};
+
+class SocSimulator {
+ public:
+  explicit SocSimulator(ChipsetDesc chipset);
+
+  // Runs one single-stream inference; advances the thermal state.
+  InferenceResult RunInference(const CompiledModel& model);
+
+  // Runs `sample_count` samples split across the given replicas with
+  // data-parallel ALP: each replica consumes samples at its own throughput
+  // and all run concurrently.  Replicas are typically one per engine
+  // (e.g. Exynos: NPU replica + CPU replica; Snapdragon: HTA + HVX).
+  BatchResult RunBatch(std::span<const CompiledModel> replicas,
+                       std::size_t sample_count,
+                       const BatchOptions& options = {});
+
+  // Cooldown interval between tests (run rules §6.1: 0-5 minutes).
+  void Cooldown(double seconds) { thermal_.Cool(seconds); }
+
+  [[nodiscard]] const ThermalModel& thermal() const { return thermal_; }
+  [[nodiscard]] const ChipsetDesc& chipset() const { return chipset_; }
+  void ResetThermal() { thermal_.Reset(); }
+
+ private:
+  ChipsetDesc chipset_;
+  ThermalModel thermal_;
+};
+
+}  // namespace mlpm::soc

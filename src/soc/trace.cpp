@@ -1,0 +1,86 @@
+#include "soc/trace.h"
+
+#include <map>
+#include <sstream>
+
+namespace mlpm::soc {
+
+void ExecutionTrace::Add(TraceEvent event) {
+  Expects(event.duration_s >= 0.0, "negative trace duration");
+  events_.push_back(std::move(event));
+}
+
+double ExecutionTrace::TotalDuration() const {
+  double end = 0.0;
+  for (const TraceEvent& e : events_)
+    end = std::max(end, e.begin_s + e.duration_s);
+  return end;
+}
+
+std::string ExecutionTrace::ToChromeJson() const {
+  // Stable tid per lane.
+  std::map<std::string, int> lanes;
+  for (const TraceEvent& e : events_)
+    lanes.try_emplace(e.lane, static_cast<int>(lanes.size()) + 1);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [lane, tid] : lanes) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << lane
+       << "\"}}";
+  }
+  for (const TraceEvent& e : events_) {
+    os << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << lanes.at(e.lane)
+       << ",\"name\":\"" << e.name << "\",\"ts\":" << e.begin_s * 1e6
+       << ",\"dur\":" << e.duration_s * 1e6 << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+ExecutionTrace TraceInference(const CompiledModel& model,
+                              const ChipsetDesc& chipset,
+                              double throttle_factor, double t0_s) {
+  Expects(throttle_factor > 0.0 && throttle_factor <= 1.0,
+          "throttle factor must be in (0,1]");
+  ExecutionTrace trace;
+  double t = t0_s;
+  if (model.overheads.per_inference_s > 0.0) {
+    trace.Add(TraceEvent{"runtime dispatch", "runtime", t,
+                         model.overheads.per_inference_s});
+    t += model.overheads.per_inference_s;
+  }
+  for (std::size_t i = 0; i < model.segments.size(); ++i) {
+    const CompiledSegment& seg = model.segments[i];
+    const std::string& engine =
+        chipset.engines[seg.engine_index].name;
+    const double dur =
+        seg.roofline_s / throttle_factor + seg.dispatch_s;
+    trace.Add(TraceEvent{"segment " + std::to_string(i), engine, t, dur});
+    t += dur;
+    if (i + 1 < model.segments.size()) {
+      if (model.overheads.per_partition_sync_s > 0.0) {
+        trace.Add(TraceEvent{"partition sync", "runtime", t,
+                             model.overheads.per_partition_sync_s});
+        t += model.overheads.per_partition_sync_s;
+      }
+      const bool engine_change =
+          model.segments[i + 1].engine_index != seg.engine_index;
+      if (model.overheads.copy_boundary_tensors || engine_change) {
+        const double copy =
+            seg.boundary_bytes / (model.interconnect_gbps * 1e9);
+        if (copy > 0.0) {
+          trace.Add(TraceEvent{"tensor transfer", "interconnect", t, copy});
+          t += copy;
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace mlpm::soc

@@ -1,0 +1,46 @@
+// Execution traces of simulated inferences, exportable as Chrome trace JSON
+// (chrome://tracing / Perfetto).  The transparency artifact for the
+// simulator itself: one lane per engine plus an interconnect lane, so the
+// Exynos-990-style transfer pathologies are literally visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/chipset.h"
+#include "soc/compile.h"
+
+namespace mlpm::soc {
+
+struct TraceEvent {
+  std::string name;   // segment / transfer label
+  std::string lane;   // engine name or "interconnect"
+  double begin_s = 0.0;
+  double duration_s = 0.0;
+};
+
+class ExecutionTrace {
+ public:
+  void Add(TraceEvent event);
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] double TotalDuration() const;
+
+  // Chrome trace-event JSON ("traceEvents" array of complete events; one
+  // tid per lane; microsecond timestamps).
+  [[nodiscard]] std::string ToChromeJson() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Expands one single-stream inference of a compiled model into a trace
+// starting at `t0_s` under the given throttle factor.  The trace's end time
+// equals CompiledModel::LatencySeconds(throttle) + t0_s.
+[[nodiscard]] ExecutionTrace TraceInference(const CompiledModel& model,
+                                            const ChipsetDesc& chipset,
+                                            double throttle_factor = 1.0,
+                                            double t0_s = 0.0);
+
+}  // namespace mlpm::soc

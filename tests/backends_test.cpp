@@ -1,0 +1,296 @@
+// Tests for framework traits, the Table 2 vendor policies, and the
+// simulated backend's LoadGen integration.
+#include <gtest/gtest.h>
+
+#include "backends/dummy_backend.h"
+#include "backends/framework.h"
+#include "backends/simulated_backend.h"
+#include "backends/vendor_policy.h"
+#include "core/loadgen.h"
+#include "models/mobilenet_edgetpu.h"
+#include "models/zoo.h"
+
+namespace mlpm::backends {
+namespace {
+
+TEST(Framework, VendorSdkIsDirect) {
+  const FrameworkTraits t = VendorSdkTraits("SNPE");
+  EXPECT_EQ(t.kind, FrameworkKind::kVendorSdk);
+  EXPECT_EQ(t.force_partition_every, 0);
+  EXPECT_FALSE(t.copies_boundary_tensors);
+  EXPECT_TRUE(t.multi_accelerator_offline);
+  EXPECT_EQ(t.cpu_fallback_fraction, 0.0);
+}
+
+TEST(Framework, NnapiHasHalCosts) {
+  const FrameworkTraits t = NnapiTraits("neuron-ann");
+  EXPECT_EQ(t.kind, FrameworkKind::kNnapi);
+  EXPECT_GT(t.force_partition_every, 0);
+  EXPECT_TRUE(t.copies_boundary_tensors);
+  EXPECT_FALSE(t.multi_accelerator_offline);
+  EXPECT_GT(t.per_partition_sync_us, VendorSdkTraits("x").per_partition_sync_us);
+}
+
+TEST(Framework, BuggyNnapiAddsFallback) {
+  const FrameworkTraits t = NnapiBuggyTraits("default", 0.2);
+  EXPECT_DOUBLE_EQ(t.cpu_fallback_fraction, 0.2);
+  EXPECT_NE(t.name.find("buggy"), std::string::npos);
+}
+
+TEST(Framework, OverheadConversion) {
+  FrameworkTraits t = VendorSdkTraits("ENN");
+  t.per_inference_overhead_us = 100.0;
+  const soc::RuntimeOverheads o = t.ToOverheads();
+  EXPECT_DOUBLE_EQ(o.per_inference_s, 1e-4);
+}
+
+// ---- vendor policies (Table 2 as data) ----
+
+TEST(VendorPolicy, Table2NumericsShape) {
+  // Vision: UINT8/INT8; NLP: FP16 on phones, INT8 on laptops (§7.5, §7.4).
+  for (const auto version :
+       {models::SuiteVersion::kV0_7, models::SuiteVersion::kV1_0}) {
+    const auto catalog = version == models::SuiteVersion::kV0_7
+                             ? soc::CatalogV07()
+                             : soc::CatalogV10();
+    for (const soc::ChipsetDesc& chip : catalog) {
+      const bool laptop = chip.name.starts_with("Core i7");
+      for (const auto& e : models::SuiteFor(version)) {
+        const SubmissionConfig s = GetSubmission(chip, e.task, version);
+        if (e.task == models::TaskType::kQuestionAnswering && !laptop) {
+          EXPECT_EQ(s.numerics, DataType::kFloat16) << chip.name;
+        } else {
+          EXPECT_TRUE(IsQuantized(s.numerics)) << chip.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(VendorPolicy, FrameworkLabelsMatchTable2) {
+  const auto v07 = models::SuiteVersion::kV0_7;
+  EXPECT_EQ(GetSubmission(soc::Exynos990(),
+                          models::TaskType::kImageClassification, v07)
+                .framework.name,
+            "ENN");
+  EXPECT_EQ(GetSubmission(soc::Snapdragon865Plus(),
+                          models::TaskType::kObjectDetection, v07)
+                .framework.name,
+            "SNPE");
+  EXPECT_EQ(GetSubmission(soc::CoreI7_1165G7(),
+                          models::TaskType::kImageSegmentation, v07)
+                .framework.name,
+            "OpenVINO");
+  // MediaTek v0.7 went through NNAPI with the neuron-ann driver.
+  EXPECT_NE(GetSubmission(soc::Dimensity820(),
+                          models::TaskType::kImageClassification, v07)
+                .framework.name.find("NNAPI"),
+            std::string::npos);
+}
+
+TEST(VendorPolicy, MediaTekSwitchesToNeuronInV10) {
+  const SubmissionConfig s =
+      GetSubmission(soc::Dimensity1100(),
+                    models::TaskType::kImageClassification,
+                    models::SuiteVersion::kV1_0);
+  EXPECT_EQ(s.framework.kind, FrameworkKind::kVendorSdk);
+  EXPECT_NE(s.framework.name.find("Neuron"), std::string::npos);
+}
+
+TEST(VendorPolicy, OfflineSubmissionsUseAlp) {
+  const auto v07 = models::SuiteVersion::kV0_7;
+  // Exynos: NPU+CPU; Snapdragon: HTA+HVX; Intel: CPU+iGPU (Table 2).
+  const SubmissionConfig ex = GetSubmission(
+      soc::Exynos990(), models::TaskType::kImageClassification, v07);
+  ASSERT_EQ(ex.offline_replicas.size(), 2u);
+  EXPECT_EQ(ex.offline_replicas[0].engines.front(), "npu");
+  EXPECT_EQ(ex.offline_replicas[1].engines.front(), "cpu");
+
+  const SubmissionConfig sd = GetSubmission(
+      soc::Snapdragon865Plus(), models::TaskType::kImageClassification, v07);
+  ASSERT_EQ(sd.offline_replicas.size(), 2u);
+  EXPECT_EQ(sd.offline_replicas[0].engines.front(), "hta");
+  EXPECT_EQ(sd.offline_replicas[1].engines.front(), "hvx");
+
+  const SubmissionConfig in = GetSubmission(
+      soc::CoreI7_1165G7(), models::TaskType::kImageClassification, v07);
+  ASSERT_EQ(in.offline_replicas.size(), 2u);
+}
+
+TEST(VendorPolicy, MediaTekDidNotSubmitOffline) {
+  const SubmissionConfig s = GetSubmission(
+      soc::Dimensity820(), models::TaskType::kImageClassification,
+      models::SuiteVersion::kV0_7);
+  EXPECT_TRUE(s.offline_replicas.empty());
+}
+
+TEST(VendorPolicy, ExynosSegmentationBouncesBetweenIpBlocks) {
+  const SubmissionConfig v07 = GetSubmission(
+      soc::Exynos990(), models::TaskType::kImageSegmentation,
+      models::SuiteVersion::kV0_7);
+  ASSERT_EQ(v07.single_stream.engines.size(), 2u);
+  EXPECT_GT(v07.single_stream.alternate_every, 0);
+  const SubmissionConfig v10 = GetSubmission(
+      soc::Exynos2100(), models::TaskType::kImageSegmentation,
+      models::SuiteVersion::kV1_0);
+  // The 2100's scheduler partitions far more coarsely (App. C).
+  EXPECT_GT(v10.single_stream.alternate_every,
+            v07.single_stream.alternate_every);
+}
+
+TEST(VendorPolicy, IntelSingleStreamEnginesFollowModelSize) {
+  const auto v = models::SuiteVersion::kV1_0;
+  const soc::ChipsetDesc laptop = soc::CoreI7_11375H();
+  EXPECT_EQ(GetSubmission(laptop, models::TaskType::kImageClassification, v)
+                .single_stream.engines.front(),
+            "cpu");
+  EXPECT_EQ(GetSubmission(laptop, models::TaskType::kImageSegmentation, v)
+                .single_stream.engines.front(),
+            "igpu");
+  EXPECT_EQ(GetSubmission(laptop, models::TaskType::kQuestionAnswering, v)
+                .single_stream.engines.front(),
+            "igpu");
+}
+
+TEST(VendorPolicy, UnknownChipsetRejected) {
+  soc::ChipsetDesc fake;
+  fake.name = "Mystery SoC";
+  EXPECT_THROW((void)GetSubmission(fake,
+                                   models::TaskType::kImageClassification,
+                                   models::SuiteVersion::kV1_0),
+               CheckError);
+}
+
+TEST(VendorPolicy, NnapiOfflineCannotUseMultipleAccelerators) {
+  // With an NNAPI framework, only the primary offline replica runs (§7.4:
+  // NNAPI cannot drive multi-MDLA / multiple accelerators).
+  const soc::ChipsetDesc chip = soc::Exynos990();
+  SubmissionConfig s = GetSubmission(
+      chip, models::TaskType::kImageClassification,
+      models::SuiteVersion::kV0_7);
+  s.framework = NnapiTraits("generic");
+  const graph::Graph model = models::BuildMobileNetEdgeTpu(
+      models::ModelScale::kFull);
+  EXPECT_EQ(CompileOfflineReplicas(chip, s, model).size(), 1u);
+  s.framework = VendorSdkTraits("ENN");
+  EXPECT_EQ(CompileOfflineReplicas(chip, s, model).size(), 2u);
+}
+
+
+TEST(DummyBackend, SatisfiesTheSutProtocol) {
+  // The submitter skeleton (paper §4.1) must pass the LoadGen's protocol
+  // checks even though it computes nothing.
+  backends::DummyBackend dummy("ExampleVendor");
+  EXPECT_NE(dummy.name().find("ExampleVendor"), std::string::npos);
+  struct Sink final : loadgen::ResponseSink {
+    void Complete(loadgen::QuerySampleResponse r) override {
+      ids.push_back(r.id);
+    }
+    std::vector<std::uint64_t> ids;
+  } sink;
+  std::vector<loadgen::QuerySample> q{{1, 0}, {2, 1}, {3, 0}};
+  dummy.IssueQuery(q, sink);
+  EXPECT_EQ(sink.ids.size(), 3u);
+  EXPECT_EQ(dummy.queries_answered(), 3u);
+}
+
+// ---- simulated backend ----
+
+TEST(SimulatedBackend, SingleQueryAdvancesClockByLatency) {
+  const soc::ChipsetDesc chip = soc::Dimensity1100();
+  const SubmissionConfig sub = GetSubmission(
+      chip, models::TaskType::kImageClassification,
+      models::SuiteVersion::kV1_0);
+  const graph::Graph model =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kFull);
+  loadgen::VirtualClock clock;
+  SimulatedBackend sut("test", soc::SocSimulator(chip),
+                       CompileSubmission(chip, sub, model), {}, clock);
+
+  struct Sink final : loadgen::ResponseSink {
+    void Complete(loadgen::QuerySampleResponse r) override {
+      ids.push_back(r.id);
+    }
+    std::vector<std::uint64_t> ids;
+  } sink;
+
+  const loadgen::QuerySample q{42, 0};
+  sut.IssueQuery({&q, 1}, sink);
+  ASSERT_EQ(sink.ids.size(), 1u);
+  EXPECT_EQ(sink.ids[0], 42u);
+  EXPECT_NEAR(clock.Now().count(), 2.23e-3, 0.15e-3);
+  EXPECT_GT(sut.total_energy_j(), 0.0);
+}
+
+TEST(SimulatedBackend, EndToEndCostsExtendLatency) {
+  const soc::ChipsetDesc chip = soc::Dimensity1100();
+  const SubmissionConfig sub = GetSubmission(
+      chip, models::TaskType::kImageClassification,
+      models::SuiteVersion::kV1_0);
+  const graph::Graph model =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kFull);
+
+  EndToEndCosts e2e;
+  e2e.preprocess_s = 1e-3;
+  e2e.postprocess_s = 5e-4;
+
+  loadgen::VirtualClock plain_clock, e2e_clock;
+  SimulatedBackend plain("p", soc::SocSimulator(chip),
+                         CompileSubmission(chip, sub, model), {},
+                         plain_clock);
+  SimulatedBackend with_tax("e", soc::SocSimulator(chip),
+                            CompileSubmission(chip, sub, model), {},
+                            e2e_clock, e2e);
+  struct Sink final : loadgen::ResponseSink {
+    void Complete(loadgen::QuerySampleResponse) override {}
+  } sink;
+  const loadgen::QuerySample q{1, 0};
+  plain.IssueQuery({&q, 1}, sink);
+  with_tax.IssueQuery({&q, 1}, sink);
+  EXPECT_NEAR(e2e_clock.Now().count() - plain_clock.Now().count(), 1.5e-3,
+              1e-6);
+}
+
+TEST(SimulatedBackend, BurstCompletesAllSamplesMonotonically) {
+  const soc::ChipsetDesc chip = soc::Exynos990();
+  const SubmissionConfig sub = GetSubmission(
+      chip, models::TaskType::kImageClassification,
+      models::SuiteVersion::kV0_7);
+  const graph::Graph model =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kFull);
+  loadgen::VirtualClock clock;
+  SimulatedBackend sut("test", soc::SocSimulator(chip),
+                       CompileSubmission(chip, sub, model),
+                       CompileOfflineReplicas(chip, sub, model), clock);
+  struct Sink final : loadgen::ResponseSink {
+    void Complete(loadgen::QuerySampleResponse r) override {
+      ids.push_back(r.id);
+    }
+    std::vector<std::uint64_t> ids;
+  } sink;
+  std::vector<loadgen::QuerySample> burst;
+  for (std::uint64_t i = 0; i < 512; ++i)
+    burst.push_back(loadgen::QuerySample{i + 1, 0});
+  sut.IssueQuery(burst, sink);
+  EXPECT_EQ(sink.ids.size(), 512u);
+  EXPECT_GT(clock.Now().count(), 0.0);
+}
+
+TEST(SimulatedBackend, EmptyQueryRejected) {
+  const soc::ChipsetDesc chip = soc::Dimensity1100();
+  const SubmissionConfig sub = GetSubmission(
+      chip, models::TaskType::kImageClassification,
+      models::SuiteVersion::kV1_0);
+  const graph::Graph model =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kFull);
+  loadgen::VirtualClock clock;
+  SimulatedBackend sut("test", soc::SocSimulator(chip),
+                       CompileSubmission(chip, sub, model), {}, clock);
+  struct Sink final : loadgen::ResponseSink {
+    void Complete(loadgen::QuerySampleResponse) override {}
+  } sink;
+  EXPECT_THROW(sut.IssueQuery({}, sink), CheckError);
+}
+
+}  // namespace
+}  // namespace mlpm::backends

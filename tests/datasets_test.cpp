@@ -1,0 +1,327 @@
+// Tests for the synthetic data sets: determinism, teacher-label
+// construction, preprocessing, and calibration-set machinery.
+#include <gtest/gtest.h>
+
+#include "datasets/calibration_set.h"
+#include "datasets/classification_dataset.h"
+#include "datasets/detection_dataset.h"
+#include "datasets/preprocess.h"
+#include "datasets/qa_dataset.h"
+#include "datasets/segmentation_dataset.h"
+#include "datasets/synthetic_image.h"
+#include "infer/executor.h"
+#include "models/deeplab.h"
+#include "models/mobilebert.h"
+#include "models/mobilenet_edgetpu.h"
+#include "models/ssd.h"
+
+namespace mlpm::datasets {
+namespace {
+
+// ---- synthetic images ----
+
+TEST(SyntheticImage, DeterministicInSeedAndIndex) {
+  SyntheticImageConfig cfg;
+  cfg.height = cfg.width = 16;
+  const infer::Tensor a = GenerateImage(cfg, 1, 5);
+  const infer::Tensor b = GenerateImage(cfg, 1, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(SyntheticImage, DifferentIndicesDiffer) {
+  SyntheticImageConfig cfg;
+  cfg.height = cfg.width = 16;
+  const infer::Tensor a = GenerateImage(cfg, 1, 5);
+  const infer::Tensor b = GenerateImage(cfg, 1, 6);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.data()[i] != b.data()[i]) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(SyntheticImage, PixelsInUnitRange) {
+  SyntheticImageConfig cfg;
+  cfg.height = cfg.width = 24;
+  const infer::Tensor img = GenerateImage(cfg, 3, 0);
+  for (float v : img.values()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SyntheticImage, HasLowFrequencyStructure) {
+  // Adjacent pixels should correlate far more than distant ones.
+  SyntheticImageConfig cfg;
+  cfg.height = cfg.width = 32;
+  cfg.noise_level = 0.02f;
+  const infer::Tensor img = GenerateImage(cfg, 3, 1);
+  double adj_diff = 0.0, far_diff = 0.0;
+  const auto px = [&](std::int64_t y, std::int64_t x) {
+    return img.data()[(y * 32 + x) * 3];
+  };
+  for (int y = 0; y < 31; ++y) {
+    adj_diff += std::abs(px(y, 5) - px(y + 1, 5));
+    far_diff += std::abs(px(y, 2) - px(31 - y, 29));
+  }
+  EXPECT_LT(adj_diff, far_diff);
+}
+
+// ---- preprocessing ----
+
+TEST(Preprocess, ResizePreservesConstantField) {
+  infer::Tensor img(graph::TensorShape({1, 8, 8, 3}));
+  for (auto& v : img.values()) v = 0.25f;
+  const infer::Tensor out = ResizeBilinear(img, 5, 13);
+  EXPECT_EQ(out.shape(), graph::TensorShape({1, 5, 13, 3}));
+  for (float v : out.values()) EXPECT_NEAR(v, 0.25f, 1e-6f);
+}
+
+TEST(Preprocess, CenterCropTakesMiddle) {
+  infer::Tensor img(graph::TensorShape({1, 4, 4, 1}));
+  for (std::size_t i = 0; i < 16; ++i)
+    img.data()[i] = static_cast<float>(i);
+  const infer::Tensor out = CenterCrop(img, 2);
+  EXPECT_FLOAT_EQ(out.data()[0], 5.0f);
+  EXPECT_FLOAT_EQ(out.data()[1], 6.0f);
+  EXPECT_FLOAT_EQ(out.data()[2], 9.0f);
+  EXPECT_FLOAT_EQ(out.data()[3], 10.0f);
+}
+
+TEST(Preprocess, CenterCropRejectsUpscale) {
+  infer::Tensor img(graph::TensorShape({1, 4, 4, 1}));
+  EXPECT_THROW((void)CenterCrop(img, 5), CheckError);
+}
+
+TEST(Preprocess, NormalizeMapsUnitToSymmetric) {
+  infer::Tensor img(graph::TensorShape({1, 1, 1, 3}));
+  img.data()[0] = 0.0f;
+  img.data()[1] = 0.5f;
+  img.data()[2] = 1.0f;
+  Normalize(img, 0.5f, 0.5f);
+  EXPECT_FLOAT_EQ(img.data()[0], -1.0f);
+  EXPECT_FLOAT_EQ(img.data()[1], 0.0f);
+  EXPECT_FLOAT_EQ(img.data()[2], 1.0f);
+}
+
+TEST(Preprocess, ClassificationPipelineShapeAndRange) {
+  infer::Tensor raw(graph::TensorShape({1, 40, 40, 3}));
+  for (auto& v : raw.values()) v = 0.7f;
+  const infer::Tensor out = ClassificationPreprocess(raw, 32);
+  EXPECT_EQ(out.shape(), graph::TensorShape({1, 32, 32, 3}));
+  for (float v : out.values()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+// ---- task data sets (shared fixtures keep teacher runs cheap) ----
+
+class ClassificationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    g_ = new graph::Graph(
+        models::BuildMobileNetEdgeTpu(models::ModelScale::kMini));
+    w_ = new infer::WeightStore(infer::InitializeWeights(*g_, 7));
+    ClassificationDatasetConfig cfg;
+    cfg.num_samples = 32;
+    ds_ = new ClassificationDataset(*g_, *w_, cfg);
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete w_;
+    delete g_;
+    ds_ = nullptr;
+    w_ = nullptr;
+    g_ = nullptr;
+  }
+  static graph::Graph* g_;
+  static infer::WeightStore* w_;
+  static ClassificationDataset* ds_;
+};
+graph::Graph* ClassificationFixture::g_ = nullptr;
+infer::WeightStore* ClassificationFixture::w_ = nullptr;
+ClassificationDataset* ClassificationFixture::ds_ = nullptr;
+
+TEST_F(ClassificationFixture, SizeAndLabelsInRange) {
+  EXPECT_EQ(ds_->size(), 32u);
+  for (std::size_t i = 0; i < ds_->size(); ++i) {
+    EXPECT_GE(ds_->LabelFor(i), 0);
+    EXPECT_LT(ds_->LabelFor(i), 16);
+  }
+}
+
+TEST_F(ClassificationFixture, InputsDeterministic) {
+  const auto a = ds_->InputsFor(3);
+  const auto b = ds_->InputsFor(3);
+  for (std::size_t i = 0; i < a[0].size(); ++i)
+    EXPECT_EQ(a[0].data()[i], b[0].data()[i]);
+}
+
+TEST_F(ClassificationFixture, Fp32ScoreNearTeacherAgreement) {
+  const infer::Executor fp32(*g_, *w_);
+  std::vector<std::vector<infer::Tensor>> outs;
+  for (std::size_t i = 0; i < ds_->size(); ++i)
+    outs.push_back(fp32.Run(ds_->InputsFor(i)));
+  const double acc = ds_->ScoreOutputs(outs);
+  // With teacher-derived labels, FP32 accuracy tracks the agreement rate.
+  EXPECT_GT(acc, 0.55);
+  EXPECT_LT(acc, 0.98);
+}
+
+TEST_F(ClassificationFixture, CalibrationInputsDifferFromValidation) {
+  const auto val = ds_->InputsFor(0);
+  const auto cal = ds_->CalibrationInputsFor(0);
+  bool differ = false;
+  for (std::size_t i = 0; i < val[0].size(); ++i)
+    if (val[0].data()[i] != cal[0].data()[i]) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST_F(ClassificationFixture, ScoreRejectsWrongCount) {
+  std::vector<std::vector<infer::Tensor>> outs(3);
+  EXPECT_THROW((void)ds_->ScoreOutputs(outs), CheckError);
+}
+
+TEST(ClassificationDataset, TooStrictMarginThrows) {
+  const graph::Graph g =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kMini);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  ClassificationDatasetConfig cfg;
+  cfg.num_samples = 8;
+  cfg.min_teacher_margin = 1e9;
+  EXPECT_THROW((ClassificationDataset{g, w, cfg}), CheckError);
+}
+
+TEST(DetectionDataset, GroundTruthBoxesValid) {
+  const models::DetectionModel m =
+      models::BuildSsdMobileNetV2(models::ModelScale::kMini);
+  const infer::WeightStore w = infer::InitializeWeights(m.graph, 7);
+  DetectionDatasetConfig cfg;
+  cfg.num_samples = 16;
+  const DetectionDataset ds(m, w, cfg);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (const auto& gt : ds.GroundTruthFor(i)) {
+      EXPECT_GE(gt.box.ymin, 0.0f);
+      EXPECT_LE(gt.box.ymax, 1.0f);
+      EXPECT_LT(gt.box.ymin, gt.box.ymax);
+      EXPECT_LT(gt.box.xmin, gt.box.xmax);
+      EXPECT_GE(gt.class_id, 1);  // background never a GT class
+      EXPECT_LT(gt.class_id, 8);
+      ++total;
+    }
+  }
+  EXPECT_GT(total, 10u);  // teacher produces a meaningful number of boxes
+}
+
+TEST(DetectionDataset, Fp32ScoresWellAgainstOwnTeacher) {
+  const models::DetectionModel m =
+      models::BuildSsdMobileNetV2(models::ModelScale::kMini);
+  const infer::WeightStore w = infer::InitializeWeights(m.graph, 7);
+  DetectionDatasetConfig cfg;
+  cfg.num_samples = 16;
+  const DetectionDataset ds(m, w, cfg);
+  const infer::Executor fp32(m.graph, w);
+  std::vector<std::vector<infer::Tensor>> outs;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    outs.push_back(fp32.Run(ds.InputsFor(i)));
+  EXPECT_GT(ds.ScoreOutputs(outs), 0.1);  // jittered teacher -> moderate mAP
+}
+
+TEST(SegmentationDataset, LabelsInRangeAndIgnoreUsed) {
+  const graph::Graph g =
+      models::BuildDeepLabV3Plus(models::ModelScale::kMini);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  SegmentationDatasetConfig cfg;
+  cfg.num_samples = 4;
+  const SegmentationDataset ds(g, w, cfg);
+  std::size_t ignored = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (int v : ds.LabelMapFor(i)) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 8);
+      if (v == 7) ++ignored;
+    }
+  }
+  EXPECT_GT(ignored, 0u);  // ignore class actually appears
+}
+
+TEST(SegmentationDataset, Fp32MIoUHighAgainstOwnLabels) {
+  const graph::Graph g =
+      models::BuildDeepLabV3Plus(models::ModelScale::kMini);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  SegmentationDatasetConfig cfg;
+  cfg.num_samples = 8;
+  const SegmentationDataset ds(g, w, cfg);
+  const infer::Executor fp32(g, w);
+  std::vector<std::vector<infer::Tensor>> outs;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    outs.push_back(fp32.Run(ds.InputsFor(i)));
+  EXPECT_GT(ds.ScoreOutputs(outs), 0.2);
+}
+
+TEST(QaDataset, TruthSpansValid) {
+  const models::MobileBertConfig cfg = models::MiniMobileBertConfig();
+  const graph::Graph g = models::BuildMobileBert(cfg);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  QaDatasetConfig dc;
+  dc.num_samples = 16;
+  const QaDataset ds(g, w, cfg, dc);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const metrics::TokenSpan s = ds.TruthFor(i);
+    EXPECT_GE(s.start, 0);
+    EXPECT_LE(s.start, s.end);
+    EXPECT_LT(s.end, static_cast<int>(cfg.seq_len));
+  }
+}
+
+TEST(QaDataset, TokensWithinVocab) {
+  const models::MobileBertConfig cfg = models::MiniMobileBertConfig();
+  const graph::Graph g = models::BuildMobileBert(cfg);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  QaDatasetConfig dc;
+  dc.num_samples = 4;
+  const QaDataset ds(g, w, cfg, dc);
+  const auto in = ds.InputsFor(0);
+  for (float v : in[0].values()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, static_cast<float>(cfg.vocab_size));
+  }
+}
+
+TEST(QaDataset, Fp32F1NearPaperValue) {
+  const models::MobileBertConfig cfg = models::MiniMobileBertConfig();
+  const graph::Graph g = models::BuildMobileBert(cfg);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  const QaDataset ds(g, w, cfg, QaDatasetConfig{});
+  const infer::Executor fp32(g, w);
+  std::vector<std::vector<infer::Tensor>> outs;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    outs.push_back(fp32.Run(ds.InputsFor(i)));
+  const double f1 = ds.ScoreOutputs(outs);
+  EXPECT_GT(f1, 0.85);  // paper: 93.98 F1
+  EXPECT_LT(f1, 1.0);
+}
+
+// ---- calibration set ----
+
+TEST(CalibrationSet, DeterministicAndSorted) {
+  const auto a = ApprovedCalibrationIndices(1000, 100, 42);
+  const auto b = ApprovedCalibrationIndices(1000, 100, 42);
+  EXPECT_EQ(a, b);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GT(a[i], a[i - 1]);
+}
+
+TEST(CalibrationSet, SeedChangesSelection) {
+  EXPECT_NE(ApprovedCalibrationIndices(1000, 100, 1),
+            ApprovedCalibrationIndices(1000, 100, 2));
+}
+
+TEST(CalibrationSet, RejectsOversizedCount) {
+  EXPECT_THROW((void)ApprovedCalibrationIndices(10, 11, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace mlpm::datasets

@@ -1,0 +1,420 @@
+// Tests for the Appendix-E extensions: the LSTM op and RNN-T encoder
+// prototype, the WER metric, the speech data set, the Apple A14 / Core ML
+// stack, elementwise fusion, and the stepped DVFS governor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backends/vendor_policy.h"
+#include "common/rng.h"
+#include "datasets/speech_dataset.h"
+#include "graph/cost.h"
+#include "infer/executor.h"
+#include "infer/weights.h"
+#include "datasets/preprocess.h"
+#include "datasets/superres_dataset.h"
+#include "metrics/psnr.h"
+#include "metrics/wer.h"
+#include "models/superres.h"
+#include "soc/battery.h"
+#include "models/rnnt.h"
+#include "soc/simulator.h"
+
+namespace mlpm {
+namespace {
+
+// ---- LSTM op ----
+
+TEST(Lstm, ShapeAndWeights) {
+  graph::GraphBuilder b("t");
+  graph::TensorId x = b.Input("in", {6, 4});
+  x = b.Lstm(x, 8, "l");
+  EXPECT_EQ(b.ShapeOf(x), graph::TensorShape({6, 8}));
+  b.MarkOutput(x);
+  const graph::Graph g = std::move(b).Build();
+  // wx [32,4] + wh [32,8] + b [32].
+  EXPECT_EQ(g.ParameterCount(), 32 * 4 + 32 * 8 + 32);
+}
+
+TEST(Lstm, MacsMatchFormula) {
+  graph::GraphBuilder b("t");
+  graph::TensorId x = b.Input("in", {6, 4});
+  b.MarkOutput(b.Lstm(x, 8));
+  const graph::GraphCost c = graph::AnalyzeGraph(std::move(b).Build());
+  EXPECT_EQ(c.total_macs, 6 * 4 * 8 * (4 + 8));
+}
+
+TEST(Lstm, RejectsBadInputs) {
+  graph::GraphBuilder b("t");
+  graph::TensorId img = b.Input("in", {1, 4, 4, 3});
+  EXPECT_THROW((void)b.Lstm(img, 8), CheckError);
+  graph::TensorId seq = b.Input("seq", {4, 2});
+  EXPECT_THROW((void)b.Lstm(seq, 0), CheckError);
+}
+
+TEST(Lstm, ZeroWeightsGiveZeroOutput) {
+  graph::GraphBuilder b("t");
+  graph::TensorId x = b.Input("in", {3, 2});
+  b.MarkOutput(b.Lstm(x, 2, "l"));
+  const graph::Graph g = std::move(b).Build();
+  infer::WeightStore w;
+  w.Put("l/wx", infer::Tensor(graph::TensorShape({8, 2}),
+                              std::vector<float>(16, 0.0f)));
+  w.Put("l/wh", infer::Tensor(graph::TensorShape({8, 2}),
+                              std::vector<float>(16, 0.0f)));
+  w.Put("l/b", infer::Tensor(graph::TensorShape({8}),
+                             std::vector<float>(8, 0.0f)));
+  const infer::Executor exec(g, w);
+  std::vector<infer::Tensor> in;
+  in.emplace_back(graph::TensorShape({3, 2}),
+                  std::vector<float>{1, 2, 3, 4, 5, 6});
+  const auto out = exec.Run(in);
+  // All gates at 0 -> i=f=o=0.5, g=0 -> cell stays 0, h = 0.5*tanh(0) = 0.
+  for (float v : out[0].values()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Lstm, SingleStepMatchesHandComputation) {
+  // One step, H=1, D=1: gates = [wx_i*x, wx_f*x, wx_g*x, wx_o*x] + b.
+  graph::GraphBuilder b("t");
+  graph::TensorId x = b.Input("in", {1, 1});
+  b.MarkOutput(b.Lstm(x, 1, "l"));
+  const graph::Graph g = std::move(b).Build();
+  infer::WeightStore w;
+  w.Put("l/wx", infer::Tensor(graph::TensorShape({4, 1}),
+                              {1.0f, 2.0f, 3.0f, 4.0f}));
+  w.Put("l/wh", infer::Tensor(graph::TensorShape({4, 1}),
+                              std::vector<float>(4, 0.0f)));
+  w.Put("l/b",
+        infer::Tensor(graph::TensorShape({4}), std::vector<float>(4, 0.0f)));
+  const infer::Executor exec(g, w);
+  std::vector<infer::Tensor> in;
+  in.emplace_back(graph::TensorShape({1, 1}), std::vector<float>{1.0f});
+  const auto out = exec.Run(in);
+  const auto sigmoid = [](double v) { return 1.0 / (1.0 + std::exp(-v)); };
+  const double cell = sigmoid(1.0) * std::tanh(3.0);
+  const double expect = sigmoid(4.0) * std::tanh(cell);
+  EXPECT_NEAR(out[0].data()[0], expect, 1e-5);
+}
+
+TEST(Lstm, StatePropagatesAcrossSteps) {
+  // With recurrent weights non-zero, identical inputs give different
+  // outputs at successive steps (state is carried).
+  graph::GraphBuilder b("t");
+  graph::TensorId x = b.Input("in", {3, 1});
+  b.MarkOutput(b.Lstm(x, 1, "l"));
+  const graph::Graph g = std::move(b).Build();
+  infer::WeightStore w;
+  w.Put("l/wx", infer::Tensor(graph::TensorShape({4, 1}),
+                              {1.0f, 1.0f, 1.0f, 1.0f}));
+  w.Put("l/wh", infer::Tensor(graph::TensorShape({4, 1}),
+                              {1.0f, 1.0f, 1.0f, 1.0f}));
+  w.Put("l/b",
+        infer::Tensor(graph::TensorShape({4}), std::vector<float>(4, 0.0f)));
+  const infer::Executor exec(g, w);
+  std::vector<infer::Tensor> in;
+  in.emplace_back(graph::TensorShape({3, 1}),
+                  std::vector<float>{1.0f, 1.0f, 1.0f});
+  const auto out = exec.Run(in);
+  EXPECT_NE(out[0].data()[0], out[0].data()[1]);
+  EXPECT_NE(out[0].data()[1], out[0].data()[2]);
+}
+
+// ---- RNN-T model ----
+
+TEST(Rnnt, FullModelShapes) {
+  const models::RnntConfig cfg;
+  const graph::Graph g = models::BuildMobileRnnt(cfg);
+  EXPECT_EQ(g.tensor(g.output_ids()[0]).shape,
+            graph::TensorShape({cfg.frames / 2, cfg.vocab_size}));
+  EXPECT_GT(g.ParameterCount(), 10'000'000);
+}
+
+TEST(Rnnt, MiniModelRuns) {
+  const models::RnntConfig cfg = models::MiniRnntConfig();
+  const graph::Graph g = models::BuildMobileRnnt(cfg);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  const infer::Executor exec(g, w);
+  infer::Tensor in(graph::TensorShape({cfg.frames, cfg.feature_dim}));
+  Rng rng(1);
+  for (auto& v : in.values()) v = static_cast<float>(rng.NextGaussian());
+  const std::vector<infer::Tensor> inputs{in};
+  const auto out = exec.Run(inputs);
+  EXPECT_EQ(out[0].shape(),
+            graph::TensorShape({cfg.frames / 2, cfg.vocab_size}));
+}
+
+TEST(Rnnt, RejectsBadTimeReduction) {
+  models::RnntConfig cfg = models::MiniRnntConfig();
+  cfg.time_reduction_after = cfg.encoder_layers;  // outside the stack
+  EXPECT_THROW((void)models::BuildMobileRnnt(cfg), CheckError);
+  cfg = models::MiniRnntConfig();
+  cfg.frames = 31;  // odd
+  EXPECT_THROW((void)models::BuildMobileRnnt(cfg), CheckError);
+}
+
+TEST(GreedyCtc, CollapsesRepeatsAndDropsBlanks) {
+  // frames x vocab(3): argmax sequence 1,1,0,2,2,1 -> tokens 1,2,1.
+  infer::Tensor logits(graph::TensorShape({6, 3}));
+  const int argmax[] = {1, 1, 0, 2, 2, 1};
+  for (int f = 0; f < 6; ++f)
+    logits.data()[f * 3 + argmax[f]] = 5.0f;
+  const std::vector<int> tokens = models::GreedyCtcDecode(logits);
+  EXPECT_EQ(tokens, (std::vector<int>{1, 2, 1}));
+}
+
+TEST(GreedyCtc, BlankSeparatedRepeatsKept) {
+  // 1, blank, 1 -> two separate 1 tokens.
+  infer::Tensor logits(graph::TensorShape({3, 2}));
+  logits.data()[0 * 2 + 1] = 5.0f;
+  logits.data()[1 * 2 + 0] = 5.0f;
+  logits.data()[2 * 2 + 1] = 5.0f;
+  EXPECT_EQ(models::GreedyCtcDecode(logits), (std::vector<int>{1, 1}));
+}
+
+// ---- WER ----
+
+TEST(Wer, EditDistanceKnownValues) {
+  const std::vector<int> a{1, 2, 3};
+  EXPECT_EQ(metrics::EditDistance(a, a), 0u);
+  EXPECT_EQ(metrics::EditDistance(a, std::vector<int>{1, 2}), 1u);
+  EXPECT_EQ(metrics::EditDistance(a, std::vector<int>{1, 9, 3}), 1u);
+  EXPECT_EQ(metrics::EditDistance(a, std::vector<int>{}), 3u);
+  EXPECT_EQ(metrics::EditDistance(std::vector<int>{}, a), 3u);
+  EXPECT_EQ(metrics::EditDistance(std::vector<int>{3, 2, 1}, a), 2u);
+}
+
+TEST(Wer, RateNormalizedByReferenceLength) {
+  const std::vector<std::vector<int>> preds{{1, 2, 3, 4}};
+  const std::vector<std::vector<int>> refs{{1, 2, 3, 5}};
+  EXPECT_DOUBLE_EQ(metrics::WordErrorRate(preds, refs), 0.25);
+}
+
+TEST(Wer, PerfectMatchIsZero) {
+  const std::vector<std::vector<int>> seqs{{1, 2}, {3}};
+  EXPECT_DOUBLE_EQ(metrics::WordErrorRate(seqs, seqs), 0.0);
+}
+
+// ---- speech dataset ----
+
+TEST(SpeechDataset, Fp32ScoresHighAgainstOwnReferences) {
+  const models::RnntConfig cfg = models::MiniRnntConfig();
+  const graph::Graph g = models::BuildMobileRnnt(cfg);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  datasets::SpeechDatasetConfig dc;
+  dc.num_samples = 16;
+  const datasets::SpeechDataset ds(g, w, cfg, dc);
+  const infer::Executor fp32(g, w);
+  std::vector<std::vector<infer::Tensor>> outs;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    outs.push_back(fp32.Run(ds.InputsFor(i)));
+  const double score = ds.ScoreOutputs(outs);
+  EXPECT_GT(score, 0.8);
+  EXPECT_LT(score, 1.0);  // corruption makes FP32 imperfect
+}
+
+TEST(SpeechDataset, ReferencesNeverContainBlank) {
+  const models::RnntConfig cfg = models::MiniRnntConfig();
+  const graph::Graph g = models::BuildMobileRnnt(cfg);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  datasets::SpeechDatasetConfig dc;
+  dc.num_samples = 8;
+  const datasets::SpeechDataset ds(g, w, cfg, dc);
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    for (int tok : ds.ReferenceFor(i)) {
+      EXPECT_GT(tok, 0);
+      EXPECT_LT(tok, static_cast<int>(cfg.vocab_size));
+    }
+}
+
+TEST(SpeechDataset, InputsDeterministic) {
+  const models::RnntConfig cfg = models::MiniRnntConfig();
+  const graph::Graph g = models::BuildMobileRnnt(cfg);
+  const infer::WeightStore w = infer::InitializeWeights(g, 7);
+  datasets::SpeechDatasetConfig dc;
+  dc.num_samples = 4;
+  const datasets::SpeechDataset ds(g, w, cfg, dc);
+  const auto a = ds.InputsFor(2);
+  const auto b = ds.InputsFor(2);
+  for (std::size_t i = 0; i < a[0].size(); ++i)
+    EXPECT_EQ(a[0].data()[i], b[0].data()[i]);
+}
+
+
+// ---- super-resolution extension ----
+
+TEST(SuperRes, OutputShapeDoublesResolution) {
+  const graph::Graph g =
+      models::BuildSuperResolution(models::ModelScale::kMini);
+  EXPECT_EQ(g.tensor(g.output_ids()[0]).shape,
+            graph::TensorShape({1, 32, 32, 3}));
+}
+
+TEST(SuperRes, PrototypeStaysNearBilinearBaseline) {
+  const models::SuperResConfig cfg = models::MiniSuperResConfig();
+  const graph::Graph g = models::BuildSuperResolution(cfg);
+  const infer::WeightStore w = models::InitializeSuperResWeights(g, 7);
+  datasets::SuperResDatasetConfig dc;
+  dc.lr_size = cfg.lr_size;
+  dc.num_samples = 8;
+  const datasets::SuperResDataset ds(dc);
+  const infer::Executor exec(g, w);
+  std::vector<std::vector<infer::Tensor>> outs;
+  std::vector<std::vector<infer::Tensor>> base;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    outs.push_back(exec.Run(ds.InputsFor(i)));
+    std::vector<infer::Tensor> b;
+    b.push_back(datasets::ResizeBilinear(ds.InputsFor(i)[0], 32, 32));
+    base.push_back(std::move(b));
+  }
+  const double model_psnr = ds.MeanPsnrDb(outs);
+  const double base_psnr = ds.MeanPsnrDb(base);
+  EXPECT_GT(model_psnr, base_psnr - 4.0);  // small residual perturbation
+  EXPECT_GT(model_psnr, 20.0);
+}
+
+TEST(SuperRes, FullModelIsHeavyweight) {
+  // ~10x classification compute (the paper's heavy-weight end, §3.1).
+  const graph::GraphCost sr = graph::AnalyzeGraph(
+      models::BuildSuperResolution(models::ModelScale::kFull));
+  EXPECT_GT(sr.TotalGMacs(), 5.0);
+}
+
+TEST(Psnr, KnownValues) {
+  infer::Tensor a(graph::TensorShape({4}), {0.0f, 0.5f, 1.0f, 0.25f});
+  EXPECT_TRUE(std::isinf(metrics::Psnr(a, a)));
+  infer::Tensor b = a;
+  for (auto& v : b.values()) v += 0.1f;
+  // MSE = 0.01 -> PSNR = 20 dB at peak 1.
+  EXPECT_NEAR(metrics::Psnr(a, b), 20.0, 0.1);
+  EXPECT_NEAR(metrics::MeanSquaredError(a, b), 0.01, 1e-6);
+}
+
+TEST(Psnr, ShapeMismatchThrows) {
+  infer::Tensor a(graph::TensorShape({4}));
+  infer::Tensor b(graph::TensorShape({5}));
+  EXPECT_THROW((void)metrics::Psnr(a, b), CheckError);
+}
+
+// ---- battery model ----
+
+TEST(Battery, DutyCycledPower) {
+  soc::WorkloadDraw w;
+  w.energy_per_inference_j = 0.01;
+  w.inferences_per_second = 50.0;
+  EXPECT_DOUBLE_EQ(soc::AveragePowerWatts(w), 0.5);
+}
+
+TEST(Battery, BackToBackPowerUsesLatency) {
+  soc::WorkloadDraw w;
+  w.energy_per_inference_j = 0.004;
+  w.latency_s = 0.002;  // 2 W sustained
+  EXPECT_DOUBLE_EQ(soc::AveragePowerWatts(w), 2.0);
+}
+
+TEST(Battery, HoursAndInferencesConsistent) {
+  soc::BatterySpec battery;
+  battery.capacity_wh = 10.0;
+  battery.baseline_power_w = 0.0;
+  soc::WorkloadDraw w;
+  w.energy_per_inference_j = 1.0;
+  w.inferences_per_second = 1.0;  // 1 W -> 10 hours -> 36000 inferences
+  EXPECT_NEAR(soc::HoursOfOperation(battery, w), 10.0, 1e-9);
+  EXPECT_NEAR(soc::InferencesPerCharge(battery, w), 36000.0, 1e-6);
+}
+
+TEST(Battery, RejectsDegenerateInputs) {
+  soc::WorkloadDraw w;  // back-to-back but no latency
+  w.energy_per_inference_j = 1.0;
+  EXPECT_THROW((void)soc::AveragePowerWatts(w), CheckError);
+}
+
+// ---- Apple A14 / Core ML ----
+
+TEST(AppleA14, ChipsetWellFormed) {
+  const soc::ChipsetDesc c = soc::AppleA14();
+  EXPECT_TRUE(c.HasEngine("ane"));
+  EXPECT_TRUE(c.HasEngine("gpu"));
+  EXPECT_TRUE(c.HasEngine("cpu"));
+  EXPECT_GT(c.Engine("ane").peak_gmacs_fp16, 0.0);
+}
+
+TEST(AppleA14, CoreMlPolicyShapes) {
+  const backends::SubmissionConfig nlp = backends::GetSubmission(
+      soc::AppleA14(), models::TaskType::kQuestionAnswering,
+      models::SuiteVersion::kV1_0);
+  EXPECT_EQ(nlp.numerics, DataType::kFloat16);
+  EXPECT_EQ(nlp.framework.name, "Core ML");
+  EXPECT_EQ(nlp.single_stream.engines.front(), "ane");
+  const backends::SubmissionConfig ic = backends::GetSubmission(
+      soc::AppleA14(), models::TaskType::kImageClassification,
+      models::SuiteVersion::kV1_0);
+  EXPECT_EQ(ic.offline_replicas.size(), 2u);
+}
+
+// ---- elementwise fusion ----
+
+TEST(Fusion, VendorFusionRemovesElementwiseDispatch) {
+  graph::GraphBuilder b("t");
+  graph::TensorId x = b.Input("in", {1, 8, 8, 4});
+  graph::TensorId y = b.Conv2d(x, 4, 3, 1);
+  y = b.Add(x, y);
+  y = b.Activate(y, graph::Activation::kRelu);
+  b.MarkOutput(y);
+  const graph::Graph g = std::move(b).Build();
+
+  soc::ChipsetDesc chip = soc::Dimensity1100();
+  soc::ExecutionPolicy p;
+  p.engines = {"apu"};
+  soc::RuntimeOverheads fused;
+  fused.fuse_elementwise = true;
+  fused.copy_boundary_tensors = false;
+  soc::RuntimeOverheads unfused = fused;
+  unfused.fuse_elementwise = false;
+
+  const double t_fused =
+      soc::Compile(g, DataType::kInt8, chip, p, fused).LatencySeconds();
+  const double t_unfused =
+      soc::Compile(g, DataType::kInt8, chip, p, unfused).LatencySeconds();
+  // Exactly two elementwise dispatches saved.
+  const double per_layer =
+      chip.Engine("apu").per_layer_overhead_us * 1e-6;
+  EXPECT_NEAR(t_unfused - t_fused, 2 * per_layer, 1e-9);
+}
+
+TEST(Fusion, VendorSdkEnablesItNnapiDoesNot) {
+  EXPECT_TRUE(backends::VendorSdkTraits("x").fuses_elementwise);
+  EXPECT_FALSE(backends::NnapiTraits("x").fuses_elementwise);
+  EXPECT_TRUE(backends::OpenVinoTraits().fuses_elementwise);
+}
+
+// ---- stepped governor ----
+
+TEST(Governor, SteppedQuantizesToLadder) {
+  soc::ThermalParams p;
+  p.governor = soc::GovernorMode::kStepped;
+  p.governor_steps = 4;
+  soc::ThermalModel linear{soc::ThermalParams{}};
+  soc::ThermalModel stepped{p};
+  // Heat both to ~30% into the throttle band.
+  const double target =
+      p.throttle_start_c + 0.3 * (p.throttle_limit_c - p.throttle_start_c);
+  const double power = (target - p.ambient_c) / p.resistance_c_per_w;
+  linear.Step(power, 1e6);
+  stepped.Step(power, 1e6);
+  // Stepped rounds the 30% excursion up to the 50% trip point.
+  const double expect_stepped = 1.0 - 0.5 * (1.0 - p.min_throttle_factor);
+  EXPECT_NEAR(stepped.ThrottleFactor(), expect_stepped, 0.02);
+  EXPECT_GT(linear.ThrottleFactor(), stepped.ThrottleFactor());
+}
+
+TEST(Governor, SteppedAgreesAtExtremes) {
+  soc::ThermalParams p;
+  p.governor = soc::GovernorMode::kStepped;
+  soc::ThermalModel t{p};
+  EXPECT_DOUBLE_EQ(t.ThrottleFactor(), 1.0);  // cold
+  t.Step(100.0, 1e6);                          // way past the limit
+  EXPECT_DOUBLE_EQ(t.ThrottleFactor(), p.min_throttle_factor);
+}
+
+}  // namespace
+}  // namespace mlpm

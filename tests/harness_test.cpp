@@ -1,0 +1,419 @@
+// Integration tests for the harness: task bundles, the full submission
+// flow, the submission checker, the audit, the result store, and the app.
+#include <gtest/gtest.h>
+
+#include "harness/app.h"
+#include "harness/audit.h"
+#include "harness/checker.h"
+#include "harness/report.h"
+#include "backends/vendor_policy.h"
+#include "core/dataset_qsl.h"
+#include "harness/package.h"
+#include "harness/result_store.h"
+
+namespace mlpm::harness {
+namespace {
+
+// Bundles are expensive (teacher labelling); share them across all tests in
+// this binary.
+SuiteBundles& Bundles() {
+  static SuiteBundles bundles;
+  return bundles;
+}
+
+RunOptions FastOptions() {
+  RunOptions o;
+  o.performance_settings.min_query_count = 64;
+  o.performance_settings.min_duration = loadgen::Seconds{0.5};
+  o.performance_settings.offline_sample_count = 2048;
+  o.cooldown_s = 30.0;
+  return o;
+}
+
+const SubmissionResult& CachedD1100Run() {
+  static const SubmissionResult r = RunSubmission(
+      soc::Dimensity1100(), models::SuiteVersion::kV1_0, Bundles(),
+      FastOptions());
+  return r;
+}
+
+TEST(TaskBundle, CreatesAllFourTasks) {
+  for (const auto& e : models::SuiteFor(models::SuiteVersion::kV1_0)) {
+    const TaskBundle& b = Bundles().Get(e, models::SuiteVersion::kV1_0);
+    EXPECT_GT(b.dataset().size(), 0u);
+    EXPECT_GT(b.mini_graph().ParameterCount(), 0);
+  }
+}
+
+TEST(TaskBundle, Fp32ScoreCachedAndStable) {
+  const auto e = models::SuiteFor(models::SuiteVersion::kV1_0)[0];
+  const TaskBundle& b = Bundles().Get(e, models::SuiteVersion::kV1_0);
+  const double a = b.Fp32Score();
+  EXPECT_DOUBLE_EQ(a, b.Fp32Score());
+  EXPECT_GT(a, 0.5);
+}
+
+TEST(TaskBundle, Int8PreparationUsesApprovedCalibration) {
+  const auto e = models::SuiteFor(models::SuiteVersion::kV1_0)[0];
+  const TaskBundle& b = Bundles().Get(e, models::SuiteVersion::kV1_0);
+  const TaskBundle::PreparedModel p = b.Prepare(infer::NumericsMode::kInt8);
+  EXPECT_EQ(p.calibration_indices.size(), kCalibrationSetSize);
+  EXPECT_NE(p.executor, nullptr);
+}
+
+TEST(TaskBundle, Fp16PreparationHasNoCalibration) {
+  const auto e = models::SuiteFor(models::SuiteVersion::kV1_0)[0];
+  const TaskBundle& b = Bundles().Get(e, models::SuiteVersion::kV1_0);
+  EXPECT_TRUE(b.Prepare(infer::NumericsMode::kFp16)
+                  .calibration_indices.empty());
+}
+
+TEST(RunSubmission, ProducesAllTasksWithResults) {
+  const SubmissionResult& r = CachedD1100Run();
+  ASSERT_EQ(r.tasks.size(), 4u);
+  for (const TaskRunResult& t : r.tasks) {
+    EXPECT_GT(t.accuracy, 0.0);
+    EXPECT_GT(t.ratio_to_fp32, 0.8);
+    EXPECT_TRUE(t.quality_passed);
+    ASSERT_TRUE(t.single_stream.has_value());
+    EXPECT_GT(t.single_stream->percentile_latency_s, 0.0);
+    EXPECT_GT(t.energy_per_inference_j, 0.0);
+  }
+}
+
+TEST(RunSubmission, QualityPassesAcrossAllEightChipsets) {
+  // The headline integration property: every vendor submission in both
+  // rounds clears its quality target and validates.
+  const SubmissionResult& r = CachedD1100Run();
+  for (const TaskRunResult& t : r.tasks)
+    EXPECT_TRUE(t.quality_passed) << t.entry.id;
+}
+
+TEST(RunSubmission, PerformanceOnlySkipsAccuracy) {
+  RunOptions o = FastOptions();
+  o.run_accuracy = false;
+  const SubmissionResult r = RunSubmission(
+      soc::Snapdragon888(), models::SuiteVersion::kV1_0, Bundles(), o);
+  for (const TaskRunResult& t : r.tasks) {
+    EXPECT_EQ(t.accuracy, 0.0);
+    EXPECT_TRUE(t.single_stream.has_value());
+  }
+}
+
+TEST(RunSubmission, EndToEndModeIsSlower) {
+  RunOptions base = FastOptions();
+  base.run_accuracy = false;
+  base.run_offline = false;
+  RunOptions e2e = base;
+  e2e.end_to_end = true;
+  const SubmissionResult a = RunSubmission(
+      soc::Dimensity1100(), models::SuiteVersion::kV1_0, Bundles(), base);
+  const SubmissionResult b = RunSubmission(
+      soc::Dimensity1100(), models::SuiteVersion::kV1_0, Bundles(), e2e);
+  for (std::size_t i = 0; i < a.tasks.size(); ++i)
+    EXPECT_GT(b.tasks[i].single_stream->percentile_latency_s,
+              a.tasks[i].single_stream->percentile_latency_s);
+}
+
+TEST(RunSubmission, OfflineOnlyWhereSubmitted) {
+  RunOptions o = FastOptions();
+  o.run_accuracy = false;
+  const SubmissionResult mediatek = RunSubmission(
+      soc::Dimensity1100(), models::SuiteVersion::kV1_0, Bundles(), o);
+  EXPECT_FALSE(mediatek.tasks[0].offline.has_value());
+  const SubmissionResult samsung = RunSubmission(
+      soc::Exynos2100(), models::SuiteVersion::kV1_0, Bundles(), o);
+  ASSERT_TRUE(samsung.tasks[0].offline.has_value());
+  EXPECT_EQ(samsung.tasks[0].offline->sample_count, 2048u);
+}
+
+// ---- checker ----
+
+TEST(Checker, AcceptsValidSubmission) {
+  const CheckReport r =
+      CheckSubmission(CachedD1100Run(), FastOptions().performance_settings);
+  EXPECT_TRUE(r.valid) << FormatCheckReport(r);
+}
+
+TEST(Checker, RejectsBelowQualityTarget) {
+  SubmissionResult bad = CachedD1100Run();
+  bad.tasks[0].quality_passed = false;
+  bad.tasks[0].ratio_to_fp32 = 0.5;
+  const CheckReport r =
+      CheckSubmission(bad, FastOptions().performance_settings);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Checker, RejectsWrongSeed) {
+  const SubmissionResult& good = CachedD1100Run();
+  loadgen::TestSettings expected = FastOptions().performance_settings;
+  expected.seed = 999;  // checker expects this seed; the log has the default
+  const CheckReport r = CheckSubmission(good, expected);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Checker, RejectsEditedLog) {
+  const SubmissionResult& good = CachedD1100Run();
+  std::string log = good.tasks[0].single_stream->log.Serialize();
+  // "Improve" the reported percentile: the checker recomputes from events.
+  const std::string key = "field result_percentile_latency_s ";
+  const auto pos = log.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = log.find('\n', pos);
+  log.replace(pos, eol - pos, key + "0.000001");
+  loadgen::TestSettings expected = FastOptions().performance_settings;
+  expected.scenario = loadgen::TestScenario::kSingleStream;
+  expected.mode = loadgen::TestMode::kPerformanceOnly;
+  const CheckReport r = CheckPerformanceLog(log, expected);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Checker, RejectsTruncatedLog) {
+  const SubmissionResult& good = CachedD1100Run();
+  std::string log = good.tasks[0].single_stream->log.Serialize();
+  log.resize(log.size() / 2);
+  log.resize(log.find_last_of('\n'));  // cut at a line boundary
+  loadgen::TestSettings expected = FastOptions().performance_settings;
+  const CheckReport r = CheckPerformanceLog(log, expected);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Checker, RejectsUnapprovedCalibration) {
+  SubmissionResult bad = CachedD1100Run();
+  bad.tasks[0].calibration_indices.push_back(999'999);
+  const CheckReport r =
+      CheckSubmission(bad, FastOptions().performance_settings);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Checker, RejectsTooShortRun) {
+  const SubmissionResult& good = CachedD1100Run();
+  loadgen::TestSettings expected = FastOptions().performance_settings;
+  expected.min_query_count = 1'000'000;  // impossible floor
+  const CheckReport r = CheckSubmission(good, expected);
+  EXPECT_FALSE(r.valid);
+}
+
+
+TEST(Checker, ValidatesServerLogs) {
+  loadgen::VirtualClock clock;
+  const soc::ChipsetDesc chip = soc::Dimensity1100();
+  const graph::Graph model = models::BuildReferenceGraph(
+      models::SuiteFor(models::SuiteVersion::kV1_0)[0],
+      models::SuiteVersion::kV1_0, models::ModelScale::kFull);
+  const backends::SubmissionConfig sub = backends::GetSubmission(
+      chip, models::TaskType::kImageClassification,
+      models::SuiteVersion::kV1_0);
+  backends::SimulatedBackend sut("srv", soc::SocSimulator(chip),
+                                 backends::CompileSubmission(chip, sub,
+                                                             model),
+                                 {}, clock);
+  const TaskBundle& bundle = Bundles().Get(
+      models::SuiteFor(models::SuiteVersion::kV1_0)[0],
+      models::SuiteVersion::kV1_0);
+  loadgen::DatasetQsl qsl(bundle.dataset());
+  loadgen::TestSettings s;
+  s.scenario = loadgen::TestScenario::kServer;
+  s.server_target_qps = 100.0;
+  s.server_query_count = 256;
+  s.server_latency_bound = loadgen::Seconds{0.02};
+  const loadgen::TestResult r = loadgen::RunTest(sut, qsl, s, clock);
+  EXPECT_TRUE(r.latency_bound_met);
+  const CheckReport ok = CheckPerformanceLog(r.log.Serialize(), s);
+  EXPECT_TRUE(ok.valid) << FormatCheckReport(ok);
+  // An impossible bound must be flagged from the raw events.
+  loadgen::TestSettings strict = s;
+  strict.server_latency_bound = loadgen::Seconds{1e-6};
+  EXPECT_FALSE(CheckPerformanceLog(r.log.Serialize(), strict).valid);
+}
+
+
+TEST(QualityAnchors, EveryNumericsModeClearsItsTable1Target) {
+  // Covers all (task, numerics) combinations any vendor submits: vision
+  // INT8 on phones and laptops, NLP FP16 on phones, NLP INT8 on laptops.
+  // Samsung v0.7 + Intel v1.0 together span that set.
+  const SubmissionResult samsung = RunSubmission(
+      soc::Exynos990(), models::SuiteVersion::kV0_7, Bundles(),
+      FastOptions());
+  for (const TaskRunResult& t : samsung.tasks)
+    EXPECT_TRUE(t.quality_passed)
+        << "Exynos990 " << t.entry.id << " ratio " << t.ratio_to_fp32;
+  RunOptions acc_only = FastOptions();
+  acc_only.run_performance = false;
+  const SubmissionResult intel = RunSubmission(
+      soc::CoreI7_11375H(), models::SuiteVersion::kV1_0, Bundles(),
+      acc_only);
+  for (const TaskRunResult& t : intel.tasks)
+    EXPECT_TRUE(t.quality_passed)
+        << "i7 " << t.entry.id << " ratio " << t.ratio_to_fp32;
+}
+
+TEST(Checker, RejectsScenarioMismatch) {
+  const SubmissionResult& good = CachedD1100Run();
+  loadgen::TestSettings expected = FastOptions().performance_settings;
+  expected.scenario = loadgen::TestScenario::kOffline;  // log says SS
+  expected.mode = loadgen::TestMode::kPerformanceOnly;
+  const CheckReport r = CheckPerformanceLog(
+      good.tasks[0].single_stream->log.Serialize(), expected);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Checker, RejectsPartialAccuracyCoverage) {
+  SubmissionResult bad = CachedD1100Run();
+  bad.tasks[0].accuracy_sample_count = bad.tasks[0].dataset_size / 2;
+  const CheckReport r =
+      CheckSubmission(bad, FastOptions().performance_settings);
+  EXPECT_FALSE(r.valid);
+}
+
+// ---- audit ----
+
+TEST(Audit, ReproducibleSubmissionAccepted) {
+  const AuditReport r = AuditSubmission(
+      soc::Dimensity1100(), CachedD1100Run(), Bundles(), FastOptions());
+  EXPECT_TRUE(r.accepted) << FormatAuditReport(r);
+  EXPECT_FALSE(r.findings.empty());
+  for (const AuditFinding& f : r.findings)
+    EXPECT_LT(f.relative_delta, 0.05);
+}
+
+TEST(Audit, InflatedClaimRejected) {
+  SubmissionResult inflated = CachedD1100Run();
+  inflated.tasks[0].single_stream->percentile_latency_s /= 2.0;  // claim 2x
+  const AuditReport r = AuditSubmission(
+      soc::Dimensity1100(), inflated, Bundles(), FastOptions());
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(Audit, WrongAccuracyClaimRejected) {
+  SubmissionResult inflated = CachedD1100Run();
+  inflated.tasks[0].accuracy = 1.0;
+  const AuditReport r = AuditSubmission(
+      soc::Dimensity1100(), inflated, Bundles(), FastOptions());
+  EXPECT_FALSE(r.accepted);
+}
+
+
+// ---- submission package ----
+
+TEST(Package, ValidPackagePassesAudit) {
+  const harness::SubmissionPackage pkg =
+      PackageSubmission(CachedD1100Run(), Bundles());
+  EXPECT_TRUE(pkg.files.contains("MANIFEST"));
+  EXPECT_TRUE(pkg.files.contains("results.csv"));
+  EXPECT_TRUE(pkg.files.contains("models/image_classification.graph"));
+  EXPECT_TRUE(
+      pkg.files.contains("logs/image_classification.single_stream.log"));
+  const CheckReport r =
+      AuditPackage(pkg, Bundles(), FastOptions().performance_settings);
+  EXPECT_TRUE(r.valid) << FormatCheckReport(r);
+}
+
+TEST(Package, TamperedModelFileRejected) {
+  harness::SubmissionPackage pkg =
+      PackageSubmission(CachedD1100Run(), Bundles());
+  // Swap the classification model for the (differently-shaped) detection
+  // model — the paper's pruning/substitution scenario.
+  pkg.files["models/image_classification.graph"] =
+      pkg.files["models/object_detection.graph"];
+  // Keep MANIFEST consistent so only the fingerprint check fires... the
+  // sizes differ, so both checks fire; either must reject.
+  const CheckReport r =
+      AuditPackage(pkg, Bundles(), FastOptions().performance_settings);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Package, EditedLogRejectedBySizeOrContent) {
+  harness::SubmissionPackage pkg =
+      PackageSubmission(CachedD1100Run(), Bundles());
+  auto& log = pkg.files["logs/image_classification.single_stream.log"];
+  const auto pos = log.find("complete ");
+  ASSERT_NE(pos, std::string::npos);
+  log.insert(pos, "complete 99999 0.0\n");  // forged completion
+  const CheckReport r =
+      AuditPackage(pkg, Bundles(), FastOptions().performance_settings);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Package, MissingLogRejected) {
+  harness::SubmissionPackage pkg =
+      PackageSubmission(CachedD1100Run(), Bundles());
+  pkg.files.erase("logs/question_answering.single_stream.log");
+  const CheckReport r =
+      AuditPackage(pkg, Bundles(), FastOptions().performance_settings);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Package, GarbageModelFileRejectedGracefully) {
+  harness::SubmissionPackage pkg =
+      PackageSubmission(CachedD1100Run(), Bundles());
+  pkg.files["models/image_classification.graph"] = "not a graph at all";
+  const CheckReport r =
+      AuditPackage(pkg, Bundles(), FastOptions().performance_settings);
+  EXPECT_FALSE(r.valid);
+}
+
+// ---- result store ----
+
+TEST(ResultStore, LatestPerDeviceKeepsNewest) {
+  ResultStore store;
+  SubmissionResult a;
+  a.chipset_name = "X";
+  a.version = models::SuiteVersion::kV1_0;
+  store.Add("2021-01-01", a);
+  store.Add("2021-06-01", a);
+  store.Add("2021-03-01", a);
+  const auto latest = store.LatestPerDevice();
+  ASSERT_EQ(latest.size(), 1u);
+  EXPECT_EQ(latest[0].date_iso, "2021-06-01");
+  EXPECT_EQ(store.HistoryFor("X").size(), 3u);
+}
+
+TEST(ResultStore, DistinguishesVersions) {
+  ResultStore store;
+  SubmissionResult a;
+  a.chipset_name = "X";
+  a.version = models::SuiteVersion::kV0_7;
+  store.Add("2020-10-01", a);
+  a.version = models::SuiteVersion::kV1_0;
+  store.Add("2021-04-01", a);
+  EXPECT_EQ(store.LatestPerDevice().size(), 2u);
+}
+
+TEST(ResultStore, HistorySortedByDate) {
+  ResultStore store;
+  SubmissionResult a;
+  a.chipset_name = "X";
+  store.Add("2021-06-01", a);
+  store.Add("2021-01-01", a);
+  const auto h = store.HistoryFor("X");
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_LT(h[0].date_iso, h[1].date_iso);
+}
+
+TEST(ResultStore, RejectsBadDate) {
+  ResultStore store;
+  EXPECT_THROW(store.Add("June 1st", SubmissionResult{}), CheckError);
+}
+
+// ---- report / app ----
+
+TEST(Report, SubmissionTableContainsConfiguration) {
+  const std::string s = FormatSubmission(CachedD1100Run());
+  EXPECT_NE(s.find("Dimensity 1100"), std::string::npos);
+  EXPECT_NE(s.find("Neuron Delegate"), std::string::npos);
+  EXPECT_NE(s.find("FP16"), std::string::npos);  // transparency: numerics
+  EXPECT_NE(s.find("PASS"), std::string::npos);
+}
+
+TEST(App, RunsAndValidates) {
+  const AppRunOutput out = RunMobileApp(
+      soc::Exynos2100(), models::SuiteVersion::kV1_0, Bundles(),
+      FastOptions());
+  EXPECT_TRUE(out.submission_valid) << out.checker_text;
+  EXPECT_NE(out.report_text.find("Exynos 2100"), std::string::npos);
+  EXPECT_EQ(out.result.tasks.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mlpm::harness

@@ -1,0 +1,458 @@
+// Tests for the LoadGen: scenario run rules, seeded sampling, accuracy
+// mode, clock behavior, and the structured log.
+#include <gtest/gtest.h>
+
+#include "core/dataset_qsl.h"
+#include "core/loadgen.h"
+#include "core/logging.h"
+
+namespace mlpm::loadgen {
+namespace {
+
+// A trivial in-memory QSL with `n` samples.
+class FakeQsl final : public QuerySampleLibrary {
+ public:
+  explicit FakeQsl(std::size_t n, std::size_t perf_count = 0)
+      : n_(n), perf_(perf_count == 0 ? n : perf_count) {}
+  [[nodiscard]] std::string_view name() const override { return "fake_qsl"; }
+  [[nodiscard]] std::size_t TotalSampleCount() const override { return n_; }
+  [[nodiscard]] std::size_t PerformanceSampleCount() const override {
+    return perf_;
+  }
+  void LoadSamplesToRam(std::span<const std::size_t> idx) override {
+    loaded_ += idx.size();
+  }
+  void UnloadSamplesFromRam(std::span<const std::size_t> idx) override {
+    unloaded_ += idx.size();
+  }
+  std::size_t loaded_ = 0, unloaded_ = 0;
+
+ private:
+  std::size_t n_, perf_;
+};
+
+// SUT with a fixed simulated latency per query, driven by a VirtualClock.
+class FixedLatencySut final : public SystemUnderTest {
+ public:
+  FixedLatencySut(VirtualClock& clock, double latency_s)
+      : clock_(clock), latency_s_(latency_s) {}
+  [[nodiscard]] std::string_view name() const override { return "fixed"; }
+  void IssueQuery(std::span<const QuerySample> samples,
+                  ResponseSink& sink) override {
+    for (const QuerySample& s : samples) {
+      clock_.Advance(Seconds{latency_s_});
+      seen_indices_.push_back(s.index);
+      sink.Complete(QuerySampleResponse{s.id, {}});
+      ++issued_;
+    }
+  }
+  std::size_t issued_ = 0;
+  std::vector<std::size_t> seen_indices_;
+
+ private:
+  VirtualClock& clock_;
+  double latency_s_;
+};
+
+TestSettings FastSettings() {
+  TestSettings s;
+  s.min_query_count = 32;
+  s.min_duration = Seconds{0.5};
+  s.offline_sample_count = 100;
+  return s;
+}
+
+TEST(Clock, VirtualAdvances) {
+  VirtualClock c;
+  EXPECT_EQ(c.Now().count(), 0.0);
+  c.Advance(Seconds{1.5});
+  EXPECT_DOUBLE_EQ(c.Now().count(), 1.5);
+  c.AdvanceTo(Seconds{2.0});
+  EXPECT_DOUBLE_EQ(c.Now().count(), 2.0);
+  EXPECT_THROW(c.AdvanceTo(Seconds{1.0}), CheckError);
+  EXPECT_THROW(c.Advance(Seconds{-0.1}), CheckError);
+}
+
+TEST(Clock, RealClockIsMonotonic) {
+  RealClock c;
+  const Seconds a = c.Now();
+  const Seconds b = c.Now();
+  EXPECT_GE(b.count(), a.count());
+}
+
+TEST(LoadGen, SingleStreamMeetsQueryFloor) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);  // 1 ms -> duration floor dominates
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  // 0.5 s at 1 ms/query = 500 queries > 32 floor.
+  EXPECT_GE(r.sample_count, 500u);
+  EXPECT_TRUE(r.min_query_count_met);
+  EXPECT_TRUE(r.min_duration_met);
+}
+
+TEST(LoadGen, SingleStreamMeetsDurationFloor) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.1);  // slow: query floor dominates
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_EQ(r.sample_count, 32u);
+  EXPECT_GE(r.duration_s, 0.5);
+}
+
+TEST(LoadGen, SingleStreamPercentileMatchesFixedLatency) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.004);
+  FakeQsl qsl(16);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  EXPECT_NEAR(r.percentile_latency_s, 0.004, 1e-9);
+  EXPECT_NEAR(r.mean_latency_s, 0.004, 1e-9);
+  EXPECT_NEAR(r.throughput_sps, 250.0, 1.0);
+}
+
+TEST(LoadGen, SampleSelectionIsSeededAndReproducible) {
+  const auto run = [](std::uint64_t seed) {
+    VirtualClock clock;
+    FixedLatencySut sut(clock, 0.01);
+    FakeQsl qsl(16);
+    TestSettings s = FastSettings();
+    s.seed = seed;
+    (void)RunTest(sut, qsl, s, clock);
+    return sut.seen_indices_;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(LoadGen, SampleIndicesComeFromPerformanceSet) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.01);
+  FakeQsl qsl(100, /*perf_count=*/8);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  (void)r;
+  for (std::size_t idx : sut.seen_indices_) EXPECT_LT(idx, 8u);
+}
+
+TEST(LoadGen, OfflineIssuesFullBurst) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  s.scenario = TestScenario::kOffline;
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_EQ(r.sample_count, 100u);
+  EXPECT_NEAR(r.throughput_sps, 1000.0, 10.0);
+}
+
+TEST(LoadGen, QslLoadUnloadBalanced) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.01);
+  FakeQsl qsl(16);
+  (void)RunTest(sut, qsl, FastSettings(), clock);
+  EXPECT_EQ(qsl.loaded_, qsl.unloaded_);
+  EXPECT_GT(qsl.loaded_, 0u);
+}
+
+TEST(LoadGen, AccuracyModeCoversWholeDatasetInOrder) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(24);
+  TestSettings s = FastSettings();
+  s.mode = TestMode::kAccuracyOnly;
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_EQ(r.sample_count, 24u);
+  ASSERT_EQ(sut.seen_indices_.size(), 24u);
+  for (std::size_t i = 0; i < 24; ++i) EXPECT_EQ(sut.seen_indices_[i], i);
+  EXPECT_EQ(r.accuracy_outputs.size(), 24u);
+}
+
+TEST(LoadGen, EmptyQslRejected) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(0);
+  EXPECT_THROW((void)RunTest(sut, qsl, FastSettings(), clock), CheckError);
+}
+
+TEST(LoadGen, LogRecordsIssueAndCompletePairs) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.01);
+  FakeQsl qsl(4);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  std::size_t issues = 0, completes = 0;
+  for (const LogEvent& e : r.log.events()) {
+    if (e.kind == LogEventKind::kQueryIssued) ++issues;
+    else ++completes;
+  }
+  EXPECT_EQ(issues, r.sample_count);
+  EXPECT_EQ(completes, r.sample_count);
+}
+
+// A hostile SUT that completes a query twice.
+class DoubleCompleteSut final : public SystemUnderTest {
+ public:
+  explicit DoubleCompleteSut(VirtualClock& clock) : clock_(clock) {}
+  [[nodiscard]] std::string_view name() const override { return "evil"; }
+  void IssueQuery(std::span<const QuerySample> samples,
+                  ResponseSink& sink) override {
+    clock_.Advance(Seconds{0.001});
+    sink.Complete(QuerySampleResponse{samples[0].id, {}});
+    sink.Complete(QuerySampleResponse{samples[0].id, {}});
+  }
+
+ private:
+  VirtualClock& clock_;
+};
+
+TEST(LoadGen, DoubleCompletionDetected) {
+  VirtualClock clock;
+  DoubleCompleteSut sut(clock);
+  FakeQsl qsl(4);
+  EXPECT_THROW((void)RunTest(sut, qsl, FastSettings(), clock), CheckError);
+}
+
+// A hostile SUT that never completes.
+class SilentSut final : public SystemUnderTest {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "silent"; }
+  void IssueQuery(std::span<const QuerySample>, ResponseSink&) override {}
+};
+
+TEST(LoadGen, SilentSutDetected) {
+  VirtualClock clock;
+  SilentSut sut;
+  FakeQsl qsl(4);
+  EXPECT_THROW((void)RunTest(sut, qsl, FastSettings(), clock), CheckError);
+}
+
+
+// ---- server scenario ----
+
+TEST(LoadGen, ServerLowLoadLatencyNearServiceTime) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);  // 1 ms service
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  s.scenario = TestScenario::kServer;
+  s.server_target_qps = 10.0;  // utilization 1%
+  s.server_query_count = 256;
+  s.server_latency_bound = Seconds{0.01};
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_EQ(r.sample_count, 256u);
+  EXPECT_NEAR(r.percentile_latency_s, 0.001, 2e-4);
+  EXPECT_TRUE(r.latency_bound_met);
+}
+
+TEST(LoadGen, ServerOverloadQueuesAndMissesBound) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  s.scenario = TestScenario::kServer;
+  s.server_target_qps = 2000.0;  // utilization 2: queue grows unboundedly
+  s.server_query_count = 512;
+  s.server_latency_bound = Seconds{0.01};
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_FALSE(r.latency_bound_met);
+  EXPECT_GT(r.percentile_latency_s, 0.05);  // long queueing delays
+}
+
+TEST(LoadGen, ServerLatencyGrowsWithUtilization) {
+  const auto p90_at = [](double qps) {
+    VirtualClock clock;
+    FixedLatencySut sut(clock, 0.001);
+    FakeQsl qsl(16);
+    TestSettings s = FastSettings();
+    s.scenario = TestScenario::kServer;
+    s.server_target_qps = qps;
+    s.server_query_count = 1024;
+    return RunTest(sut, qsl, s, clock).percentile_latency_s;
+  };
+  EXPECT_LT(p90_at(100.0), p90_at(800.0));
+  EXPECT_LT(p90_at(800.0), p90_at(950.0));
+}
+
+TEST(LoadGen, ServerArrivalsAreSeeded) {
+  const auto run = [](std::uint64_t seed) {
+    VirtualClock clock;
+    FixedLatencySut sut(clock, 0.0005);
+    FakeQsl qsl(16);
+    TestSettings s = FastSettings();
+    s.scenario = TestScenario::kServer;
+    s.server_target_qps = 500.0;
+    s.server_query_count = 128;
+    s.seed = seed;
+    return RunTest(sut, qsl, s, clock).percentile_latency_s;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(LoadGen, FindMaxServerQpsBracketsSaturation) {
+  // Deterministic service at 1 ms: saturation at ~1000 QPS; with queueing
+  // at the 90th percentile the passing rate lands somewhat below that.
+  const auto run_at = [](double qps) {
+    VirtualClock clock;
+    FixedLatencySut sut(clock, 0.001);
+    FakeQsl qsl(16);
+    TestSettings s = FastSettings();
+    s.scenario = TestScenario::kServer;
+    s.server_target_qps = qps;
+    s.server_query_count = 2048;
+    s.server_latency_bound = Seconds{0.01};
+    return RunTest(sut, qsl, s, clock);
+  };
+  const double max_qps = FindMaxServerQps(run_at, 50.0, 5000.0, 10);
+  EXPECT_GT(max_qps, 300.0);
+  EXPECT_LT(max_qps, 1100.0);
+}
+
+TEST(LoadGen, FindMaxServerQpsZeroWhenLowFails) {
+  const auto run_at = [](double qps) {
+    VirtualClock clock;
+    FixedLatencySut sut(clock, 1.0);  // 1 s service: hopeless
+    FakeQsl qsl(4);
+    TestSettings s = FastSettings();
+    s.scenario = TestScenario::kServer;
+    s.server_target_qps = qps;
+    s.server_query_count = 16;
+    s.server_latency_bound = Seconds{0.01};
+    return RunTest(sut, qsl, s, clock);
+  };
+  EXPECT_EQ(FindMaxServerQps(run_at, 1.0, 100.0, 4), 0.0);
+}
+
+
+// ---- multi-stream scenario ----
+
+TEST(LoadGen, MultiStreamIssuesNSamplesPerQuery) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.0005);
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  s.scenario = TestScenario::kMultiStream;
+  s.multistream_samples_per_query = 4;
+  s.multistream_query_count = 32;
+  s.multistream_interval = Seconds{0.01};
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_EQ(r.sample_count, 128u);
+  EXPECT_EQ(r.latencies_s.size(), 32u);  // per-query metric
+  // 4 samples x 0.5 ms each, back to back = 2 ms per query.
+  EXPECT_NEAR(r.percentile_latency_s, 0.002, 5e-4);
+  EXPECT_TRUE(r.latency_bound_met);
+}
+
+TEST(LoadGen, MultiStreamOverflowDetected) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.004);
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  s.scenario = TestScenario::kMultiStream;
+  s.multistream_samples_per_query = 4;  // 16 ms of work per 10 ms frame
+  s.multistream_query_count = 16;
+  s.multistream_interval = Seconds{0.01};
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_FALSE(r.latency_bound_met);
+  // Backlog grows: the last query waits behind earlier ones.
+  EXPECT_GT(r.latencies_s.back(), r.latencies_s.front());
+}
+
+TEST(LoadGen, MultiStreamQueriesArePaced) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.0001);  // fast: device idles between ticks
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  s.scenario = TestScenario::kMultiStream;
+  s.multistream_samples_per_query = 2;
+  s.multistream_query_count = 10;
+  s.multistream_interval = Seconds{0.02};
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  // Total runtime spans the full 9 intervals even though work is tiny.
+  EXPECT_GE(clock.Now().count(), 0.02 * 9);
+  EXPECT_TRUE(r.latency_bound_met);
+}
+
+
+TEST(DatasetQslContract, UnstagedSampleAccessThrows) {
+  // Protocol violation guard: an SUT reading a sample the LoadGen never
+  // staged must fail loudly.
+  class OneSample final : public mlpm::datasets::TaskDataset {
+   public:
+    [[nodiscard]] std::size_t size() const override { return 2; }
+    [[nodiscard]] std::vector<mlpm::infer::Tensor> InputsFor(
+        std::size_t) const override {
+      std::vector<mlpm::infer::Tensor> v;
+      v.emplace_back(mlpm::graph::TensorShape({1}));
+      return v;
+    }
+    [[nodiscard]] double ScoreOutputs(
+        std::span<const std::vector<mlpm::infer::Tensor>>) const override {
+      return 0.0;
+    }
+    [[nodiscard]] std::string_view metric_name() const override {
+      return "none";
+    }
+    [[nodiscard]] std::vector<mlpm::infer::Tensor> CalibrationInputsFor(
+        std::size_t index) const override {
+      return InputsFor(index);
+    }
+  } dataset;
+  DatasetQsl qsl(dataset);
+  const std::size_t zero = 0;
+  qsl.LoadSamplesToRam({&zero, 1});
+  EXPECT_NO_THROW((void)qsl.Loaded(0));
+  EXPECT_THROW((void)qsl.Loaded(1), CheckError);
+  qsl.UnloadSamplesFromRam({&zero, 1});
+  EXPECT_THROW((void)qsl.Loaded(0), CheckError);
+}
+
+// ---- logging ----
+
+TEST(TestLog, SerializeParseRoundTrip) {
+  TestLog log;
+  log.SetField("seed", "12345");
+  log.SetField("scenario", "single_stream");
+  log.Record(LogEventKind::kQueryIssued, 1, Seconds{0.5});
+  log.Record(LogEventKind::kQueryCompleted, 1, Seconds{0.75});
+  const TestLog parsed = TestLog::Parse(log.Serialize());
+  ASSERT_NE(parsed.FieldOrNull("seed"), nullptr);
+  EXPECT_EQ(*parsed.FieldOrNull("seed"), "12345");
+  ASSERT_EQ(parsed.events().size(), 2u);
+  EXPECT_EQ(parsed.events()[0].kind, LogEventKind::kQueryIssued);
+  EXPECT_EQ(parsed.events()[1].query_id, 1u);
+  EXPECT_NEAR(parsed.events()[1].timestamp.count(), 0.75, 1e-9);
+}
+
+TEST(TestLog, ParseRejectsGarbage) {
+  EXPECT_THROW((void)TestLog::Parse("not a log"), CheckError);
+  EXPECT_THROW((void)TestLog::Parse(""), CheckError);
+  EXPECT_THROW((void)TestLog::Parse("mlpm_loadgen_log v1\nbogus line here"),
+               CheckError);
+}
+
+TEST(TestLog, FieldKeysValidated) {
+  TestLog log;
+  EXPECT_THROW(log.SetField("bad key", "v"), CheckError);
+  EXPECT_THROW(log.SetField("key", "multi\nline"), CheckError);
+}
+
+TEST(TestLog, TimestampPrecisionSurvivesRoundTrip) {
+  TestLog log;
+  log.Record(LogEventKind::kQueryIssued, 7, Seconds{1.234567891});
+  const TestLog parsed = TestLog::Parse(log.Serialize());
+  EXPECT_NEAR(parsed.events()[0].timestamp.count(), 1.234567891, 1e-8);
+}
+
+TEST(OfficialSeed, MatchesSpec) {
+  EXPECT_EQ(kOfficialSeed, 0x4D4C50657266ULL);
+  TestSettings s;
+  EXPECT_EQ(s.seed, kOfficialSeed);
+  EXPECT_EQ(s.min_query_count, 1024u);
+  EXPECT_DOUBLE_EQ(s.min_duration.count(), 60.0);
+  EXPECT_EQ(s.offline_sample_count, 24'576u);
+  EXPECT_DOUBLE_EQ(s.latency_percentile, 90.0);
+}
+
+}  // namespace
+}  // namespace mlpm::loadgen

@@ -1,0 +1,92 @@
+// Tests for the tooling layer: model summaries and CSV result export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/summary.h"
+#include "harness/export.h"
+#include "models/mobilenet_edgetpu.h"
+
+namespace mlpm {
+namespace {
+
+TEST(Summary, ContainsLayersAndTotals) {
+  const graph::Graph g =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kMini);
+  const std::string s = graph::Summarize(g);
+  EXPECT_NE(s.find("mobilenet_edgetpu"), std::string::npos);
+  EXPECT_NE(s.find("Conv2d"), std::string::npos);
+  EXPECT_NE(s.find("total"), std::string::npos);
+  EXPECT_NE(s.find(std::to_string(g.ParameterCount())), std::string::npos);
+}
+
+TEST(Summary, OneLineFormat) {
+  const graph::Graph g =
+      models::BuildMobileNetEdgeTpu(models::ModelScale::kFull);
+  const std::string s = graph::OneLineSummary(g);
+  EXPECT_NE(s.find("mobilenet_edgetpu:"), std::string::npos);
+  EXPECT_NE(s.find("GMACs"), std::string::npos);
+  EXPECT_NE(s.find("3.95M params"), std::string::npos);
+}
+
+harness::SubmissionResult FakeResult() {
+  harness::SubmissionResult r;
+  r.chipset_name = "Test, SoC";  // comma forces CSV quoting
+  r.version = models::SuiteVersion::kV1_0;
+  harness::TaskRunResult t;
+  t.entry = models::SuiteFor(models::SuiteVersion::kV1_0)[0];
+  t.numerics = DataType::kUInt8;
+  t.framework_name = "SDK";
+  t.accelerator_label = "NPU";
+  t.accuracy = 0.8;
+  t.fp32_reference = 0.81;
+  t.ratio_to_fp32 = 0.8 / 0.81;
+  t.quality_passed = true;
+  loadgen::TestResult perf;
+  perf.percentile_latency_s = 0.002;
+  perf.mean_latency_s = 0.0019;
+  t.single_stream = perf;
+  t.energy_per_inference_j = 0.004;
+  r.tasks.push_back(std::move(t));
+  return r;
+}
+
+TEST(Csv, HeaderAndRowCount) {
+  const std::string csv = harness::ToCsv(FakeResult());
+  std::istringstream is(csv);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 2u);  // header + one task
+  EXPECT_EQ(csv.substr(0, 7), "chipset");
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  const std::string csv = harness::ToCsv(FakeResult());
+  EXPECT_NE(csv.find("\"Test, SoC\""), std::string::npos);
+}
+
+TEST(Csv, ContainsTransparencyColumns) {
+  const std::string csv = harness::ToCsv(FakeResult());
+  EXPECT_NE(csv.find("UINT8"), std::string::npos);
+  EXPECT_NE(csv.find("SDK"), std::string::npos);
+  EXPECT_NE(csv.find("NPU"), std::string::npos);
+  EXPECT_NE(csv.find("true"), std::string::npos);
+}
+
+TEST(Csv, MissingOfflineLeavesEmptyField) {
+  const std::string csv = harness::ToCsv(FakeResult(), false);
+  // ...,p90,mean,<empty offline>,energy
+  EXPECT_NE(csv.find(",,4"), std::string::npos);
+}
+
+TEST(Csv, StoreExportPrependsDate) {
+  harness::ResultStore store;
+  store.Add("2021-04-01", FakeResult());
+  const std::string csv = harness::ToCsv(store);
+  EXPECT_EQ(csv.substr(0, 5), "date,");
+  EXPECT_NE(csv.find("2021-04-01,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlpm
