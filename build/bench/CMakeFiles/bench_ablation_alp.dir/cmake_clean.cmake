@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alp.dir/bench_ablation_alp.cpp.o"
+  "CMakeFiles/bench_ablation_alp.dir/bench_ablation_alp.cpp.o.d"
+  "bench_ablation_alp"
+  "bench_ablation_alp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fallback.dir/bench_ablation_fallback.cpp.o"
+  "CMakeFiles/bench_ablation_fallback.dir/bench_ablation_fallback.cpp.o.d"
+  "bench_ablation_fallback"
+  "bench_ablation_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_governor.dir/bench_ablation_governor.cpp.o"
+  "CMakeFiles/bench_ablation_governor.dir/bench_ablation_governor.cpp.o.d"
+  "bench_ablation_governor"
+  "bench_ablation_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_numerics.dir/bench_ablation_numerics.cpp.o"
+  "CMakeFiles/bench_ablation_numerics.dir/bench_ablation_numerics.cpp.o.d"
+  "bench_ablation_numerics"
+  "bench_ablation_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

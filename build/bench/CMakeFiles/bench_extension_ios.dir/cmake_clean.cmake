@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_ios.dir/bench_extension_ios.cpp.o"
+  "CMakeFiles/bench_extension_ios.dir/bench_extension_ios.cpp.o.d"
+  "bench_extension_ios"
+  "bench_extension_ios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_ios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

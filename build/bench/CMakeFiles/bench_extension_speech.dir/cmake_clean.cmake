@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_speech.dir/bench_extension_speech.cpp.o"
+  "CMakeFiles/bench_extension_speech.dir/bench_extension_speech.cpp.o.d"
+  "bench_extension_speech"
+  "bench_extension_speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_superres.dir/bench_extension_superres.cpp.o"
+  "CMakeFiles/bench_extension_superres.dir/bench_extension_superres.cpp.o.d"
+  "bench_extension_superres"
+  "bench_extension_superres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_superres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

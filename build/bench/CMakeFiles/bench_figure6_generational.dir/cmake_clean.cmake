@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_generational.dir/bench_figure6_generational.cpp.o"
+  "CMakeFiles/bench_figure6_generational.dir/bench_figure6_generational.cpp.o.d"
+  "bench_figure6_generational"
+  "bench_figure6_generational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_generational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

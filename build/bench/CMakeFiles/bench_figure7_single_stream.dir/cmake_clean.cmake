@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7_single_stream.dir/bench_figure7_single_stream.cpp.o"
+  "CMakeFiles/bench_figure7_single_stream.dir/bench_figure7_single_stream.cpp.o.d"
+  "bench_figure7_single_stream"
+  "bench_figure7_single_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_single_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

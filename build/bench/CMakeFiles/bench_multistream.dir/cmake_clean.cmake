@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multistream.dir/bench_multistream.cpp.o"
+  "CMakeFiles/bench_multistream.dir/bench_multistream.cpp.o.d"
+  "bench_multistream"
+  "bench_multistream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

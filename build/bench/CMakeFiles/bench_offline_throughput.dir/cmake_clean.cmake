@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offline_throughput.dir/bench_offline_throughput.cpp.o"
+  "CMakeFiles/bench_offline_throughput.dir/bench_offline_throughput.cpp.o.d"
+  "bench_offline_throughput"
+  "bench_offline_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_server_scenario.dir/bench_server_scenario.cpp.o"
+  "CMakeFiles/bench_server_scenario.dir/bench_server_scenario.cpp.o.d"
+  "bench_server_scenario"
+  "bench_server_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_server_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

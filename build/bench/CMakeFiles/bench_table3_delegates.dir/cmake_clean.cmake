@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_delegates.dir/bench_table3_delegates.cpp.o"
+  "CMakeFiles/bench_table3_delegates.dir/bench_table3_delegates.cpp.o.d"
+  "bench_table3_delegates"
+  "bench_table3_delegates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_delegates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

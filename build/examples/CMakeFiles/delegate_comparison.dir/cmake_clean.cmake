@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegate_comparison.dir/delegate_comparison.cpp.o"
+  "CMakeFiles/delegate_comparison.dir/delegate_comparison.cpp.o.d"
+  "delegate_comparison"
+  "delegate_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegate_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headless_cli.dir/headless_cli.cpp.o"
+  "CMakeFiles/headless_cli.dir/headless_cli.cpp.o.d"
+  "headless_cli"
+  "headless_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headless_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolling_submissions.dir/rolling_submissions.cpp.o"
+  "CMakeFiles/rolling_submissions.dir/rolling_submissions.cpp.o.d"
+  "rolling_submissions"
+  "rolling_submissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolling_submissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("graph")
+subdirs("infer")
+subdirs("quant")
+subdirs("models")
+subdirs("datasets")
+subdirs("metrics")
+subdirs("core")
+subdirs("soc")
+subdirs("backends")
+subdirs("harness")

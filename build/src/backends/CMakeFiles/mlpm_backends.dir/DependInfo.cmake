@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/framework.cpp" "src/backends/CMakeFiles/mlpm_backends.dir/framework.cpp.o" "gcc" "src/backends/CMakeFiles/mlpm_backends.dir/framework.cpp.o.d"
+  "/root/repo/src/backends/reference_backend.cpp" "src/backends/CMakeFiles/mlpm_backends.dir/reference_backend.cpp.o" "gcc" "src/backends/CMakeFiles/mlpm_backends.dir/reference_backend.cpp.o.d"
+  "/root/repo/src/backends/simulated_backend.cpp" "src/backends/CMakeFiles/mlpm_backends.dir/simulated_backend.cpp.o" "gcc" "src/backends/CMakeFiles/mlpm_backends.dir/simulated_backend.cpp.o.d"
+  "/root/repo/src/backends/vendor_policy.cpp" "src/backends/CMakeFiles/mlpm_backends.dir/vendor_policy.cpp.o" "gcc" "src/backends/CMakeFiles/mlpm_backends.dir/vendor_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/mlpm_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mlpm_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mlpm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/mlpm_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/mlpm_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mlpm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mlpm_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mlpm_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_backends.dir/framework.cpp.o"
+  "CMakeFiles/mlpm_backends.dir/framework.cpp.o.d"
+  "CMakeFiles/mlpm_backends.dir/reference_backend.cpp.o"
+  "CMakeFiles/mlpm_backends.dir/reference_backend.cpp.o.d"
+  "CMakeFiles/mlpm_backends.dir/simulated_backend.cpp.o"
+  "CMakeFiles/mlpm_backends.dir/simulated_backend.cpp.o.d"
+  "CMakeFiles/mlpm_backends.dir/vendor_policy.cpp.o"
+  "CMakeFiles/mlpm_backends.dir/vendor_policy.cpp.o.d"
+  "libmlpm_backends.a"
+  "libmlpm_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_common.dir/barchart.cpp.o"
+  "CMakeFiles/mlpm_common.dir/barchart.cpp.o.d"
+  "CMakeFiles/mlpm_common.dir/fp16.cpp.o"
+  "CMakeFiles/mlpm_common.dir/fp16.cpp.o.d"
+  "CMakeFiles/mlpm_common.dir/rng.cpp.o"
+  "CMakeFiles/mlpm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mlpm_common.dir/statistics.cpp.o"
+  "CMakeFiles/mlpm_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/mlpm_common.dir/table.cpp.o"
+  "CMakeFiles/mlpm_common.dir/table.cpp.o.d"
+  "libmlpm_common.a"
+  "libmlpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

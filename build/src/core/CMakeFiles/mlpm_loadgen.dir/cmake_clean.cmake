@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_loadgen.dir/dataset_qsl.cpp.o"
+  "CMakeFiles/mlpm_loadgen.dir/dataset_qsl.cpp.o.d"
+  "CMakeFiles/mlpm_loadgen.dir/loadgen.cpp.o"
+  "CMakeFiles/mlpm_loadgen.dir/loadgen.cpp.o.d"
+  "CMakeFiles/mlpm_loadgen.dir/logging.cpp.o"
+  "CMakeFiles/mlpm_loadgen.dir/logging.cpp.o.d"
+  "libmlpm_loadgen.a"
+  "libmlpm_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

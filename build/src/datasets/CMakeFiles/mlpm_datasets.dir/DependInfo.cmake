@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/calibration_set.cpp" "src/datasets/CMakeFiles/mlpm_datasets.dir/calibration_set.cpp.o" "gcc" "src/datasets/CMakeFiles/mlpm_datasets.dir/calibration_set.cpp.o.d"
+  "/root/repo/src/datasets/classification_dataset.cpp" "src/datasets/CMakeFiles/mlpm_datasets.dir/classification_dataset.cpp.o" "gcc" "src/datasets/CMakeFiles/mlpm_datasets.dir/classification_dataset.cpp.o.d"
+  "/root/repo/src/datasets/detection_dataset.cpp" "src/datasets/CMakeFiles/mlpm_datasets.dir/detection_dataset.cpp.o" "gcc" "src/datasets/CMakeFiles/mlpm_datasets.dir/detection_dataset.cpp.o.d"
+  "/root/repo/src/datasets/preprocess.cpp" "src/datasets/CMakeFiles/mlpm_datasets.dir/preprocess.cpp.o" "gcc" "src/datasets/CMakeFiles/mlpm_datasets.dir/preprocess.cpp.o.d"
+  "/root/repo/src/datasets/qa_dataset.cpp" "src/datasets/CMakeFiles/mlpm_datasets.dir/qa_dataset.cpp.o" "gcc" "src/datasets/CMakeFiles/mlpm_datasets.dir/qa_dataset.cpp.o.d"
+  "/root/repo/src/datasets/segmentation_dataset.cpp" "src/datasets/CMakeFiles/mlpm_datasets.dir/segmentation_dataset.cpp.o" "gcc" "src/datasets/CMakeFiles/mlpm_datasets.dir/segmentation_dataset.cpp.o.d"
+  "/root/repo/src/datasets/speech_dataset.cpp" "src/datasets/CMakeFiles/mlpm_datasets.dir/speech_dataset.cpp.o" "gcc" "src/datasets/CMakeFiles/mlpm_datasets.dir/speech_dataset.cpp.o.d"
+  "/root/repo/src/datasets/superres_dataset.cpp" "src/datasets/CMakeFiles/mlpm_datasets.dir/superres_dataset.cpp.o" "gcc" "src/datasets/CMakeFiles/mlpm_datasets.dir/superres_dataset.cpp.o.d"
+  "/root/repo/src/datasets/synthetic_image.cpp" "src/datasets/CMakeFiles/mlpm_datasets.dir/synthetic_image.cpp.o" "gcc" "src/datasets/CMakeFiles/mlpm_datasets.dir/synthetic_image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/mlpm_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mlpm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mlpm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mlpm_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mlpm_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

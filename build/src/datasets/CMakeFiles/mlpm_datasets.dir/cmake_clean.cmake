@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_datasets.dir/calibration_set.cpp.o"
+  "CMakeFiles/mlpm_datasets.dir/calibration_set.cpp.o.d"
+  "CMakeFiles/mlpm_datasets.dir/classification_dataset.cpp.o"
+  "CMakeFiles/mlpm_datasets.dir/classification_dataset.cpp.o.d"
+  "CMakeFiles/mlpm_datasets.dir/detection_dataset.cpp.o"
+  "CMakeFiles/mlpm_datasets.dir/detection_dataset.cpp.o.d"
+  "CMakeFiles/mlpm_datasets.dir/preprocess.cpp.o"
+  "CMakeFiles/mlpm_datasets.dir/preprocess.cpp.o.d"
+  "CMakeFiles/mlpm_datasets.dir/qa_dataset.cpp.o"
+  "CMakeFiles/mlpm_datasets.dir/qa_dataset.cpp.o.d"
+  "CMakeFiles/mlpm_datasets.dir/segmentation_dataset.cpp.o"
+  "CMakeFiles/mlpm_datasets.dir/segmentation_dataset.cpp.o.d"
+  "CMakeFiles/mlpm_datasets.dir/speech_dataset.cpp.o"
+  "CMakeFiles/mlpm_datasets.dir/speech_dataset.cpp.o.d"
+  "CMakeFiles/mlpm_datasets.dir/superres_dataset.cpp.o"
+  "CMakeFiles/mlpm_datasets.dir/superres_dataset.cpp.o.d"
+  "CMakeFiles/mlpm_datasets.dir/synthetic_image.cpp.o"
+  "CMakeFiles/mlpm_datasets.dir/synthetic_image.cpp.o.d"
+  "libmlpm_datasets.a"
+  "libmlpm_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

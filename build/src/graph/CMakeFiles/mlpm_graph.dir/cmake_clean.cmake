@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_graph.dir/cost.cpp.o"
+  "CMakeFiles/mlpm_graph.dir/cost.cpp.o.d"
+  "CMakeFiles/mlpm_graph.dir/graph.cpp.o"
+  "CMakeFiles/mlpm_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mlpm_graph.dir/serialize.cpp.o"
+  "CMakeFiles/mlpm_graph.dir/serialize.cpp.o.d"
+  "CMakeFiles/mlpm_graph.dir/summary.cpp.o"
+  "CMakeFiles/mlpm_graph.dir/summary.cpp.o.d"
+  "CMakeFiles/mlpm_graph.dir/validate.cpp.o"
+  "CMakeFiles/mlpm_graph.dir/validate.cpp.o.d"
+  "libmlpm_graph.a"
+  "libmlpm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

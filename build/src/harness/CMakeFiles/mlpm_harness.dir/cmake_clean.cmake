@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_harness.dir/app.cpp.o"
+  "CMakeFiles/mlpm_harness.dir/app.cpp.o.d"
+  "CMakeFiles/mlpm_harness.dir/audit.cpp.o"
+  "CMakeFiles/mlpm_harness.dir/audit.cpp.o.d"
+  "CMakeFiles/mlpm_harness.dir/checker.cpp.o"
+  "CMakeFiles/mlpm_harness.dir/checker.cpp.o.d"
+  "CMakeFiles/mlpm_harness.dir/export.cpp.o"
+  "CMakeFiles/mlpm_harness.dir/export.cpp.o.d"
+  "CMakeFiles/mlpm_harness.dir/package.cpp.o"
+  "CMakeFiles/mlpm_harness.dir/package.cpp.o.d"
+  "CMakeFiles/mlpm_harness.dir/report.cpp.o"
+  "CMakeFiles/mlpm_harness.dir/report.cpp.o.d"
+  "CMakeFiles/mlpm_harness.dir/result_store.cpp.o"
+  "CMakeFiles/mlpm_harness.dir/result_store.cpp.o.d"
+  "CMakeFiles/mlpm_harness.dir/run_session.cpp.o"
+  "CMakeFiles/mlpm_harness.dir/run_session.cpp.o.d"
+  "CMakeFiles/mlpm_harness.dir/task_bundle.cpp.o"
+  "CMakeFiles/mlpm_harness.dir/task_bundle.cpp.o.d"
+  "libmlpm_harness.a"
+  "libmlpm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infer/executor.cpp" "src/infer/CMakeFiles/mlpm_infer.dir/executor.cpp.o" "gcc" "src/infer/CMakeFiles/mlpm_infer.dir/executor.cpp.o.d"
+  "/root/repo/src/infer/int8_conv.cpp" "src/infer/CMakeFiles/mlpm_infer.dir/int8_conv.cpp.o" "gcc" "src/infer/CMakeFiles/mlpm_infer.dir/int8_conv.cpp.o.d"
+  "/root/repo/src/infer/int8_gemm.cpp" "src/infer/CMakeFiles/mlpm_infer.dir/int8_gemm.cpp.o" "gcc" "src/infer/CMakeFiles/mlpm_infer.dir/int8_gemm.cpp.o.d"
+  "/root/repo/src/infer/weights.cpp" "src/infer/CMakeFiles/mlpm_infer.dir/weights.cpp.o" "gcc" "src/infer/CMakeFiles/mlpm_infer.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mlpm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_infer.dir/executor.cpp.o"
+  "CMakeFiles/mlpm_infer.dir/executor.cpp.o.d"
+  "CMakeFiles/mlpm_infer.dir/int8_conv.cpp.o"
+  "CMakeFiles/mlpm_infer.dir/int8_conv.cpp.o.d"
+  "CMakeFiles/mlpm_infer.dir/int8_gemm.cpp.o"
+  "CMakeFiles/mlpm_infer.dir/int8_gemm.cpp.o.d"
+  "CMakeFiles/mlpm_infer.dir/weights.cpp.o"
+  "CMakeFiles/mlpm_infer.dir/weights.cpp.o.d"
+  "libmlpm_infer.a"
+  "libmlpm_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlpm_infer.a"
+)

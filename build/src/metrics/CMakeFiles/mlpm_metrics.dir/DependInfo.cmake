@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/classification.cpp" "src/metrics/CMakeFiles/mlpm_metrics.dir/classification.cpp.o" "gcc" "src/metrics/CMakeFiles/mlpm_metrics.dir/classification.cpp.o.d"
+  "/root/repo/src/metrics/f1.cpp" "src/metrics/CMakeFiles/mlpm_metrics.dir/f1.cpp.o" "gcc" "src/metrics/CMakeFiles/mlpm_metrics.dir/f1.cpp.o.d"
+  "/root/repo/src/metrics/map.cpp" "src/metrics/CMakeFiles/mlpm_metrics.dir/map.cpp.o" "gcc" "src/metrics/CMakeFiles/mlpm_metrics.dir/map.cpp.o.d"
+  "/root/repo/src/metrics/miou.cpp" "src/metrics/CMakeFiles/mlpm_metrics.dir/miou.cpp.o" "gcc" "src/metrics/CMakeFiles/mlpm_metrics.dir/miou.cpp.o.d"
+  "/root/repo/src/metrics/psnr.cpp" "src/metrics/CMakeFiles/mlpm_metrics.dir/psnr.cpp.o" "gcc" "src/metrics/CMakeFiles/mlpm_metrics.dir/psnr.cpp.o.d"
+  "/root/repo/src/metrics/wer.cpp" "src/metrics/CMakeFiles/mlpm_metrics.dir/wer.cpp.o" "gcc" "src/metrics/CMakeFiles/mlpm_metrics.dir/wer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/mlpm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/mlpm_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mlpm_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_metrics.dir/classification.cpp.o"
+  "CMakeFiles/mlpm_metrics.dir/classification.cpp.o.d"
+  "CMakeFiles/mlpm_metrics.dir/f1.cpp.o"
+  "CMakeFiles/mlpm_metrics.dir/f1.cpp.o.d"
+  "CMakeFiles/mlpm_metrics.dir/map.cpp.o"
+  "CMakeFiles/mlpm_metrics.dir/map.cpp.o.d"
+  "CMakeFiles/mlpm_metrics.dir/miou.cpp.o"
+  "CMakeFiles/mlpm_metrics.dir/miou.cpp.o.d"
+  "CMakeFiles/mlpm_metrics.dir/psnr.cpp.o"
+  "CMakeFiles/mlpm_metrics.dir/psnr.cpp.o.d"
+  "CMakeFiles/mlpm_metrics.dir/wer.cpp.o"
+  "CMakeFiles/mlpm_metrics.dir/wer.cpp.o.d"
+  "libmlpm_metrics.a"
+  "libmlpm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/common.cpp" "src/models/CMakeFiles/mlpm_models.dir/common.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/common.cpp.o.d"
+  "/root/repo/src/models/deeplab.cpp" "src/models/CMakeFiles/mlpm_models.dir/deeplab.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/deeplab.cpp.o.d"
+  "/root/repo/src/models/detection.cpp" "src/models/CMakeFiles/mlpm_models.dir/detection.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/detection.cpp.o.d"
+  "/root/repo/src/models/mobilebert.cpp" "src/models/CMakeFiles/mlpm_models.dir/mobilebert.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/mobilebert.cpp.o.d"
+  "/root/repo/src/models/mobilenet_edgetpu.cpp" "src/models/CMakeFiles/mlpm_models.dir/mobilenet_edgetpu.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/mobilenet_edgetpu.cpp.o.d"
+  "/root/repo/src/models/mobilenet_v2.cpp" "src/models/CMakeFiles/mlpm_models.dir/mobilenet_v2.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/mobilenet_v2.cpp.o.d"
+  "/root/repo/src/models/rnnt.cpp" "src/models/CMakeFiles/mlpm_models.dir/rnnt.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/rnnt.cpp.o.d"
+  "/root/repo/src/models/ssd.cpp" "src/models/CMakeFiles/mlpm_models.dir/ssd.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/ssd.cpp.o.d"
+  "/root/repo/src/models/superres.cpp" "src/models/CMakeFiles/mlpm_models.dir/superres.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/superres.cpp.o.d"
+  "/root/repo/src/models/zoo.cpp" "src/models/CMakeFiles/mlpm_models.dir/zoo.cpp.o" "gcc" "src/models/CMakeFiles/mlpm_models.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/mlpm_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mlpm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

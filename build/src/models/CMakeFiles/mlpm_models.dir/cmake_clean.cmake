@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_models.dir/common.cpp.o"
+  "CMakeFiles/mlpm_models.dir/common.cpp.o.d"
+  "CMakeFiles/mlpm_models.dir/deeplab.cpp.o"
+  "CMakeFiles/mlpm_models.dir/deeplab.cpp.o.d"
+  "CMakeFiles/mlpm_models.dir/detection.cpp.o"
+  "CMakeFiles/mlpm_models.dir/detection.cpp.o.d"
+  "CMakeFiles/mlpm_models.dir/mobilebert.cpp.o"
+  "CMakeFiles/mlpm_models.dir/mobilebert.cpp.o.d"
+  "CMakeFiles/mlpm_models.dir/mobilenet_edgetpu.cpp.o"
+  "CMakeFiles/mlpm_models.dir/mobilenet_edgetpu.cpp.o.d"
+  "CMakeFiles/mlpm_models.dir/mobilenet_v2.cpp.o"
+  "CMakeFiles/mlpm_models.dir/mobilenet_v2.cpp.o.d"
+  "CMakeFiles/mlpm_models.dir/rnnt.cpp.o"
+  "CMakeFiles/mlpm_models.dir/rnnt.cpp.o.d"
+  "CMakeFiles/mlpm_models.dir/ssd.cpp.o"
+  "CMakeFiles/mlpm_models.dir/ssd.cpp.o.d"
+  "CMakeFiles/mlpm_models.dir/superres.cpp.o"
+  "CMakeFiles/mlpm_models.dir/superres.cpp.o.d"
+  "CMakeFiles/mlpm_models.dir/zoo.cpp.o"
+  "CMakeFiles/mlpm_models.dir/zoo.cpp.o.d"
+  "libmlpm_models.a"
+  "libmlpm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/calibration.cpp" "src/quant/CMakeFiles/mlpm_quant.dir/calibration.cpp.o" "gcc" "src/quant/CMakeFiles/mlpm_quant.dir/calibration.cpp.o.d"
+  "/root/repo/src/quant/rules.cpp" "src/quant/CMakeFiles/mlpm_quant.dir/rules.cpp.o" "gcc" "src/quant/CMakeFiles/mlpm_quant.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/mlpm_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mlpm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_quant.dir/calibration.cpp.o"
+  "CMakeFiles/mlpm_quant.dir/calibration.cpp.o.d"
+  "CMakeFiles/mlpm_quant.dir/rules.cpp.o"
+  "CMakeFiles/mlpm_quant.dir/rules.cpp.o.d"
+  "libmlpm_quant.a"
+  "libmlpm_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/battery.cpp" "src/soc/CMakeFiles/mlpm_soc.dir/battery.cpp.o" "gcc" "src/soc/CMakeFiles/mlpm_soc.dir/battery.cpp.o.d"
+  "/root/repo/src/soc/catalog.cpp" "src/soc/CMakeFiles/mlpm_soc.dir/catalog.cpp.o" "gcc" "src/soc/CMakeFiles/mlpm_soc.dir/catalog.cpp.o.d"
+  "/root/repo/src/soc/compile.cpp" "src/soc/CMakeFiles/mlpm_soc.dir/compile.cpp.o" "gcc" "src/soc/CMakeFiles/mlpm_soc.dir/compile.cpp.o.d"
+  "/root/repo/src/soc/simulator.cpp" "src/soc/CMakeFiles/mlpm_soc.dir/simulator.cpp.o" "gcc" "src/soc/CMakeFiles/mlpm_soc.dir/simulator.cpp.o.d"
+  "/root/repo/src/soc/thermal.cpp" "src/soc/CMakeFiles/mlpm_soc.dir/thermal.cpp.o" "gcc" "src/soc/CMakeFiles/mlpm_soc.dir/thermal.cpp.o.d"
+  "/root/repo/src/soc/trace.cpp" "src/soc/CMakeFiles/mlpm_soc.dir/trace.cpp.o" "gcc" "src/soc/CMakeFiles/mlpm_soc.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mlpm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

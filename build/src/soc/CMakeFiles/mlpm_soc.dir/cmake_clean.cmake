@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpm_soc.dir/battery.cpp.o"
+  "CMakeFiles/mlpm_soc.dir/battery.cpp.o.d"
+  "CMakeFiles/mlpm_soc.dir/catalog.cpp.o"
+  "CMakeFiles/mlpm_soc.dir/catalog.cpp.o.d"
+  "CMakeFiles/mlpm_soc.dir/compile.cpp.o"
+  "CMakeFiles/mlpm_soc.dir/compile.cpp.o.d"
+  "CMakeFiles/mlpm_soc.dir/simulator.cpp.o"
+  "CMakeFiles/mlpm_soc.dir/simulator.cpp.o.d"
+  "CMakeFiles/mlpm_soc.dir/thermal.cpp.o"
+  "CMakeFiles/mlpm_soc.dir/thermal.cpp.o.d"
+  "CMakeFiles/mlpm_soc.dir/trace.cpp.o"
+  "CMakeFiles/mlpm_soc.dir/trace.cpp.o.d"
+  "libmlpm_soc.a"
+  "libmlpm_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpm_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backends_test.cpp" "tests/CMakeFiles/backends_test.dir/backends_test.cpp.o" "gcc" "tests/CMakeFiles/backends_test.dir/backends_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mlpm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/mlpm_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/mlpm_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mlpm_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/mlpm_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mlpm_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mlpm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mlpm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/mlpm_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mlpm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_test.dir/backends_test.cpp.o"
+  "CMakeFiles/backends_test.dir/backends_test.cpp.o.d"
+  "backends_test"
+  "backends_test.pdb"
+  "backends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_trace_test.dir/validate_trace_test.cpp.o"
+  "CMakeFiles/validate_trace_test.dir/validate_trace_test.cpp.o.d"
+  "validate_trace_test"
+  "validate_trace_test.pdb"
+  "validate_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
