@@ -8,10 +8,12 @@
 //                [--scenario single_stream|offline|server|multi_stream]
 //                [--task all|ic|od|is|nlp] [--accuracy] [--e2e]
 //                [--cooldown SECONDS] [--csv FILE] [--log FILE]
+//                [--faults CRASH_PROB] [--fault-seed N]
 //
 // Examples:
 //   headless_cli --chipset "Core i7-11375H" --version v1.0
 //   headless_cli --chipset "Exynos 2100" --task is --accuracy
+//   headless_cli --chipset "Dimensity 1100" --performance-only --faults 0.9
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +37,10 @@ struct CliOptions {
   double cooldown_s = 60.0;
   std::string csv_path;
   std::string log_path;
+  // Fault injection: driver-crash probability per accelerated inference
+  // (<= 0 disables; see soc/faults.h for the full plan vocabulary).
+  double crash_probability = 0.0;
+  std::uint64_t fault_seed = 0x464C54;
 };
 
 std::optional<CliOptions> Parse(int argc, char** argv) {
@@ -71,6 +77,12 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
       o.csv_path = value();
     } else if (arg == "--log") {
       o.log_path = value();
+    } else if (arg == "--faults") {
+      o.crash_probability = std::atof(value().c_str());
+      if (o.crash_probability <= 0.0 || o.crash_probability > 1.0)
+        return std::nullopt;
+    } else if (arg == "--fault-seed") {
+      o.fault_seed = std::strtoull(value().c_str(), nullptr, 10);
     } else {
       return std::nullopt;
     }
@@ -95,7 +107,8 @@ int main(int argc, char** argv) {
                  "usage: headless_cli [--chipset NAME] [--version v0.7|v1.0]"
                  " [--task all|ic|od|is|nlp]\n"
                  "                    [--accuracy|--performance-only] [--e2e]"
-                 " [--cooldown S] [--csv FILE] [--log FILE]\n");
+                 " [--cooldown S] [--csv FILE] [--log FILE]\n"
+                 "                    [--faults CRASH_PROB] [--fault-seed N]\n");
     return 2;
   }
   const std::optional<soc::ChipsetDesc> chipset = FindChipset(opts->chipset);
@@ -113,6 +126,13 @@ int main(int argc, char** argv) {
   run.run_accuracy = opts->accuracy;
   run.end_to_end = opts->end_to_end;
   run.cooldown_s = opts->cooldown_s;
+  if (opts->crash_probability > 0.0) {
+    soc::FaultPlan plan;
+    plan.seed = opts->fault_seed;
+    plan.DriverCrashes(opts->crash_probability);
+    run.fault_plan = std::move(plan);
+    run.performance_settings.query_timeout = loadgen::Seconds{10.0};
+  }
 
   harness::SuiteBundles bundles;
   harness::AppRunOutput out =

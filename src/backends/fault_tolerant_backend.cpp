@@ -1,0 +1,173 @@
+#include "backends/fault_tolerant_backend.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "backends/framework.h"
+#include "common/check.h"
+
+namespace mlpm::backends {
+
+FaultTolerantBackend::FaultTolerantBackend(
+    std::string name, soc::SocSimulator simulator, soc::CompiledModel primary,
+    soc::CompiledModel cpu_fallback,
+    std::vector<soc::CompiledModel> offline_replicas,
+    loadgen::VirtualClock& clock, FaultToleranceOptions options,
+    EndToEndCosts end_to_end)
+    : name_(std::move(name)),
+      simulator_(std::move(simulator)),
+      primary_(std::move(primary)),
+      cpu_fallback_(std::move(cpu_fallback)),
+      offline_replicas_(std::move(offline_replicas)),
+      clock_(clock),
+      options_(options),
+      end_to_end_(end_to_end) {
+  Expects(options_.max_attempts >= 1, "need at least one attempt");
+  Expects(options_.crash_fallback_threshold >= 1,
+          "crash fallback threshold must be positive");
+  Expects(simulator_.IsCpuOnly(cpu_fallback_),
+          "the fallback plan must run entirely on the CPU");
+}
+
+void FaultTolerantBackend::Record(RecoveryAction action,
+                                 std::uint64_t query_id, int attempt) {
+  events_.push_back(
+      DegradationEvent{action, query_id, clock_.Now().count(), attempt});
+}
+
+void FaultTolerantBackend::RunOne(const loadgen::QuerySample& sample,
+                                  loadgen::ResponseSink& sink) {
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    const soc::CompiledModel& model =
+        stats_.degraded_to_cpu ? cpu_fallback_ : primary_;
+    const soc::InferenceResult r = simulator_.RunInference(model);
+    total_energy_j_ += r.energy_j;
+    clock_.Advance(loadgen::Seconds{r.latency_s});
+
+    switch (r.outcome) {
+      case soc::InferenceOutcome::kOk:
+      case soc::InferenceOutcome::kThermalEmergency:
+        consecutive_crashes_ = 0;
+        clock_.Advance(loadgen::Seconds{end_to_end_.Total()});
+        ++stats_.completed;
+        sink.Complete(loadgen::QuerySampleResponse{sample.id, {}});
+        if (r.outcome == soc::InferenceOutcome::kThermalEmergency) {
+          // Cool down before the next query — an emergency trip means the
+          // governor already dropped to its floor; pressing on would only
+          // burn time at the minimum clock.
+          ++stats_.thermal_emergencies;
+          Record(RecoveryAction::kEmergencyCooldown, sample.id, attempt);
+          simulator_.Cooldown(options_.emergency_cooldown_s);
+          clock_.Advance(loadgen::Seconds{options_.emergency_cooldown_s});
+        }
+        return;
+
+      case soc::InferenceOutcome::kDropped:
+        // The work ran; only the signal was lost.  Retrying would execute
+        // (and potentially score) the sample twice — leave the expiry to
+        // the LoadGen watchdog.
+        consecutive_crashes_ = 0;
+        ++stats_.lost_completions;
+        Record(RecoveryAction::kLostCompletion, sample.id, attempt);
+        return;
+
+      case soc::InferenceOutcome::kStalledRetryable:
+        consecutive_crashes_ = 0;
+        ++stats_.transient_stalls;
+        break;  // retry below
+
+      case soc::InferenceOutcome::kDriverCrash:
+        ++stats_.driver_crashes;
+        ++consecutive_crashes_;
+        if (!stats_.degraded_to_cpu &&
+            consecutive_crashes_ >= options_.crash_fallback_threshold) {
+          // The accelerator plan is broken; degrade to the CPU path and
+          // keep serving.  Faults do not apply to CPU-only plans, so from
+          // here on the run completes — slower, but valid-degraded.
+          stats_.degraded_to_cpu = true;
+          Record(RecoveryAction::kCpuFallback, sample.id, attempt);
+        }
+        break;  // retry below
+    }
+
+    if (attempt == options_.max_attempts) {
+      ++stats_.gave_up;
+      Record(RecoveryAction::kGaveUp, sample.id, attempt);
+      return;  // the LoadGen watchdog expires the query
+    }
+    // Exponential backoff before the retry.
+    ++stats_.retries;
+    Record(RecoveryAction::kRetry, sample.id, attempt);
+    clock_.Advance(loadgen::Seconds{
+        options_.backoff_base_s * static_cast<double>(1 << (attempt - 1))});
+  }
+}
+
+void FaultTolerantBackend::IssueQuery(
+    std::span<const loadgen::QuerySample> samples,
+    loadgen::ResponseSink& sink) {
+  Expects(!samples.empty(), "empty query");
+  if (samples.size() == 1) {
+    RunOne(samples[0], sink);
+    return;
+  }
+
+  // Offline burst: ALP across the replica set — or the CPU fallback alone
+  // once the accelerator plans have been abandoned.
+  std::span<const soc::CompiledModel> replicas = offline_replicas_;
+  if (stats_.degraded_to_cpu || replicas.empty())
+    replicas = {stats_.degraded_to_cpu ? &cpu_fallback_ : &primary_, 1};
+  const soc::BatchResult batch =
+      simulator_.RunBatch(replicas, samples.size());
+  total_energy_j_ += batch.energy_j;
+  const loadgen::Seconds start = clock_.Now();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    clock_.AdvanceTo(start + loadgen::Seconds{batch.completion_times_s[i] +
+                                              end_to_end_.Total()});
+    if (batch.SampleCompleted(i)) {
+      ++stats_.completed;
+      sink.Complete(loadgen::QuerySampleResponse{samples[i].id, {}});
+    } else {
+      ++stats_.lost_completions;
+      Record(RecoveryAction::kLostCompletion, samples[i].id, 1);
+    }
+  }
+}
+
+std::string FaultTolerantBackend::EventLogText() const {
+  std::string out;
+  char line[128];
+  for (const DegradationEvent& e : events_) {
+    std::snprintf(line, sizeof line, "recovery %s query=%llu t=%.9f try=%d\n",
+                  std::string(ToString(e.action)).c_str(),
+                  static_cast<unsigned long long>(e.query_id), e.time_s,
+                  e.attempt);
+    out += line;
+  }
+  return out;
+}
+
+soc::CompiledModel CompileCpuFallback(const soc::ChipsetDesc& chipset,
+                                      const graph::Graph& model,
+                                      DataType preferred) {
+  const soc::AcceleratorDesc* cpu = nullptr;
+  for (const soc::AcceleratorDesc& e : chipset.engines)
+    if (e.cls == soc::EngineClass::kCpuBig ||
+        e.cls == soc::EngineClass::kCpuLittle) {
+      cpu = &e;
+      break;
+    }
+  Expects(cpu != nullptr, "chipset has no CPU engine for fallback");
+  soc::ExecutionPolicy policy;
+  policy.engines.push_back(cpu->name);
+  // Broken-driver territory is exactly where NNAPI's generic CPU path
+  // lives (App. D); reuse its overhead profile, including HAL-granularity
+  // partitioning.
+  const FrameworkTraits traits = NnapiTraits("cpu-fallback");
+  policy.force_partition_every = traits.force_partition_every;
+  const DataType numerics =
+      cpu->Supports(preferred) ? preferred : DataType::kFloat32;
+  return soc::Compile(model, numerics, chipset, policy, traits.ToOverheads());
+}
+
+}  // namespace mlpm::backends

@@ -1,0 +1,140 @@
+// A fault-tolerant system under test: wraps the simulated vendor backend
+// with the recovery behavior a production mobile harness needs when the
+// runtime underneath it misbehaves (paper §8 / App. D: NNAPI driver holes
+// forcing CPU fallback, buggy delegates, watchdog-killed inferences).
+//
+// Recovery policy per inference attempt:
+//   * transient stall  -> retry with exponential backoff, up to a budget;
+//   * driver crash     -> retry; after N *consecutive* crashes the
+//                         accelerator plan is abandoned and the backend
+//                         degrades to the CPU-fallback CompiledModel
+//                         (compiled via the same soc::Compile + NNAPI
+//                         machinery as App. D's fallback path) and keeps
+//                         serving — degraded beats dead;
+//   * thermal emergency -> complete the query, then an immediate emergency
+//                         cooldown before the next one (run rules §6.1);
+//   * sample drop      -> nothing to retry (the work ran, the signal was
+//                         lost); the LoadGen watchdog expires the query.
+// Every recovery action is recorded as a DegradationEvent; the event log
+// text is byte-identical across same-seed runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backends/simulated_backend.h"
+#include "core/clock.h"
+#include "core/query.h"
+#include "soc/simulator.h"
+
+namespace mlpm::backends {
+
+struct FaultToleranceOptions {
+  // Attempts per inference (first try + retries) before giving up.
+  int max_attempts = 4;
+  // Exponential backoff: wait backoff_base_s * 2^k before retry k.
+  double backoff_base_s = 0.001;
+  // Consecutive driver crashes tolerated before degrading to CPU.
+  int crash_fallback_threshold = 3;
+  // Cooldown applied immediately after a thermal emergency, seconds.
+  double emergency_cooldown_s = 5.0;
+};
+
+enum class RecoveryAction : std::uint8_t {
+  kRetry,              // re-issued after a stall or crash (with backoff)
+  kCpuFallback,        // abandoned the accelerator plan for the CPU model
+  kEmergencyCooldown,  // cooled down after a thermal emergency
+  kGaveUp,             // attempt budget exhausted; query left to the watchdog
+  kLostCompletion,     // sample drop observed; nothing to recover
+};
+
+[[nodiscard]] constexpr std::string_view ToString(RecoveryAction a) {
+  switch (a) {
+    case RecoveryAction::kRetry: return "retry";
+    case RecoveryAction::kCpuFallback: return "cpu_fallback";
+    case RecoveryAction::kEmergencyCooldown: return "emergency_cooldown";
+    case RecoveryAction::kGaveUp: return "gave_up";
+    case RecoveryAction::kLostCompletion: return "lost_completion";
+  }
+  return "?";
+}
+
+struct DegradationEvent {
+  RecoveryAction action = RecoveryAction::kRetry;
+  std::uint64_t query_id = 0;
+  double time_s = 0.0;  // virtual-clock time of the recovery action
+  int attempt = 1;      // which attempt triggered it
+};
+
+class FaultTolerantBackend final : public loadgen::SystemUnderTest {
+ public:
+  FaultTolerantBackend(std::string name, soc::SocSimulator simulator,
+                       soc::CompiledModel primary,
+                       soc::CompiledModel cpu_fallback,
+                       std::vector<soc::CompiledModel> offline_replicas,
+                       loadgen::VirtualClock& clock,
+                       FaultToleranceOptions options = {},
+                       EndToEndCosts end_to_end = {});
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void IssueQuery(std::span<const loadgen::QuerySample> samples,
+                  loadgen::ResponseSink& sink) override;
+
+  // Run-rule cooldown hook for the harness.
+  void Cooldown(double seconds) { simulator_.Cooldown(seconds); }
+
+  struct Stats {
+    std::size_t completed = 0;
+    std::size_t transient_stalls = 0;
+    std::size_t driver_crashes = 0;
+    std::size_t thermal_emergencies = 0;
+    std::size_t lost_completions = 0;
+    std::size_t retries = 0;
+    std::size_t gave_up = 0;
+    bool degraded_to_cpu = false;
+    // Total recovery actions taken (retries + fallback + cooldowns).
+    [[nodiscard]] std::size_t DegradationCount() const {
+      return retries + thermal_emergencies + (degraded_to_cpu ? 1 : 0);
+    }
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool degraded_to_cpu() const { return stats_.degraded_to_cpu; }
+  [[nodiscard]] const std::vector<DegradationEvent>& events() const {
+    return events_;
+  }
+  // One line per recovery action; byte-identical across same-seed runs.
+  [[nodiscard]] std::string EventLogText() const;
+
+  [[nodiscard]] const soc::SocSimulator& simulator() const {
+    return simulator_;
+  }
+  [[nodiscard]] double total_energy_j() const { return total_energy_j_; }
+
+ private:
+  void RunOne(const loadgen::QuerySample& sample,
+              loadgen::ResponseSink& sink);
+  void Record(RecoveryAction action, std::uint64_t query_id, int attempt);
+
+  std::string name_;
+  soc::SocSimulator simulator_;
+  soc::CompiledModel primary_;
+  soc::CompiledModel cpu_fallback_;
+  std::vector<soc::CompiledModel> offline_replicas_;
+  loadgen::VirtualClock& clock_;
+  FaultToleranceOptions options_;
+  EndToEndCosts end_to_end_;
+  Stats stats_;
+  std::vector<DegradationEvent> events_;
+  int consecutive_crashes_ = 0;
+  double total_energy_j_ = 0.0;
+};
+
+// Compiles the CPU-fallback plan the backend degrades to: the whole graph
+// on the chipset's CPU through the generic NNAPI runtime path (the only
+// stack guaranteed to exist when a vendor driver is broken, App. D).
+// Falls back to FP32 numerics if the CPU does not support `preferred`.
+[[nodiscard]] soc::CompiledModel CompileCpuFallback(
+    const soc::ChipsetDesc& chipset, const graph::Graph& model,
+    DataType preferred);
+
+}  // namespace mlpm::backends

@@ -23,11 +23,15 @@ void SimulatedBackend::IssueQuery(
     loadgen::ResponseSink& sink) {
   Expects(!samples.empty(), "empty query");
   if (samples.size() == 1) {
-    // Single-stream: one inference, clock advances by its latency.
+    // Single-stream: one inference, clock advances by its latency.  With
+    // fault injection active an attempt may fail; this plain backend does
+    // not retry — the completion simply never arrives and the LoadGen's
+    // watchdog accounts for it (FaultTolerantBackend adds recovery).
     const soc::InferenceResult r = simulator_.RunInference(single_stream_);
     total_energy_j_ += r.energy_j;
     clock_.Advance(loadgen::Seconds{r.latency_s + end_to_end_.Total()});
-    sink.Complete(loadgen::QuerySampleResponse{samples[0].id, {}});
+    if (r.completed)
+      sink.Complete(loadgen::QuerySampleResponse{samples[0].id, {}});
     return;
   }
 
@@ -42,7 +46,8 @@ void SimulatedBackend::IssueQuery(
     clock_.AdvanceTo(start +
                      loadgen::Seconds{batch.completion_times_s[i] +
                                       end_to_end_.Total()});
-    sink.Complete(loadgen::QuerySampleResponse{samples[i].id, {}});
+    if (batch.SampleCompleted(i))
+      sink.Complete(loadgen::QuerySampleResponse{samples[i].id, {}});
   }
 }
 

@@ -13,11 +13,19 @@
 namespace mlpm::loadgen {
 namespace {
 
-// Collects completions and pairs them with issue timestamps.
+// Collects completions and pairs them with issue timestamps.  Hostile or
+// faulty SUT behavior (duplicate completions, completions for queries that
+// were never issued, completions past the watchdog deadline, completions
+// that never arrive) is counted and logged rather than thrown: one bad
+// inference must not kill the whole submission (paper App. D).
 class Collector final : public ResponseSink {
  public:
-  Collector(const Clock& clock, TestLog& log, bool keep_outputs)
-      : clock_(clock), log_(log), keep_outputs_(keep_outputs) {}
+  Collector(const Clock& clock, TestLog& log, bool keep_outputs,
+            Seconds query_timeout)
+      : clock_(clock),
+        log_(log),
+        keep_outputs_(keep_outputs),
+        timeout_(query_timeout) {}
 
   void ExpectSample(const QuerySample& s) { ExpectSampleAt(s, clock_.Now()); }
 
@@ -38,22 +46,59 @@ class Collector final : public ResponseSink {
   void Complete(QuerySampleResponse response) override {
     const Seconds now = clock_.Now();
     const auto it = issue_time_.find(response.id);
-    Expects(it != issue_time_.end(),
-            "SUT completed a query that was never issued");
-    Expects(!completed_.contains(response.id),
-            "SUT completed the same query twice");
+    if (it == issue_time_.end()) {
+      ++unknown_count_;
+      Error("completion for query " + std::to_string(response.id) +
+            ", which was never issued (ignored)");
+      return;
+    }
+    if (completed_.contains(response.id)) {
+      ++duplicate_count_;
+      Error("query " + std::to_string(response.id) +
+            " completed more than once (ignored)");
+      return;
+    }
     completed_.insert(response.id);
     log_.Record(LogEventKind::kQueryCompleted, response.id, now);
-    latencies_s_.push_back((now - it->second).count());
+    const Seconds latency = now - it->second;
     last_completion_ = std::max(last_completion_, now);
+    if (timeout_.count() > 0.0 && latency > timeout_) {
+      // Watchdog: the deadline passed before the completion arrived; the
+      // query already counts as expired, the late result is discarded.
+      ++timed_out_count_;
+      Error("query " + std::to_string(response.id) + " completed " +
+            std::to_string(latency.count()) + " s after issue, past the " +
+            std::to_string(timeout_.count()) + " s deadline (expired)");
+      return;
+    }
+    latencies_s_.push_back(latency.count());
     if (keep_outputs_)
       outputs_.emplace_back(sample_index_[response.id],
                             std::move(response.outputs));
   }
 
+  // End of test: expire every query whose completion never arrived.  With
+  // the watchdog configured they count as timed out (the deadline has
+  // passed — the test is over); without it they are dropped.
+  void ExpireOutstanding() {
+    for (const auto& [id, issued_at] : issue_time_) {
+      if (completed_.contains(id)) continue;
+      if (timeout_.count() > 0.0) {
+        ++timed_out_count_;
+        Error("query " + std::to_string(id) +
+              " never completed (watchdog deadline " +
+              std::to_string(timeout_.count()) + " s)");
+      } else {
+        ++dropped_count_;
+        Error("query " + std::to_string(id) + " never completed (dropped)");
+      }
+    }
+  }
+
   [[nodiscard]] std::size_t completed_count() const {
     return completed_.size();
   }
+  [[nodiscard]] std::size_t issued_count() const { return issue_time_.size(); }
   [[nodiscard]] const std::vector<double>& latencies() const {
     return latencies_s_;
   }
@@ -64,10 +109,25 @@ class Collector final : public ResponseSink {
     return std::move(outputs_);
   }
 
+  [[nodiscard]] std::size_t dropped_count() const { return dropped_count_; }
+  [[nodiscard]] std::size_t timed_out_count() const {
+    return timed_out_count_;
+  }
+  [[nodiscard]] std::size_t duplicate_count() const {
+    return duplicate_count_;
+  }
+  [[nodiscard]] std::size_t unknown_count() const { return unknown_count_; }
+  [[nodiscard]] std::vector<std::string>&& TakeErrors() {
+    return std::move(errors_);
+  }
+
  private:
+  void Error(std::string what) { errors_.push_back(std::move(what)); }
+
   const Clock& clock_;
   TestLog& log_;
   bool keep_outputs_;
+  Seconds timeout_;
   std::unordered_map<std::uint64_t, Seconds> issue_time_;
   std::unordered_map<std::uint64_t, std::size_t> sample_index_;
   Seconds first_issue_{0.0};
@@ -75,12 +135,17 @@ class Collector final : public ResponseSink {
   std::vector<double> latencies_s_;
   Seconds last_completion_{0.0};
   std::vector<std::pair<std::size_t, std::vector<infer::Tensor>>> outputs_;
+  std::size_t dropped_count_ = 0;
+  std::size_t timed_out_count_ = 0;
+  std::size_t duplicate_count_ = 0;
+  std::size_t unknown_count_ = 0;
+  std::vector<std::string> errors_;
 };
 
 void FillSummary(TestResult& r, const TestSettings& settings,
                  const Collector& collector, Seconds start, Seconds end) {
   r.latencies_s = collector.latencies();
-  r.sample_count = collector.completed_count();
+  r.sample_count = r.latencies_s.size();
   r.duration_s = (end - start).count();
   if (!r.latencies_s.empty()) {
     r.percentile_latency_s =
@@ -92,6 +157,30 @@ void FillSummary(TestResult& r, const TestSettings& settings,
   if (r.duration_s > 0.0)
     r.throughput_sps =
         static_cast<double>(r.sample_count) / r.duration_s;
+}
+
+// Expires outstanding queries, moves the anomaly counters and error log
+// into the result, and decides structural validity.
+void FinalizeErrors(TestResult& r, Collector& collector) {
+  collector.ExpireOutstanding();
+  r.dropped_count = collector.dropped_count();
+  r.timed_out_count = collector.timed_out_count();
+  r.duplicate_count = collector.duplicate_count();
+  r.unknown_count = collector.unknown_count();
+  r.error_log = collector.TakeErrors();
+  if (r.invalid_reason.empty() && r.latencies_s.empty())
+    r.invalid_reason = "no queries completed within the run";
+  if (!r.invalid_reason.empty()) {
+    r.log.SetField("invalid_reason", r.invalid_reason);
+  }
+  if (r.AnomalyCount() > 0) {
+    r.log.SetField("result_dropped_count", std::to_string(r.dropped_count));
+    r.log.SetField("result_timed_out_count",
+                   std::to_string(r.timed_out_count));
+    r.log.SetField("result_duplicate_count",
+                   std::to_string(r.duplicate_count));
+    r.log.SetField("result_unknown_count", std::to_string(r.unknown_count));
+  }
 }
 
 }  // namespace
@@ -117,9 +206,12 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
                std::to_string(settings.offline_sample_count));
   log.SetField("latency_percentile",
                std::to_string(settings.latency_percentile));
+  if (settings.query_timeout.count() > 0.0)
+    log.SetField("query_timeout_s",
+                 std::to_string(settings.query_timeout.count()));
 
   const bool accuracy = settings.mode == TestMode::kAccuracyOnly;
-  Collector collector(clock, log, accuracy);
+  Collector collector(clock, log, accuracy, settings.query_timeout);
   std::uint64_t next_id = 1;
 
   if (accuracy) {
@@ -138,8 +230,12 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
     qsl.UnloadSamplesFromRam(all);
     FillSummary(result, settings, collector, start,
                 collector.last_completion());
-    Ensures(collector.completed_count() == total,
-            "SUT did not complete every accuracy sample");
+    if (collector.completed_count() != total)
+      result.invalid_reason =
+          "accuracy run incomplete: " +
+          std::to_string(collector.completed_count()) + " of " +
+          std::to_string(total) + " samples completed";
+    FinalizeErrors(result, collector);
     // Order outputs by dataset index.
     auto outs = collector.TakeOutputs();
     std::sort(outs.begin(), outs.end(),
@@ -167,17 +263,27 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
   const Seconds start = clock.Now();
   if (settings.scenario == TestScenario::kSingleStream) {
     // Issue one query, wait for completion, repeat (paper §4.2) until both
-    // the sample floor and the duration floor are met.
+    // the sample floor and the duration floor are met.  A query whose
+    // completion never arrives is expired; an SUT that makes no progress
+    // at all (no completion *and* no clock movement) would loop forever,
+    // so that run is cut short and marked invalid.
     std::size_t issued = 0;
     while (issued < settings.min_query_count ||
            (clock.Now() - start) < settings.min_duration) {
       const QuerySample s{next_id++,
                           static_cast<std::size_t>(rng.NextBelow(perf_count))};
+      const Seconds before = clock.Now();
+      const std::size_t completed_before = collector.completed_count();
       collector.ExpectSample(s);
       sut.IssueQuery({&s, 1}, collector);
       ++issued;
-      Ensures(collector.completed_count() == issued,
-              "single-stream SUT must complete each query before the next");
+      if (collector.completed_count() == completed_before &&
+          clock.Now() == before) {
+        result.invalid_reason =
+            "SUT stalled: no completion and no clock progress after query " +
+            std::to_string(s.id);
+        break;
+      }
     }
   } else if (settings.scenario == TestScenario::kOffline) {
     // Offline: the whole burst in one query (paper §4.2).
@@ -189,8 +295,6 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
       collector.ExpectSample(burst.back());
     }
     sut.IssueQuery(burst, collector);
-    Ensures(collector.completed_count() == burst.size(),
-            "offline SUT must complete the full burst");
   } else if (settings.scenario == TestScenario::kMultiStream) {
     // Multi-stream: a query of N samples every fixed interval (camera
     // frames from N concurrent streams).  Per-query latency counts from
@@ -220,6 +324,7 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
     qsl.UnloadSamplesFromRam(loaded);
     FillSummary(result, settings, collector, collector.first_issue(),
                 collector.last_completion());
+    FinalizeErrors(result, collector);
     // The multi-stream metric is per-query, not per-sample.
     result.latencies_s = query_latencies;
     result.percentile_latency_s =
@@ -227,8 +332,9 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
     result.min_query_count_met = true;
     result.min_duration_met = true;
     result.latency_bound_met =
+        !result.Errored() &&
         Seconds{result.percentile_latency_s} <=
-        settings.multistream_interval;
+            settings.multistream_interval;
     log.SetField("result_sample_count",
                  std::to_string(result.sample_count));
     log.SetField("result_percentile_latency_s",
@@ -260,6 +366,7 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
 
   const Seconds end = collector.last_completion();
   FillSummary(result, settings, collector, collector.first_issue(), end);
+  FinalizeErrors(result, collector);
   result.min_query_count_met =
       settings.scenario != TestScenario::kSingleStream ||
       result.sample_count >= settings.min_query_count;
@@ -268,7 +375,8 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
       Seconds{result.duration_s} >= settings.min_duration;
   result.latency_bound_met =
       settings.scenario != TestScenario::kServer ||
-      Seconds{result.percentile_latency_s} <= settings.server_latency_bound;
+      (!result.Errored() &&
+       Seconds{result.percentile_latency_s} <= settings.server_latency_bound);
 
   log.SetField("result_sample_count", std::to_string(result.sample_count));
   log.SetField("result_duration_s", std::to_string(result.duration_s));
@@ -283,12 +391,22 @@ double FindMaxServerQps(
     const std::function<TestResult(double qps)>& run_at_qps, double lo,
     double hi, int iterations) {
   Expects(lo > 0.0 && hi > lo, "invalid QPS search bounds");
-  if (!run_at_qps(lo).latency_bound_met) return 0.0;
-  if (run_at_qps(hi).latency_bound_met) return hi;
+  // A probe passes only if it is structurally valid *and* meets the bound:
+  // an errored run (all samples dropped, stalled SUT) reports a garbage
+  // percentile and must not steer the search.
+  const auto passes = [](const TestResult& r) {
+    return !r.Errored() && r.latency_bound_met;
+  };
+  const TestResult at_lo = run_at_qps(lo);
+  // `lo` errored structurally: the SUT cannot produce a valid run at any
+  // rate — probing higher rates would only re-run a broken configuration.
+  if (at_lo.Errored()) return 0.0;
+  if (!at_lo.latency_bound_met) return 0.0;
+  if (passes(run_at_qps(hi))) return hi;
   double good = lo, bad = hi;
   for (int i = 0; i < iterations; ++i) {
     const double mid = (good + bad) / 2.0;
-    if (run_at_qps(mid).latency_bound_met)
+    if (passes(run_at_qps(mid)))
       good = mid;
     else
       bad = mid;

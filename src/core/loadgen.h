@@ -35,6 +35,27 @@ struct TestResult {
   // Server scenario: percentile latency within the latency bound.
   bool latency_bound_met = false;
 
+  // Error taxonomy (paper App. D: buggy delegates, dropped inferences,
+  // watchdog-killed drivers are routine on mobile).  A misbehaving SUT
+  // degrades the run instead of aborting it: each anomaly is counted and
+  // logged, and a run that is structurally unusable gets an invalid_reason
+  // instead of a thrown exception.
+  std::size_t dropped_count = 0;    // issued, never completed (no watchdog)
+  std::size_t timed_out_count = 0;  // expired by the per-query watchdog
+  std::size_t duplicate_count = 0;  // repeat completions, ignored
+  std::size_t unknown_count = 0;    // completions for unissued ids, ignored
+  std::vector<std::string> error_log;
+  // Empty for a structurally valid run.  Nonempty means the run produced
+  // no usable measurement (no completions, stalled SUT, incomplete
+  // accuracy coverage) — distinct from a valid run that misses a bound.
+  std::string invalid_reason;
+
+  [[nodiscard]] bool Errored() const { return !invalid_reason.empty(); }
+  // Anomalies observed (the run may still be valid, just degraded).
+  [[nodiscard]] std::size_t AnomalyCount() const {
+    return dropped_count + timed_out_count + duplicate_count + unknown_count;
+  }
+
   // Accuracy mode: model outputs per dataset sample index, for the
   // harness to score against the data set.
   std::vector<std::vector<infer::Tensor>> accuracy_outputs;
@@ -52,7 +73,10 @@ struct TestResult {
 // Binary-searches the highest server QPS whose run still meets the latency
 // bound.  `run_at_qps` must execute a fresh server-scenario test at the
 // given rate (fresh SUT + clock per probe) and return its result.
-// Returns 0 if even `lo` fails.
+// Returns 0 if even `lo` fails.  An errored probe (TestResult::Errored())
+// is an invalid run, not a latency-bound miss: if the `lo` probe errors the
+// search stops immediately without further probes, and an errored mid
+// probe counts as a failure so the search cannot converge on garbage.
 [[nodiscard]] double FindMaxServerQps(
     const std::function<TestResult(double qps)>& run_at_qps, double lo,
     double hi, int iterations = 10);

@@ -74,6 +74,13 @@ struct TestSettings {
 
   // 0 means "use the QSL's PerformanceSampleCount()".
   std::size_t performance_sample_count = 0;
+
+  // Per-query watchdog deadline, measured on the test clock from the
+  // scheduled issue time.  A query that has not completed within the
+  // deadline is expired as timed-out (its late completion, if any, is
+  // counted but excluded from the latency statistics).  Zero disables the
+  // watchdog: never-completed queries are then reported as dropped.
+  Seconds query_timeout{0.0};
 };
 
 }  // namespace mlpm::loadgen

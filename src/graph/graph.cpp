@@ -195,7 +195,7 @@ TensorId GraphBuilder::Conv2d(TensorId in, std::int64_t out_channels,
                               int kernel, int stride, Activation act,
                               Padding pad, int dilation,
                               const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   Expects(s.rank() == 4, "Conv2d input must be NHWC");
   Expects(out_channels > 0, "Conv2d needs positive out_channels");
   Conv2dAttrs a;
@@ -223,7 +223,7 @@ TensorId GraphBuilder::DepthwiseConv2d(TensorId in, int kernel, int stride,
                                        Activation act, Padding pad,
                                        int dilation,
                                        const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   Expects(s.rank() == 4, "DepthwiseConv2d input must be NHWC");
   DepthwiseConv2dAttrs a;
   a.kernel_h = a.kernel_w = kernel;
@@ -250,7 +250,7 @@ TensorId GraphBuilder::DepthwiseConv2d(TensorId in, int kernel, int stride,
 TensorId GraphBuilder::FullyConnected(TensorId in, std::int64_t out_features,
                                       Activation act,
                                       const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   Expects(s.rank() >= 1, "FullyConnected input must have rank >= 1");
   Expects(out_features > 0, "FullyConnected needs positive out_features");
   const std::int64_t in_features = s.dim(s.rank() - 1);
@@ -281,7 +281,7 @@ TensorId GraphBuilder::Mul(TensorId a, TensorId b, const std::string& name) {
 
 TensorId GraphBuilder::AvgPool(TensorId in, int kernel, int stride,
                                const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   Expects(s.rank() == 4, "AvgPool input must be NHWC");
   PoolAttrs a{kernel, stride, Padding::kValid};
   TensorShape out({s.batch(),
@@ -293,7 +293,7 @@ TensorId GraphBuilder::AvgPool(TensorId in, int kernel, int stride,
 
 TensorId GraphBuilder::MaxPool(TensorId in, int kernel, int stride,
                                const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   Expects(s.rank() == 4, "MaxPool input must be NHWC");
   PoolAttrs a{kernel, stride, Padding::kValid};
   TensorShape out({s.batch(),
@@ -304,7 +304,7 @@ TensorId GraphBuilder::MaxPool(TensorId in, int kernel, int stride,
 }
 
 TensorId GraphBuilder::GlobalAvgPool(TensorId in, const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   Expects(s.rank() == 4, "GlobalAvgPool input must be NHWC");
   return AddNode(OpType::kGlobalAvgPool, EmptyAttrs{}, {in}, {},
                  TensorShape({s.batch(), 1, 1, s.channels()}), name);
@@ -313,7 +313,7 @@ TensorId GraphBuilder::GlobalAvgPool(TensorId in, const std::string& name) {
 TensorId GraphBuilder::ResizeBilinear(TensorId in, std::int64_t out_h,
                                       std::int64_t out_w,
                                       const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   Expects(s.rank() == 4, "ResizeBilinear input must be NHWC");
   Expects(out_h > 0 && out_w > 0, "resize target must be positive");
   ResizeAttrs a{out_h, out_w};
@@ -324,7 +324,7 @@ TensorId GraphBuilder::ResizeBilinear(TensorId in, std::int64_t out_h,
 TensorId GraphBuilder::Concat(std::vector<TensorId> ins, int axis,
                               const std::string& name) {
   Expects(!ins.empty(), "Concat needs at least one input");
-  const TensorShape& first = ShapeOf(ins.front());
+  const TensorShape first = ShapeOf(ins.front());
   const std::size_t rank = first.rank();
   Expects(axis >= -static_cast<int>(rank) && axis < static_cast<int>(rank),
           "Concat axis out of range");
@@ -336,7 +336,7 @@ TensorId GraphBuilder::Concat(std::vector<TensorId> ins, int axis,
   std::vector<std::int64_t> dims = first.dims();
   std::int64_t cat = 0;
   for (TensorId t : ins) {
-    const TensorShape& s = ShapeOf(t);
+    const TensorShape s = ShapeOf(t);
     Expects(s.rank() == rank, "Concat rank mismatch");
     for (std::size_t d = 0; d < rank; ++d)
       if (d != ax)
@@ -372,7 +372,7 @@ TensorId GraphBuilder::Activate(TensorId in, Activation act,
 }
 
 TensorId GraphBuilder::LayerNorm(TensorId in, const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   const std::int64_t features = s.dim(s.rank() - 1);
   const std::string node_name = AutoName(OpType::kLayerNorm, name);
   const TensorId gamma = AddTensor(node_name + "/gamma",
@@ -386,7 +386,7 @@ TensorId GraphBuilder::LayerNorm(TensorId in, const std::string& name) {
 
 TensorId GraphBuilder::Embedding(TensorId token_ids, std::int64_t vocab,
                                  std::int64_t dim, const std::string& name) {
-  const TensorShape& s = ShapeOf(token_ids);
+  const TensorShape s = ShapeOf(token_ids);
   Expects(s.rank() == 1, "Embedding expects [seq_len] token ids");
   Expects(vocab > 0 && dim > 0, "Embedding dims must be positive");
   EmbeddingAttrs a{vocab, dim};
@@ -400,7 +400,7 @@ TensorId GraphBuilder::Embedding(TensorId token_ids, std::int64_t vocab,
 TensorId GraphBuilder::MultiHeadAttention(TensorId in, int num_heads,
                                           std::int64_t head_dim,
                                           const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   Expects(s.rank() == 2, "Attention expects [seq_len, model_dim]");
   const std::int64_t model_dim = s.dim(1);
   Expects(num_heads > 0 && head_dim > 0, "attention dims must be positive");
@@ -419,7 +419,7 @@ TensorId GraphBuilder::MultiHeadAttention(TensorId in, int num_heads,
 
 TensorId GraphBuilder::Lstm(TensorId in, std::int64_t hidden_dim,
                             const std::string& name) {
-  const TensorShape& s = ShapeOf(in);
+  const TensorShape s = ShapeOf(in);
   Expects(s.rank() == 2, "Lstm expects [seq_len, features]");
   Expects(hidden_dim > 0, "Lstm hidden dim must be positive");
   const std::int64_t input_dim = s.dim(1);

@@ -131,7 +131,9 @@ class GraphBuilder {
   // Finalizes the graph.  The builder is left empty.
   [[nodiscard]] Graph Build() &&;
 
-  // Shape of an intermediate tensor (handy while building models).
+  // Shape of an intermediate tensor (handy while building models).  The
+  // reference points into the builder's tensor table and is invalidated by
+  // the next AddTensor/op call — copy it if you add tensors before using it.
   [[nodiscard]] const TensorShape& ShapeOf(TensorId id) const;
 
  private:

@@ -8,7 +8,8 @@ namespace {
 constexpr const char* kHeader =
     "chipset,version,task,model,numerics,framework,accelerator,accuracy,"
     "fp32_reference,ratio_to_fp32,quality_passed,p90_latency_ms,"
-    "mean_latency_ms,offline_fps,energy_mj_per_inference";
+    "mean_latency_ms,offline_fps,energy_mj_per_inference,status,"
+    "fault_count,degradation_count,dropped,timed_out";
 
 // CSV-quote a field if it contains a comma or quote.
 std::string Field(const std::string& v) {
@@ -43,7 +44,15 @@ void AppendRows(std::ostringstream& os, const SubmissionResult& result,
       os << t.offline->throughput_sps << ',';
     else
       os << ',';
-    os << t.energy_per_inference_j * 1e3 << '\n';
+    const std::size_t dropped =
+        (t.single_stream ? t.single_stream->dropped_count : 0) +
+        (t.offline ? t.offline->dropped_count : 0);
+    const std::size_t timed_out =
+        (t.single_stream ? t.single_stream->timed_out_count : 0) +
+        (t.offline ? t.offline->timed_out_count : 0);
+    os << t.energy_per_inference_j * 1e3 << ',' << ToString(t.status) << ','
+       << t.fault_count << ',' << t.degradation_count << ',' << dropped << ','
+       << timed_out << '\n';
   }
 }
 

@@ -39,7 +39,35 @@ std::string FormatSubmission(const SubmissionResult& result) {
     row.push_back(FormatDouble(task.energy_per_inference_j * 1e3, 2));
     t.AddRow(std::move(row));
   }
-  return t.Render();
+  std::string out = t.Render();
+
+  // Degraded-run transparency: if anything went wrong anywhere in the
+  // submission, the reader sees it next to the scores, not buried in logs.
+  bool any_fault = false;
+  for (const TaskRunResult& task : result.tasks)
+    any_fault |= task.status != TaskStatus::kValid || task.fault_count > 0;
+  if (any_fault) {
+    TextTable f("fault / degradation summary");
+    f.SetHeader({"Task", "Status", "Faults", "Recoveries", "Dropped",
+                 "Timed out", "Attempts", "Detail"});
+    for (const TaskRunResult& task : result.tasks) {
+      const std::size_t dropped =
+          (task.single_stream ? task.single_stream->dropped_count : 0) +
+          (task.offline ? task.offline->dropped_count : 0);
+      const std::size_t timed_out =
+          (task.single_stream ? task.single_stream->timed_out_count : 0) +
+          (task.offline ? task.offline->timed_out_count : 0);
+      f.AddRow({task.entry.id, std::string(ToString(task.status)),
+                std::to_string(task.fault_count),
+                std::to_string(task.degradation_count),
+                std::to_string(dropped), std::to_string(timed_out),
+                std::to_string(task.performance_attempts),
+                task.status_detail});
+    }
+    out += "\n";
+    out += f.Render();
+  }
+  return out;
 }
 
 std::string FormatCheckReport(const CheckReport& report) {

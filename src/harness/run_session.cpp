@@ -80,6 +80,61 @@ loadgen::TestResult RunSingleStreamPerformance(
   return loadgen::RunTest(sut, qsl, s, clock);
 }
 
+namespace {
+
+// One full performance attempt (single-stream + optional offline) on a
+// fresh simulator and clock.  Returns everything the harness accounts for.
+struct PerformanceAttempt {
+  loadgen::TestResult single_stream;
+  std::optional<loadgen::TestResult> offline;
+  double energy_j = 0.0;
+  double peak_temperature_c = 0.0;
+  std::size_t fault_count = 0;
+  std::size_t degradation_count = 0;
+  bool degraded_to_cpu = false;
+  std::string fault_log;
+
+  [[nodiscard]] bool Errored() const {
+    return single_stream.Errored() || (offline && offline->Errored());
+  }
+};
+
+template <typename Sut>
+PerformanceAttempt RunPerformanceWith(Sut& sut, loadgen::DatasetQsl& qsl,
+                                      loadgen::VirtualClock& clock,
+                                      const RunOptions& options,
+                                      bool has_offline) {
+  PerformanceAttempt a;
+  loadgen::TestSettings ss = options.performance_settings;
+  ss.scenario = loadgen::TestScenario::kSingleStream;
+  ss.mode = loadgen::TestMode::kPerformanceOnly;
+  a.single_stream = loadgen::RunTest(sut, qsl, ss, clock);
+  a.peak_temperature_c = sut.simulator().thermal().temperature_c();
+
+  if (has_offline) {
+    // Cooldown interval between the two performance tests (§6.1).
+    sut.Cooldown(options.cooldown_s);
+    loadgen::TestSettings off = options.performance_settings;
+    off.scenario = loadgen::TestScenario::kOffline;
+    off.mode = loadgen::TestMode::kPerformanceOnly;
+    a.offline = loadgen::RunTest(sut, qsl, off, clock);
+    a.peak_temperature_c =
+        std::max(a.peak_temperature_c,
+                 sut.simulator().thermal().temperature_c());
+  }
+  a.energy_j = sut.total_energy_j();
+  a.fault_count = sut.simulator().fault_count();
+  if (const soc::FaultInjector* inj = sut.simulator().fault_injector())
+    a.fault_log = inj->EventLogText();
+  return a;
+}
+
+void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
+             SuiteBundles& bundles, const RunOptions& options,
+             TaskRunResult& tr);
+
+}  // namespace
+
 SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
                                models::SuiteVersion version,
                                SuiteBundles& bundles,
@@ -88,87 +143,139 @@ SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
   result.chipset_name = chipset.name;
   result.version = version;
 
-  // The prescribed task order is the suite order (§6.1).
+  // The prescribed task order is the suite order (§6.1).  One task blowing
+  // up must not take the submission down with it: each task is isolated,
+  // and a throw marks it errored while the rest of the suite proceeds.
   for (const models::BenchmarkEntry& entry : models::SuiteFor(version)) {
-    const TaskBundle& bundle = bundles.Get(entry, version);
-    const backends::SubmissionConfig sub =
-        backends::GetSubmission(chipset, entry.task, version);
-
     TaskRunResult tr;
     tr.entry = entry;
-    tr.numerics = sub.numerics;
-    tr.framework_name = sub.framework.name;
-    tr.accelerator_label = sub.accelerator_label;
-
-    if (options.run_accuracy) {
-      // Accuracy mode: the whole validation set through the LoadGen and
-      // the functional reference backend at the submission numerics.
-      const infer::NumericsMode mode = ModeFor(sub.numerics);
-      const TaskBundle::PreparedModel prepared =
-          bundle.Prepare(mode, options.use_qat_weights &&
-                                   mode == infer::NumericsMode::kInt8);
-      tr.calibration_indices = prepared.calibration_indices;
-
-      loadgen::DatasetQsl qsl(bundle.dataset());
-      loadgen::RealClock clock;
-      backends::ReferenceBackend ref_sut("reference/" + entry.id,
-                                         *prepared.executor, qsl);
-      loadgen::TestSettings acc;
-      acc.mode = loadgen::TestMode::kAccuracyOnly;
-      const loadgen::TestResult acc_result =
-          loadgen::RunTest(ref_sut, qsl, acc, clock);
-      tr.accuracy = bundle.dataset().ScoreOutputs(acc_result.accuracy_outputs);
-      tr.accuracy_sample_count = acc_result.sample_count;
-      tr.dataset_size = bundle.dataset().size();
-      tr.fp32_reference = bundle.Fp32Score();
-      tr.ratio_to_fp32 =
-          tr.fp32_reference > 0 ? tr.accuracy / tr.fp32_reference : 0.0;
-      tr.quality_passed = tr.ratio_to_fp32 >= entry.quality_target;
-    }
-
-    if (options.run_performance) {
-      const graph::Graph full =
-          models::BuildReferenceGraph(entry, version,
-                                      models::ModelScale::kFull);
-      const backends::EndToEndCosts e2e =
-          options.end_to_end ? EstimateEndToEndCosts(entry)
-                             : backends::EndToEndCosts{};
-
-      loadgen::VirtualClock clock;
-      backends::SimulatedBackend sut(
-          chipset.name + "/" + sub.framework.name,
-          soc::SocSimulator(chipset),
-          backends::CompileSubmission(chipset, sub, full),
-          backends::CompileOfflineReplicas(chipset, sub, full), clock, e2e);
-      loadgen::DatasetQsl qsl(bundle.dataset());
-
-      loadgen::TestSettings ss = options.performance_settings;
-      ss.scenario = loadgen::TestScenario::kSingleStream;
-      ss.mode = loadgen::TestMode::kPerformanceOnly;
-      tr.single_stream = loadgen::RunTest(sut, qsl, ss, clock);
-      tr.peak_temperature_c = sut.simulator().thermal().temperature_c();
-      if (tr.single_stream->sample_count > 0)
-        tr.energy_per_inference_j =
-            sut.total_energy_j() /
-            static_cast<double>(tr.single_stream->sample_count);
-
-      const bool has_offline =
-          options.run_offline && !sub.offline_replicas.empty();
-      if (has_offline) {
-        // Cooldown interval between the two performance tests (§6.1).
-        sut.Cooldown(options.cooldown_s);
-        loadgen::TestSettings off = options.performance_settings;
-        off.scenario = loadgen::TestScenario::kOffline;
-        off.mode = loadgen::TestMode::kPerformanceOnly;
-        tr.offline = loadgen::RunTest(sut, qsl, off, clock);
-        tr.peak_temperature_c = std::max(
-            tr.peak_temperature_c,
-            sut.simulator().thermal().temperature_c());
-      }
+    try {
+      RunTask(chipset, version, bundles, options, tr);
+    } catch (const std::exception& e) {
+      tr.status = TaskStatus::kErrored;
+      tr.status_detail = e.what();
     }
     result.tasks.push_back(std::move(tr));
   }
   return result;
 }
+
+namespace {
+
+void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
+             SuiteBundles& bundles, const RunOptions& options,
+             TaskRunResult& tr) {
+  const models::BenchmarkEntry& entry = tr.entry;
+  const TaskBundle& bundle = bundles.Get(entry, version);
+  const backends::SubmissionConfig sub =
+      backends::GetSubmission(chipset, entry.task, version);
+
+  tr.numerics = sub.numerics;
+  tr.framework_name = sub.framework.name;
+  tr.accelerator_label = sub.accelerator_label;
+
+  if (options.run_accuracy) {
+    // Accuracy mode: the whole validation set through the LoadGen and
+    // the functional reference backend at the submission numerics.
+    const infer::NumericsMode mode = ModeFor(sub.numerics);
+    const TaskBundle::PreparedModel prepared =
+        bundle.Prepare(mode, options.use_qat_weights &&
+                                 mode == infer::NumericsMode::kInt8);
+    tr.calibration_indices = prepared.calibration_indices;
+
+    loadgen::DatasetQsl qsl(bundle.dataset());
+    loadgen::RealClock clock;
+    backends::ReferenceBackend ref_sut("reference/" + entry.id,
+                                       *prepared.executor, qsl);
+    loadgen::TestSettings acc;
+    acc.mode = loadgen::TestMode::kAccuracyOnly;
+    const loadgen::TestResult acc_result =
+        loadgen::RunTest(ref_sut, qsl, acc, clock);
+    tr.accuracy = bundle.dataset().ScoreOutputs(acc_result.accuracy_outputs);
+    tr.accuracy_sample_count = acc_result.sample_count;
+    tr.dataset_size = bundle.dataset().size();
+    tr.fp32_reference = bundle.Fp32Score();
+    tr.ratio_to_fp32 =
+        tr.fp32_reference > 0 ? tr.accuracy / tr.fp32_reference : 0.0;
+    tr.quality_passed = tr.ratio_to_fp32 >= entry.quality_target;
+  }
+
+  if (options.run_performance) {
+    const graph::Graph full =
+        models::BuildReferenceGraph(entry, version,
+                                    models::ModelScale::kFull);
+    const backends::EndToEndCosts e2e =
+        options.end_to_end ? EstimateEndToEndCosts(entry)
+                           : backends::EndToEndCosts{};
+    const std::string sut_name = chipset.name + "/" + sub.framework.name;
+    const bool has_offline =
+        options.run_offline && !sub.offline_replicas.empty();
+    loadgen::DatasetQsl qsl(bundle.dataset());
+
+    // The run rules allow re-running a test; an errored run (stalled SUT,
+    // nothing completed) is retried on a fresh simulator before the task
+    // is declared invalid.
+    const int attempts = 1 + std::max(0, options.max_test_retries);
+    PerformanceAttempt attempt;
+    for (int i = 0; i < attempts; ++i) {
+      loadgen::VirtualClock clock;
+      if (options.fault_plan) {
+        soc::SocSimulator sim(chipset);
+        sim.InjectFaults(*options.fault_plan);
+        backends::FaultTolerantBackend sut(
+            sut_name, std::move(sim),
+            backends::CompileSubmission(chipset, sub, full),
+            backends::CompileCpuFallback(chipset, full, sub.numerics),
+            backends::CompileOfflineReplicas(chipset, sub, full), clock,
+            options.fault_tolerance, e2e);
+        attempt = RunPerformanceWith(sut, qsl, clock, options, has_offline);
+        attempt.degradation_count = sut.stats().DegradationCount();
+        attempt.degraded_to_cpu = sut.degraded_to_cpu();
+        attempt.fault_log += sut.EventLogText();
+      } else {
+        backends::SimulatedBackend sut(
+            sut_name, soc::SocSimulator(chipset),
+            backends::CompileSubmission(chipset, sub, full),
+            backends::CompileOfflineReplicas(chipset, sub, full), clock,
+            e2e);
+        attempt = RunPerformanceWith(sut, qsl, clock, options, has_offline);
+      }
+      tr.performance_attempts = i + 1;
+      if (!attempt.Errored()) break;
+    }
+
+    tr.single_stream = std::move(attempt.single_stream);
+    tr.offline = std::move(attempt.offline);
+    tr.peak_temperature_c = attempt.peak_temperature_c;
+    tr.fault_count = attempt.fault_count;
+    tr.degradation_count = attempt.degradation_count;
+    tr.degraded_to_cpu = attempt.degraded_to_cpu;
+    tr.fault_log = std::move(attempt.fault_log);
+    if (tr.single_stream->sample_count > 0)
+      tr.energy_per_inference_j =
+          attempt.energy_j /
+          static_cast<double>(tr.single_stream->sample_count);
+
+    if (tr.single_stream->Errored() || (tr.offline && tr.offline->Errored())) {
+      tr.status = TaskStatus::kInvalid;
+      tr.status_detail = tr.single_stream->Errored()
+                             ? tr.single_stream->invalid_reason
+                             : tr.offline->invalid_reason;
+      return;
+    }
+  }
+
+  const std::size_t anomalies =
+      (tr.single_stream ? tr.single_stream->AnomalyCount() : 0) +
+      (tr.offline ? tr.offline->AnomalyCount() : 0);
+  if (tr.fault_count > 0 || tr.degradation_count > 0 || anomalies > 0) {
+    tr.status = TaskStatus::kValidDegraded;
+    if (tr.degraded_to_cpu)
+      tr.status_detail = "degraded to CPU fallback after repeated driver "
+                         "crashes";
+  }
+}
+
+}  // namespace
 
 }  // namespace mlpm::harness

@@ -15,12 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "backends/fault_tolerant_backend.h"
 #include "backends/simulated_backend.h"
 #include "backends/vendor_policy.h"
 #include "core/loadgen.h"
 #include "harness/task_bundle.h"
 #include "models/zoo.h"
 #include "soc/chipset.h"
+#include "soc/faults.h"
 
 namespace mlpm::harness {
 
@@ -46,7 +48,41 @@ struct RunOptions {
   loadgen::TestSettings performance_settings;  // scenario set internally
   // Use the mutually-agreed QAT weights for INT8 accuracy (paper §5.1).
   bool use_qat_weights = false;
+
+  // Fault tolerance.  A fault plan injects seeded runtime pathologies into
+  // the performance simulators (App. D); when set, performance tests run
+  // through the FaultTolerantBackend with the recovery policy below.  The
+  // run rules allow re-running a test: an errored performance test is
+  // retried up to `max_test_retries` times before the task is marked
+  // invalid.  No plan (the default) leaves behavior byte-identical.
+  std::optional<soc::FaultPlan> fault_plan;
+  backends::FaultToleranceOptions fault_tolerance;
+  int max_test_retries = 1;
 };
+
+// How a task run ended, from the harness's point of view.
+//   kValid          — clean run, no faults observed;
+//   kValidDegraded  — usable result produced *through* faults (retries,
+//                     CPU fallback, expired samples);
+//   kInvalid        — the performance test stayed structurally invalid
+//                     after all allowed retries;
+//   kErrored        — the task threw; other tasks keep running.
+enum class TaskStatus : std::uint8_t {
+  kValid,
+  kValidDegraded,
+  kInvalid,
+  kErrored,
+};
+
+[[nodiscard]] constexpr std::string_view ToString(TaskStatus s) {
+  switch (s) {
+    case TaskStatus::kValid: return "valid";
+    case TaskStatus::kValidDegraded: return "valid-degraded";
+    case TaskStatus::kInvalid: return "invalid";
+    case TaskStatus::kErrored: return "errored";
+  }
+  return "?";
+}
 
 struct TaskRunResult {
   models::BenchmarkEntry entry;
@@ -70,6 +106,17 @@ struct TaskRunResult {
   std::optional<loadgen::TestResult> offline;
   double energy_per_inference_j = 0.0;
   double peak_temperature_c = 0.0;
+
+  // Fault / degradation accounting.
+  TaskStatus status = TaskStatus::kValid;
+  std::string status_detail;          // invalid_reason / exception text
+  std::size_t fault_count = 0;        // injected faults observed
+  std::size_t degradation_count = 0;  // recovery actions taken
+  bool degraded_to_cpu = false;
+  int performance_attempts = 0;       // test runs incl. retries (0 if skipped)
+  // Concatenated injector + recovery event logs; byte-identical across
+  // same-seed runs (the reproducibility artifact for fault studies).
+  std::string fault_log;
 };
 
 struct SubmissionResult {

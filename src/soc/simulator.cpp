@@ -8,18 +8,70 @@ namespace mlpm::soc {
 SocSimulator::SocSimulator(ChipsetDesc chipset)
     : chipset_(std::move(chipset)), thermal_(chipset_.thermal) {}
 
+bool SocSimulator::IsCpuOnly(const CompiledModel& model) const {
+  for (const CompiledSegment& seg : model.segments) {
+    const EngineClass cls = chipset_.engines[seg.engine_index].cls;
+    if (cls != EngineClass::kCpuBig && cls != EngineClass::kCpuLittle)
+      return false;
+  }
+  return true;
+}
+
 InferenceResult SocSimulator::RunInference(const CompiledModel& model) {
   InferenceResult r;
   r.throttle_factor = thermal_.ThrottleFactor();
   r.latency_s = model.LatencySeconds(r.throttle_factor);
   r.energy_j = model.EnergyJoules();
+
+  // Fault decision: one draw per attempt, accelerator plans only (a pure
+  // CPU plan has no driver to crash — that is what fallback relies on).
+  const FaultSpec* fault =
+      injector_ && !IsCpuOnly(model) ? injector_->NextAttempt() : nullptr;
+  if (fault != nullptr) {
+    switch (fault->kind) {
+      case FaultKind::kTransientStall: {
+        // The attempt hangs; the runtime watchdog kills it after
+        // stall_scale x the nominal latency.  No result.
+        const double nominal = r.latency_s;
+        r.latency_s = nominal * fault->stall_scale;
+        injector_->RecordFault(*fault, busy_time_s_, r.latency_s - nominal);
+        r.outcome = InferenceOutcome::kStalledRetryable;
+        r.completed = false;
+        break;
+      }
+      case FaultKind::kDriverCrash:
+        // The driver fails the partition part-way in.
+        r.latency_s *= fault->crash_latency_fraction;
+        r.energy_j *= fault->crash_latency_fraction;
+        injector_->RecordFault(*fault, busy_time_s_, r.latency_s);
+        r.outcome = InferenceOutcome::kDriverCrash;
+        r.completed = false;
+        break;
+      case FaultKind::kThermalEmergency:
+        // The inference completes but the die jumps to the hard limit;
+        // the caller must cool down before continuing.
+        injector_->RecordFault(*fault, busy_time_s_, 0.0);
+        r.outcome = InferenceOutcome::kThermalEmergency;
+        break;
+      case FaultKind::kSampleDrop:
+        // Full work done, completion signal lost.
+        injector_->RecordFault(*fault, busy_time_s_, 0.0);
+        r.outcome = InferenceOutcome::kDropped;
+        r.completed = false;
+        break;
+    }
+  }
+
   // Power is capped by the chipset TDP (Appendix E: ~3 W ceiling); the cap
   // manifests as extra heat-limited time already captured by throttling, so
   // here it only bounds the dissipation fed to the thermal mass.
   const double power =
       std::min(model.AveragePowerWatts(), chipset_.tdp_w);
   thermal_.Step(power, r.latency_s);
+  if (r.outcome == InferenceOutcome::kThermalEmergency)
+    thermal_.ForceTemperature(thermal_.throttle_limit_c());
   r.temperature_c = thermal_.temperature_c();
+  busy_time_s_ += r.latency_s;
   return r;
 }
 
@@ -31,6 +83,15 @@ BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
 
   BatchResult r;
   r.completion_times_s.reserve(sample_count);
+
+  // Batch-mode faults only make sense when at least one replica runs on an
+  // accelerator; completion-signal loss and partition crashes surface as
+  // lost samples (the batch keeps going — ALP replicas are independent).
+  bool any_accelerated = false;
+  for (const auto& m : replicas)
+    if (!IsCpuOnly(m)) any_accelerated = true;
+  const bool inject = injector_.has_value() && any_accelerated;
+  if (inject) r.completed.assign(sample_count, 1);
 
   // Concurrent power of all replicas, TDP-capped.
   double raw_power = 0.0;
@@ -60,6 +121,14 @@ BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
       const double frac =
           (static_cast<double>(emitted + 1) - before) / (produced - before);
       r.completion_times_s.push_back(now + frac * dt);
+      if (inject) {
+        if (const FaultSpec* fault = injector_->NextAttempt();
+            fault != nullptr && (fault->kind == FaultKind::kSampleDrop ||
+                                 fault->kind == FaultKind::kDriverCrash)) {
+          r.completed[emitted] = 0;
+          injector_->RecordFault(*fault, busy_time_s_ + now + frac * dt, 0.0);
+        }
+      }
       ++emitted;
     }
     now += dt;
@@ -68,6 +137,7 @@ BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
   }
   r.makespan_s = r.completion_times_s.back();
   r.final_temperature_c = thermal_.temperature_c();
+  busy_time_s_ += now;
   return r;
 }
 

@@ -2,22 +2,53 @@
 // state, in single-stream (one inference at a time) or offline batch mode
 // with accelerator-level parallelism (paper §7.3: vendors run multiple
 // accelerators concurrently to maximize offline throughput).
+//
+// An optional seeded FaultPlan (soc/faults.h) makes individual inferences
+// fail the way real mobile runtimes do — stalls, driver crashes, thermal
+// emergencies, lost completions.  Without a plan the simulator behaves
+// exactly as before: the fault machinery is a no-op.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "soc/chipset.h"
 #include "soc/compile.h"
+#include "soc/faults.h"
 #include "soc/thermal.h"
 
 namespace mlpm::soc {
+
+// How one simulated inference attempt ended.
+enum class InferenceOutcome : std::uint8_t {
+  kOk,                // completed normally
+  kStalledRetryable,  // watchdog killed a hung attempt; retry may succeed
+  kDriverCrash,       // the driver failed the partition; no result
+  kThermalEmergency,  // completed, but the die hit the hard thermal limit
+  kDropped,           // ran to completion but the completion signal was lost
+};
+
+[[nodiscard]] constexpr std::string_view ToString(InferenceOutcome o) {
+  switch (o) {
+    case InferenceOutcome::kOk: return "ok";
+    case InferenceOutcome::kStalledRetryable: return "stalled";
+    case InferenceOutcome::kDriverCrash: return "driver_crash";
+    case InferenceOutcome::kThermalEmergency: return "thermal_emergency";
+    case InferenceOutcome::kDropped: return "dropped";
+  }
+  return "?";
+}
 
 struct InferenceResult {
   double latency_s = 0.0;
   double energy_j = 0.0;
   double throttle_factor = 1.0;  // at the start of the inference
   double temperature_c = 0.0;    // at the end of the inference
+  InferenceOutcome outcome = InferenceOutcome::kOk;
+  // Whether a completion signal reaches the caller.  False for stalls,
+  // crashes, and drops — the time and energy above were still consumed.
+  bool completed = true;
 };
 
 struct BatchOptions {
@@ -38,13 +69,22 @@ struct BatchResult {
   // Completion time of each sample (monotonic), length == sample_count.
   std::vector<double> completion_times_s;
   double final_temperature_c = 0.0;
+  // Per-sample completion-signal flags under fault injection; empty means
+  // every sample completed (the no-fault fast path allocates nothing).
+  std::vector<std::uint8_t> completed;
+
+  [[nodiscard]] bool SampleCompleted(std::size_t i) const {
+    return completed.empty() || completed[i] != 0;
+  }
 };
 
 class SocSimulator {
  public:
   explicit SocSimulator(ChipsetDesc chipset);
 
-  // Runs one single-stream inference; advances the thermal state.
+  // Runs one single-stream inference; advances the thermal state.  With a
+  // fault plan installed, the attempt may stall, crash, overheat, or lose
+  // its completion — see InferenceResult::outcome.
   InferenceResult RunInference(const CompiledModel& model);
 
   // Runs `sample_count` samples split across the given replicas with
@@ -58,6 +98,25 @@ class SocSimulator {
   // Cooldown interval between tests (run rules §6.1: 0-5 minutes).
   void Cooldown(double seconds) { thermal_.Cool(seconds); }
 
+  // Installs a seeded fault plan; replaces any previous one and resets the
+  // fault schedule to the plan's seed.
+  void InjectFaults(FaultPlan plan) { injector_.emplace(std::move(plan)); }
+  [[nodiscard]] const FaultInjector* fault_injector() const {
+    return injector_ ? &*injector_ : nullptr;
+  }
+  // Faults observed so far (0 without a plan).
+  [[nodiscard]] std::size_t fault_count() const {
+    return injector_ ? injector_->events().size() : 0;
+  }
+
+  // True if every segment of `model` runs on a CPU-class engine — such a
+  // plan has no accelerator driver, so injected faults do not apply to it.
+  [[nodiscard]] bool IsCpuOnly(const CompiledModel& model) const;
+
+  // Cumulative simulated busy time across all inferences/batches (the
+  // timeline fault events are stamped on).
+  [[nodiscard]] double busy_time_s() const { return busy_time_s_; }
+
   [[nodiscard]] const ThermalModel& thermal() const { return thermal_; }
   [[nodiscard]] const ChipsetDesc& chipset() const { return chipset_; }
   void ResetThermal() { thermal_.Reset(); }
@@ -65,6 +124,8 @@ class SocSimulator {
  private:
   ChipsetDesc chipset_;
   ThermalModel thermal_;
+  std::optional<FaultInjector> injector_;
+  double busy_time_s_ = 0.0;
 };
 
 }  // namespace mlpm::soc

@@ -44,6 +44,11 @@ class ThermalModel {
   // Effective clock multiplier in (0, 1]; 1 below throttle_start.
   [[nodiscard]] double ThrottleFactor() const;
 
+  // Pins the die temperature (thermal-emergency injection; the fault model
+  // uses this to jump straight to the hard limit).
+  void ForceTemperature(double temp_c) { temp_c_ = temp_c; }
+  [[nodiscard]] double throttle_limit_c() const { return p_.throttle_limit_c; }
+
   void Reset();
 
  private:

@@ -205,11 +205,42 @@ class DoubleCompleteSut final : public SystemUnderTest {
   VirtualClock& clock_;
 };
 
-TEST(LoadGen, DoubleCompletionDetected) {
+TEST(LoadGen, DoubleCompletionCountedNotFatal) {
   VirtualClock clock;
   DoubleCompleteSut sut(clock);
   FakeQsl qsl(4);
-  EXPECT_THROW((void)RunTest(sut, qsl, FastSettings(), clock), CheckError);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  // Each query completes twice; the repeats are counted and ignored.
+  EXPECT_FALSE(r.Errored());
+  EXPECT_GT(r.sample_count, 0u);
+  EXPECT_EQ(r.duplicate_count, r.sample_count);
+  EXPECT_FALSE(r.error_log.empty());
+}
+
+// A hostile SUT that completes with an id the LoadGen never issued.
+class UnknownIdSut final : public SystemUnderTest {
+ public:
+  explicit UnknownIdSut(VirtualClock& clock) : clock_(clock) {}
+  [[nodiscard]] std::string_view name() const override { return "unknown"; }
+  void IssueQuery(std::span<const QuerySample> samples,
+                  ResponseSink& sink) override {
+    clock_.Advance(Seconds{0.001});
+    sink.Complete(QuerySampleResponse{samples[0].id + 100000, {}});
+    sink.Complete(QuerySampleResponse{samples[0].id, {}});
+  }
+
+ private:
+  VirtualClock& clock_;
+};
+
+TEST(LoadGen, UnknownCompletionCountedNotFatal) {
+  VirtualClock clock;
+  UnknownIdSut sut(clock);
+  FakeQsl qsl(4);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  EXPECT_FALSE(r.Errored());
+  EXPECT_GT(r.sample_count, 0u);
+  EXPECT_EQ(r.unknown_count, r.sample_count);
 }
 
 // A hostile SUT that never completes.
@@ -219,11 +250,75 @@ class SilentSut final : public SystemUnderTest {
   void IssueQuery(std::span<const QuerySample>, ResponseSink&) override {}
 };
 
-TEST(LoadGen, SilentSutDetected) {
+TEST(LoadGen, SilentSutYieldsErroredResult) {
   VirtualClock clock;
   SilentSut sut;
   FakeQsl qsl(4);
-  EXPECT_THROW((void)RunTest(sut, qsl, FastSettings(), clock), CheckError);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  EXPECT_TRUE(r.Errored());
+  EXPECT_FALSE(r.invalid_reason.empty());
+  EXPECT_EQ(r.sample_count, 0u);
+}
+
+// An SUT that burns time but drops every k-th completion.
+class DroppySut final : public SystemUnderTest {
+ public:
+  DroppySut(VirtualClock& clock, std::size_t drop_every)
+      : clock_(clock), drop_every_(drop_every) {}
+  [[nodiscard]] std::string_view name() const override { return "droppy"; }
+  void IssueQuery(std::span<const QuerySample> samples,
+                  ResponseSink& sink) override {
+    for (const QuerySample& s : samples) {
+      clock_.Advance(Seconds{0.001});
+      if (++count_ % drop_every_ != 0)
+        sink.Complete(QuerySampleResponse{s.id, {}});
+    }
+  }
+
+ private:
+  VirtualClock& clock_;
+  std::size_t drop_every_;
+  std::size_t count_ = 0;
+};
+
+TEST(LoadGen, DroppedCompletionsCountedWithoutWatchdog) {
+  VirtualClock clock;
+  DroppySut sut(clock, 4);  // every 4th sample never completes
+  FakeQsl qsl(8);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  EXPECT_FALSE(r.Errored());
+  EXPECT_GT(r.dropped_count, 0u);
+  EXPECT_EQ(r.timed_out_count, 0u);
+  EXPECT_FALSE(r.error_log.empty());
+}
+
+TEST(LoadGen, WatchdogExpiresDroppedCompletions) {
+  VirtualClock clock;
+  DroppySut sut(clock, 4);
+  FakeQsl qsl(8);
+  TestSettings s = FastSettings();
+  s.query_timeout = Seconds{0.5};  // virtual-clock watchdog armed
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_FALSE(r.Errored());
+  EXPECT_GT(r.timed_out_count, 0u);
+  EXPECT_EQ(r.dropped_count, 0u);
+}
+
+// A slow SUT against a tight watchdog: completions past the deadline are
+// expired rather than scored.
+TEST(LoadGen, WatchdogExpiresLateCompletions) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.050);  // 50 ms latency
+  FakeQsl qsl(8);
+  TestSettings s = FastSettings();
+  s.min_query_count = 8;
+  s.min_duration = Seconds{0.0};
+  s.query_timeout = Seconds{0.010};  // 10 ms deadline < 50 ms latency
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_EQ(r.sample_count, 0u);
+  EXPECT_EQ(r.timed_out_count, 8u);
+  // Nothing completed in time -> the run is structurally invalid.
+  EXPECT_TRUE(r.Errored());
 }
 
 
@@ -321,6 +416,38 @@ TEST(LoadGen, FindMaxServerQpsZeroWhenLowFails) {
     return RunTest(sut, qsl, s, clock);
   };
   EXPECT_EQ(FindMaxServerQps(run_at, 1.0, 100.0, 4), 0.0);
+}
+
+TEST(LoadGen, FindMaxServerQpsStopsOnErroredProbe) {
+  // An errored run (nothing completed) must not be mistaken for "bound
+  // met": the search gives up immediately instead of converging on
+  // garbage.
+  int probes = 0;
+  const auto run_at = [&probes](double) {
+    ++probes;
+    TestResult r;
+    r.invalid_reason = "SUT stalled";
+    r.latency_bound_met = false;
+    return r;
+  };
+  EXPECT_EQ(FindMaxServerQps(run_at, 1.0, 100.0, 8), 0.0);
+  EXPECT_EQ(probes, 1);  // the low-end probe errored; no binary search ran
+}
+
+TEST(LoadGen, ErroredRunNeverMeetsLatencyBound) {
+  // An empty latency vector must not satisfy the server bound via a 0.0
+  // percentile.
+  VirtualClock clock;
+  SilentSut sut;
+  FakeQsl qsl(4);
+  TestSettings s = FastSettings();
+  s.scenario = TestScenario::kServer;
+  s.server_target_qps = 10.0;
+  s.server_query_count = 16;
+  s.server_latency_bound = Seconds{0.01};
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_TRUE(r.Errored());
+  EXPECT_FALSE(r.latency_bound_met);
 }
 
 
