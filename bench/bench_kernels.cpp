@@ -1,16 +1,28 @@
-// Engineering microbenchmarks (google-benchmark): the numeric kernels the
-// functional plane runs on, the INT8-vs-FP32 arithmetic gap motivating
-// §7.5, and the LoadGen bookkeeping overhead per query.
-#include <benchmark/benchmark.h>
-
+// Engineering microbenchmarks for the execution engine: optimized
+// (register-tiled, optionally threaded) GEMM kernels against the scalar
+// references, the prepacked conv path against the pack-every-call legacy
+// path, the threaded executor and the sample-level accuracy fan-out.  The
+// INT8-vs-FP32 arithmetic gap motivates the paper's numerics discussion
+// (§7.5).
+//
+// Standalone (no benchmark framework): adaptive wall-clock timing, a table
+// on stdout, and a machine-readable BENCH_kernels.json for CI artifacts.
+// Every optimized-vs-reference pair is asserted bit-identical before being
+// timed, so a speedup can never come from a wrong answer.
+//
+// Usage: bench_kernels [--json PATH]   (default BENCH_kernels.json)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
-#include "common/fp16.h"
 #include "common/rng.h"
-#include "common/statistics.h"
+#include "common/thread_pool.h"
 #include "infer/executor.h"
 #include "infer/int8_conv.h"
 #include "infer/int8_gemm.h"
+#include "infer/prepared_model.h"
 #include "infer/weights.h"
 #include "models/mobilenet_edgetpu.h"
 
@@ -18,75 +30,150 @@ namespace {
 
 using namespace mlpm;
 
-void BM_GemmF32(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(1);
-  std::vector<float> a(n * n), b(n * n), c(n * n);
-  for (auto& v : a) v = static_cast<float>(rng.NextGaussian());
-  for (auto& v : b) v = static_cast<float>(rng.NextGaussian());
-  for (auto _ : state) {
-    infer::GemmF32(a, b, n, n, n, c);
-    benchmark::DoNotOptimize(c.data());
+// Times `fn` adaptively: repeats until ~150 ms of samples, reports the best
+// per-iteration seconds (least-noise estimator for microbenchmarks).
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up (page faults, caches)
+  double best = 1e300;
+  double total = 0.0;
+  int batch = 1;
+  while (total < 0.15) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < batch; ++i) fn();
+    const double s =
+        std::chrono::duration<double>(Clock::now() - t0).count() / batch;
+    best = std::min(best, s);
+    total += s * batch;
+    if (s * batch < 0.01) batch *= 2;  // too fast to time; grow the batch
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n * n * n));
+  return best;
 }
-BENCHMARK(BM_GemmF32)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_GemmU8(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(1);
-  std::vector<std::uint8_t> a(n * n), b(n * n);
-  std::vector<std::int32_t> c(n * n);
-  for (auto& v : a) v = static_cast<std::uint8_t>(rng.NextBelow(256));
-  for (auto& v : b) v = static_cast<std::uint8_t>(rng.NextBelow(256));
-  for (auto _ : state) {
-    infer::GemmU8U8I32(a, 128, b, 128, n, n, n, c);
-    benchmark::DoNotOptimize(c.data());
+struct BenchRecord {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+std::vector<BenchRecord> g_records;
+
+void Record(const std::string& name, double value, const std::string& unit) {
+  g_records.push_back({name, value, unit});
+  std::printf("  %-44s %12.3f %s\n", name.c_str(), value, unit.c_str());
+}
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: bit-exactness check failed: %s\n", what);
+    std::exit(1);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n * n * n));
 }
-BENCHMARK(BM_GemmU8)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_ConvInt8Im2col(benchmark::State& state) {
-  const auto c = static_cast<std::int64_t>(state.range(0));
-  Rng rng(7);
-  infer::Tensor input(graph::TensorShape({1, 16, 16, c}));
-  infer::Tensor weights(graph::TensorShape({c, 3, 3, c}));
-  infer::Tensor bias(graph::TensorShape({c}));
-  for (auto& v : input.values())
-    v = static_cast<float>(rng.NextUniform(-1, 1));
-  for (auto& v : weights.values())
-    v = static_cast<float>(rng.NextUniform(-0.5, 0.5));
-  const infer::QuantizationParams in_q =
-      infer::ChooseQuantParams(-1.0f, 1.0f);
-  const infer::QuantizationParams w_q =
-      infer::ChooseQuantParams(-0.5f, 0.5f);
-  for (auto _ : state) {
-    auto out = infer::ConvInt8NHWC(input, weights, bias, 1,
-                                   graph::Padding::kSame, in_q, w_q);
-    benchmark::DoNotOptimize(out.data());
+void BenchGemmF32(const ThreadPool& pool) {
+  std::printf("GEMM f32 (B transposed, square n):\n");
+  for (const std::size_t n : {64u, 128u, 256u, 384u}) {
+    Rng rng(1);
+    std::vector<float> a(n * n), b(n * n), c_ref(n * n), c_opt(n * n);
+    for (auto& v : a) v = static_cast<float>(rng.NextGaussian());
+    for (auto& v : b) v = static_cast<float>(rng.NextGaussian());
+
+    infer::GemmF32Ref(a, b, n, n, n, c_ref);
+    infer::GemmF32(a, b, n, n, n, c_opt, &pool);
+    Check(c_ref == c_opt, "GemmF32 tiled != reference");
+
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const double s_ref =
+        TimeSeconds([&] { infer::GemmF32Ref(a, b, n, n, n, c_ref); });
+    const double s_opt =
+        TimeSeconds([&] { infer::GemmF32(a, b, n, n, n, c_opt); });
+    const double s_par =
+        TimeSeconds([&] { infer::GemmF32(a, b, n, n, n, c_opt, &pool); });
+    const std::string tag = "gemm_f32_n" + std::to_string(n);
+    Record(tag + "_ref_gflops", flops / s_ref / 1e9, "GFLOP/s");
+    Record(tag + "_opt_gflops", flops / s_opt / 1e9, "GFLOP/s");
+    Record(tag + "_threaded_gflops", flops / s_par / 1e9, "GFLOP/s");
+    Record(tag + "_opt_speedup", s_ref / s_opt, "x");
+    Record(tag + "_threaded_speedup", s_ref / s_par, "x");
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          16 * 16 * c * 9 * c);
 }
-BENCHMARK(BM_ConvInt8Im2col)->Arg(16)->Arg(32)->Arg(64);
 
-void BM_Fp16RoundTrip(benchmark::State& state) {
-  Rng rng(2);
-  std::vector<float> v(4096);
-  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
-  for (auto _ : state) {
-    for (auto& x : v) x = RoundToHalf(x);
-    benchmark::DoNotOptimize(v.data());
+void BenchGemmU8(const ThreadPool& pool) {
+  std::printf("GEMM u8*u8 -> i32 (zero-point 128):\n");
+  for (const std::size_t n : {64u, 128u, 256u, 384u}) {
+    Rng rng(1);
+    std::vector<std::uint8_t> a(n * n), b(n * n);
+    std::vector<std::int32_t> c_ref(n * n), c_opt(n * n);
+    for (auto& v : a) v = static_cast<std::uint8_t>(rng.NextBelow(256));
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng.NextBelow(256));
+
+    infer::GemmU8U8I32Ref(a, 128, b, 128, n, n, n, c_ref);
+    infer::GemmU8U8I32(a, 128, b, 128, n, n, n, c_opt, &pool);
+    Check(c_ref == c_opt, "GemmU8U8I32 tiled != reference");
+
+    const double ops = 2.0 * static_cast<double>(n) * n * n;
+    const double s_ref = TimeSeconds(
+        [&] { infer::GemmU8U8I32Ref(a, 128, b, 128, n, n, n, c_ref); });
+    const double s_opt = TimeSeconds(
+        [&] { infer::GemmU8U8I32(a, 128, b, 128, n, n, n, c_opt); });
+    const double s_par = TimeSeconds(
+        [&] { infer::GemmU8U8I32(a, 128, b, 128, n, n, n, c_opt, &pool); });
+    const std::string tag = "gemm_u8_n" + std::to_string(n);
+    Record(tag + "_ref_gops", ops / s_ref / 1e9, "GOP/s");
+    Record(tag + "_opt_gops", ops / s_opt / 1e9, "GOP/s");
+    Record(tag + "_threaded_gops", ops / s_par / 1e9, "GOP/s");
+    Record(tag + "_opt_speedup", s_ref / s_opt, "x");
+    Record(tag + "_threaded_speedup", s_ref / s_par, "x");
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          4096);
 }
-BENCHMARK(BM_Fp16RoundTrip);
 
-void BM_MiniClassifierInference(benchmark::State& state) {
+void BenchConvInt8(const ThreadPool& pool) {
+  std::printf("conv int8 im2col 16x16 3x3 (legacy vs prepacked+scratch):\n");
+  for (const std::int64_t c : {16, 32, 64}) {
+    Rng rng(7);
+    infer::Tensor input(graph::TensorShape({1, 16, 16, c}));
+    infer::Tensor weights(graph::TensorShape({c, 3, 3, c}));
+    infer::Tensor bias(graph::TensorShape({c}));
+    for (auto& v : input.values())
+      v = static_cast<float>(rng.NextUniform(-1, 1));
+    for (auto& v : weights.values())
+      v = static_cast<float>(rng.NextUniform(-0.5, 0.5));
+    const infer::QuantizationParams in_q =
+        infer::ChooseQuantParams(-1.0f, 1.0f);
+    const infer::QuantizationParams w_q =
+        infer::ChooseQuantParams(-0.5f, 0.5f);
+
+    const infer::PackedConvWeights packed =
+        infer::PackConvWeights(weights, w_q);
+    infer::ConvScratch scratch;
+    const infer::Tensor legacy = infer::ConvInt8NHWC(
+        input, weights, bias, 1, graph::Padding::kSame, in_q, w_q);
+    const infer::Tensor prepacked =
+        infer::ConvInt8NHWC(input, packed, bias, 1, graph::Padding::kSame,
+                            in_q, &scratch, &pool);
+    Check(legacy.size() == prepacked.size(), "conv size mismatch");
+    for (std::size_t i = 0; i < legacy.size(); ++i)
+      Check(legacy.at(i) == prepacked.at(i), "prepacked conv != legacy");
+
+    const double s_legacy = TimeSeconds([&] {
+      auto out = infer::ConvInt8NHWC(input, weights, bias, 1,
+                                     graph::Padding::kSame, in_q, w_q);
+    });
+    const double s_packed = TimeSeconds([&] {
+      auto out = infer::ConvInt8NHWC(input, packed, bias, 1,
+                                     graph::Padding::kSame, in_q, &scratch,
+                                     &pool);
+    });
+    const std::string tag = "conv_int8_c" + std::to_string(c);
+    Record(tag + "_legacy_ms", s_legacy * 1e3, "ms");
+    Record(tag + "_prepacked_ms", s_packed * 1e3, "ms");
+    Record(tag + "_speedup", s_legacy / s_packed, "x");
+  }
+}
+
+void BenchExecutor(const ThreadPool& pool) {
+  std::printf("mini MobileNetEdgeTPU inference (serial vs threaded):\n");
   const graph::Graph g =
       models::BuildMobileNetEdgeTpu(models::ModelScale::kMini);
   const infer::WeightStore w = infer::InitializeWeights(g, 7);
@@ -95,23 +182,79 @@ void BM_MiniClassifierInference(benchmark::State& state) {
   Rng rng(3);
   for (auto& v : input.values()) v = static_cast<float>(rng.NextDouble());
   const std::vector<infer::Tensor> inputs{input};
-  for (auto _ : state) {
-    auto out = exec.Run(inputs);
-    benchmark::DoNotOptimize(out.data());
-  }
-}
-BENCHMARK(BM_MiniClassifierInference);
 
-void BM_Percentile(benchmark::State& state) {
-  Rng rng(4);
-  std::vector<double> lat(static_cast<std::size_t>(state.range(0)));
-  for (auto& v : lat) v = rng.NextDouble();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Percentile(lat, 90.0));
+  const auto serial_out = exec.Run(inputs);
+  const auto threaded_out = exec.Run(inputs, infer::NodeObserver{}, &pool);
+  for (std::size_t o = 0; o < serial_out.size(); ++o)
+    for (std::size_t i = 0; i < serial_out[o].size(); ++i)
+      Check(serial_out[o].at(i) == threaded_out[o].at(i),
+            "threaded executor != serial");
+
+  const double s_serial = TimeSeconds([&] { auto out = exec.Run(inputs); });
+  const double s_thread = TimeSeconds(
+      [&] { auto out = exec.Run(inputs, infer::NodeObserver{}, &pool); });
+  Record("executor_mini_classifier_serial_ms", s_serial * 1e3, "ms");
+  Record("executor_mini_classifier_threaded_ms", s_thread * 1e3, "ms");
+  Record("executor_mini_classifier_speedup", s_serial / s_thread, "x");
+
+  // Sample-level fan-out (the accuracy-mode regime): 8 samples per batch.
+  std::vector<std::vector<infer::Tensor>> sample_inputs;
+  for (int s = 0; s < 8; ++s) {
+    infer::Tensor t(g.tensor(g.input_ids()[0]).shape);
+    for (auto& v : t.values()) v = static_cast<float>(rng.NextDouble());
+    sample_inputs.push_back({std::move(t)});
   }
+  const auto inputs_for = [&](std::size_t i) { return sample_inputs[i]; };
+  const double s_loop = TimeSeconds([&] {
+    auto out = infer::RunSamplesParallel(exec, sample_inputs.size(),
+                                         inputs_for, nullptr);
+  });
+  const double s_fan = TimeSeconds([&] {
+    auto out = infer::RunSamplesParallel(exec, sample_inputs.size(),
+                                         inputs_for, &pool);
+  });
+  Record("accuracy_fanout_8samples_serial_ms", s_loop * 1e3, "ms");
+  Record("accuracy_fanout_8samples_threaded_ms", s_fan * 1e3, "ms");
+  Record("accuracy_fanout_8samples_speedup", s_loop / s_fan, "x");
 }
-BENCHMARK(BM_Percentile)->Arg(1024)->Arg(24576);
+
+void WriteJson(const std::string& path, const ThreadPool& pool) {
+  std::ofstream out(path);
+  out << "{\n  \"host_threads\": " << pool.thread_count()
+      << ",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < g_records.size(); ++i) {
+    const BenchRecord& r = g_records[i];
+    char value[64];
+    std::snprintf(value, sizeof value, "%.6g", r.value);
+    out << "    {\"name\": \"" << r.name << "\", \"value\": " << value
+        << ", \"unit\": \"" << r.unit << "\"}"
+        << (i + 1 < g_records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (%zu benchmarks)\n", path.c_str(),
+              g_records.size());
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_kernels [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  const ThreadPool pool;  // hardware concurrency
+  std::printf("bench_kernels: %zu execution lane(s)\n", pool.thread_count());
+  BenchGemmF32(pool);
+  BenchGemmU8(pool);
+  BenchConvInt8(pool);
+  BenchExecutor(pool);
+  WriteJson(json_path, pool);
+  return 0;
+}

@@ -8,7 +8,7 @@
 //                [--scenario single_stream|offline|server|multi_stream]
 //                [--task all|ic|od|is|nlp] [--accuracy] [--e2e]
 //                [--cooldown SECONDS] [--csv FILE] [--log FILE]
-//                [--faults CRASH_PROB] [--fault-seed N]
+//                [--faults CRASH_PROB] [--fault-seed N] [--threads N]
 //
 // Examples:
 //   headless_cli --chipset "Core i7-11375H" --version v1.0
@@ -41,6 +41,9 @@ struct CliOptions {
   // (<= 0 disables; see soc/faults.h for the full plan vocabulary).
   double crash_probability = 0.0;
   std::uint64_t fault_seed = 0x464C54;
+  // Accuracy-phase worker threads (0 = hardware concurrency, 1 = serial);
+  // results are bit-identical for any value.
+  int threads = 0;
 };
 
 std::optional<CliOptions> Parse(int argc, char** argv) {
@@ -83,6 +86,9 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
         return std::nullopt;
     } else if (arg == "--fault-seed") {
       o.fault_seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      o.threads = std::atoi(value().c_str());
+      if (o.threads < 0) return std::nullopt;
     } else {
       return std::nullopt;
     }
@@ -108,7 +114,8 @@ int main(int argc, char** argv) {
                  " [--task all|ic|od|is|nlp]\n"
                  "                    [--accuracy|--performance-only] [--e2e]"
                  " [--cooldown S] [--csv FILE] [--log FILE]\n"
-                 "                    [--faults CRASH_PROB] [--fault-seed N]\n");
+                 "                    [--faults CRASH_PROB] [--fault-seed N]"
+                 " [--threads N]\n");
     return 2;
   }
   const std::optional<soc::ChipsetDesc> chipset = FindChipset(opts->chipset);
@@ -126,6 +133,7 @@ int main(int argc, char** argv) {
   run.run_accuracy = opts->accuracy;
   run.end_to_end = opts->end_to_end;
   run.cooldown_s = opts->cooldown_s;
+  run.threads = opts->threads;
   if (opts->crash_probability > 0.0) {
     soc::FaultPlan plan;
     plan.seed = opts->fault_seed;

@@ -3,32 +3,51 @@
 // of the paper's poorly-optimized reference TFLite backend (§3.3/§4.1) and
 // is what accuracy mode runs against (model outputs are real tensors the
 // data set can score).
+//
+// With a ThreadPool the backend defers samples at IssueQuery and evaluates
+// the whole batch in FlushQueries, fanned out over pool threads; responses
+// complete sequentially in issue order, so accuracy results are
+// bit-identical to the serial path.  Deferred mode is only meant for
+// accuracy runs: performance mode's virtual-clock latency accounting needs
+// completion inside IssueQuery, so pass a null pool there.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/dataset_qsl.h"
 #include "core/query.h"
 #include "infer/executor.h"
+
+namespace mlpm {
+class ThreadPool;
+}
 
 namespace mlpm::backends {
 
 class ReferenceBackend final : public loadgen::SystemUnderTest {
  public:
   // `executor` runs the model at the submission's numerics; `qsl` stages
-  // the inputs.  Both must outlive the backend.
+  // the inputs.  Both must outlive the backend, as must `pool` (optional).
   ReferenceBackend(std::string name, const infer::Executor& executor,
-                   const loadgen::DatasetQsl& qsl);
+                   const loadgen::DatasetQsl& qsl,
+                   const ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::string_view name() const override { return name_; }
   void IssueQuery(std::span<const loadgen::QuerySample> samples,
                   loadgen::ResponseSink& sink) override;
+  void FlushQueries() override;
 
  private:
   std::string name_;
   const infer::Executor& executor_;
   const loadgen::DatasetQsl& qsl_;
+  const ThreadPool* pool_;
+  // Deferred-mode state: samples queued by IssueQuery, completed in batch
+  // by FlushQueries.
+  std::vector<loadgen::QuerySample> pending_;
+  loadgen::ResponseSink* sink_ = nullptr;
 };
 
 }  // namespace mlpm::backends

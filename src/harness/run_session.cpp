@@ -1,8 +1,10 @@
 #include "harness/run_session.h"
 
+#include <optional>
 #include <utility>
 
 #include "backends/reference_backend.h"
+#include "common/thread_pool.h"
 #include "core/dataset_qsl.h"
 
 namespace mlpm::harness {
@@ -131,7 +133,7 @@ PerformanceAttempt RunPerformanceWith(Sut& sut, loadgen::DatasetQsl& qsl,
 
 void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
              SuiteBundles& bundles, const RunOptions& options,
-             TaskRunResult& tr);
+             const ThreadPool* pool, TaskRunResult& tr);
 
 }  // namespace
 
@@ -143,6 +145,17 @@ SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
   result.chipset_name = chipset.name;
   result.version = version;
 
+  // Pool for the accuracy phase.  Scoped to this submission: cached
+  // executors in `bundles` outlive it, so nothing below may retain the
+  // pointer past RunTask.
+  std::optional<ThreadPool> pool_storage;
+  const ThreadPool* pool = nullptr;
+  if (options.run_accuracy && options.threads != 1) {
+    pool_storage.emplace(static_cast<std::size_t>(
+        std::max(0, options.threads)));
+    if (pool_storage->thread_count() > 1) pool = &*pool_storage;
+  }
+
   // The prescribed task order is the suite order (§6.1).  One task blowing
   // up must not take the submission down with it: each task is isolated,
   // and a throw marks it errored while the rest of the suite proceeds.
@@ -150,7 +163,7 @@ SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
     TaskRunResult tr;
     tr.entry = entry;
     try {
-      RunTask(chipset, version, bundles, options, tr);
+      RunTask(chipset, version, bundles, options, pool, tr);
     } catch (const std::exception& e) {
       tr.status = TaskStatus::kErrored;
       tr.status_detail = e.what();
@@ -164,7 +177,7 @@ namespace {
 
 void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
              SuiteBundles& bundles, const RunOptions& options,
-             TaskRunResult& tr) {
+             const ThreadPool* pool, TaskRunResult& tr) {
   const models::BenchmarkEntry& entry = tr.entry;
   const TaskBundle& bundle = bundles.Get(entry, version);
   const backends::SubmissionConfig sub =
@@ -186,7 +199,7 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
     loadgen::DatasetQsl qsl(bundle.dataset());
     loadgen::RealClock clock;
     backends::ReferenceBackend ref_sut("reference/" + entry.id,
-                                       *prepared.executor, qsl);
+                                       *prepared.executor, qsl, pool);
     loadgen::TestSettings acc;
     acc.mode = loadgen::TestMode::kAccuracyOnly;
     const loadgen::TestResult acc_result =
@@ -194,7 +207,7 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
     tr.accuracy = bundle.dataset().ScoreOutputs(acc_result.accuracy_outputs);
     tr.accuracy_sample_count = acc_result.sample_count;
     tr.dataset_size = bundle.dataset().size();
-    tr.fp32_reference = bundle.Fp32Score();
+    tr.fp32_reference = bundle.Fp32Score(pool);
     tr.ratio_to_fp32 =
         tr.fp32_reference > 0 ? tr.accuracy / tr.fp32_reference : 0.0;
     tr.quality_passed = tr.ratio_to_fp32 >= entry.quality_target;

@@ -58,6 +58,12 @@ struct RunOptions {
   std::optional<soc::FaultPlan> fault_plan;
   backends::FaultToleranceOptions fault_tolerance;
   int max_test_retries = 1;
+
+  // Worker threads for the accuracy phase (sample-level fan-out through the
+  // reference executor).  0 = hardware concurrency, 1 = serial.  Accuracy
+  // results are bit-identical for any value; the performance phase's
+  // virtual-clock simulation is unaffected.
+  int threads = 1;
 };
 
 // How a task run ended, from the harness's point of view.

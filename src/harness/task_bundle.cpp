@@ -66,6 +66,10 @@ std::unique_ptr<TaskBundle> TaskBundle::Create(
 
 TaskBundle::PreparedModel TaskBundle::Prepare(infer::NumericsMode mode,
                                               bool use_qat_weights) const {
+  const int key = static_cast<int>(mode) * 2 + (use_qat_weights ? 1 : 0);
+  if (const auto it = prepared_cache_.find(key); it != prepared_cache_.end())
+    return it->second;
+
   PreparedModel p;
   const infer::WeightStore* weights = &weights_;
   if (use_qat_weights) {
@@ -80,26 +84,28 @@ TaskBundle::PreparedModel TaskBundle::Prepare(infer::NumericsMode mode,
         datasets::GatherCalibrationSamples(*dataset_, p.calibration_indices);
     const infer::QuantParams qp =
         quant::CalibratePtq(*graph_, *weights, samples);
-    p.executor =
-        std::make_unique<infer::Executor>(*graph_, *weights, mode, &qp);
+    p.model = std::make_shared<infer::PreparedModel>(*graph_, *weights, mode,
+                                                     &qp);
   } else {
-    p.executor = std::make_unique<infer::Executor>(*graph_, *weights, mode);
+    p.model = std::make_shared<infer::PreparedModel>(*graph_, *weights, mode);
   }
+  p.executor = &p.model->executor();
+  prepared_cache_.emplace(key, p);
   return p;
 }
 
-double TaskBundle::ScoreAccuracy(const infer::Executor& executor) const {
-  std::vector<std::vector<infer::Tensor>> outputs;
-  outputs.reserve(dataset_->size());
-  for (std::size_t i = 0; i < dataset_->size(); ++i)
-    outputs.push_back(executor.Run(dataset_->InputsFor(i)));
+double TaskBundle::ScoreAccuracy(const infer::Executor& executor,
+                                 const ThreadPool* pool) const {
+  std::vector<std::vector<infer::Tensor>> outputs = infer::RunSamplesParallel(
+      executor, dataset_->size(),
+      [&](std::size_t i) { return dataset_->InputsFor(i); }, pool);
   return dataset_->ScoreOutputs(outputs);
 }
 
-double TaskBundle::Fp32Score() const {
+double TaskBundle::Fp32Score(const ThreadPool* pool) const {
   if (!fp32_score_) {
     const infer::Executor fp32(*graph_, weights_, infer::NumericsMode::kFp32);
-    fp32_score_ = ScoreAccuracy(fp32);
+    fp32_score_ = ScoreAccuracy(fp32, pool);
   }
   return *fp32_score_;
 }

@@ -4,14 +4,20 @@
 // approved calibration set, FP16 rounding, optional QAT-agreed weights).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "datasets/task_dataset.h"
 #include "infer/executor.h"
+#include "infer/prepared_model.h"
 #include "models/ssd.h"
 #include "models/zoo.h"
+
+namespace mlpm {
+class ThreadPool;
+}
 
 namespace mlpm::harness {
 
@@ -37,7 +43,11 @@ class TaskBundle {
   }
 
   struct PreparedModel {
-    std::unique_ptr<infer::Executor> executor;
+    // Shared so repeated Prepare() calls at the same numerics reuse one
+    // prepack (weight transform + PTQ) instead of redoing it.
+    std::shared_ptr<const infer::PreparedModel> model;
+    // Convenience view of model->executor(); never null.
+    const infer::Executor* executor = nullptr;
     // Calibration sample indices consumed (for the checker); empty unless
     // INT8.
     std::vector<std::size_t> calibration_indices;
@@ -46,14 +56,18 @@ class TaskBundle {
   // Prepares an executor at the given numerics.  INT8 runs PTQ over the
   // approved calibration subset; `use_qat_weights` selects the
   // mutually-agreed QAT-equivalent weights instead of the plain frozen ones.
+  // Results are cached per (mode, qat) pair: weights are quantized/packed
+  // once per graph and reused across runs.
   [[nodiscard]] PreparedModel Prepare(infer::NumericsMode mode,
                                       bool use_qat_weights = false) const;
 
-  // Runs the full validation set through `executor` and scores it.
-  [[nodiscard]] double ScoreAccuracy(const infer::Executor& executor) const;
+  // Runs the full validation set through `executor` and scores it, fanning
+  // samples out over `pool` when given (bit-identical to the serial path).
+  [[nodiscard]] double ScoreAccuracy(const infer::Executor& executor,
+                                     const ThreadPool* pool = nullptr) const;
 
   // FP32 reference score (cached after first call).
-  [[nodiscard]] double Fp32Score() const;
+  [[nodiscard]] double Fp32Score(const ThreadPool* pool = nullptr) const;
 
  private:
   TaskBundle() = default;
@@ -68,6 +82,8 @@ class TaskBundle {
   mutable std::optional<infer::WeightStore> qat_weights_;  // lazy
   std::unique_ptr<datasets::TaskDataset> dataset_;
   mutable std::optional<double> fp32_score_;
+  // Prepack cache, keyed by (mode, use_qat_weights).
+  mutable std::map<int, PreparedModel> prepared_cache_;
 };
 
 }  // namespace mlpm::harness

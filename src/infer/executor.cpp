@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "common/fp16.h"
+#include "common/thread_pool.h"
 
 namespace mlpm::infer {
 namespace {
@@ -17,6 +18,10 @@ using graph::OpType;
 using graph::Padding;
 using graph::TensorId;
 using graph::TensorShape;
+
+// Elementwise ops smaller than this run inline; the fork/join handshake
+// costs more than the loop below it.
+constexpr std::size_t kElementwiseCutoff = 1024;
 
 float ApplyActivation(float v, Activation a) {
   switch (a) {
@@ -52,7 +57,8 @@ std::int64_t PadBegin(std::int64_t in, std::int64_t out, int kernel,
 }
 
 void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
-               const Tensor& w, const Tensor& bias, Tensor& out) {
+               const Tensor& w, const Tensor& bias, Tensor& out,
+               const ThreadPool* pool) {
   const TensorShape& is = in.shape();
   const TensorShape& os = out.shape();
   const std::int64_t N = is.batch(), IH = is.height(), IW = is.width(),
@@ -67,12 +73,55 @@ void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
   const float* __restrict ip = in.data();
   float* __restrict op = out.data();
 
-  for (std::int64_t b = 0; b < N; ++b) {
-    for (std::int64_t oh = 0; oh < OH; ++oh) {
+  // Parallel over independent output rows (b, oh); within a pixel, four
+  // output channels run together so each input pixel load feeds four
+  // accumulators.  Every accumulator starts at its bias and adds terms in
+  // the same (kh, kw, ic) order as the scalar loop — bit-identical output.
+  ParallelForRange(pool, 0, N * OH, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t b = row / OH;
+      const std::int64_t oh = row % OH;
       for (std::int64_t ow = 0; ow < OW; ++ow) {
-        for (std::int64_t oc = 0; oc < OC; ++oc) {
+        float* out_px = op + ((b * OH + oh) * OW + ow) * OC;
+        std::int64_t oc = 0;
+        for (; oc + 4 <= OC; oc += 4) {
+          float acc0 = bp[oc], acc1 = bp[oc + 1], acc2 = bp[oc + 2],
+                acc3 = bp[oc + 3];
+          for (int kh = 0; kh < a.kernel_h; ++kh) {
+            const std::int64_t ih =
+                oh * a.stride - ph + static_cast<std::int64_t>(kh) *
+                                         a.dilation;
+            if (ih < 0 || ih >= IH) continue;
+            for (int kw = 0; kw < a.kernel_w; ++kw) {
+              const std::int64_t iw =
+                  ow * a.stride - pw + static_cast<std::int64_t>(kw) *
+                                           a.dilation;
+              if (iw < 0 || iw >= IW) continue;
+              const float* in_px = ip + ((b * IH + ih) * IW + iw) * IC;
+              const std::int64_t woff =
+                  (static_cast<std::int64_t>(kh) * a.kernel_w + kw) * IC;
+              const std::int64_t wstride =
+                  static_cast<std::int64_t>(a.kernel_h) * a.kernel_w * IC;
+              const float* w0 = wp + oc * wstride + woff;
+              const float* w1 = w0 + wstride;
+              const float* w2 = w1 + wstride;
+              const float* w3 = w2 + wstride;
+              for (std::int64_t ic = 0; ic < IC; ++ic) {
+                const float v = in_px[ic];
+                acc0 += v * w0[ic];
+                acc1 += v * w1[ic];
+                acc2 += v * w2[ic];
+                acc3 += v * w3[ic];
+              }
+            }
+          }
+          out_px[oc] = ApplyActivation(acc0, a.activation);
+          out_px[oc + 1] = ApplyActivation(acc1, a.activation);
+          out_px[oc + 2] = ApplyActivation(acc2, a.activation);
+          out_px[oc + 3] = ApplyActivation(acc3, a.activation);
+        }
+        for (; oc < OC; ++oc) {
           float acc = bp[oc];
-          // Kernel window; weights laid out [OC, KH, KW, IC].
           for (int kh = 0; kh < a.kernel_h; ++kh) {
             const std::int64_t ih =
                 oh * a.stride - ph + static_cast<std::int64_t>(kh) *
@@ -90,17 +139,17 @@ void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
                 acc += in_px[ic] * w_px[ic];
             }
           }
-          op[((b * OH + oh) * OW + ow) * OC + oc] =
-              ApplyActivation(acc, a.activation);
+          out_px[oc] = ApplyActivation(acc, a.activation);
         }
       }
     }
-  }
+  });
   (void)n;
 }
 
 void RunDepthwiseConv2d(const graph::DepthwiseConv2dAttrs& a, const Tensor& in,
-                        const Tensor& w, const Tensor& bias, Tensor& out) {
+                        const Tensor& w, const Tensor& bias, Tensor& out,
+                        const ThreadPool* pool) {
   const TensorShape& is = in.shape();
   const TensorShape& os = out.shape();
   const std::int64_t N = is.batch(), IH = is.height(), IW = is.width(),
@@ -115,8 +164,10 @@ void RunDepthwiseConv2d(const graph::DepthwiseConv2dAttrs& a, const Tensor& in,
   const float* __restrict ip = in.data();
   float* __restrict op = out.data();
 
-  for (std::int64_t b = 0; b < N; ++b) {
-    for (std::int64_t oh = 0; oh < OH; ++oh) {
+  ParallelForRange(pool, 0, N * OH, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t b = row / OH;
+      const std::int64_t oh = row % OH;
       for (std::int64_t ow = 0; ow < OW; ++ow) {
         for (std::int64_t c = 0; c < C; ++c) {
           float acc = bp[c];
@@ -139,11 +190,12 @@ void RunDepthwiseConv2d(const graph::DepthwiseConv2dAttrs& a, const Tensor& in,
         }
       }
     }
-  }
+  });
 }
 
 void RunFullyConnected(const graph::FullyConnectedAttrs& a, const Tensor& in,
-                       const Tensor& w, const Tensor& bias, Tensor& out) {
+                       const Tensor& w, const Tensor& bias, Tensor& out,
+                       const ThreadPool* pool) {
   const TensorShape& is = in.shape();
   const std::int64_t in_f = is.dim(is.rank() - 1);
   const std::int64_t out_f = a.out_features;
@@ -152,19 +204,53 @@ void RunFullyConnected(const graph::FullyConnectedAttrs& a, const Tensor& in,
   const float* __restrict wp = w.data();  // [out_f, in_f]
   const float* __restrict bp = bias.data();
   float* __restrict op = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
+  // Four output features share each input load; every accumulator keeps the
+  // scalar loop's per-element order (bias first, then i ascending).
+  const auto run_rows = [&](std::int64_t r, std::int64_t o_lo,
+                            std::int64_t o_hi) {
     const float* row = ip + r * in_f;
-    for (std::int64_t o = 0; o < out_f; ++o) {
+    std::int64_t o = o_lo;
+    for (; o + 4 <= o_hi; o += 4) {
+      const float* w0 = wp + o * in_f;
+      const float* w1 = w0 + in_f;
+      const float* w2 = w1 + in_f;
+      const float* w3 = w2 + in_f;
+      float acc0 = bp[o], acc1 = bp[o + 1], acc2 = bp[o + 2],
+            acc3 = bp[o + 3];
+      for (std::int64_t i = 0; i < in_f; ++i) {
+        const float v = row[i];
+        acc0 += v * w0[i];
+        acc1 += v * w1[i];
+        acc2 += v * w2[i];
+        acc3 += v * w3[i];
+      }
+      op[r * out_f + o] = ApplyActivation(acc0, a.activation);
+      op[r * out_f + o + 1] = ApplyActivation(acc1, a.activation);
+      op[r * out_f + o + 2] = ApplyActivation(acc2, a.activation);
+      op[r * out_f + o + 3] = ApplyActivation(acc3, a.activation);
+    }
+    for (; o < o_hi; ++o) {
       const float* wrow = wp + o * in_f;
       float acc = bp[o];
       for (std::int64_t i = 0; i < in_f; ++i) acc += row[i] * wrow[i];
       op[r * out_f + o] = ApplyActivation(acc, a.activation);
     }
+  };
+  if (rows > 1) {
+    // Batched / sequence input: parallel over rows.
+    ParallelForRange(pool, 0, rows, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t r = lo; r < hi; ++r) run_rows(r, 0, out_f);
+    });
+  } else {
+    // Single row (classifier heads): parallel over output features.
+    ParallelForRange(pool, 0, out_f, [&](std::int64_t lo, std::int64_t hi) {
+      run_rows(0, lo, hi);
+    });
   }
 }
 
 void RunPool(OpType op_type, const graph::PoolAttrs& a, const Tensor& in,
-             Tensor& out) {
+             Tensor& out, const ThreadPool* pool) {
   const TensorShape& is = in.shape();
   const TensorShape& os = out.shape();
   const std::int64_t N = is.batch(), IH = is.height(), IW = is.width(),
@@ -173,8 +259,10 @@ void RunPool(OpType op_type, const graph::PoolAttrs& a, const Tensor& in,
   const float* ip = in.data();
   float* op = out.data();
   const bool is_max = op_type == OpType::kMaxPool;
-  for (std::int64_t b = 0; b < N; ++b) {
-    for (std::int64_t oh = 0; oh < OH; ++oh) {
+  ParallelForRange(pool, 0, N * OH, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t b = row / OH;
+      const std::int64_t oh = row % OH;
       for (std::int64_t ow = 0; ow < OW; ++ow) {
         for (std::int64_t c = 0; c < C; ++c) {
           float acc = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
@@ -198,27 +286,29 @@ void RunPool(OpType op_type, const graph::PoolAttrs& a, const Tensor& in,
         }
       }
     }
-  }
+  });
 }
 
-void RunGlobalAvgPool(const Tensor& in, Tensor& out) {
+void RunGlobalAvgPool(const Tensor& in, Tensor& out, const ThreadPool* pool) {
   const TensorShape& is = in.shape();
   const std::int64_t N = is.batch(), H = is.height(), W = is.width(),
                      C = is.channels();
   const float* ip = in.data();
   float* op = out.data();
-  for (std::int64_t b = 0; b < N; ++b) {
-    for (std::int64_t c = 0; c < C; ++c) {
+  ParallelForRange(pool, 0, N * C, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t f = lo; f < hi; ++f) {
+      const std::int64_t b = f / C;
+      const std::int64_t c = f % C;
       double acc = 0.0;
       for (std::int64_t h = 0; h < H; ++h)
         for (std::int64_t w = 0; w < W; ++w)
           acc += ip[((b * H + h) * W + w) * C + c];
       op[b * C + c] = static_cast<float>(acc / static_cast<double>(H * W));
     }
-  }
+  });
 }
 
-void RunResizeBilinear(const Tensor& in, Tensor& out) {
+void RunResizeBilinear(const Tensor& in, Tensor& out, const ThreadPool* pool) {
   const TensorShape& is = in.shape();
   const TensorShape& os = out.shape();
   const std::int64_t N = is.batch(), IH = is.height(), IW = is.width(),
@@ -228,8 +318,10 @@ void RunResizeBilinear(const Tensor& in, Tensor& out) {
   float* op = out.data();
   const double sh = static_cast<double>(IH) / static_cast<double>(OH);
   const double sw = static_cast<double>(IW) / static_cast<double>(OW);
-  for (std::int64_t b = 0; b < N; ++b) {
-    for (std::int64_t oh = 0; oh < OH; ++oh) {
+  ParallelForRange(pool, 0, N * OH, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t b = row / OH;
+      const std::int64_t oh = row % OH;
       // Half-pixel centers, clamped to the valid range.
       const double fy = std::max(
           0.0, (static_cast<double>(oh) + 0.5) * sh - 0.5);
@@ -254,7 +346,7 @@ void RunResizeBilinear(const Tensor& in, Tensor& out) {
         }
       }
     }
-  }
+  });
 }
 
 void RunConcat(const Graph& g, const Node& n,
@@ -285,29 +377,32 @@ void RunConcat(const Graph& g, const Node& n,
   (void)g;
 }
 
-void RunSoftmaxLastDim(const Tensor& in, Tensor& out) {
+void RunSoftmaxLastDim(const Tensor& in, Tensor& out, const ThreadPool* pool) {
   const TensorShape& s = in.shape();
   const std::int64_t d = s.dim(s.rank() - 1);
   const std::int64_t rows = s.elements() / d;
   const float* ip = in.data();
   float* op = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = ip + r * d;
-    float* orow = op + r * d;
-    float m = row[0];
-    for (std::int64_t i = 1; i < d; ++i) m = std::max(m, row[i]);
-    double sum = 0.0;
-    for (std::int64_t i = 0; i < d; ++i) {
-      orow[i] = std::exp(row[i] - m);
-      sum += orow[i];
+  ParallelForRange(pool, 0, rows, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      const float* row = ip + r * d;
+      float* orow = op + r * d;
+      float m = row[0];
+      for (std::int64_t i = 1; i < d; ++i) m = std::max(m, row[i]);
+      double sum = 0.0;
+      for (std::int64_t i = 0; i < d; ++i) {
+        orow[i] = std::exp(row[i] - m);
+        sum += orow[i];
+      }
+      const auto inv = static_cast<float>(1.0 / sum);
+      for (std::int64_t i = 0; i < d; ++i) orow[i] *= inv;
     }
-    const auto inv = static_cast<float>(1.0 / sum);
-    for (std::int64_t i = 0; i < d; ++i) orow[i] *= inv;
-  }
+  });
 }
 
 void RunLayerNorm(const graph::LayerNormAttrs& a, const Tensor& in,
-                  const Tensor& gamma, const Tensor& beta, Tensor& out) {
+                  const Tensor& gamma, const Tensor& beta, Tensor& out,
+                  const ThreadPool* pool) {
   const TensorShape& s = in.shape();
   const std::int64_t d = s.dim(s.rank() - 1);
   const std::int64_t rows = s.elements() / d;
@@ -315,22 +410,24 @@ void RunLayerNorm(const graph::LayerNormAttrs& a, const Tensor& in,
   const float* gp = gamma.data();
   const float* bp = beta.data();
   float* op = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = ip + r * d;
-    double mean = 0.0;
-    for (std::int64_t i = 0; i < d; ++i) mean += row[i];
-    mean /= static_cast<double>(d);
-    double var = 0.0;
-    for (std::int64_t i = 0; i < d; ++i) {
-      const double x = row[i] - mean;
-      var += x * x;
+  ParallelForRange(pool, 0, rows, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      const float* row = ip + r * d;
+      double mean = 0.0;
+      for (std::int64_t i = 0; i < d; ++i) mean += row[i];
+      mean /= static_cast<double>(d);
+      double var = 0.0;
+      for (std::int64_t i = 0; i < d; ++i) {
+        const double x = row[i] - mean;
+        var += x * x;
+      }
+      var /= static_cast<double>(d);
+      const double inv = 1.0 / std::sqrt(var + a.epsilon);
+      float* orow = op + r * d;
+      for (std::int64_t i = 0; i < d; ++i)
+        orow[i] = static_cast<float>((row[i] - mean) * inv) * gp[i] + bp[i];
     }
-    var /= static_cast<double>(d);
-    const double inv = 1.0 / std::sqrt(var + a.epsilon);
-    float* orow = op + r * d;
-    for (std::int64_t i = 0; i < d; ++i)
-      orow[i] = static_cast<float>((row[i] - mean) * inv) * gp[i] + bp[i];
-  }
+  });
 }
 
 void RunEmbedding(const graph::EmbeddingAttrs& a, const Tensor& ids,
@@ -347,7 +444,7 @@ void RunEmbedding(const graph::EmbeddingAttrs& a, const Tensor& ids,
 
 void RunAttention(const graph::AttentionAttrs& a, const Tensor& in,
                   const Tensor& wq, const Tensor& wk, const Tensor& wv,
-                  const Tensor& wo, Tensor& out) {
+                  const Tensor& wo, Tensor& out, const ThreadPool* pool) {
   const std::int64_t S = in.shape().dim(0);
   const std::int64_t D = in.shape().dim(1);
   const std::int64_t H = a.num_heads;
@@ -357,26 +454,32 @@ void RunAttention(const graph::AttentionAttrs& a, const Tensor& in,
     std::vector<float> r(static_cast<std::size_t>(S * D));
     const float* ip = in.data();
     const float* wp = w.data();  // [D, D] as [out, in]
-    for (std::int64_t s = 0; s < S; ++s)
-      for (std::int64_t o = 0; o < D; ++o) {
-        float acc = 0.0f;
-        const float* row = ip + s * D;
-        const float* wrow = wp + o * D;
-        for (std::int64_t i = 0; i < D; ++i) acc += row[i] * wrow[i];
-        r[static_cast<std::size_t>(s * D + o)] = acc;
-      }
+    ParallelForRange(pool, 0, S, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t s = lo; s < hi; ++s)
+        for (std::int64_t o = 0; o < D; ++o) {
+          float acc = 0.0f;
+          const float* row = ip + s * D;
+          const float* wrow = wp + o * D;
+          for (std::int64_t i = 0; i < D; ++i) acc += row[i] * wrow[i];
+          r[static_cast<std::size_t>(s * D + o)] = acc;
+        }
+    });
     return r;
   };
   const std::vector<float> q = project(wq);
   const std::vector<float> k = project(wk);
   const std::vector<float> v = project(wv);
 
+  // Flattened (head, query-row) pairs are independent: each writes a
+  // disjoint ctx slice.  Each chunk owns a local scores buffer.
   std::vector<float> ctx(static_cast<std::size_t>(S * D), 0.0f);
-  std::vector<float> scores(static_cast<std::size_t>(S));
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
-  for (std::int64_t h = 0; h < H; ++h) {
-    const std::int64_t off = h * hd;
-    for (std::int64_t i = 0; i < S; ++i) {
+  ParallelForRange(pool, 0, H * S, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> scores(static_cast<std::size_t>(S));
+    for (std::int64_t f = lo; f < hi; ++f) {
+      const std::int64_t h = f / S;
+      const std::int64_t i = f % S;
+      const std::int64_t off = h * hd;
       // scores_j = q_i . k_j / sqrt(hd), softmaxed over j.
       float m = -std::numeric_limits<float>::infinity();
       for (std::int64_t j = 0; j < S; ++j) {
@@ -402,19 +505,21 @@ void RunAttention(const graph::AttentionAttrs& a, const Tensor& in,
         ctx[static_cast<std::size_t>(i * D + off + d)] = acc * inv;
       }
     }
-  }
+  });
 
   // Output projection.
   const float* wop = wo.data();
   float* op = out.data();
-  for (std::int64_t s = 0; s < S; ++s)
-    for (std::int64_t o = 0; o < D; ++o) {
-      float acc = 0.0f;
-      const float* row = ctx.data() + s * D;
-      const float* wrow = wop + o * D;
-      for (std::int64_t i = 0; i < D; ++i) acc += row[i] * wrow[i];
-      op[s * D + o] = acc;
-    }
+  ParallelForRange(pool, 0, S, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t s = lo; s < hi; ++s)
+      for (std::int64_t o = 0; o < D; ++o) {
+        float acc = 0.0f;
+        const float* row = ctx.data() + s * D;
+        const float* wrow = wop + o * D;
+        for (std::int64_t i = 0; i < D; ++i) acc += row[i] * wrow[i];
+        op[s * D + o] = acc;
+      }
+  });
 }
 
 void RunLstm(const graph::LstmAttrs& a, const Tensor& in, const Tensor& wx,
@@ -459,8 +564,18 @@ void RunLstm(const graph::LstmAttrs& a, const Tensor& in, const Tensor& wx,
   }
 }
 
-void RoundTensorToHalf(Tensor& t) {
-  for (auto& v : t.values()) v = RoundToHalf(v);
+void RoundTensorToHalf(Tensor& t, const ThreadPool* pool) {
+  auto vals = t.values();
+  if (vals.size() < kElementwiseCutoff) {
+    for (auto& v : vals) v = RoundToHalf(v);
+    return;
+  }
+  ParallelForRange(pool, 0, static_cast<std::int64_t>(vals.size()),
+                   [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i)
+                       vals[static_cast<std::size_t>(i)] =
+                           RoundToHalf(vals[static_cast<std::size_t>(i)]);
+                   });
 }
 
 // Symmetric per-channel (or per-tensor) weight fake quantization; channel ==
@@ -518,7 +633,7 @@ Executor::Executor(const Graph& graph, const WeightStore& weights,
       case NumericsMode::kFp32:
         break;
       case NumericsMode::kFp16:
-        RoundTensorToHalf(*t);
+        RoundTensorToHalf(*t, nullptr);
         break;
       case NumericsMode::kInt8:
         // Biases stay high precision (INT32 accumulators on real hardware).
@@ -537,11 +652,17 @@ const Tensor& Executor::WeightFor(TensorId id) const {
 }
 
 std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs) const {
-  return Run(inputs, NodeObserver{});
+  return Run(inputs, NodeObserver{}, nullptr);
 }
 
 std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
                                   const NodeObserver& observer) const {
+  return Run(inputs, observer, nullptr);
+}
+
+std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
+                                  const NodeObserver& observer,
+                                  const ThreadPool* pool) const {
   Expects(inputs.size() == graph_.input_ids().size(),
           "wrong number of graph inputs");
   std::vector<Tensor> slots(graph_.tensors().size());
@@ -561,6 +682,12 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
     return slots[static_cast<std::size_t>(id)];
   };
 
+  // Elementwise loops only fork when the tensor is large enough to pay for
+  // the handshake.
+  const auto elementwise_pool = [&](std::size_t size) {
+    return size >= kElementwiseCutoff ? pool : nullptr;
+  };
+
   for (const Node& n : graph_.nodes()) {
     Tensor out(graph_.tensor(n.output).shape);
     switch (n.op) {
@@ -568,42 +695,50 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
         continue;
       case OpType::kConv2d:
         RunConv2d(n, std::get<graph::Conv2dAttrs>(n.attrs), fetch(n.inputs[0]),
-                  WeightFor(n.weights[0]), WeightFor(n.weights[1]), out);
+                  WeightFor(n.weights[0]), WeightFor(n.weights[1]), out, pool);
         break;
       case OpType::kDepthwiseConv2d:
         RunDepthwiseConv2d(std::get<graph::DepthwiseConv2dAttrs>(n.attrs),
                            fetch(n.inputs[0]), WeightFor(n.weights[0]),
-                           WeightFor(n.weights[1]), out);
+                           WeightFor(n.weights[1]), out, pool);
         break;
       case OpType::kFullyConnected:
         RunFullyConnected(std::get<graph::FullyConnectedAttrs>(n.attrs),
                           fetch(n.inputs[0]), WeightFor(n.weights[0]),
-                          WeightFor(n.weights[1]), out);
+                          WeightFor(n.weights[1]), out, pool);
         break;
       case OpType::kAdd: {
         const Tensor& x = fetch(n.inputs[0]);
         const Tensor& y = fetch(n.inputs[1]);
-        for (std::size_t i = 0; i < out.size(); ++i)
-          out.data()[i] = x.data()[i] + y.data()[i];
+        ParallelForRange(elementwise_pool(out.size()), 0,
+                         static_cast<std::int64_t>(out.size()),
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i)
+                             out.data()[i] = x.data()[i] + y.data()[i];
+                         });
         break;
       }
       case OpType::kMul: {
         const Tensor& x = fetch(n.inputs[0]);
         const Tensor& y = fetch(n.inputs[1]);
-        for (std::size_t i = 0; i < out.size(); ++i)
-          out.data()[i] = x.data()[i] * y.data()[i];
+        ParallelForRange(elementwise_pool(out.size()), 0,
+                         static_cast<std::int64_t>(out.size()),
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i)
+                             out.data()[i] = x.data()[i] * y.data()[i];
+                         });
         break;
       }
       case OpType::kAvgPool:
       case OpType::kMaxPool:
         RunPool(n.op, std::get<graph::PoolAttrs>(n.attrs), fetch(n.inputs[0]),
-                out);
+                out, pool);
         break;
       case OpType::kGlobalAvgPool:
-        RunGlobalAvgPool(fetch(n.inputs[0]), out);
+        RunGlobalAvgPool(fetch(n.inputs[0]), out, pool);
         break;
       case OpType::kResizeBilinear:
-        RunResizeBilinear(fetch(n.inputs[0]), out);
+        RunResizeBilinear(fetch(n.inputs[0]), out, pool);
         break;
       case OpType::kConcat: {
         std::vector<const Tensor*> ins;
@@ -622,20 +757,25 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
         const auto rank = static_cast<int>(out.shape().rank());
         Expects(a.axis == -1 || a.axis == rank - 1,
                 "softmax supported on last axis only");
-        RunSoftmaxLastDim(fetch(n.inputs[0]), out);
+        RunSoftmaxLastDim(fetch(n.inputs[0]), out, pool);
         break;
       }
       case OpType::kActivation: {
         const auto& a = std::get<graph::ActivationAttrs>(n.attrs);
         const Tensor& x = fetch(n.inputs[0]);
-        for (std::size_t i = 0; i < out.size(); ++i)
-          out.data()[i] = ApplyActivation(x.data()[i], a.activation);
+        ParallelForRange(elementwise_pool(out.size()), 0,
+                         static_cast<std::int64_t>(out.size()),
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i)
+                             out.data()[i] =
+                                 ApplyActivation(x.data()[i], a.activation);
+                         });
         break;
       }
       case OpType::kLayerNorm:
         RunLayerNorm(std::get<graph::LayerNormAttrs>(n.attrs),
                      fetch(n.inputs[0]), WeightFor(n.weights[0]),
-                     WeightFor(n.weights[1]), out);
+                     WeightFor(n.weights[1]), out, pool);
         break;
       case OpType::kEmbeddingLookup:
         RunEmbedding(std::get<graph::EmbeddingAttrs>(n.attrs),
@@ -645,7 +785,7 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
         RunAttention(std::get<graph::AttentionAttrs>(n.attrs),
                      fetch(n.inputs[0]), WeightFor(n.weights[0]),
                      WeightFor(n.weights[1]), WeightFor(n.weights[2]),
-                     WeightFor(n.weights[3]), out);
+                     WeightFor(n.weights[3]), out, pool);
         break;
       case OpType::kLstm:
         RunLstm(std::get<graph::LstmAttrs>(n.attrs), fetch(n.inputs[0]),
@@ -661,13 +801,21 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
       case NumericsMode::kFp32:
         break;
       case NumericsMode::kFp16:
-        RoundTensorToHalf(out);
+        RoundTensorToHalf(out, pool);
         break;
       case NumericsMode::kInt8: {
         const auto it = quant_.activation_ranges.find(n.output);
         if (it != quant_.activation_ranges.end()) {
-          for (auto& v : out.values())
-            v = FakeQuantActivation(v, it->second, quant_.activation_bits);
+          auto vals = out.values();
+          ParallelForRange(
+              elementwise_pool(vals.size()), 0,
+              static_cast<std::int64_t>(vals.size()),
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i)
+                  vals[static_cast<std::size_t>(i)] = FakeQuantActivation(
+                      vals[static_cast<std::size_t>(i)], it->second,
+                      quant_.activation_bits);
+              });
         }
         break;
       }

@@ -22,6 +22,10 @@
 #include "infer/tensor.h"
 #include "infer/weights.h"
 
+namespace mlpm {
+class ThreadPool;
+}
+
 namespace mlpm::infer {
 
 enum class NumericsMode : std::uint8_t { kFp32, kFp16, kInt8 };
@@ -55,6 +59,15 @@ class Executor {
   // As Run, but invokes `observer` on every node output (pre-quantization).
   [[nodiscard]] std::vector<Tensor> Run(std::span<const Tensor> inputs,
                                         const NodeObserver& observer) const;
+
+  // As above, additionally parallelizing kernels over independent output
+  // elements on `pool` (may be null).  Results are bit-identical to the
+  // serial overloads for any thread count: each output element is computed
+  // by exactly one thread with the same per-element operation order, and no
+  // cross-thread reductions exist.  The observer runs on the calling thread.
+  [[nodiscard]] std::vector<Tensor> Run(std::span<const Tensor> inputs,
+                                        const NodeObserver& observer,
+                                        const ThreadPool* pool) const;
 
   [[nodiscard]] NumericsMode mode() const { return mode_; }
   [[nodiscard]] const graph::Graph& graph() const { return graph_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "infer/int8_gemm.h"
 
@@ -24,39 +25,52 @@ QuantizationParams ChooseQuantParams(float min, float max) {
   return p;
 }
 
-Tensor ConvInt8NHWC(const Tensor& input, const Tensor& weights,
-                    const Tensor& bias, int stride, graph::Padding padding,
-                    const QuantizationParams& input_params,
-                    const QuantizationParams& weight_params) {
-  const auto& is = input.shape();
+PackedConvWeights PackConvWeights(const Tensor& weights,
+                                  const QuantizationParams& weight_params) {
   const auto& ws = weights.shape();
-  Expects(is.rank() == 4 && is.batch() == 1, "input must be [1,H,W,C]");
   Expects(ws.rank() == 4, "weights must be [O,KH,KW,C]");
   Expects(ws.dim(1) == ws.dim(2), "square kernels only");
-  Expects(ws.dim(3) == is.channels(), "channel mismatch");
+  PackedConvWeights packed;
+  packed.params = weight_params;
+  packed.out_channels = ws.dim(0);
+  packed.kernel = static_cast<int>(ws.dim(1));
+  packed.in_channels = ws.dim(3);
+  packed.data.resize(weights.size());
+  QuantizeU8(weights.values(), weight_params.scale, weight_params.zero_point,
+             packed.data);
+  return packed;
+}
+
+Tensor ConvInt8NHWC(const Tensor& input, const PackedConvWeights& packed,
+                    const Tensor& bias, int stride, graph::Padding padding,
+                    const QuantizationParams& input_params,
+                    ConvScratch* scratch, const ThreadPool* pool) {
+  const auto& is = input.shape();
+  Expects(is.rank() == 4 && is.batch() == 1, "input must be [1,H,W,C]");
+  Expects(packed.in_channels == is.channels(), "channel mismatch");
   const std::int64_t ih = is.height(), iw = is.width(), c = is.channels();
-  const std::int64_t oc = ws.dim(0);
-  const int k = static_cast<int>(ws.dim(1));
+  const std::int64_t oc = packed.out_channels;
+  const int k = packed.kernel;
   const std::int64_t oh = graph::ConvOutDim(ih, k, stride, 1, padding);
   const std::int64_t ow = graph::ConvOutDim(iw, k, stride, 1, padding);
   Expects(static_cast<std::int64_t>(bias.size()) == oc,
           "bias size mismatch");
 
-  // Quantize inputs and weights.
-  std::vector<std::uint8_t> in_q(input.size());
+  ConvScratch local;
+  ConvScratch& s = scratch != nullptr ? *scratch : local;
+
+  // Quantize the input.
+  s.input_q.resize(input.size());
   QuantizeU8(input.values(), input_params.scale, input_params.zero_point,
-             in_q);
-  std::vector<std::uint8_t> w_q(weights.size());
-  QuantizeU8(weights.values(), weight_params.scale,
-             weight_params.zero_point, w_q);
+             s.input_q);
 
   // im2col: rows = output pixels, cols = k*k*c patch; padding cells hold
-  // the input zero-point (exact quantized 0).
+  // the input zero-point (exact quantized 0).  Each output row y writes a
+  // disjoint slice of `cols`, so rows parallelize independently.
   const std::int64_t patch = static_cast<std::int64_t>(k) * k * c;
   const std::int64_t rows = oh * ow;
-  std::vector<std::uint8_t> cols(
-      static_cast<std::size_t>(rows * patch),
-      static_cast<std::uint8_t>(input_params.zero_point));
+  s.cols.assign(static_cast<std::size_t>(rows * patch),
+                static_cast<std::uint8_t>(input_params.zero_point));
   const std::int64_t pad_h =
       padding == graph::Padding::kSame
           ? std::max<std::int64_t>(0, ((oh - 1) * stride + k - ih) / 2)
@@ -65,37 +79,50 @@ Tensor ConvInt8NHWC(const Tensor& input, const Tensor& weights,
       padding == graph::Padding::kSame
           ? std::max<std::int64_t>(0, ((ow - 1) * stride + k - iw) / 2)
           : 0;
-  for (std::int64_t y = 0; y < oh; ++y) {
-    for (std::int64_t x = 0; x < ow; ++x) {
-      std::uint8_t* row = cols.data() + (y * ow + x) * patch;
-      for (int ky = 0; ky < k; ++ky) {
-        const std::int64_t sy = y * stride - pad_h + ky;
-        if (sy < 0 || sy >= ih) continue;
-        for (int kx = 0; kx < k; ++kx) {
-          const std::int64_t sx = x * stride - pad_w + kx;
-          if (sx < 0 || sx >= iw) continue;
-          std::copy_n(in_q.data() + (sy * iw + sx) * c, c,
-                      row + (static_cast<std::int64_t>(ky) * k + kx) * c);
+  ParallelForRange(pool, 0, oh, [&](std::int64_t y_lo, std::int64_t y_hi) {
+    for (std::int64_t y = y_lo; y < y_hi; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        std::uint8_t* row = s.cols.data() + (y * ow + x) * patch;
+        for (int ky = 0; ky < k; ++ky) {
+          const std::int64_t sy = y * stride - pad_h + ky;
+          if (sy < 0 || sy >= ih) continue;
+          for (int kx = 0; kx < k; ++kx) {
+            const std::int64_t sx = x * stride - pad_w + kx;
+            if (sx < 0 || sx >= iw) continue;
+            std::copy_n(s.input_q.data() + (sy * iw + sx) * c, c,
+                        row + (static_cast<std::int64_t>(ky) * k + kx) * c);
+          }
         }
       }
     }
-  }
+  });
 
   // GEMM: [rows, patch] x [oc, patch]^T -> int32 accumulators.
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(rows * oc));
-  GemmU8U8I32(cols, input_params.zero_point, w_q, weight_params.zero_point,
-              static_cast<std::size_t>(rows), static_cast<std::size_t>(oc),
-              static_cast<std::size_t>(patch), acc);
+  s.acc.resize(static_cast<std::size_t>(rows * oc));
+  GemmU8U8I32(s.cols, input_params.zero_point, packed.data,
+              packed.params.zero_point, static_cast<std::size_t>(rows),
+              static_cast<std::size_t>(oc), static_cast<std::size_t>(patch),
+              s.acc, pool);
 
   // Requantize to float and add the (float/INT32-precision) bias.
   Tensor out(graph::TensorShape({1, oh, ow, oc}));
-  for (std::int64_t r = 0; r < rows; ++r)
-    for (std::int64_t o = 0; o < oc; ++o)
-      out.data()[r * oc + o] =
-          DequantizeAcc(acc[static_cast<std::size_t>(r * oc + o)],
-                        input_params.scale, weight_params.scale) +
-          bias.data()[o];
+  ParallelForRange(pool, 0, rows, [&](std::int64_t r_lo, std::int64_t r_hi) {
+    for (std::int64_t r = r_lo; r < r_hi; ++r)
+      for (std::int64_t o = 0; o < oc; ++o)
+        out.data()[r * oc + o] =
+            DequantizeAcc(s.acc[static_cast<std::size_t>(r * oc + o)],
+                          input_params.scale, packed.params.scale) +
+            bias.data()[o];
+  });
   return out;
+}
+
+Tensor ConvInt8NHWC(const Tensor& input, const Tensor& weights,
+                    const Tensor& bias, int stride, graph::Padding padding,
+                    const QuantizationParams& input_params,
+                    const QuantizationParams& weight_params) {
+  const PackedConvWeights packed = PackConvWeights(weights, weight_params);
+  return ConvInt8NHWC(input, packed, bias, stride, padding, input_params);
 }
 
 }  // namespace mlpm::infer

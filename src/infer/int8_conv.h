@@ -5,12 +5,22 @@
 //
 // Padding inserts the input zero-point (the quantized representation of
 // 0.0), exactly as TFLite does, so SAME-padded borders stay exact.
+//
+// Weights are quantized once via PackConvWeights and reused across calls;
+// ConvScratch lets a caller reuse the im2col / accumulator buffers between
+// invocations instead of reallocating per call.  The legacy all-in-one
+// overload packs on every call and is kept for compatibility.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/ops.h"
 #include "infer/tensor.h"
+
+namespace mlpm {
+class ThreadPool;
+}
 
 namespace mlpm::infer {
 
@@ -23,11 +33,43 @@ struct QuantizationParams {
 // (range widened to include zero; zero-point exact).
 [[nodiscard]] QuantizationParams ChooseQuantParams(float min, float max);
 
-// Integer conv on float tensors: input [1,H,W,C] and weights [O,KH,KW,C]
-// are quantized with the given parameters (weights symmetric around
-// `weight_zero_point` 128), the GEMM runs in uint8/int32, and the result is
-// dequantized back to float with the bias added.  Only SAME/VALID padding,
-// square kernels, dilation 1.
+// Weights quantized ahead of time: [O, KH*KW*C] row-major uint8, ready to
+// be the transposed-B operand of the im2col GEMM.
+struct PackedConvWeights {
+  std::vector<std::uint8_t> data;
+  QuantizationParams params;
+  std::int64_t out_channels = 0;
+  int kernel = 0;  // square kernel side
+  std::int64_t in_channels = 0;
+};
+
+// Quantizes [O,KH,KW,C] float weights with the given parameters.
+[[nodiscard]] PackedConvWeights PackConvWeights(
+    const Tensor& weights, const QuantizationParams& weight_params);
+
+// Reusable per-call working memory (grown on demand, never shrunk).
+struct ConvScratch {
+  std::vector<std::uint8_t> input_q;
+  std::vector<std::uint8_t> cols;
+  std::vector<std::int32_t> acc;
+};
+
+// Integer conv on a float input [1,H,W,C] against prepacked weights: the
+// input is quantized with `input_params`, the GEMM runs in uint8/int32, and
+// the result is dequantized back to float with the bias added.  Only
+// SAME/VALID padding, square kernels, dilation 1.  `scratch` (optional)
+// avoids per-call allocation; `pool` (optional) parallelizes im2col, GEMM
+// row blocks, and requantization over independent output rows.
+[[nodiscard]] Tensor ConvInt8NHWC(const Tensor& input,
+                                  const PackedConvWeights& packed,
+                                  const Tensor& bias, int stride,
+                                  graph::Padding padding,
+                                  const QuantizationParams& input_params,
+                                  ConvScratch* scratch = nullptr,
+                                  const ThreadPool* pool = nullptr);
+
+// Legacy overload: packs the weights on every call, then runs the
+// prepacked kernel.  Kept for callers without a prepack cache.
 [[nodiscard]] Tensor ConvInt8NHWC(const Tensor& input, const Tensor& weights,
                                   const Tensor& bias, int stride,
                                   graph::Padding padding,

@@ -1,14 +1,29 @@
-// True integer INT8 GEMM with INT32 accumulation.
+// True integer INT8 GEMM with INT32 accumulation, plus the float GEMM.
 //
 // The accuracy plane simulates INT8 with fake quantization (one float kernel
 // set), but a credible mobile-inference library also needs a real integer
-// path: this is it, used by the kernel microbenchmarks (bench_kernels) to
-// demonstrate the INT8-vs-FP32 arithmetic-throughput gap that motivates the
-// paper's numerics discussion (§7.5).
+// path: this is it, used by the prepacked conv kernel and the kernel
+// microbenchmarks (bench_kernels) to demonstrate the INT8-vs-FP32
+// arithmetic-throughput gap that motivates the paper's numerics discussion
+// (§7.5).
+//
+// Two kernel tiers:
+//   - GemmF32 / GemmU8U8I32: cache-blocked, register-tiled (4x4 output
+//     tiles, independent accumulators), optionally parallelized over row
+//     blocks via a ThreadPool.  Per-element accumulation order over k is
+//     identical to the naive triple loop, so results are bit-identical to
+//     the reference kernels and independent of thread count.
+//   - GemmF32Ref / GemmU8U8I32Ref: the original scalar triple loops, kept
+//     as the correctness baseline for tests and the speedup baseline for
+//     bench_kernels.
 #pragma once
 
 #include <cstdint>
 #include <span>
+
+namespace mlpm {
+class ThreadPool;
+}
 
 namespace mlpm::infer {
 
@@ -25,12 +40,21 @@ void QuantizeU8(std::span<const float> src, float scale,
 void GemmU8U8I32(std::span<const std::uint8_t> a, std::int32_t a_zp,
                  std::span<const std::uint8_t> b_t, std::int32_t b_zp,
                  std::size_t m, std::size_t n, std::size_t k,
-                 std::span<std::int32_t> c);
+                 std::span<std::int32_t> c,
+                 const ThreadPool* pool = nullptr);
 
-// Float reference for validation / speed comparison (same B-transposed
-// layout).
+// Float GEMM (same B-transposed layout).
 void GemmF32(std::span<const float> a, std::span<const float> b_t,
-             std::size_t m, std::size_t n, std::size_t k,
-             std::span<float> c);
+             std::size_t m, std::size_t n, std::size_t k, std::span<float> c,
+             const ThreadPool* pool = nullptr);
+
+// Unoptimized scalar reference kernels (identical results).
+void GemmU8U8I32Ref(std::span<const std::uint8_t> a, std::int32_t a_zp,
+                    std::span<const std::uint8_t> b_t, std::int32_t b_zp,
+                    std::size_t m, std::size_t n, std::size_t k,
+                    std::span<std::int32_t> c);
+void GemmF32Ref(std::span<const float> a, std::span<const float> b_t,
+                std::size_t m, std::size_t n, std::size_t k,
+                std::span<float> c);
 
 }  // namespace mlpm::infer

@@ -1,0 +1,23 @@
+#include "infer/prepared_model.h"
+
+#include "common/thread_pool.h"
+
+namespace mlpm::infer {
+
+std::vector<std::vector<Tensor>> RunSamplesParallel(
+    const Executor& executor, std::size_t count,
+    const std::function<std::vector<Tensor>(std::size_t)>& inputs_for,
+    const ThreadPool* pool) {
+  std::vector<std::vector<Tensor>> results(count);
+  ParallelForRange(pool, 0, static_cast<std::int64_t>(count),
+                   [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i) {
+                       const auto idx = static_cast<std::size_t>(i);
+                       const std::vector<Tensor> inputs = inputs_for(idx);
+                       results[idx] = executor.Run(inputs);
+                     }
+                   });
+  return results;
+}
+
+}  // namespace mlpm::infer

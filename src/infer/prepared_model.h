@@ -1,0 +1,58 @@
+// A model prepared once, executed many times.
+//
+// PreparedModel owns an Executor whose weights were transformed
+// (fp16-rounded / fake-quantized) exactly once at construction, plus the
+// graph/weight references it needs; callers share it via shared_ptr and run
+// it concurrently — Run is const and allocates per-call activation slots,
+// so a single PreparedModel serves any number of threads.
+//
+// RunSamplesParallel is the sample-level fan-out used by the accuracy
+// harness: independent samples evaluate on pool threads while per-op
+// parallelism inside each sample collapses to inline execution (nested
+// ParallelFor), so the same pool serves both regimes without deadlock and
+// results stay bit-identical to a serial loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "infer/executor.h"
+
+namespace mlpm {
+class ThreadPool;
+}
+
+namespace mlpm::infer {
+
+class PreparedModel {
+ public:
+  // Same contract as Executor: `graph` and `weights` must outlive this.
+  PreparedModel(const graph::Graph& graph, const WeightStore& weights,
+                NumericsMode mode = NumericsMode::kFp32,
+                const QuantParams* quant = nullptr)
+      : executor_(graph, weights, mode, quant) {}
+
+  [[nodiscard]] const Executor& executor() const { return executor_; }
+
+  [[nodiscard]] std::vector<Tensor> Run(std::span<const Tensor> inputs,
+                                        const ThreadPool* pool = nullptr) const {
+    return executor_.Run(inputs, NodeObserver{}, pool);
+  }
+
+ private:
+  Executor executor_;
+};
+
+// Evaluates `count` independent samples, parallelized over samples when
+// `pool` is non-null.  `inputs_for(i)` must be safe to call concurrently
+// and returns the sample's input tensors by value.  Output order matches
+// sample order and every tensor is bit-identical to a serial loop (samples
+// are independent; no shared mutable state).
+[[nodiscard]] std::vector<std::vector<Tensor>> RunSamplesParallel(
+    const Executor& executor, std::size_t count,
+    const std::function<std::vector<Tensor>(std::size_t)>& inputs_for,
+    const ThreadPool* pool);
+
+}  // namespace mlpm::infer
