@@ -9,12 +9,14 @@
 //                [--task all|ic|od|is|nlp] [--accuracy] [--e2e]
 //                [--cooldown SECONDS] [--csv FILE] [--log FILE]
 //                [--faults CRASH_PROB] [--fault-seed N] [--threads N]
+//                [--lint off|report|strict]
 //
 // Examples:
 //   headless_cli --chipset "Core i7-11375H" --version v1.0
 //   headless_cli --chipset "Exynos 2100" --task is --accuracy
 //   headless_cli --chipset "Dimensity 1100" --performance-only --faults 0.9
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -41,10 +43,36 @@ struct CliOptions {
   // (<= 0 disables; see soc/faults.h for the full plan vocabulary).
   double crash_probability = 0.0;
   std::uint64_t fault_seed = 0x464C54;
-  // Accuracy-phase worker threads (0 = hardware concurrency, 1 = serial);
-  // results are bit-identical for any value.
+  // Accuracy-phase worker threads (defaults to hardware concurrency when
+  // the flag is absent; an explicit --threads value must be >= 1).
+  // Results are bit-identical for any value.
   int threads = 0;
+  harness::LintMode lint = harness::LintMode::kReport;
 };
+
+// Strict positive-integer parse for --threads: rejects empty input, trailing
+// garbage ("4x"), zero and negatives, each with a targeted message.
+std::optional<int> ParseThreadCount(const std::string& s) {
+  if (s.empty()) {
+    std::fprintf(stderr, "--threads: missing value\n");
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "--threads: '%s' is not a number\n", s.c_str());
+    return std::nullopt;
+  }
+  if (v < 1 || v > 4096) {
+    std::fprintf(stderr,
+                 "--threads: %ld is out of range (need 1..4096; omit the "
+                 "flag for hardware concurrency)\n",
+                 v);
+    return std::nullopt;
+  }
+  return static_cast<int>(v);
+}
 
 std::optional<CliOptions> Parse(int argc, char** argv) {
   CliOptions o;
@@ -87,8 +115,15 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
     } else if (arg == "--fault-seed") {
       o.fault_seed = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--threads") {
-      o.threads = std::atoi(value().c_str());
-      if (o.threads < 0) return std::nullopt;
+      const std::optional<int> t = ParseThreadCount(value());
+      if (!t) return std::nullopt;
+      o.threads = *t;
+    } else if (arg == "--lint") {
+      const std::string m = value();
+      if (m == "off") o.lint = harness::LintMode::kOff;
+      else if (m == "report") o.lint = harness::LintMode::kReport;
+      else if (m == "strict") o.lint = harness::LintMode::kStrict;
+      else return std::nullopt;
     } else {
       return std::nullopt;
     }
@@ -115,7 +150,7 @@ int main(int argc, char** argv) {
                  "                    [--accuracy|--performance-only] [--e2e]"
                  " [--cooldown S] [--csv FILE] [--log FILE]\n"
                  "                    [--faults CRASH_PROB] [--fault-seed N]"
-                 " [--threads N]\n");
+                 " [--threads N] [--lint off|report|strict]\n");
     return 2;
   }
   const std::optional<soc::ChipsetDesc> chipset = FindChipset(opts->chipset);
@@ -134,6 +169,7 @@ int main(int argc, char** argv) {
   run.end_to_end = opts->end_to_end;
   run.cooldown_s = opts->cooldown_s;
   run.threads = opts->threads;
+  run.lint = opts->lint;
   if (opts->crash_probability > 0.0) {
     soc::FaultPlan plan;
     plan.seed = opts->fault_seed;

@@ -1,0 +1,120 @@
+// Diagnostics engine for the static verification layer (DESIGN.md §9).
+//
+// The paper's comparability argument rests on the rules being
+// machine-checkable (§5.1, §6.2: frozen graphs, legal quantization, audited
+// configurations).  Every static pass in src/analysis reports its findings
+// through this engine as *stable, coded* diagnostics: a submission checker,
+// a CI gate and a human must all be able to key on "QUANT005" and get the
+// same meaning across releases.
+//
+// A Diagnostic carries:
+//   * a stable code ("SHAPE001", ...) from the catalogue below;
+//   * a severity (error / warning / note) — the catalogue assigns defaults;
+//   * a source: the graph node, tensor or configuration key at fault;
+//   * free-form message text.
+// The engine renders both human text and machine-readable JSON; the JSON
+// form is snapshot-tested (tests/analysis_test.cpp) so its schema is frozen.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlpm::analysis {
+
+enum class Severity : std::uint8_t { kNote = 0, kWarning = 1, kError = 2 };
+
+[[nodiscard]] constexpr std::string_view ToString(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+// What a diagnostic points at.
+enum class SourceKind : std::uint8_t { kGraph, kNode, kTensor, kConfigKey };
+
+[[nodiscard]] constexpr std::string_view ToString(SourceKind k) {
+  switch (k) {
+    case SourceKind::kGraph: return "graph";
+    case SourceKind::kNode: return "node";
+    case SourceKind::kTensor: return "tensor";
+    case SourceKind::kConfigKey: return "config";
+  }
+  return "?";
+}
+
+struct SourceRef {
+  SourceKind kind = SourceKind::kGraph;
+  std::string name;      // node / tensor / config-key name; graph name
+  std::int32_t id = -1;  // node index or tensor id; -1 when inapplicable
+};
+
+[[nodiscard]] SourceRef GraphSource(std::string name);
+[[nodiscard]] SourceRef NodeSource(std::string name, std::int32_t index);
+[[nodiscard]] SourceRef TensorSource(std::string name, std::int32_t id);
+[[nodiscard]] SourceRef ConfigSource(std::string key);
+
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kError;
+  SourceRef source;
+  std::string message;
+};
+
+// Catalogue entry: the single source of truth for a code's default severity
+// and one-line meaning (rendered by `mlpm_lint --codes` and DESIGN.md §9).
+struct CodeInfo {
+  std::string_view code;
+  Severity default_severity = Severity::kError;
+  std::string_view summary;
+};
+
+// All registered diagnostic codes, sorted by code.
+[[nodiscard]] std::span<const CodeInfo> DiagnosticCatalogue();
+
+// Catalogue lookup; nullptr for unknown codes.
+[[nodiscard]] const CodeInfo* FindCode(std::string_view code);
+
+class DiagnosticEngine {
+ public:
+  // Reports with the catalogue's default severity for `code`; the code must
+  // be registered (Expects).
+  void Report(std::string_view code, SourceRef source, std::string message);
+  // Explicit-severity overload (strictness policies, tests).
+  void Report(std::string_view code, Severity severity, SourceRef source,
+              std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t error_count() const { return Count(Severity::kError); }
+  [[nodiscard]] std::size_t warning_count() const {
+    return Count(Severity::kWarning);
+  }
+  [[nodiscard]] std::size_t note_count() const { return Count(Severity::kNote); }
+  [[nodiscard]] bool HasErrors() const { return error_count() > 0; }
+  // Highest severity seen; kNote when no diagnostics were reported.
+  [[nodiscard]] Severity MaxSeverity() const;
+  [[nodiscard]] bool SeenCode(std::string_view code) const;
+
+  // One line per diagnostic ("error SHAPE001 node 'conv0': ...") followed
+  // by a count summary.  Empty string when clean.
+  [[nodiscard]] std::string ToText() const;
+  // Deterministic machine-readable form:
+  //   {"diagnostics":[{"code":...,"severity":...,"source":{...},
+  //    "message":...},...],"counts":{"error":N,"warning":N,"note":N}}
+  [[nodiscard]] std::string ToJson() const;
+
+ private:
+  [[nodiscard]] std::size_t Count(Severity s) const;
+
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace mlpm::analysis

@@ -1,0 +1,161 @@
+// Quantization legality (QUANT001-QUANT008).
+//
+// The run rules (paper §5.1) freeze what a submission may do to the
+// numerics: start from the frozen FP32 graph, quantize post-training against
+// the approved calibration subset, and use retrained (QAT) weights only
+// where mutually agreed — in practice, for INT8.  This pass checks a
+// submission's declared quantization recipe against those rules plus the
+// grid-level invariants an 8-bit asymmetric scheme needs to be executable at
+// all (finite positive scales, in-range zero-points, a representable zero).
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.h"
+#include "quant/rules.h"
+
+namespace mlpm::analysis {
+namespace {
+
+using infer::TensorRange;
+
+void CheckBits(const QuantConfigView& q, DiagnosticEngine& de) {
+  if (q.activation_bits != 8)
+    de.Report("QUANT001", ConfigSource("quant.activation_bits"),
+              "activation bit width " + std::to_string(q.activation_bits) +
+                  " is illegal; the rules freeze the 8-bit grid");
+  if (q.weight_bits != 8)
+    de.Report("QUANT001", ConfigSource("quant.weight_bits"),
+              "weight bit width " + std::to_string(q.weight_bits) +
+                  " is illegal; the rules freeze the 8-bit grid");
+}
+
+void CheckDtypeMixing(const QuantConfigView& q, DiagnosticEngine& de) {
+  if (!IsQuantized(q.weight_dtype))
+    de.Report("QUANT004", ConfigSource("quant.weight_dtype"),
+              std::string("weight dtype ") + std::string(ToString(q.weight_dtype)) +
+                  " is not a quantized format");
+  // s8 activations with u8 weights has no legal TFLite lowering; u8
+  // activations with s8 per-channel weights is the standard scheme.
+  if (q.weight_dtype == DataType::kUInt8 &&
+      q.activation_dtype == DataType::kInt8)
+    de.Report("QUANT004", ConfigSource("quant.weight_dtype"),
+              "UINT8 weights cannot be mixed with INT8 activations");
+  if (q.per_channel_weights && q.weight_dtype == DataType::kUInt8)
+    de.Report("QUANT004", ConfigSource("quant.per_channel_weights"),
+              "per-channel weights are symmetric INT8; UINT8 weights are "
+              "per-tensor only");
+}
+
+void CheckPerChannelAxis(const graph::Graph& g, const QuantConfigView& q,
+                         DiagnosticEngine& de) {
+  if (!q.per_channel_weights) return;
+  if (q.per_channel_axis != 0) {
+    de.Report("QUANT003", ConfigSource("quant.per_channel_axis"),
+              "per-channel axis " + std::to_string(q.per_channel_axis) +
+                  " is invalid: weight tensors are laid out "
+                  "[out_channels, ...], so the only legal axis is 0");
+    return;
+  }
+  // Axis 0 must exist on every weight tensor it quantizes.
+  for (std::size_t i = 0; i < g.tensors().size(); ++i) {
+    const graph::TensorInfo& t = g.tensors()[i];
+    if (t.kind == graph::TensorKind::kWeight && t.shape.rank() == 0)
+      de.Report("QUANT003", TensorSource(t.name, static_cast<std::int32_t>(i)),
+                "rank-0 weight tensor has no channel axis");
+  }
+}
+
+void CheckQatRules(const QuantConfigView& q, DiagnosticEngine& de) {
+  if (q.qat_weights && !IsQuantized(q.activation_dtype))
+    de.Report("QUANT005", ConfigSource("quant.use_qat_weights"),
+              std::string("QAT weights requested for a ") +
+                  std::string(ToString(q.activation_dtype)) +
+                  " submission; the mutually-agreed QAT checkpoints exist "
+                  "for INT8 only (submitter retraining is forbidden)");
+}
+
+void CheckRanges(const graph::Graph& g, const QuantConfigView& q,
+                 DiagnosticEngine& de) {
+  if (q.params == nullptr) return;
+  const double levels =
+      std::pow(2.0, q.params->activation_bits > 0 ? q.params->activation_bits
+                                                  : q.activation_bits) -
+      1.0;
+  // activation_ranges is unordered; fix the report order by tensor id so
+  // the diagnostic stream (and its JSON snapshot) is deterministic.
+  std::vector<graph::TensorId> ids;
+  ids.reserve(q.params->activation_ranges.size());
+  for (const auto& [tid, range] : q.params->activation_ranges)
+    ids.push_back(tid);
+  std::sort(ids.begin(), ids.end());
+  for (const graph::TensorId tid : ids) {
+    const TensorRange& range = q.params->activation_ranges.at(tid);
+    const bool known =
+        tid >= 0 && static_cast<std::size_t>(tid) < g.tensors().size();
+    const SourceRef src =
+        known ? TensorSource(g.tensor(tid).name, tid)
+              : TensorSource("<missing>", tid);
+    if (!known) {
+      de.Report("QUANT007", src,
+                "activation range refers to a tensor id not in the graph");
+      continue;
+    }
+    if (g.tensor(tid).kind != graph::TensorKind::kActivation) {
+      de.Report("QUANT007", src,
+                "activation range recorded for weight tensor '" +
+                    g.tensor(tid).name + "'");
+      continue;
+    }
+    if (!std::isfinite(range.min) || !std::isfinite(range.max)) {
+      de.Report("QUANT002", src, "activation range is not finite");
+      continue;
+    }
+    if (range.min > range.max) {
+      de.Report("QUANT002", src,
+                "activation range has min > max (" +
+                    std::to_string(range.min) + " > " +
+                    std::to_string(range.max) + ")");
+      continue;
+    }
+    if (range.min == range.max) continue;  // degenerate: passthrough
+    const double scale = (static_cast<double>(range.max) - range.min) / levels;
+    if (!(scale > 0.0) || !std::isfinite(scale)) {
+      de.Report("QUANT002", src,
+                "derived scale " + std::to_string(scale) + " is illegal");
+      continue;
+    }
+    if (range.min > 0.0f || range.max < 0.0f)
+      de.Report("QUANT008", src,
+                "range [" + std::to_string(range.min) + ", " +
+                    std::to_string(range.max) +
+                    "] cannot represent zero exactly; zero-padding and "
+                    "zero-points will be biased");
+  }
+}
+
+void CheckCalibration(const QuantConfigView& q, DiagnosticEngine& de) {
+  if (q.approved_calibration.empty() && q.used_calibration.empty()) return;
+  const quant::LegalityReport r =
+      quant::CheckCalibrationSet(q.approved_calibration, q.used_calibration);
+  for (const std::string& v : r.violations)
+    de.Report("QUANT006", ConfigSource("quant.calibration_indices"), v);
+}
+
+}  // namespace
+
+void CheckQuantLegality(const graph::Graph& g, const QuantConfigView& q,
+                        DiagnosticEngine& de) {
+  // QAT misuse is checkable (and worth reporting) even for float
+  // submissions; the grid checks only make sense for quantized ones.
+  CheckQatRules(q, de);
+  if (!IsQuantized(q.activation_dtype)) return;
+  CheckBits(q, de);
+  CheckDtypeMixing(q, de);
+  CheckPerChannelAxis(g, q, de);
+  CheckRanges(g, q, de);
+  CheckCalibration(q, de);
+}
+
+}  // namespace mlpm::analysis

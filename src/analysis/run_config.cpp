@@ -1,0 +1,53 @@
+// Run-configuration determinism lints (RUN001-RUN006).
+//
+// These catch the configuration mistakes that turn a benchmark run into
+// noise: impossible thread counts, fault probabilities outside [0, 1],
+// negative retry budgets, and the two threading pathologies the paper's
+// reproducibility rules exist to prevent — scratch buffers shared across
+// worker threads (data races → nondeterministic numerics) and ad-hoc
+// spawn-per-query threading (scheduler jitter → nondeterministic latency).
+#include <cmath>
+#include <string>
+
+#include "analysis/passes.h"
+
+namespace mlpm::analysis {
+
+void CheckRunConfig(const RunConfigView& rc, DiagnosticEngine& de) {
+  if (rc.threads < 0)
+    de.Report("RUN001", ConfigSource("run.threads"),
+              "thread count " + std::to_string(rc.threads) +
+                  " is invalid; use >= 1, or 0 for hardware concurrency");
+
+  if (rc.cooldown_s < 0.0 || rc.cooldown_s > 300.0)
+    de.Report("RUN002", ConfigSource("run.cooldown_s"),
+              "cooldown of " + std::to_string(rc.cooldown_s) +
+                  "s is outside the plausible 0-300s window; thermal state "
+                  "will differ between benchmark and power modes");
+
+  for (const auto& [name, p] : rc.fault_probabilities)
+    if (!std::isfinite(p) || p < 0.0 || p > 1.0)
+      de.Report("RUN003", ConfigSource("run.fault_plan." + name),
+                "fault probability " + std::to_string(p) +
+                    " is not a probability in [0, 1]");
+
+  if (rc.max_test_retries < 0)
+    de.Report("RUN004", ConfigSource("run.max_test_retries"),
+              "retry budget " + std::to_string(rc.max_test_retries) +
+                  " is negative");
+
+  if (rc.threads != 1 && rc.shared_scratch_across_threads)
+    de.Report("RUN005", ConfigSource("run.shared_scratch_across_threads"),
+              "scratch buffers are shared across " +
+                  std::to_string(rc.threads) +
+                  " worker threads; concurrent inferences will race and the "
+                  "run is not reproducible");
+
+  if (rc.threads != 1 && !rc.uses_thread_pool)
+    de.Report("RUN006", ConfigSource("run.uses_thread_pool"),
+              "multi-threaded run without a fixed thread pool; per-query "
+              "thread spawning adds scheduler jitter to every latency "
+              "sample");
+}
+
+}  // namespace mlpm::analysis

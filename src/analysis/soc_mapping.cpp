@@ -1,0 +1,154 @@
+// SoC-mapping feasibility (SOC001-SOC005).
+//
+// soc::Compile() throws CheckError at the first impossible placement; this
+// pass predicts — before anything is compiled — every way an execution
+// policy can go wrong on a chipset, including the paper's central runtime
+// pathology: an op mapped to an accelerator whose declared capabilities
+// cannot run it, which on a real phone silently falls back to the CPU and
+// corrupts the score (§8, App. D: the up-to-7x "buggy delegate" effect).
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.h"
+
+namespace mlpm::analysis {
+namespace {
+
+using graph::OpClass;
+using soc::AcceleratorDesc;
+using soc::ExecutionPolicy;
+
+bool CheckPolicyWellFormed(const MappingConfigView& m, DiagnosticEngine& de) {
+  const ExecutionPolicy& p = *m.policy;
+  bool ok = true;
+  if (p.engines.empty()) {
+    de.Report("SOC005", ConfigSource(m.label + ".engines"),
+              "execution policy lists no engines");
+    return false;
+  }
+  if (p.cpu_fallback_fraction < 0.0 || p.cpu_fallback_fraction > 1.0) {
+    de.Report("SOC005", ConfigSource(m.label + ".cpu_fallback_fraction"),
+              "cpu_fallback_fraction " +
+                  std::to_string(p.cpu_fallback_fraction) +
+                  " outside [0, 1]");
+    ok = false;
+  }
+  if (!(p.toolchain_efficiency > 0.0) || p.toolchain_efficiency > 1.0) {
+    de.Report("SOC005", ConfigSource(m.label + ".toolchain_efficiency"),
+              "toolchain_efficiency " +
+                  std::to_string(p.toolchain_efficiency) +
+                  " outside (0, 1]");
+    ok = false;
+  }
+  if (p.alternate_every < 0 || p.tail_nodes_on_secondary < 0 ||
+      p.force_partition_every < 0) {
+    de.Report("SOC005", ConfigSource(m.label),
+              "negative partitioning parameter in execution policy");
+    ok = false;
+  }
+  if ((p.alternate_every > 0 || p.tail_nodes_on_secondary > 0) &&
+      p.engines.size() < 2) {
+    de.Report("SOC005", ConfigSource(m.label + ".engines"),
+              "policy alternates / runs a tail on a secondary engine but "
+              "lists fewer than 2 engines");
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+void CheckSocMapping(const graph::Graph& g, const MappingConfigView& m,
+                     DiagnosticEngine& de) {
+  if (m.chipset == nullptr || m.policy == nullptr) {
+    de.Report("SOC005", ConfigSource(m.label),
+              "mapping view is missing its chipset or policy");
+    return;
+  }
+  if (!CheckPolicyWellFormed(m, de)) return;
+  const ExecutionPolicy& p = *m.policy;
+
+  // Resolve policy engines against the chipset.
+  std::vector<const AcceleratorDesc*> engines;
+  bool all_known = true;
+  for (const std::string& name : p.engines) {
+    if (!m.chipset->HasEngine(name)) {
+      de.Report("SOC001", ConfigSource(m.label + ".engines"),
+                "chipset '" + m.chipset->name + "' has no engine named '" +
+                    name + "'");
+      all_known = false;
+      continue;
+    }
+    engines.push_back(&m.chipset->Engine(name));
+  }
+  if (!all_known) return;
+
+  // Numerics support on every listed engine (Compile's throwing check,
+  // reported per engine instead).
+  for (const AcceleratorDesc* e : engines)
+    if (!e->Supports(m.numerics))
+      de.Report("SOC002", ConfigSource(m.label + ".engines"),
+                "engine '" + e->name + "' does not support " +
+                    std::string(ToString(m.numerics)) +
+                    " (declared peak throughput is 0)");
+
+  if (p.cpu_fallback_fraction > 0.0)
+    de.Report("SOC004", ConfigSource(m.label + ".cpu_fallback_fraction"),
+              "policy declares " +
+                  std::to_string(p.cpu_fallback_fraction * 100.0) +
+                  "% of ops unplaceable on the accelerator (op-coverage "
+                  "holes; expect CPU-fallback distortion)");
+
+  // Which engines can receive graph nodes under this policy?
+  std::set<std::size_t> hosting;
+  hosting.insert(0);  // primary
+  if (p.alternate_every > 0)
+    for (std::size_t i = 0; i < engines.size(); ++i) hosting.insert(i);
+  if (p.tail_nodes_on_secondary > 0) hosting.insert(1);
+
+  // The fallback-to-CPU hazard: an op class the engine declares itself
+  // unable to run (efficiency 0), or a dilated convolution on an engine
+  // whose dilated rate is 0.  One diagnostic per (engine, class) with the
+  // affected-node count, so a 100-conv model doesn't emit 100 lines.
+  struct Hazard {
+    std::size_t count = 0;
+    std::string first_node;
+  };
+  std::map<std::pair<std::size_t, OpClass>, Hazard> hazards;
+  std::map<std::size_t, Hazard> dilated_hazards;
+  for (const graph::Node& n : g.nodes()) {
+    const OpClass cls = graph::ClassOf(n.op);
+    int dilation = 1;
+    if (const auto* a = std::get_if<graph::Conv2dAttrs>(&n.attrs))
+      dilation = a->dilation;
+    else if (const auto* a2 = std::get_if<graph::DepthwiseConv2dAttrs>(&n.attrs))
+      dilation = a2->dilation;
+    for (const std::size_t ei : hosting) {
+      const AcceleratorDesc& e = *engines[ei];
+      if (e.efficiency.For(cls) == 0.0) {
+        Hazard& h = hazards[{ei, cls}];
+        if (h.count++ == 0) h.first_node = n.name;
+      } else if (dilation > 1 && e.efficiency.dilated_scale == 0.0) {
+        Hazard& h = dilated_hazards[ei];
+        if (h.count++ == 0) h.first_node = n.name;
+      }
+    }
+  }
+  for (const auto& [key, h] : hazards)
+    de.Report("SOC003", ConfigSource(m.label + ".engines"),
+              "engine '" + engines[key.first]->name + "' declares " +
+                  std::string(ToString(key.second)) +
+                  " unsupported (efficiency 0) but the policy maps " +
+                  std::to_string(h.count) + " such node(s) to it (first: '" +
+                  h.first_node + "'); on-device this falls back to the CPU");
+  for (const auto& [ei, h] : dilated_hazards)
+    de.Report("SOC003", ConfigSource(m.label + ".engines"),
+              "engine '" + engines[ei]->name + "' cannot lower dilated "
+                  "convolutions (dilated rate 0) but the policy maps " +
+                  std::to_string(h.count) + " dilated conv(s) to it (first: '" +
+                  h.first_node + "')");
+}
+
+}  // namespace mlpm::analysis

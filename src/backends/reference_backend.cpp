@@ -1,5 +1,6 @@
 #include "backends/reference_backend.h"
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "infer/prepared_model.h"
 
@@ -35,9 +36,11 @@ void ReferenceBackend::FlushQueries() {
       [&](std::size_t i) { return qsl_.Loaded(pending_[i].index); },
       pool_);
   // The sink is not thread-safe; complete sequentially in issue order.
+  loadgen::ResponseSink& sink =
+      *NotNull(sink_, "deferred samples pending but no response sink bound");
   for (std::size_t i = 0; i < pending_.size(); ++i)
-    sink_->Complete(loadgen::QuerySampleResponse{pending_[i].id,
-                                                 std::move(outputs[i])});
+    sink.Complete(loadgen::QuerySampleResponse{pending_[i].id,
+                                               std::move(outputs[i])});
   pending_.clear();
   sink_ = nullptr;
 }

@@ -13,10 +13,10 @@ BarChart::BarChart(std::string title, std::string unit)
 
 void BarChart::Add(std::string label, double value) {
   Expects(value >= 0.0, "bar values must be non-negative");
-  rows_.push_back(Row{std::move(label), value, false});
+  rows_.emplace_back(std::move(label), value, false);
 }
 
-void BarChart::AddGap() { rows_.push_back(Row{{}, 0.0, true}); }
+void BarChart::AddGap() { rows_.emplace_back(std::string{}, 0.0, true); }
 
 std::string BarChart::Render(std::size_t max_width) const {
   Expects(max_width >= 4, "chart too narrow");

@@ -41,4 +41,19 @@ inline void Ensures(bool cond, const std::string& what = "invariant",
   if (!cond) detail::FailCheck("Ensures", what, loc);
 }
 
+// Null-pointer precondition: returns the pointer unchanged so call sites can
+// check and dereference in one expression,
+//   backend(*NotNull(prepared.executor, "prepared model lost its executor"));
+// Used at backend/harness API boundaries where a pointer is a contract, not
+// an option — a null there must fail loudly at the boundary, not as UB at
+// the eventual dereference.
+template <typename T>
+[[nodiscard]] T* NotNull(T* ptr,
+                         const std::string& what = "pointer must not be null",
+                         const std::source_location loc =
+                             std::source_location::current()) {
+  if (ptr == nullptr) detail::FailCheck("NotNull", what, loc);
+  return ptr;
+}
+
 }  // namespace mlpm

@@ -14,7 +14,7 @@ void TextTable::SetHeader(std::vector<std::string> header) {
 }
 
 void TextTable::AddRow(std::vector<std::string> row) {
-  rows_.push_back(Row{std::move(row), pending_separator_});
+  rows_.emplace_back(std::move(row), pending_separator_);
   pending_separator_ = false;
 }
 

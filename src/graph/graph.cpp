@@ -149,8 +149,8 @@ const TensorShape& GraphBuilder::ShapeOf(TensorId id) const {
 
 TensorId GraphBuilder::AddTensor(std::string name, TensorShape shape,
                                  TensorKind kind) {
-  g_.tensors_.push_back(TensorInfo{std::move(name), std::move(shape), kind,
-                                   /*producer=*/-1});
+  g_.tensors_.emplace_back(std::move(name), std::move(shape), kind,
+                           /*producer=*/-1);
   return static_cast<TensorId>(g_.tensors_.size() - 1);
 }
 

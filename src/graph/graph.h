@@ -70,6 +70,7 @@ class Graph {
  private:
   friend class GraphBuilder;
   friend Graph ParseGraph(const std::string& text);
+  friend Graph ParseGraphUnchecked(const std::string& text);
   std::string name_;
   std::vector<Node> nodes_;  // already in topological (construction) order
   std::vector<TensorInfo> tensors_;

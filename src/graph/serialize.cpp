@@ -266,7 +266,7 @@ std::string SerializeGraph(const Graph& g) {
   return os.str();
 }
 
-Graph ParseGraph(const std::string& text) {
+Graph ParseGraphUnchecked(const std::string& text) {
   std::istringstream is(text);
   std::string line;
   Expects(static_cast<bool>(std::getline(is, line)) &&
@@ -341,7 +341,11 @@ Graph ParseGraph(const std::string& text) {
       Expects(false, "unknown line tag: " + tag);
     }
   }
+  return g;
+}
 
+Graph ParseGraph(const std::string& text) {
+  Graph g = ParseGraphUnchecked(text);
   const ValidationReport report = Validate(g);
   Expects(report.valid, "parsed graph failed validation: " +
                             (report.problems.empty() ? std::string{}

@@ -25,4 +25,12 @@ namespace mlpm::graph {
 // the original.
 [[nodiscard]] Graph ParseGraph(const std::string& text);
 
+// As ParseGraph, but skips the Validate() gate: the text must be
+// syntactically well-formed, but the resulting graph may violate any
+// structural invariant (dangling ids, cycles, dead tensors, ...).  This is
+// the loader for the static-analysis layer (src/analysis), which needs to
+// ingest defective submitted models and *diagnose* them rather than throw
+// at the first problem.  Never feed an unchecked graph to an executor.
+[[nodiscard]] Graph ParseGraphUnchecked(const std::string& text);
+
 }  // namespace mlpm::graph

@@ -9,7 +9,8 @@ constexpr const char* kHeader =
     "chipset,version,task,model,numerics,framework,accelerator,accuracy,"
     "fp32_reference,ratio_to_fp32,quality_passed,p90_latency_ms,"
     "mean_latency_ms,offline_fps,energy_mj_per_inference,status,"
-    "fault_count,degradation_count,dropped,timed_out";
+    "fault_count,degradation_count,dropped,timed_out,lint_errors,"
+    "lint_warnings";
 
 // CSV-quote a field if it contains a comma or quote.
 std::string Field(const std::string& v) {
@@ -52,7 +53,8 @@ void AppendRows(std::ostringstream& os, const SubmissionResult& result,
         (t.offline ? t.offline->timed_out_count : 0);
     os << t.energy_per_inference_j * 1e3 << ',' << ToString(t.status) << ','
        << t.fault_count << ',' << t.degradation_count << ',' << dropped << ','
-       << timed_out << '\n';
+       << timed_out << ',' << t.lint_error_count << ','
+       << t.lint_warning_count << '\n';
   }
 }
 

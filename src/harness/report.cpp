@@ -67,6 +67,24 @@ std::string FormatSubmission(const SubmissionResult& result) {
     out += "\n";
     out += f.Render();
   }
+
+  // Static-verification transparency (DESIGN.md §9): diagnostics from the
+  // pre-run analysis passes appear next to the scores they gate.
+  bool any_lint = false;
+  for (const TaskRunResult& task : result.tasks)
+    any_lint |= task.lint_error_count > 0 || task.lint_warning_count > 0;
+  if (any_lint) {
+    TextTable l("static analysis");
+    l.SetHeader({"Task", "Errors", "Warnings", "First diagnostic"});
+    for (const TaskRunResult& task : result.tasks) {
+      std::string first = task.lint_log.substr(0, task.lint_log.find('\n'));
+      if (first.size() > 72) first = first.substr(0, 69) + "...";
+      l.AddRow({task.entry.id, std::to_string(task.lint_error_count),
+                std::to_string(task.lint_warning_count), std::move(first)});
+    }
+    out += "\n";
+    out += l.Render();
+  }
   return out;
 }
 

@@ -3,7 +3,9 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/passes.h"
 #include "backends/reference_backend.h"
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "core/dataset_qsl.h"
 
@@ -175,6 +177,46 @@ SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
 
 namespace {
 
+// Static verification of one task's model, quantization recipe, SoC
+// mapping and run configuration (DESIGN.md §9).  Runs entirely before
+// anything is compiled or timed.
+analysis::DiagnosticEngine LintTask(const soc::ChipsetDesc& chipset,
+                                    const backends::SubmissionConfig& sub,
+                                    const graph::Graph& full,
+                                    const RunOptions& options) {
+  analysis::DiagnosticEngine de;
+  analysis::RunModelPasses(full, de);
+
+  analysis::QuantConfigView q;
+  q.activation_dtype = sub.numerics;
+  q.qat_weights = options.use_qat_weights;
+  analysis::CheckQuantLegality(full, q, de);
+
+  const std::string prefix = chipset.name + "/" + sub.framework.name;
+  analysis::MappingConfigView m;
+  m.chipset = &chipset;
+  m.numerics = sub.numerics;
+  m.policy = &sub.single_stream;
+  m.label = prefix + "/single_stream";
+  analysis::CheckSocMapping(full, m, de);
+  for (std::size_t i = 0; i < sub.offline_replicas.size(); ++i) {
+    m.policy = &sub.offline_replicas[i];
+    m.label = prefix + "/offline[" + std::to_string(i) + "]";
+    analysis::CheckSocMapping(full, m, de);
+  }
+
+  analysis::RunConfigView rc;
+  rc.threads = options.threads;
+  rc.cooldown_s = options.cooldown_s;
+  rc.max_test_retries = options.max_test_retries;
+  if (options.fault_plan)
+    for (const soc::FaultSpec& spec : options.fault_plan->specs)
+      rc.fault_probabilities.emplace_back(std::string(ToString(spec.kind)),
+                                          spec.probability);
+  analysis::CheckRunConfig(rc, de);
+  return de;
+}
+
 void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
              SuiteBundles& bundles, const RunOptions& options,
              const ThreadPool* pool, TaskRunResult& tr) {
@@ -187,6 +229,23 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
   tr.framework_name = sub.framework.name;
   tr.accelerator_label = sub.accelerator_label;
 
+  if (options.lint != LintMode::kOff) {
+    const graph::Graph lint_graph =
+        models::BuildReferenceGraph(entry, version, models::ModelScale::kFull);
+    const analysis::DiagnosticEngine de =
+        LintTask(chipset, sub, lint_graph, options);
+    tr.lint_error_count = de.error_count();
+    tr.lint_warning_count = de.warning_count();
+    tr.lint_log = de.ToText();
+    if (options.lint == LintMode::kStrict && de.HasErrors()) {
+      tr.status = TaskStatus::kInvalid;
+      tr.status_detail =
+          "static verification failed with " +
+          std::to_string(de.error_count()) + " error(s); see lint log";
+      return;
+    }
+  }
+
   if (options.run_accuracy) {
     // Accuracy mode: the whole validation set through the LoadGen and
     // the functional reference backend at the submission numerics.
@@ -198,8 +257,11 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
 
     loadgen::DatasetQsl qsl(bundle.dataset());
     loadgen::RealClock clock;
-    backends::ReferenceBackend ref_sut("reference/" + entry.id,
-                                       *prepared.executor, qsl, pool);
+    backends::ReferenceBackend ref_sut(
+        "reference/" + entry.id,
+        *NotNull(prepared.executor,
+                 "TaskBundle::Prepare returned no executor"),
+        qsl, pool);
     loadgen::TestSettings acc;
     acc.mode = loadgen::TestMode::kAccuracyOnly;
     const loadgen::TestResult acc_result =

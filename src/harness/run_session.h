@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "backends/fault_tolerant_backend.h"
 #include "backends/simulated_backend.h"
 #include "backends/vendor_policy.h"
@@ -36,6 +37,14 @@ class SuiteBundles {
  private:
   std::map<std::string, std::unique_ptr<TaskBundle>> cache_;
 };
+
+// Pre-run static verification (DESIGN.md §9).
+//   kOff     — skip the analysis passes entirely;
+//   kReport  — run them, record diagnostics in the task result (default);
+//   kStrict  — additionally refuse to run a task whose model or
+//              configuration has error-severity diagnostics (the task is
+//              marked invalid without executing anything).
+enum class LintMode : std::uint8_t { kOff, kReport, kStrict };
 
 struct RunOptions {
   bool run_accuracy = true;
@@ -64,6 +73,11 @@ struct RunOptions {
   // results are bit-identical for any value; the performance phase's
   // virtual-clock simulation is unaffected.
   int threads = 1;
+
+  // Static verification gate run before each task (model IR, quantization
+  // recipe, SoC mapping, run configuration).  Never touches the timed path:
+  // all passes complete before the LoadGen starts.
+  LintMode lint = LintMode::kReport;
 };
 
 // How a task run ended, from the harness's point of view.
@@ -123,6 +137,14 @@ struct TaskRunResult {
   // Concatenated injector + recovery event logs; byte-identical across
   // same-seed runs (the reproducibility artifact for fault studies).
   std::string fault_log;
+
+  // Static-verification gate (DESIGN.md §9).  Populated unless
+  // RunOptions::lint == LintMode::kOff; under kStrict, a task with
+  // lint_error_count > 0 is marked invalid and never executed.
+  std::size_t lint_error_count = 0;
+  std::size_t lint_warning_count = 0;
+  // ToText() rendering of the diagnostics, empty when the task lints clean.
+  std::string lint_log;
 };
 
 struct SubmissionResult {

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/check.h"
 #include "datasets/task_dataset.h"
 #include "infer/executor.h"
 #include "infer/prepared_model.h"
@@ -36,10 +37,12 @@ class TaskBundle {
                                             std::uint64_t weight_seed = 7);
 
   [[nodiscard]] const models::BenchmarkEntry& entry() const { return entry_; }
-  [[nodiscard]] const graph::Graph& mini_graph() const { return *graph_; }
+  [[nodiscard]] const graph::Graph& mini_graph() const {
+    return *NotNull(graph_, "task bundle has no model graph");
+  }
   [[nodiscard]] const infer::WeightStore& weights() const { return weights_; }
   [[nodiscard]] const datasets::TaskDataset& dataset() const {
-    return *dataset_;
+    return *NotNull(dataset_.get(), "task bundle has no data set");
   }
 
   struct PreparedModel {
