@@ -10,7 +10,10 @@
 // Every optimized-vs-reference pair is asserted bit-identical before being
 // timed, so a speedup can never come from a wrong answer.
 //
-// Usage: bench_kernels [--json PATH]   (default BENCH_kernels.json)
+// Usage: bench_kernels [--json PATH] [--smoke]
+//   --json PATH  output file (default BENCH_kernels.json)
+//   --smoke      reduced timing budget for CI; all bit-exactness and
+//                memory-plan assertions still run at full strength
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -22,16 +25,22 @@
 #include "infer/executor.h"
 #include "infer/int8_conv.h"
 #include "infer/int8_gemm.h"
+#include "infer/memory_plan.h"
 #include "infer/prepared_model.h"
 #include "infer/weights.h"
 #include "models/mobilenet_edgetpu.h"
+#include "models/zoo.h"
 
 namespace {
 
 using namespace mlpm;
 
-// Times `fn` adaptively: repeats until ~150 ms of samples, reports the best
-// per-iteration seconds (least-noise estimator for microbenchmarks).
+// Wall-clock budget per measurement; --smoke shrinks it for CI where the
+// artifact matters more than the noise floor.
+double g_time_budget_s = 0.15;
+
+// Times `fn` adaptively: repeats until the budget is spent, reports the
+// best per-iteration seconds (least-noise estimator for microbenchmarks).
 template <typename Fn>
 double TimeSeconds(Fn&& fn) {
   using Clock = std::chrono::steady_clock;
@@ -39,7 +48,7 @@ double TimeSeconds(Fn&& fn) {
   double best = 1e300;
   double total = 0.0;
   int batch = 1;
-  while (total < 0.15) {
+  while (total < g_time_budget_s) {
     const auto t0 = Clock::now();
     for (int i = 0; i < batch; ++i) fn();
     const double s =
@@ -218,6 +227,92 @@ void BenchExecutor(const ThreadPool& pool) {
   Record("accuracy_fanout_8samples_speedup", s_loop / s_fan, "x");
 }
 
+// Single-sample latency with per-node allocation (legacy) vs the planned
+// arena context, after asserting bit-identical outputs.  Small models are
+// where per-node malloc/zero-fill is the largest fraction of the sample.
+void BenchArena(const models::BenchmarkEntry& entry,
+                models::SuiteVersion version, const std::string& tag) {
+  const graph::Graph g =
+      models::BuildReferenceGraph(entry, version, models::ModelScale::kMini);
+  const infer::WeightStore w = infer::InitializeWeights(g, 11);
+  const infer::Executor exec(g, w);
+
+  Rng rng(5);
+  std::vector<infer::Tensor> inputs;
+  for (const graph::TensorId id : g.input_ids()) {
+    infer::Tensor t(g.tensor(id).shape);
+    for (auto& v : t.values()) v = static_cast<float>(rng.NextDouble());
+    inputs.push_back(std::move(t));
+  }
+
+  infer::ExecutionContext ctx = exec.CreateContext();
+  const auto legacy_out = exec.Run(inputs);
+  const auto arena_out = exec.Run(inputs, ctx);
+  Check(legacy_out.size() == arena_out.size(), "arena output count != legacy");
+  for (std::size_t o = 0; o < legacy_out.size(); ++o)
+    for (std::size_t i = 0; i < legacy_out[o].size(); ++i)
+      Check(legacy_out[o].at(i) == arena_out[o].at(i),
+            "arena executor != legacy");
+
+  const double s_legacy = TimeSeconds([&] { auto out = exec.Run(inputs); });
+  const double s_arena =
+      TimeSeconds([&] { auto out = exec.Run(inputs, ctx); });
+  const infer::MemoryPlan& plan = exec.memory_plan();
+  Record(tag + "_legacy_ms", s_legacy * 1e3, "ms");
+  Record(tag + "_arena_ms", s_arena * 1e3, "ms");
+  Record(tag + "_arena_speedup", s_legacy / s_arena, "x");
+  Record(tag + "_arena_kib",
+         static_cast<double>(plan.peak_arena_bytes()) / 1024.0, "KiB");
+  Record(tag + "_arena_savings",
+         100.0 * plan.savings_ratio(), "%");
+}
+
+void BenchArenaExecution() {
+  std::printf("arena vs legacy execution (mini models, single sample):\n");
+  for (const auto version :
+       {models::SuiteVersion::kV1_0, models::SuiteVersion::kV0_7}) {
+    for (const models::BenchmarkEntry& entry : models::SuiteFor(version)) {
+      // v1.0 classification is MobileNetEdgeTPU; v0.7 detection is
+      // SSD-MobileNet v2 — the two small models the planner targets most.
+      const bool wanted =
+          (version == models::SuiteVersion::kV1_0 &&
+           entry.task == models::TaskType::kImageClassification) ||
+          (version == models::SuiteVersion::kV0_7 &&
+           entry.task == models::TaskType::kObjectDetection);
+      if (!wanted) continue;
+      BenchArena(entry, version, "arena_" + entry.model_name);
+    }
+  }
+}
+
+// Planner-only sweep over every reference model at full scale: records the
+// packed arena footprint against the naive per-tensor sum and hard-fails
+// if packing ever loses to naive allocation (CI gate).
+void BenchMemoryPlans() {
+  std::printf("static memory plans (full-scale reference models):\n");
+  for (const auto version :
+       {models::SuiteVersion::kV0_7, models::SuiteVersion::kV1_0}) {
+    for (const models::BenchmarkEntry& entry : models::SuiteFor(version)) {
+      const graph::Graph g = models::BuildReferenceGraph(
+          entry, version, models::ModelScale::kFull);
+      const infer::MemoryPlan plan = infer::MemoryPlan::Build(g);
+      Check(plan.peak_arena_bytes() < plan.naive_bytes(),
+            "planned arena not smaller than naive activation footprint");
+      const std::string tag = std::string("memplan_") +
+                              std::string(ToString(version)) + "_" +
+                              entry.id;
+      Record(tag + "_peak_mib",
+             static_cast<double>(plan.peak_arena_bytes()) / (1024.0 * 1024.0),
+             "MiB");
+      Record(tag + "_naive_mib",
+             static_cast<double>(plan.naive_bytes()) / (1024.0 * 1024.0),
+             "MiB");
+      Record(tag + "_savings",
+             100.0 * plan.savings_ratio(), "%");
+    }
+  }
+}
+
 void WriteJson(const std::string& path, const ThreadPool& pool) {
   std::ofstream out(path);
   out << "{\n  \"host_threads\": " << pool.thread_count()
@@ -243,8 +338,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--smoke") {
+      g_time_budget_s = 0.02;
     } else {
-      std::fprintf(stderr, "usage: bench_kernels [--json PATH]\n");
+      std::fprintf(stderr, "usage: bench_kernels [--json PATH] [--smoke]\n");
       return 2;
     }
   }
@@ -255,6 +352,8 @@ int main(int argc, char** argv) {
   BenchGemmU8(pool);
   BenchConvInt8(pool);
   BenchExecutor(pool);
+  BenchArenaExecution();
+  BenchMemoryPlans();
   WriteJson(json_path, pool);
   return 0;
 }

@@ -22,9 +22,10 @@ void ReferenceBackend::IssueQuery(
     sink_ = &sink;
     return;
   }
+  if (!ctx_.has_value()) ctx_.emplace(executor_.CreateContext());
   for (const loadgen::QuerySample& s : samples) {
     std::vector<infer::Tensor> outputs =
-        executor_.Run(qsl_.Loaded(s.index));
+        executor_.Run(qsl_.Loaded(s.index), *ctx_);
     sink.Complete(loadgen::QuerySampleResponse{s.id, std::move(outputs)});
   }
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,11 @@ class ReferenceBackend final : public loadgen::SystemUnderTest {
   const infer::Executor& executor_;
   const loadgen::DatasetQsl& qsl_;
   const ThreadPool* pool_;
+  // Arena context for the serial IssueQuery path, created on first use and
+  // reused for every sample.  IssueQuery is called sequentially per the SUT
+  // contract, so one context suffices; the deferred path makes its own
+  // per-worker contexts inside RunSamplesParallel.
+  std::optional<infer::ExecutionContext> ctx_;
   // Deferred-mode state: samples queued by IssueQuery, completed in batch
   // by FlushQueries.
   std::vector<loadgen::QuerySample> pending_;

@@ -7,17 +7,33 @@
 
 namespace mlpm {
 
-double Percentile(std::span<const double> values, double p) {
-  Expects(!values.empty(), "Percentile of empty sample set");
+double PercentileOfSorted(std::span<const double> sorted, double p) {
+  Expects(!sorted.empty(), "Percentile of empty sample set");
   Expects(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
   if (lo + 1 >= sorted.size()) return sorted.back();
   return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double Percentile(std::span<const double> values, double p) {
+  Expects(!values.empty(), "Percentile of empty sample set");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileOfSorted(sorted, p);
+}
+
+std::vector<double> Percentiles(std::span<const double> values,
+                                std::span<const double> ps) {
+  Expects(!values.empty(), "Percentiles of empty sample set");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(PercentileOfSorted(sorted, p));
+  return out;
 }
 
 SampleStats Summarize(std::span<const double> values) {
@@ -36,17 +52,10 @@ SampleStats Summarize(std::span<const double> values) {
   for (double v : sorted) var += (v - s.mean) * (v - s.mean);
   s.stddev = std::sqrt(var / static_cast<double>(s.count));
 
-  const auto pct = [&sorted](double p) {
-    if (sorted.size() == 1) return sorted.front();
-    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= sorted.size()) return sorted.back();
-    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
-  };
-  s.p50 = pct(50.0);
-  s.p90 = pct(90.0);
-  s.p99 = pct(99.0);
+  s.p50 = PercentileOfSorted(sorted, 50.0);
+  s.p90 = PercentileOfSorted(sorted, 90.0);
+  s.p97 = PercentileOfSorted(sorted, 97.0);
+  s.p99 = PercentileOfSorted(sorted, 99.0);
   return s;
 }
 

@@ -18,12 +18,25 @@ struct SampleStats {
   double stddev = 0.0;  // population standard deviation
   double p50 = 0.0;
   double p90 = 0.0;
+  double p97 = 0.0;
   double p99 = 0.0;
 };
 
 // Percentile with linear interpolation between closest ranks; `p` in [0,100].
 // The input need not be sorted.  Empty input throws CheckError.
 [[nodiscard]] double Percentile(std::span<const double> values, double p);
+
+// As Percentile, but `sorted` must already be in ascending order — no copy,
+// no sort.  The building block for multi-percentile extraction.
+[[nodiscard]] double PercentileOfSorted(std::span<const double> sorted,
+                                        double p);
+
+// Several percentiles from one sort: copies and sorts `values` once, then
+// reads each requested percentile off the sorted data.  Returns one value
+// per entry of `ps`, in order.  Report tables want p50/p90/p97/p99 of the
+// same latency vector; calling Percentile four times would sort four times.
+[[nodiscard]] std::vector<double> Percentiles(std::span<const double> values,
+                                              std::span<const double> ps);
 
 // Full summary in one pass over a copy (values need not be sorted).
 [[nodiscard]] SampleStats Summarize(std::span<const double> values);

@@ -1,0 +1,30 @@
+#include "graph/liveness.h"
+
+namespace mlpm::graph {
+
+std::vector<LiveInterval> ComputeLiveness(const Graph& g) {
+  std::vector<LiveInterval> live(g.tensors().size());
+  for (std::size_t id = 0; id < g.tensors().size(); ++id)
+    live[id].is_activation =
+        g.tensor(static_cast<TensorId>(id)).kind == TensorKind::kActivation;
+
+  const auto node_count = static_cast<std::int32_t>(g.nodes().size());
+  for (std::int32_t i = 0; i < node_count; ++i) {
+    const Node& n = g.nodes()[static_cast<std::size_t>(i)];
+    if (n.op != OpType::kInput)
+      live[static_cast<std::size_t>(n.output)].def = i;
+    for (const TensorId in : n.inputs) {
+      auto& interval = live[static_cast<std::size_t>(in)];
+      interval.last_use = std::max(interval.last_use, i);
+    }
+  }
+  // Graph inputs are live at entry even though a kInput node "produces"
+  // them; graph outputs must survive until after the last node.
+  for (const TensorId id : g.input_ids())
+    live[static_cast<std::size_t>(id)].def = -1;
+  for (const TensorId id : g.output_ids())
+    live[static_cast<std::size_t>(id)].last_use = node_count;
+  return live;
+}
+
+}  // namespace mlpm::graph

@@ -1,0 +1,37 @@
+// Activation liveness over the node order.
+//
+// Graphs are stored in topological (construction) order, so a tensor's
+// lifetime is a contiguous interval of node indices: it is defined when its
+// producer executes and dies after its last consumer.  Graph inputs are
+// live from before the first node; graph outputs are pinned live to the end
+// of execution.  The static activation memory planner (infer::MemoryPlan)
+// packs buffers from these intervals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mlpm::graph {
+
+// Live interval of one tensor, in node indices of Graph::nodes().
+struct LiveInterval {
+  // Node index that defines the tensor.  -1 for tensors live at entry
+  // (graph inputs) and for weights.
+  std::int32_t def = -1;
+  // Last node index that reads the tensor.  Graph outputs are pinned to
+  // nodes().size() (they must survive the whole run); -1 if never read.
+  std::int32_t last_use = -1;
+  // True for activation-kind tensors; weights carry no interval.
+  bool is_activation = false;
+
+  [[nodiscard]] bool Overlaps(const LiveInterval& o) const {
+    return def <= o.last_use && o.def <= last_use;
+  }
+};
+
+// Intervals for every tensor of `g`, indexed by TensorId.
+[[nodiscard]] std::vector<LiveInterval> ComputeLiveness(const Graph& g);
+
+}  // namespace mlpm::graph

@@ -10,7 +10,7 @@ constexpr const char* kHeader =
     "fp32_reference,ratio_to_fp32,quality_passed,p90_latency_ms,"
     "mean_latency_ms,offline_fps,energy_mj_per_inference,status,"
     "fault_count,degradation_count,dropped,timed_out,lint_errors,"
-    "lint_warnings";
+    "lint_warnings,peak_arena_bytes,naive_activation_bytes";
 
 // CSV-quote a field if it contains a comma or quote.
 std::string Field(const std::string& v) {
@@ -54,7 +54,8 @@ void AppendRows(std::ostringstream& os, const SubmissionResult& result,
     os << t.energy_per_inference_j * 1e3 << ',' << ToString(t.status) << ','
        << t.fault_count << ',' << t.degradation_count << ',' << dropped << ','
        << timed_out << ',' << t.lint_error_count << ','
-       << t.lint_warning_count << '\n';
+       << t.lint_warning_count << ',' << t.peak_arena_bytes << ','
+       << t.naive_activation_bytes << '\n';
   }
 }
 

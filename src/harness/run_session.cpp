@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "core/dataset_qsl.h"
+#include "infer/memory_plan.h"
 
 namespace mlpm::harness {
 namespace {
@@ -229,11 +230,20 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
   tr.framework_name = sub.framework.name;
   tr.accelerator_label = sub.accelerator_label;
 
+  // Built once: the lint gate, the memory plan, and the performance phase
+  // all read the same full-scale graph.
+  const graph::Graph full =
+      models::BuildReferenceGraph(entry, version, models::ModelScale::kFull);
+
+  // Activation footprint of the full-scale model under the static planner
+  // (reported per task; the arena itself is only exercised by the accuracy
+  // phase's mini models).
+  const infer::MemoryPlan plan = infer::MemoryPlan::Build(full);
+  tr.peak_arena_bytes = plan.peak_arena_bytes();
+  tr.naive_activation_bytes = plan.naive_bytes();
+
   if (options.lint != LintMode::kOff) {
-    const graph::Graph lint_graph =
-        models::BuildReferenceGraph(entry, version, models::ModelScale::kFull);
-    const analysis::DiagnosticEngine de =
-        LintTask(chipset, sub, lint_graph, options);
+    const analysis::DiagnosticEngine de = LintTask(chipset, sub, full, options);
     tr.lint_error_count = de.error_count();
     tr.lint_warning_count = de.warning_count();
     tr.lint_log = de.ToText();
@@ -276,9 +286,6 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
   }
 
   if (options.run_performance) {
-    const graph::Graph full =
-        models::BuildReferenceGraph(entry, version,
-                                    models::ModelScale::kFull);
     const backends::EndToEndCosts e2e =
         options.end_to_end ? EstimateEndToEndCosts(entry)
                            : backends::EndToEndCosts{};

@@ -127,6 +127,12 @@ struct TaskRunResult {
   double energy_per_inference_j = 0.0;
   double peak_temperature_c = 0.0;
 
+  // Static activation memory plan over the full-scale graph (DESIGN.md §10):
+  // the packed arena footprint vs the naive sum of all activation tensors.
+  // Planner-only figures (no execution); 0 when the plan was not computed.
+  std::size_t peak_arena_bytes = 0;
+  std::size_t naive_activation_bytes = 0;
+
   // Fault / degradation accounting.
   TaskStatus status = TaskStatus::kValid;
   std::string status_detail;          // invalid_reason / exception text

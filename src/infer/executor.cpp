@@ -617,7 +617,7 @@ float FakeQuantActivation(float v, const TensorRange& r, int bits) {
 
 Executor::Executor(const Graph& graph, const WeightStore& weights,
                    NumericsMode mode, const QuantParams* quant)
-    : graph_(graph), mode_(mode) {
+    : graph_(graph), mode_(mode), plan_(MemoryPlan::Build(graph)) {
   if (mode_ == NumericsMode::kInt8) {
     Expects(quant != nullptr, "INT8 execution requires QuantParams");
     quant_ = *quant;
@@ -651,6 +651,182 @@ const Tensor& Executor::WeightFor(TensorId id) const {
   return *p;
 }
 
+
+namespace {
+
+// One node's kernel dispatch, shared by the legacy (allocate-per-node) and
+// arena execution paths.  `fetch` resolves an activation TensorId to its
+// backing tensor; `out` is the node's output storage (a fresh tensor or an
+// arena view, possibly aliasing the first input for in-place ops).
+template <typename Fetch>
+void DispatchNode(const Graph& g, const Node& n, const Fetch& fetch,
+                  const std::vector<std::unique_ptr<Tensor>>& prepared_weights,
+                  Tensor& out, const ThreadPool* pool) {
+  const auto weight_for = [&](TensorId id) -> const Tensor& {
+    const auto& p = prepared_weights[static_cast<std::size_t>(id)];
+    Expects(p != nullptr, "missing prepared weight");
+    return *p;
+  };
+  // Elementwise loops only fork when the tensor is large enough to pay for
+  // the handshake.
+  const auto elementwise_pool = [&](std::size_t size) {
+    return size >= kElementwiseCutoff ? pool : nullptr;
+  };
+
+  switch (n.op) {
+    case OpType::kInput:
+      break;
+    case OpType::kConv2d:
+      RunConv2d(n, std::get<graph::Conv2dAttrs>(n.attrs), fetch(n.inputs[0]),
+                weight_for(n.weights[0]), weight_for(n.weights[1]), out, pool);
+      break;
+    case OpType::kDepthwiseConv2d:
+      RunDepthwiseConv2d(std::get<graph::DepthwiseConv2dAttrs>(n.attrs),
+                         fetch(n.inputs[0]), weight_for(n.weights[0]),
+                         weight_for(n.weights[1]), out, pool);
+      break;
+    case OpType::kFullyConnected:
+      RunFullyConnected(std::get<graph::FullyConnectedAttrs>(n.attrs),
+                        fetch(n.inputs[0]), weight_for(n.weights[0]),
+                        weight_for(n.weights[1]), out, pool);
+      break;
+    case OpType::kAdd: {
+      const Tensor& x = fetch(n.inputs[0]);
+      const Tensor& y = fetch(n.inputs[1]);
+      ParallelForRange(elementwise_pool(out.size()), 0,
+                       static_cast<std::int64_t>(out.size()),
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i)
+                           out.data()[i] = x.data()[i] + y.data()[i];
+                       });
+      break;
+    }
+    case OpType::kMul: {
+      const Tensor& x = fetch(n.inputs[0]);
+      const Tensor& y = fetch(n.inputs[1]);
+      ParallelForRange(elementwise_pool(out.size()), 0,
+                       static_cast<std::int64_t>(out.size()),
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i)
+                           out.data()[i] = x.data()[i] * y.data()[i];
+                       });
+      break;
+    }
+    case OpType::kAvgPool:
+    case OpType::kMaxPool:
+      RunPool(n.op, std::get<graph::PoolAttrs>(n.attrs), fetch(n.inputs[0]),
+              out, pool);
+      break;
+    case OpType::kGlobalAvgPool:
+      RunGlobalAvgPool(fetch(n.inputs[0]), out, pool);
+      break;
+    case OpType::kResizeBilinear:
+      RunResizeBilinear(fetch(n.inputs[0]), out, pool);
+      break;
+    case OpType::kConcat: {
+      std::vector<const Tensor*> ins;
+      ins.reserve(n.inputs.size());
+      for (TensorId t : n.inputs) ins.push_back(&fetch(t));
+      RunConcat(g, n, ins, out);
+      break;
+    }
+    case OpType::kReshape: {
+      const Tensor& x = fetch(n.inputs[0]);
+      // Aliased reshape (arena path): the output *is* the input buffer.
+      if (x.data() != out.data())
+        std::copy_n(x.data(), x.size(), out.data());
+      break;
+    }
+    case OpType::kSoftmax: {
+      const auto& a = std::get<graph::SoftmaxAttrs>(n.attrs);
+      const auto rank = static_cast<int>(out.shape().rank());
+      Expects(a.axis == -1 || a.axis == rank - 1,
+              "softmax supported on last axis only");
+      RunSoftmaxLastDim(fetch(n.inputs[0]), out, pool);
+      break;
+    }
+    case OpType::kActivation: {
+      const auto& a = std::get<graph::ActivationAttrs>(n.attrs);
+      const Tensor& x = fetch(n.inputs[0]);
+      ParallelForRange(elementwise_pool(out.size()), 0,
+                       static_cast<std::int64_t>(out.size()),
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i)
+                           out.data()[i] =
+                               ApplyActivation(x.data()[i], a.activation);
+                       });
+      break;
+    }
+    case OpType::kLayerNorm:
+      RunLayerNorm(std::get<graph::LayerNormAttrs>(n.attrs),
+                   fetch(n.inputs[0]), weight_for(n.weights[0]),
+                   weight_for(n.weights[1]), out, pool);
+      break;
+    case OpType::kEmbeddingLookup:
+      RunEmbedding(std::get<graph::EmbeddingAttrs>(n.attrs),
+                   fetch(n.inputs[0]), weight_for(n.weights[0]), out);
+      break;
+    case OpType::kMultiHeadAttention:
+      RunAttention(std::get<graph::AttentionAttrs>(n.attrs),
+                   fetch(n.inputs[0]), weight_for(n.weights[0]),
+                   weight_for(n.weights[1]), weight_for(n.weights[2]),
+                   weight_for(n.weights[3]), out, pool);
+      break;
+    case OpType::kLstm:
+      RunLstm(std::get<graph::LstmAttrs>(n.attrs), fetch(n.inputs[0]),
+              weight_for(n.weights[0]), weight_for(n.weights[1]),
+              weight_for(n.weights[2]), out);
+      break;
+  }
+}
+
+// Simulates the node's output numerics in place (identical for the legacy
+// and arena paths; fp16 rounding and fake quantization are idempotent, so
+// applying them over an aliased buffer matches the copy-then-round oracle).
+void ApplyOutputNumerics(NumericsMode mode, const QuantParams& quant,
+                         TensorId output_id, Tensor& out,
+                         const ThreadPool* pool) {
+  switch (mode) {
+    case NumericsMode::kFp32:
+      break;
+    case NumericsMode::kFp16:
+      RoundTensorToHalf(out, pool);
+      break;
+    case NumericsMode::kInt8: {
+      const auto it = quant.activation_ranges.find(output_id);
+      if (it != quant.activation_ranges.end()) {
+        auto vals = out.values();
+        ParallelForRange(
+            vals.size() >= kElementwiseCutoff ? pool : nullptr, 0,
+            static_cast<std::int64_t>(vals.size()),
+            [&](std::int64_t lo, std::int64_t hi) {
+              for (std::int64_t i = lo; i < hi; ++i)
+                vals[static_cast<std::size_t>(i)] = FakeQuantActivation(
+                    vals[static_cast<std::size_t>(i)], it->second,
+                    quant.activation_bits);
+            });
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ExecutionContext::ExecutionContext(const Executor& executor)
+    : plan_(&executor.memory_plan()),
+      arena_(plan_->arena_elements(), 0.0f),
+      slots_(executor.graph().tensors().size()),
+      external_(executor.graph().tensors().size(), nullptr) {
+  const Graph& g = executor.graph();
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    const TensorPlacement& p = plan_->placements()[id];
+    if (p.kind == PlacementKind::kUnplanned) continue;
+    slots_[id] = Tensor::View(g.tensor(static_cast<TensorId>(id)).shape,
+                              arena_.data() + p.offset);
+  }
+}
+
 std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs) const {
   return Run(inputs, NodeObserver{}, nullptr);
 }
@@ -667,160 +843,31 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
           "wrong number of graph inputs");
   std::vector<Tensor> slots(graph_.tensors().size());
   std::vector<bool> ready(graph_.tensors().size(), false);
+  // Graph inputs are bound as read-only views, never copied into slots:
+  // large image inputs are not duplicated per sample.
+  std::vector<const Tensor*> bound(graph_.tensors().size(), nullptr);
 
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     const TensorId id = graph_.input_ids()[i];
     Expects(inputs[i].shape() == graph_.tensor(id).shape,
             "input shape mismatch for " + graph_.tensor(id).name);
-    slots[static_cast<std::size_t>(id)] = inputs[i];
+    bound[static_cast<std::size_t>(id)] = &inputs[i];
     ready[static_cast<std::size_t>(id)] = true;
   }
 
   const auto fetch = [&](TensorId id) -> const Tensor& {
     Expects(ready[static_cast<std::size_t>(id)],
             "use of unready tensor " + graph_.tensor(id).name);
+    if (const Tensor* ext = bound[static_cast<std::size_t>(id)]) return *ext;
     return slots[static_cast<std::size_t>(id)];
   };
 
-  // Elementwise loops only fork when the tensor is large enough to pay for
-  // the handshake.
-  const auto elementwise_pool = [&](std::size_t size) {
-    return size >= kElementwiseCutoff ? pool : nullptr;
-  };
-
   for (const Node& n : graph_.nodes()) {
+    if (n.op == OpType::kInput) continue;
     Tensor out(graph_.tensor(n.output).shape);
-    switch (n.op) {
-      case OpType::kInput:
-        continue;
-      case OpType::kConv2d:
-        RunConv2d(n, std::get<graph::Conv2dAttrs>(n.attrs), fetch(n.inputs[0]),
-                  WeightFor(n.weights[0]), WeightFor(n.weights[1]), out, pool);
-        break;
-      case OpType::kDepthwiseConv2d:
-        RunDepthwiseConv2d(std::get<graph::DepthwiseConv2dAttrs>(n.attrs),
-                           fetch(n.inputs[0]), WeightFor(n.weights[0]),
-                           WeightFor(n.weights[1]), out, pool);
-        break;
-      case OpType::kFullyConnected:
-        RunFullyConnected(std::get<graph::FullyConnectedAttrs>(n.attrs),
-                          fetch(n.inputs[0]), WeightFor(n.weights[0]),
-                          WeightFor(n.weights[1]), out, pool);
-        break;
-      case OpType::kAdd: {
-        const Tensor& x = fetch(n.inputs[0]);
-        const Tensor& y = fetch(n.inputs[1]);
-        ParallelForRange(elementwise_pool(out.size()), 0,
-                         static_cast<std::int64_t>(out.size()),
-                         [&](std::int64_t lo, std::int64_t hi) {
-                           for (std::int64_t i = lo; i < hi; ++i)
-                             out.data()[i] = x.data()[i] + y.data()[i];
-                         });
-        break;
-      }
-      case OpType::kMul: {
-        const Tensor& x = fetch(n.inputs[0]);
-        const Tensor& y = fetch(n.inputs[1]);
-        ParallelForRange(elementwise_pool(out.size()), 0,
-                         static_cast<std::int64_t>(out.size()),
-                         [&](std::int64_t lo, std::int64_t hi) {
-                           for (std::int64_t i = lo; i < hi; ++i)
-                             out.data()[i] = x.data()[i] * y.data()[i];
-                         });
-        break;
-      }
-      case OpType::kAvgPool:
-      case OpType::kMaxPool:
-        RunPool(n.op, std::get<graph::PoolAttrs>(n.attrs), fetch(n.inputs[0]),
-                out, pool);
-        break;
-      case OpType::kGlobalAvgPool:
-        RunGlobalAvgPool(fetch(n.inputs[0]), out, pool);
-        break;
-      case OpType::kResizeBilinear:
-        RunResizeBilinear(fetch(n.inputs[0]), out, pool);
-        break;
-      case OpType::kConcat: {
-        std::vector<const Tensor*> ins;
-        ins.reserve(n.inputs.size());
-        for (TensorId t : n.inputs) ins.push_back(&fetch(t));
-        RunConcat(graph_, n, ins, out);
-        break;
-      }
-      case OpType::kReshape: {
-        const Tensor& x = fetch(n.inputs[0]);
-        std::copy_n(x.data(), x.size(), out.data());
-        break;
-      }
-      case OpType::kSoftmax: {
-        const auto& a = std::get<graph::SoftmaxAttrs>(n.attrs);
-        const auto rank = static_cast<int>(out.shape().rank());
-        Expects(a.axis == -1 || a.axis == rank - 1,
-                "softmax supported on last axis only");
-        RunSoftmaxLastDim(fetch(n.inputs[0]), out, pool);
-        break;
-      }
-      case OpType::kActivation: {
-        const auto& a = std::get<graph::ActivationAttrs>(n.attrs);
-        const Tensor& x = fetch(n.inputs[0]);
-        ParallelForRange(elementwise_pool(out.size()), 0,
-                         static_cast<std::int64_t>(out.size()),
-                         [&](std::int64_t lo, std::int64_t hi) {
-                           for (std::int64_t i = lo; i < hi; ++i)
-                             out.data()[i] =
-                                 ApplyActivation(x.data()[i], a.activation);
-                         });
-        break;
-      }
-      case OpType::kLayerNorm:
-        RunLayerNorm(std::get<graph::LayerNormAttrs>(n.attrs),
-                     fetch(n.inputs[0]), WeightFor(n.weights[0]),
-                     WeightFor(n.weights[1]), out, pool);
-        break;
-      case OpType::kEmbeddingLookup:
-        RunEmbedding(std::get<graph::EmbeddingAttrs>(n.attrs),
-                     fetch(n.inputs[0]), WeightFor(n.weights[0]), out);
-        break;
-      case OpType::kMultiHeadAttention:
-        RunAttention(std::get<graph::AttentionAttrs>(n.attrs),
-                     fetch(n.inputs[0]), WeightFor(n.weights[0]),
-                     WeightFor(n.weights[1]), WeightFor(n.weights[2]),
-                     WeightFor(n.weights[3]), out, pool);
-        break;
-      case OpType::kLstm:
-        RunLstm(std::get<graph::LstmAttrs>(n.attrs), fetch(n.inputs[0]),
-                WeightFor(n.weights[0]), WeightFor(n.weights[1]),
-                WeightFor(n.weights[2]), out);
-        break;
-    }
-
+    DispatchNode(graph_, n, fetch, prepared_weights_, out, pool);
     if (observer) observer(n.output, out);
-
-    // Simulate the node's output numerics.
-    switch (mode_) {
-      case NumericsMode::kFp32:
-        break;
-      case NumericsMode::kFp16:
-        RoundTensorToHalf(out, pool);
-        break;
-      case NumericsMode::kInt8: {
-        const auto it = quant_.activation_ranges.find(n.output);
-        if (it != quant_.activation_ranges.end()) {
-          auto vals = out.values();
-          ParallelForRange(
-              elementwise_pool(vals.size()), 0,
-              static_cast<std::int64_t>(vals.size()),
-              [&](std::int64_t lo, std::int64_t hi) {
-                for (std::int64_t i = lo; i < hi; ++i)
-                  vals[static_cast<std::size_t>(i)] = FakeQuantActivation(
-                      vals[static_cast<std::size_t>(i)], it->second,
-                      quant_.activation_bits);
-              });
-        }
-        break;
-      }
-    }
-
+    ApplyOutputNumerics(mode_, quant_, n.output, out, pool);
     slots[static_cast<std::size_t>(n.output)] = std::move(out);
     ready[static_cast<std::size_t>(n.output)] = true;
   }
@@ -828,6 +875,47 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
   std::vector<Tensor> outputs;
   outputs.reserve(graph_.output_ids().size());
   for (TensorId id : graph_.output_ids()) outputs.push_back(fetch(id));
+  return outputs;
+}
+
+std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
+                                  ExecutionContext& ctx,
+                                  const NodeObserver& observer,
+                                  const ThreadPool* pool) const {
+  Expects(ctx.plan_ == &plan_,
+          "execution context belongs to a different executor");
+  Expects(inputs.size() == graph_.input_ids().size(),
+          "wrong number of graph inputs");
+  std::fill(ctx.external_.begin(), ctx.external_.end(), nullptr);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const TensorId id = graph_.input_ids()[i];
+    Expects(inputs[i].shape() == graph_.tensor(id).shape,
+            "input shape mismatch for " + graph_.tensor(id).name);
+    ctx.external_[static_cast<std::size_t>(id)] = &inputs[i];
+  }
+
+  const auto fetch = [&](TensorId id) -> const Tensor& {
+    if (const Tensor* ext = ctx.external_[static_cast<std::size_t>(id)])
+      return *ext;
+    const Tensor& slot = ctx.slots_[static_cast<std::size_t>(id)];
+    Expects(slot.is_view(),
+            "use of unplanned tensor " + graph_.tensor(id).name);
+    return slot;
+  };
+
+  for (const Node& n : graph_.nodes()) {
+    if (n.op == OpType::kInput) continue;
+    Tensor& out = ctx.slots_[static_cast<std::size_t>(n.output)];
+    DispatchNode(graph_, n, fetch, prepared_weights_, out, pool);
+    if (observer) observer(n.output, out);
+    ApplyOutputNumerics(mode_, quant_, n.output, out, pool);
+  }
+
+  // Detach outputs from the arena: the caller keeps them, the arena is
+  // overwritten by the next sample.
+  std::vector<Tensor> outputs;
+  outputs.reserve(graph_.output_ids().size());
+  for (TensorId id : graph_.output_ids()) outputs.push_back(fetch(id).Clone());
   return outputs;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "infer/memory_plan.h"
 #include "infer/quant_params.h"
 #include "infer/tensor.h"
 #include "infer/weights.h"
@@ -27,6 +28,33 @@ class ThreadPool;
 }
 
 namespace mlpm::infer {
+
+class Executor;
+
+// Reusable execution state for the arena path: one contiguous activation
+// arena sized by the executor's MemoryPlan, plus prebuilt view tensors for
+// every planned activation.  Create one per thread (a context is not
+// thread-safe) and reuse it across samples — every kernel fully overwrites
+// its output range, so nothing is cleared between runs.  The executor must
+// outlive the context.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(const Executor& executor);
+
+  [[nodiscard]] const MemoryPlan& plan() const { return *plan_; }
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return arena_.size() * sizeof(float);
+  }
+
+ private:
+  friend class Executor;
+  const MemoryPlan* plan_;
+  std::vector<float> arena_;
+  // Arena views indexed by TensorId (default tensors for unplanned slots).
+  std::vector<Tensor> slots_;
+  // Graph inputs bound for the current Run, indexed by TensorId.
+  std::vector<const Tensor*> external_;
+};
 
 enum class NumericsMode : std::uint8_t { kFp32, kFp16, kInt8 };
 
@@ -69,8 +97,24 @@ class Executor {
                                         const NodeObserver& observer,
                                         const ThreadPool* pool) const;
 
+  // Arena execution: activations live in `ctx`'s preplanned arena instead
+  // of per-node heap allocations; graph inputs are bound as read-only
+  // views (never copied).  Bit-identical to the legacy overloads above for
+  // every numerics mode and thread count.  `ctx` must have been created
+  // from this executor; reuse it across calls on one thread.
+  [[nodiscard]] std::vector<Tensor> Run(std::span<const Tensor> inputs,
+                                        ExecutionContext& ctx,
+                                        const NodeObserver& observer = {},
+                                        const ThreadPool* pool = nullptr) const;
+
+  [[nodiscard]] ExecutionContext CreateContext() const {
+    return ExecutionContext(*this);
+  }
+
   [[nodiscard]] NumericsMode mode() const { return mode_; }
   [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+  // The static activation plan (built once at construction).
+  [[nodiscard]] const MemoryPlan& memory_plan() const { return plan_; }
 
  private:
   [[nodiscard]] const Tensor& WeightFor(graph::TensorId id) const;
@@ -78,6 +122,7 @@ class Executor {
   const graph::Graph& graph_;
   NumericsMode mode_;
   QuantParams quant_;
+  MemoryPlan plan_;
   // Weights transformed once for the executor's numerics mode, indexed by
   // TensorId (nullptr for activation slots).
   std::vector<std::unique_ptr<Tensor>> prepared_weights_;

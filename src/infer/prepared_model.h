@@ -3,8 +3,10 @@
 // PreparedModel owns an Executor whose weights were transformed
 // (fp16-rounded / fake-quantized) exactly once at construction, plus the
 // graph/weight references it needs; callers share it via shared_ptr and run
-// it concurrently — Run is const and allocates per-call activation slots,
-// so a single PreparedModel serves any number of threads.
+// it concurrently — Run is const and uses a per-call arena context, so a
+// single PreparedModel serves any number of threads.  Callers that run many
+// samples on one thread should CreateContext() once and pass it to Run to
+// amortize the arena allocation.
 //
 // RunSamplesParallel is the sample-level fan-out used by the accuracy
 // harness: independent samples evaluate on pool threads while per-op
@@ -38,7 +40,20 @@ class PreparedModel {
 
   [[nodiscard]] std::vector<Tensor> Run(std::span<const Tensor> inputs,
                                         const ThreadPool* pool = nullptr) const {
-    return executor_.Run(inputs, NodeObserver{}, pool);
+    ExecutionContext ctx = executor_.CreateContext();
+    return executor_.Run(inputs, ctx, NodeObserver{}, pool);
+  }
+
+  // Arena-context overload: reuses `ctx`'s arena across calls (one context
+  // per thread; a context is not thread-safe).
+  [[nodiscard]] std::vector<Tensor> Run(std::span<const Tensor> inputs,
+                                        ExecutionContext& ctx,
+                                        const ThreadPool* pool = nullptr) const {
+    return executor_.Run(inputs, ctx, NodeObserver{}, pool);
+  }
+
+  [[nodiscard]] ExecutionContext CreateContext() const {
+    return executor_.CreateContext();
   }
 
  private:

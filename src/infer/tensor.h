@@ -26,27 +26,53 @@ class Tensor {
             "tensor data size does not match shape");
   }
 
+  // Non-owning view over external storage (an arena slice).  `data` must
+  // point at shape.elements() floats and outlive the view; copying a view
+  // copies the pointer, not the payload.  Used by the arena execution
+  // path (ExecutionContext); call Clone() to detach a result.
+  [[nodiscard]] static Tensor View(graph::TensorShape shape, float* data) {
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.view_ = data;
+    return t;
+  }
+
+  [[nodiscard]] bool is_view() const { return view_ != nullptr; }
+
+  // Deep copy into owning storage (identical for views and owners).
+  [[nodiscard]] Tensor Clone() const {
+    return Tensor(shape_, std::vector<float>(data(), data() + size()));
+  }
+
   [[nodiscard]] const graph::TensorShape& shape() const { return shape_; }
-  [[nodiscard]] std::span<float> values() { return data_; }
-  [[nodiscard]] std::span<const float> values() const { return data_; }
-  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::span<float> values() { return {data(), size()}; }
+  [[nodiscard]] std::span<const float> values() const {
+    return {data(), size()};
+  }
+  [[nodiscard]] std::size_t size() const {
+    return view_ != nullptr ? static_cast<std::size_t>(shape_.elements())
+                            : data_.size();
+  }
 
   [[nodiscard]] float& at(std::size_t i) {
-    Expects(i < data_.size(), "tensor index out of range");
-    return data_[i];
+    Expects(i < size(), "tensor index out of range");
+    return data()[i];
   }
   [[nodiscard]] float at(std::size_t i) const {
-    Expects(i < data_.size(), "tensor index out of range");
-    return data_[i];
+    Expects(i < size(), "tensor index out of range");
+    return data()[i];
   }
 
   // Unchecked linear access for kernel inner loops.
-  [[nodiscard]] float* data() { return data_.data(); }
-  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] float* data() { return view_ != nullptr ? view_ : data_.data(); }
+  [[nodiscard]] const float* data() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
 
  private:
   graph::TensorShape shape_;
   std::vector<float> data_;
+  float* view_ = nullptr;  // non-null => borrowed storage
 };
 
 }  // namespace mlpm::infer

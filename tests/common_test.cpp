@@ -237,6 +237,29 @@ TEST(Statistics, PercentileRejectsEmptyAndBadP) {
   EXPECT_THROW((void)Percentile(v, 101.0), CheckError);
 }
 
+TEST(Statistics, PercentileOfSortedMatchesPercentile) {
+  const double sorted[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 50.0), Percentile(sorted, 50.0));
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 100.0), 4.0);
+  EXPECT_THROW((void)PercentileOfSorted(sorted, 101.0), CheckError);
+}
+
+TEST(Statistics, PercentilesMatchIndividualCalls) {
+  const double v[] = {4.0, 1.0, 3.0, 2.0, 9.0, 0.5};  // unsorted on purpose
+  const double ps[] = {0.0, 50.0, 90.0, 97.0, 99.0, 100.0};
+  const std::vector<double> got = Percentiles(v, ps);
+  ASSERT_EQ(got.size(), 6u);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_DOUBLE_EQ(got[i], Percentile(v, ps[i])) << "p" << ps[i];
+}
+
+TEST(Statistics, PercentilesRejectEmptyInput) {
+  const std::vector<double> empty;
+  const double ps[] = {50.0};
+  EXPECT_THROW((void)Percentiles(empty, ps), CheckError);
+}
+
 TEST(Statistics, SummaryMatchesManualComputation) {
   const double v[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
   const SampleStats s = Summarize(v);
@@ -245,6 +268,9 @@ TEST(Statistics, SummaryMatchesManualComputation) {
   EXPECT_DOUBLE_EQ(s.max, 9.0);
   EXPECT_DOUBLE_EQ(s.mean, 5.0);
   EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.p50, Percentile(v, 50.0));
+  EXPECT_DOUBLE_EQ(s.p97, Percentile(v, 97.0));
+  EXPECT_DOUBLE_EQ(s.p99, Percentile(v, 99.0));
 }
 
 TEST(Statistics, GeometricMeanOfPowers) {

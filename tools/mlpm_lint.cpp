@@ -10,6 +10,10 @@
 //   mlpm_lint --models             lint every suite reference graph
 //   mlpm_lint --chipset NAME|all   lint vendor submissions for the chipset(s)
 //   mlpm_lint --codes              print the diagnostic-code catalogue
+//   mlpm_lint --memory             static activation-memory summary for the
+//                                  reference models (planner only, nothing
+//                                  is executed)
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,6 +24,7 @@
 #include "analysis/passes.h"
 #include "backends/vendor_policy.h"
 #include "graph/serialize.h"
+#include "infer/memory_plan.h"
 #include "models/zoo.h"
 #include "soc/chipset.h"
 
@@ -36,6 +41,7 @@ struct Options {
   bool json = false;
   bool lint_models = false;
   bool print_codes = false;
+  bool memory_summary = false;
   std::string chipset;  // empty = none, "all" = every catalog chipset
   std::vector<models::SuiteVersion> versions = {models::SuiteVersion::kV0_7,
                                                 models::SuiteVersion::kV1_0};
@@ -45,8 +51,30 @@ struct Options {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json] [--version v0.7|v1.0|all] [--models]"
-               " [--chipset NAME|all] [--codes] [FILE.graph ...]\n";
+               " [--chipset NAME|all] [--codes] [--memory]"
+               " [FILE.graph ...]\n";
   return 2;
+}
+
+// Static activation-memory summary (DESIGN.md §10): per reference model,
+// the planner's packed arena footprint vs the naive one-buffer-per-tensor
+// sum.  Pure planning — no weights are initialized, nothing runs.
+void PrintMemorySummary(const Options& opt) {
+  std::printf("%-40s %12s %12s %8s %8s\n", "model", "arena KiB", "naive KiB",
+              "saved", "aliases");
+  for (const models::SuiteVersion v : opt.versions) {
+    for (const models::BenchmarkEntry& e : models::SuiteFor(v)) {
+      const graph::Graph g =
+          models::BuildReferenceGraph(e, v, models::ModelScale::kFull);
+      const infer::MemoryPlan plan = infer::MemoryPlan::Build(g);
+      const std::string name =
+          std::string(ToString(v)) + "/" + e.id + " (" + e.model_name + ")";
+      std::printf("%-40s %12.1f %12.1f %7.1f%% %8zu\n", name.c_str(),
+                  static_cast<double>(plan.peak_arena_bytes()) / 1024.0,
+                  static_cast<double>(plan.naive_bytes()) / 1024.0,
+                  100.0 * plan.savings_ratio(), plan.alias_count());
+    }
+  }
 }
 
 // Lint one serialized graph file: syntax-only load, then the model passes.
@@ -167,6 +195,8 @@ int main(int argc, char** argv) {
       opt.lint_models = true;
     } else if (arg == "--codes") {
       opt.print_codes = true;
+    } else if (arg == "--memory") {
+      opt.memory_summary = true;
     } else if (arg == "--chipset") {
       if (++i >= argc) return Usage(argv[0]);
       opt.chipset = argv[i];
@@ -188,6 +218,15 @@ int main(int argc, char** argv) {
   }
   if (opt.print_codes) {
     PrintCodes();
+    return 0;
+  }
+  if (opt.memory_summary) {
+    try {
+      PrintMemorySummary(opt);
+    } catch (const std::exception& e) {
+      std::cerr << "mlpm_lint: " << e.what() << '\n';
+      return 2;
+    }
     return 0;
   }
   if (!opt.lint_models && opt.chipset.empty() && opt.files.empty())
