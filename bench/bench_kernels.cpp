@@ -30,6 +30,7 @@
 #include "infer/weights.h"
 #include "models/mobilenet_edgetpu.h"
 #include "models/zoo.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -285,6 +286,53 @@ void BenchArenaExecution() {
   }
 }
 
+// Trace-recorder overhead on the hot arena path (DESIGN.md §11 budget):
+// enabling tracing must not change any output bit, and the disabled cost
+// is one relaxed atomic load per node — recorded here so a regression in
+// either direction shows up in the CI artifact.
+void BenchTraceOverhead() {
+  std::printf("trace recorder overhead (arena execution, mini model):\n");
+  models::BenchmarkEntry entry;
+  for (const models::BenchmarkEntry& e :
+       models::SuiteFor(models::SuiteVersion::kV1_0))
+    if (e.task == models::TaskType::kImageClassification) entry = e;
+  const graph::Graph g = models::BuildReferenceGraph(
+      entry, models::SuiteVersion::kV1_0, models::ModelScale::kMini);
+  const infer::WeightStore w = infer::InitializeWeights(g, 11);
+  const infer::Executor exec(g, w);
+
+  Rng rng(7);
+  std::vector<infer::Tensor> inputs;
+  for (const graph::TensorId id : g.input_ids()) {
+    infer::Tensor t(g.tensor(id).shape);
+    for (auto& v : t.values()) v = static_cast<float>(rng.NextDouble());
+    inputs.push_back(std::move(t));
+  }
+  infer::ExecutionContext ctx = exec.CreateContext();
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Disable();
+  const auto out_off = exec.Run(inputs, ctx);
+  rec.Enable();
+  const auto out_on = exec.Run(inputs, ctx);
+  rec.Disable();
+  Check(out_off.size() == out_on.size(), "traced output count != untraced");
+  for (std::size_t o = 0; o < out_off.size(); ++o)
+    for (std::size_t i = 0; i < out_off[o].size(); ++i)
+      Check(out_off[o].at(i) == out_on[o].at(i),
+            "traced run output != untraced (tracing must be read-only)");
+
+  const double s_off = TimeSeconds([&] { auto out = exec.Run(inputs, ctx); });
+  rec.Enable();
+  const double s_on = TimeSeconds([&] { auto out = exec.Run(inputs, ctx); });
+  rec.Disable();
+  rec.Enable();  // drop the events accumulated while timing
+  rec.Disable();
+  Record("trace_disabled_ms", s_off * 1e3, "ms");
+  Record("trace_enabled_ms", s_on * 1e3, "ms");
+  Record("trace_enabled_overhead", 100.0 * (s_on - s_off) / s_off, "%");
+}
+
 // Planner-only sweep over every reference model at full scale: records the
 // packed arena footprint against the naive per-tensor sum and hard-fails
 // if packing ever loses to naive allocation (CI gate).
@@ -353,6 +401,7 @@ int main(int argc, char** argv) {
   BenchConvInt8(pool);
   BenchExecutor(pool);
   BenchArenaExecution();
+  BenchTraceOverhead();
   BenchMemoryPlans();
   WriteJson(json_path, pool);
   return 0;

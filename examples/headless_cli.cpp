@@ -9,12 +9,13 @@
 //                [--task all|ic|od|is|nlp] [--accuracy] [--e2e]
 //                [--cooldown SECONDS] [--csv FILE] [--log FILE]
 //                [--faults CRASH_PROB] [--fault-seed N] [--threads N]
-//                [--lint off|report|strict]
+//                [--lint off|report|strict] [--trace FILE] [--profile]
 //
 // Examples:
 //   headless_cli --chipset "Core i7-11375H" --version v1.0
 //   headless_cli --chipset "Exynos 2100" --task is --accuracy
 //   headless_cli --chipset "Dimensity 1100" --performance-only --faults 0.9
+//   headless_cli --trace run.trace.json --profile   # open in ui.perfetto.dev
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +26,9 @@
 #include "harness/app.h"
 #include "harness/export.h"
 #include "harness/report.h"
+#include "obs/aggregate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -48,6 +52,11 @@ struct CliOptions {
   // Results are bit-identical for any value.
   int threads = 0;
   harness::LintMode lint = harness::LintMode::kReport;
+  // Observability (DESIGN.md §11): --trace writes a Chrome trace_event JSON
+  // (open with ui.perfetto.dev or chrome://tracing); --profile appends the
+  // per-op aggregate tables + process metrics to the report and CSV.
+  std::string trace_path;
+  bool profile = false;
 };
 
 // Strict positive-integer parse for --threads: rejects empty input, trailing
@@ -124,6 +133,11 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
       else if (m == "report") o.lint = harness::LintMode::kReport;
       else if (m == "strict") o.lint = harness::LintMode::kStrict;
       else return std::nullopt;
+    } else if (arg == "--trace") {
+      o.trace_path = value();
+      if (o.trace_path.empty()) return std::nullopt;
+    } else if (arg == "--profile") {
+      o.profile = true;
     } else {
       return std::nullopt;
     }
@@ -150,7 +164,8 @@ int main(int argc, char** argv) {
                  "                    [--accuracy|--performance-only] [--e2e]"
                  " [--cooldown S] [--csv FILE] [--log FILE]\n"
                  "                    [--faults CRASH_PROB] [--fault-seed N]"
-                 " [--threads N] [--lint off|report|strict]\n");
+                 " [--threads N] [--lint off|report|strict]\n"
+                 "                    [--trace FILE] [--profile]\n");
     return 2;
   }
   const std::optional<soc::ChipsetDesc> chipset = FindChipset(opts->chipset);
@@ -170,6 +185,8 @@ int main(int argc, char** argv) {
   run.cooldown_s = opts->cooldown_s;
   run.threads = opts->threads;
   run.lint = opts->lint;
+  run.trace_path = opts->trace_path;
+  run.profile = opts->profile;
   if (opts->crash_probability > 0.0) {
     soc::FaultPlan plan;
     plan.seed = opts->fault_seed;
@@ -192,13 +209,46 @@ int main(int argc, char** argv) {
         filtered.tasks.push_back(std::move(t));
     out.result = std::move(filtered);
     out.report_text = harness::FormatSubmission(out.result);
+    // The rebuild above dropped the profiling tables; restore them.
+    if (opts->profile) {
+      const std::vector<obs::TraceEvent> events =
+          obs::TraceRecorder::Global().Snapshot();
+      const std::vector<obs::OpAggregate> host =
+          obs::AggregateSpans(events, obs::Domain::kHost, "node");
+      if (!host.empty())
+        out.report_text +=
+            "\n" + obs::RenderAggregateTable(host, "executor ops (host)");
+      const std::vector<obs::OpAggregate> sim =
+          obs::AggregateSpans(events, obs::Domain::kSim, "soc");
+      if (!sim.empty())
+        out.report_text +=
+            "\n" + obs::RenderAggregateTable(sim, "simulated IP steps");
+      out.report_text +=
+          "\n" + obs::RenderMetricsTable(obs::MetricsRegistry::Global().Snap());
+    }
   }
 
   std::printf("%s\n%s", out.report_text.c_str(), out.checker_text.c_str());
 
+  if (!opts->trace_path.empty()) {
+    std::ofstream trace(opts->trace_path);
+    trace << obs::TraceRecorder::Global().ToChromeJson();
+    std::printf("wrote %s (Chrome trace; open with ui.perfetto.dev)\n",
+                opts->trace_path.c_str());
+  }
   if (!opts->csv_path.empty()) {
     std::ofstream csv(opts->csv_path);
     csv << harness::ToCsv(out.result);
+    if (opts->profile) {
+      const std::vector<obs::TraceEvent> events =
+          obs::TraceRecorder::Global().Snapshot();
+      const std::vector<obs::OpAggregate> host =
+          obs::AggregateSpans(events, obs::Domain::kHost, "node");
+      if (!host.empty()) csv << "\n" << obs::AggregateCsv(host);
+      const std::vector<obs::OpAggregate> sim =
+          obs::AggregateSpans(events, obs::Domain::kSim, "soc");
+      if (!sim.empty()) csv << "\n" << obs::AggregateCsv(sim);
+    }
     std::printf("wrote %s\n", opts->csv_path.c_str());
   }
   if (!opts->log_path.empty() && !out.result.tasks.empty() &&

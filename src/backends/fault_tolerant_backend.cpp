@@ -5,6 +5,8 @@
 
 #include "backends/framework.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mlpm::backends {
 
@@ -33,6 +35,13 @@ void FaultTolerantBackend::Record(RecoveryAction action,
                                  std::uint64_t query_id, int attempt) {
   events_.push_back(
       DegradationEvent{action, query_id, clock_.Now().count(), attempt});
+  obs::MetricsRegistry::Global().Increment("backend.recovery_actions");
+  if (obs::TraceRecorder& rec = obs::TraceRecorder::Global(); rec.enabled())
+    rec.AddInstant(obs::Domain::kLoadGen, "recovery",
+                   "recovery:" + std::string(ToString(action)),
+                   clock_.Now().count() * 1e6,
+                   {obs::Arg("query", query_id), obs::Arg("attempt", attempt)},
+                   "recovery");
 }
 
 void FaultTolerantBackend::RunOne(const loadgen::QuerySample& sample,

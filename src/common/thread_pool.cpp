@@ -109,6 +109,12 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
   job.end = end;
   job.chunk_count =
       std::min<std::size_t>(lanes_, static_cast<std::size_t>(end - begin));
+  jobs_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t peak = peak_chunks_.load(std::memory_order_relaxed);
+  while (peak < job.chunk_count &&
+         !peak_chunks_.compare_exchange_weak(peak, job.chunk_count,
+                                             std::memory_order_relaxed)) {
+  }
   {
     std::scoped_lock lock(mu_);
     job_ = &job;

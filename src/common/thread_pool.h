@@ -39,6 +39,17 @@ class ThreadPool {
   // Total execution lanes, including the calling thread.
   [[nodiscard]] std::size_t thread_count() const { return lanes_; }
 
+  // Observability (DESIGN.md §11): parallel jobs dispatched to the worker
+  // set (inline fast paths excluded) and the largest chunk fan-out seen —
+  // the static-partition pool's analog of a queue depth.  Plain relaxed
+  // atomics; snapshotted into the obs::MetricsRegistry by the harness.
+  [[nodiscard]] std::uint64_t jobs_dispatched() const {
+    return jobs_dispatched_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t peak_chunks() const {
+    return peak_chunks_.load(std::memory_order_relaxed);
+  }
+
   // body(chunk_begin, chunk_end) over a static partition of [begin, end)
   // into at most thread_count() contiguous chunks.  The calling thread
   // participates.  Blocks until every chunk has finished.
@@ -74,6 +85,8 @@ class ThreadPool {
   void RunChunks(Job& job) const;
 
   std::size_t lanes_ = 1;
+  mutable std::atomic<std::uint64_t> jobs_dispatched_{0};
+  mutable std::atomic<std::uint64_t> peak_chunks_{0};
   mutable std::mutex mu_;
   mutable std::condition_variable work_cv_;  // workers wait for a job
   mutable std::condition_variable done_cv_;  // the caller waits for finish

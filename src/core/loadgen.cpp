@@ -1,6 +1,7 @@
 #include "core/loadgen.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <unordered_map>
@@ -9,9 +10,17 @@
 
 #include "common/rng.h"
 #include "common/statistics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mlpm::loadgen {
 namespace {
+
+// Distinguishes queries of successive tests on the shared recorder: query
+// ids restart at 1 every RunTest, so the async (cat, id) pairing namespaces
+// them by a process-wide test sequence number (deterministic — tests run in
+// submission order on one thread).
+std::atomic<std::uint64_t> g_test_sequence{0};
 
 // Collects completions and pairs them with issue timestamps.  Hostile or
 // faulty SUT behavior (duplicate completions, completions for queries that
@@ -21,11 +30,12 @@ namespace {
 class Collector final : public ResponseSink {
  public:
   Collector(const Clock& clock, TestLog& log, bool keep_outputs,
-            Seconds query_timeout)
+            Seconds query_timeout, std::uint64_t test_sequence)
       : clock_(clock),
         log_(log),
         keep_outputs_(keep_outputs),
-        timeout_(query_timeout) {}
+        timeout_(query_timeout),
+        test_sequence_(test_sequence) {}
 
   void ExpectSample(const QuerySample& s) { ExpectSampleAt(s, clock_.Now()); }
 
@@ -37,6 +47,12 @@ class Collector final : public ResponseSink {
     if (issue_time_.size() == 1 || scheduled < first_issue_)
       first_issue_ = scheduled;
     log_.Record(LogEventKind::kQueryIssued, s.id, scheduled);
+    if (obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+        rec.enabled())
+      rec.AddAsyncBegin(obs::Domain::kLoadGen, "queries", "query", "query",
+                        AsyncId(s.id), scheduled.count() * 1e6,
+                        {obs::Arg("sample", static_cast<std::uint64_t>(
+                                                s.index))});
   }
 
   // Timestamp of the earliest issued query (the duration window start the
@@ -62,7 +78,14 @@ class Collector final : public ResponseSink {
     log_.Record(LogEventKind::kQueryCompleted, response.id, now);
     const Seconds latency = now - it->second;
     last_completion_ = std::max(last_completion_, now);
-    if (timeout_.count() > 0.0 && latency > timeout_) {
+    const bool expired = timeout_.count() > 0.0 && latency > timeout_;
+    if (obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+        rec.enabled())
+      rec.AddAsyncEnd(obs::Domain::kLoadGen, "queries", "query", "query",
+                      AsyncId(response.id), now.count() * 1e6,
+                      {obs::Arg("outcome", expired ? "timed_out" : "ok"),
+                       obs::Arg("latency_ms", latency.count() * 1e3)});
+    if (expired) {
       // Watchdog: the deadline passed before the completion arrived; the
       // query already counts as expired, the late result is discarded.
       ++timed_out_count_;
@@ -124,10 +147,16 @@ class Collector final : public ResponseSink {
  private:
   void Error(std::string what) { errors_.push_back(std::move(what)); }
 
+  // Process-unique async-event id for a query of this test.
+  [[nodiscard]] std::uint64_t AsyncId(std::uint64_t query_id) const {
+    return (test_sequence_ << 32) | query_id;
+  }
+
   const Clock& clock_;
   TestLog& log_;
   bool keep_outputs_;
   Seconds timeout_;
+  std::uint64_t test_sequence_;
   std::unordered_map<std::uint64_t, Seconds> issue_time_;
   std::unordered_map<std::uint64_t, std::size_t> sample_index_;
   Seconds first_issue_{0.0};
@@ -181,6 +210,13 @@ void FinalizeErrors(TestResult& r, Collector& collector) {
                    std::to_string(r.duplicate_count));
     r.log.SetField("result_unknown_count", std::to_string(r.unknown_count));
   }
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Increment("loadgen.tests");
+  metrics.Increment("loadgen.queries_issued", collector.issued_count());
+  metrics.Increment("loadgen.queries_completed",
+                    collector.completed_count());
+  metrics.Increment("loadgen.queries_errored", r.AnomalyCount());
 }
 
 }  // namespace
@@ -211,21 +247,38 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
                  std::to_string(settings.query_timeout.count()));
 
   const bool accuracy = settings.mode == TestMode::kAccuracyOnly;
-  Collector collector(clock, log, accuracy, settings.query_timeout);
+  Collector collector(clock, log, accuracy, settings.query_timeout,
+                      g_test_sequence.fetch_add(1) + 1);
   std::uint64_t next_id = 1;
+
+  // Scenario phase marks on the test-clock timeline; their order is part of
+  // the conformance surface (tests/loadgen_test.cpp).
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  const auto mark = [&](std::string_view what) {
+    if (!rec.enabled()) return;
+    rec.AddInstant(obs::Domain::kLoadGen, "phases",
+                   "phase:" + std::string(what), clock.Now().count() * 1e6,
+                   {obs::Arg("scenario",
+                             std::string(ToString(settings.scenario))),
+                    obs::Arg("mode", std::string(ToString(settings.mode)))},
+                   "phase");
+  };
 
   if (accuracy) {
     // Accuracy mode: the entire data set, in order (paper §4.1).
     const std::size_t total = qsl.TotalSampleCount();
     std::vector<std::size_t> all(total);
     std::iota(all.begin(), all.end(), std::size_t{0});
+    mark("load_samples");
     qsl.LoadSamplesToRam(all);
     const Seconds start = clock.Now();
+    mark("issue");
     for (std::size_t i = 0; i < total; ++i) {
       const QuerySample s{next_id++, i};
       collector.ExpectSample(s);
       sut.IssueQuery({&s, 1}, collector);
     }
+    mark("flush");
     sut.FlushQueries();
     qsl.UnloadSamplesFromRam(all);
     FillSummary(result, settings, collector, start,
@@ -245,6 +298,7 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
       result.accuracy_outputs.push_back(std::move(tensors));
     result.min_duration_met = true;
     result.min_query_count_met = true;
+    mark("done");
     return result;
   }
 
@@ -258,9 +312,11 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
   Rng rng(settings.seed);
   std::vector<std::size_t> loaded(perf_count);
   std::iota(loaded.begin(), loaded.end(), std::size_t{0});
+  mark("load_samples");
   qsl.LoadSamplesToRam(loaded);
 
   const Seconds start = clock.Now();
+  mark("issue");
   if (settings.scenario == TestScenario::kSingleStream) {
     // Issue one query, wait for completion, repeat (paper §4.2) until both
     // the sample floor and the duration floor are met.  A query whose
@@ -320,6 +376,7 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
       sut.IssueQuery(query, collector);
       query_latencies.push_back((clock.Now() - scheduled).count());
     }
+    mark("flush");
     sut.FlushQueries();
     qsl.UnloadSamplesFromRam(loaded);
     FillSummary(result, settings, collector, collector.first_issue(),
@@ -341,6 +398,7 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
                  std::to_string(result.percentile_latency_s));
     log.SetField("result_throughput_sps",
                  std::to_string(result.throughput_sps));
+    mark("done");
     return result;
   } else {
     // Server: seeded Poisson arrivals at the target rate; queries queue
@@ -361,6 +419,7 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
       sut.IssueQuery({&s, 1}, collector);
     }
   }
+  mark("flush");
   sut.FlushQueries();
   qsl.UnloadSamplesFromRam(loaded);
 
@@ -384,6 +443,7 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
                std::to_string(result.percentile_latency_s));
   log.SetField("result_throughput_sps",
                std::to_string(result.throughput_sps));
+  mark("done");
   return result;
 }
 

@@ -12,11 +12,11 @@ constexpr const char* kHeader =
     "fault_count,degradation_count,dropped,timed_out,lint_errors,"
     "lint_warnings,peak_arena_bytes,naive_activation_bytes";
 
-// CSV-quote a field if it contains a comma or quote.
+// CSV-quote a field if it contains a comma, quote or line break (RFC 4180:
+// fields containing CR or LF must be enclosed in double quotes too, or a
+// multi-line chipset/framework name silently splits one record into two).
 std::string Field(const std::string& v) {
-  if (v.find(',') == std::string::npos &&
-      v.find('"') == std::string::npos)
-    return v;
+  if (v.find_first_of(",\"\n\r") == std::string::npos) return v;
   std::string quoted = "\"";
   for (char c : v) {
     if (c == '"') quoted += '"';
@@ -74,6 +74,63 @@ std::string ToCsv(const ResultStore& store) {
   for (const DatedSubmission& s : store.all())
     AppendRows(os, s.result, s.date_iso + ",");
   return os.str();
+}
+
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // distinguishes "" (one empty field) from EOF
+  const auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';  // doubled quote = literal quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;  // commas and line breaks are data inside quotes
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        end_record();
+        break;
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  // Final record when the text does not end in a newline.
+  if (field_started || !record.empty()) end_record();
+  return records;
 }
 
 }  // namespace mlpm::harness

@@ -9,6 +9,8 @@
 #include "common/thread_pool.h"
 #include "core/dataset_qsl.h"
 #include "infer/memory_plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mlpm::harness {
 namespace {
@@ -148,6 +150,12 @@ SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
   result.chipset_name = chipset.name;
   result.version = version;
 
+  // Observability (DESIGN.md §11): either flag turns the process-wide
+  // recorder on for the whole submission.  Enabling resets the epoch and
+  // clears prior events, so each submission traces from t=0.
+  if (options.profile || !options.trace_path.empty())
+    obs::TraceRecorder::Global().Enable();
+
   // Pool for the accuracy phase.  Scoped to this submission: cached
   // executors in `bundles` outlive it, so nothing below may retain the
   // pointer past RunTask.
@@ -172,6 +180,18 @@ SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
       tr.status_detail = e.what();
     }
     result.tasks.push_back(std::move(tr));
+  }
+
+  // Snapshot the worker pool's counters into the metrics registry (pool
+  // queue depth analog for the report).  Gauges so repeated submissions
+  // keep the high-water mark.
+  if (pool != nullptr) {
+    obs::MetricsRegistry& mr = obs::MetricsRegistry::Global();
+    mr.MaxGauge("threadpool.lanes", static_cast<double>(pool->thread_count()));
+    mr.MaxGauge("threadpool.jobs_dispatched",
+                static_cast<double>(pool->jobs_dispatched()));
+    mr.MaxGauge("threadpool.peak_chunks",
+                static_cast<double>(pool->peak_chunks()));
   }
   return result;
 }

@@ -78,6 +78,16 @@ struct RunOptions {
   // recipe, SoC mapping, run configuration).  Never touches the timed path:
   // all passes complete before the LoadGen starts.
   LintMode lint = LintMode::kReport;
+
+  // Observability (DESIGN.md §11).  Either field enables the process-wide
+  // obs::TraceRecorder for the submission: every executor node, simulated
+  // IP step and LoadGen query lands on the shared timeline, and the report
+  // gains per-op aggregate + metrics tables.  `trace_path` additionally
+  // tells the caller (headless_cli) where to write the Chrome trace JSON.
+  // Off by default: a disabled recorder costs one atomic load per
+  // instrumentation point and records nothing.
+  bool profile = false;
+  std::string trace_path;
 };
 
 // How a task run ended, from the harness's point of view.

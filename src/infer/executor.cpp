@@ -7,6 +7,8 @@
 
 #include "common/fp16.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mlpm::infer {
 namespace {
@@ -811,6 +813,28 @@ void ApplyOutputNumerics(NumericsMode mode, const QuantParams& quant,
   }
 }
 
+// Per-node tracing: one complete span per executed node on the calling
+// thread's lane, guarded by a single relaxed atomic load when disabled so
+// the untraced hot loop keeps its PR-4 cost (bit-identical outputs either
+// way — tracing only reads timestamps, never tensors).
+void TraceNode(obs::TraceRecorder& rec, const Graph& graph, const Node& node,
+               const Tensor& out, double t0_us, double t1_us,
+               const MemoryPlan* plan) {
+  std::vector<obs::TraceArg> args;
+  args.reserve(3);
+  args.push_back(obs::Arg("tensor", graph.tensor(node.output).name));
+  args.push_back(obs::Arg("bytes", out.size() * sizeof(float)));
+  if (plan != nullptr) {
+    const TensorPlacement& p =
+        plan->placements()[static_cast<std::size_t>(node.output)];
+    if (p.kind != PlacementKind::kUnplanned)
+      args.push_back(obs::Arg("arena_offset", p.offset * sizeof(float)));
+  }
+  rec.AddComplete(obs::Domain::kHost, {},
+                  std::string(graph::ToString(node.op)), t0_us,
+                  t1_us - t0_us, std::move(args), "node");
+}
+
 }  // namespace
 
 ExecutionContext::ExecutionContext(const Executor& executor)
@@ -818,6 +842,8 @@ ExecutionContext::ExecutionContext(const Executor& executor)
       arena_(plan_->arena_elements(), 0.0f),
       slots_(executor.graph().tensors().size()),
       external_(executor.graph().tensors().size(), nullptr) {
+  obs::MetricsRegistry::Global().MaxGauge(
+      "infer.arena_bytes", static_cast<double>(plan_->peak_arena_bytes()));
   const Graph& g = executor.graph();
   for (std::size_t id = 0; id < slots_.size(); ++id) {
     const TensorPlacement& p = plan_->placements()[id];
@@ -862,12 +888,17 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
     return slots[static_cast<std::size_t>(id)];
   };
 
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
   for (const Node& n : graph_.nodes()) {
     if (n.op == OpType::kInput) continue;
+    const bool traced = rec.enabled();
+    const double t0_us = traced ? rec.NowUs() : 0.0;
     Tensor out(graph_.tensor(n.output).shape);
     DispatchNode(graph_, n, fetch, prepared_weights_, out, pool);
     if (observer) observer(n.output, out);
     ApplyOutputNumerics(mode_, quant_, n.output, out, pool);
+    if (traced)
+      TraceNode(rec, graph_, n, out, t0_us, rec.NowUs(), nullptr);
     slots[static_cast<std::size_t>(n.output)] = std::move(out);
     ready[static_cast<std::size_t>(n.output)] = true;
   }
@@ -903,12 +934,17 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
     return slot;
   };
 
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
   for (const Node& n : graph_.nodes()) {
     if (n.op == OpType::kInput) continue;
+    const bool traced = rec.enabled();
+    const double t0_us = traced ? rec.NowUs() : 0.0;
     Tensor& out = ctx.slots_[static_cast<std::size_t>(n.output)];
     DispatchNode(graph_, n, fetch, prepared_weights_, out, pool);
     if (observer) observer(n.output, out);
     ApplyOutputNumerics(mode_, quant_, n.output, out, pool);
+    if (traced)
+      TraceNode(rec, graph_, n, out, t0_us, rec.NowUs(), ctx.plan_);
   }
 
   // Detach outputs from the arena: the caller keeps them, the arena is

@@ -1,0 +1,111 @@
+#include "obs/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/statistics.h"
+#include "common/table.h"
+
+namespace mlpm::obs {
+namespace {
+
+struct OpenSpan {
+  std::size_t index;      // into the per-lane event list
+  double end_us;
+  double child_dur_us = 0.0;
+};
+
+}  // namespace
+
+std::vector<OpAggregate> AggregateSpans(std::span<const TraceEvent> events,
+                                        Domain domain,
+                                        std::optional<std::string> category) {
+  // Per-lane sorted span lists; self-time needs the nesting structure.
+  std::map<int, std::vector<const TraceEvent*>> lanes;
+  for (const TraceEvent& e : events) {
+    if (e.phase != EventPhase::kComplete || e.domain != domain) continue;
+    if (category && e.category != *category) continue;
+    lanes[e.tid].push_back(&e);
+  }
+
+  std::map<std::string, std::pair<std::size_t, std::vector<double>>> by_name;
+  for (auto& [tid, spans] : lanes) {
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+                       return a->dur_us > b->dur_us;
+                     });
+    // Sweep with an enclosing-span stack: when a span closes, its duration
+    // is charged to the parent's child time, and its own self time is its
+    // duration minus its children's.
+    std::vector<OpenSpan> stack;
+    std::vector<double> self(spans.size());
+    const auto close = [&](double up_to) {
+      while (!stack.empty() && stack.back().end_us <= up_to + 1e-9) {
+        const OpenSpan top = stack.back();
+        stack.pop_back();
+        const TraceEvent& e = *spans[top.index];
+        self[top.index] = std::max(0.0, e.dur_us - top.child_dur_us);
+        if (!stack.empty()) stack.back().child_dur_us += e.dur_us;
+      }
+    };
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      close(spans[i]->ts_us);
+      stack.push_back(OpenSpan{i, spans[i]->ts_us + spans[i]->dur_us});
+    }
+    close(std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      auto& [count, samples] = by_name[spans[i]->name];
+      ++count;
+      samples.push_back(self[i]);
+    }
+  }
+
+  std::vector<OpAggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, entry] : by_name) {
+    auto& [count, samples] = entry;
+    OpAggregate a;
+    a.name = name;
+    a.count = count;
+    for (double s : samples) a.total_self_us += s;
+    constexpr double kPercentiles[] = {50.0, 99.0};
+    const std::vector<double> p = Percentiles(samples, kPercentiles);
+    a.p50_self_us = p[0];
+    a.p99_self_us = p[1];
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpAggregate& a, const OpAggregate& b) {
+              if (a.total_self_us != b.total_self_us)
+                return a.total_self_us > b.total_self_us;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string RenderAggregateTable(const std::vector<OpAggregate>& aggregates,
+                                 const std::string& title) {
+  if (aggregates.empty()) return {};
+  TextTable t(title);
+  t.SetHeader({"Op", "Count", "Total self", "p50 self", "p99 self"});
+  for (const OpAggregate& a : aggregates)
+    t.AddRow({a.name, std::to_string(a.count),
+              FormatMs(a.total_self_us * 1e-6), FormatMs(a.p50_self_us * 1e-6),
+              FormatMs(a.p99_self_us * 1e-6)});
+  return t.Render();
+}
+
+std::string AggregateCsv(const std::vector<OpAggregate>& aggregates) {
+  std::ostringstream os;
+  os << "op,count,total_self_ms,p50_self_ms,p99_self_ms\n";
+  os.precision(6);
+  for (const OpAggregate& a : aggregates)
+    os << a.name << ',' << a.count << ',' << a.total_self_us * 1e-3 << ','
+       << a.p50_self_us * 1e-3 << ',' << a.p99_self_us * 1e-3 << '\n';
+  return os.str();
+}
+
+}  // namespace mlpm::obs

@@ -1,0 +1,39 @@
+// Per-op aggregate profile derived from trace spans: count / total / p50 /
+// p99 *self* time per span name (self = duration minus directly nested
+// child spans on the same lane).  This is the table form of the timeline —
+// the paper's Table-3-style "where does the time go" summary — appended to
+// the run report and CSV export.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace mlpm::obs {
+
+struct OpAggregate {
+  std::string name;
+  std::size_t count = 0;
+  double total_self_us = 0.0;
+  double p50_self_us = 0.0;
+  double p99_self_us = 0.0;
+};
+
+// Aggregates complete events of `domain` (optionally restricted to one
+// category) by name, ordered by descending total self time, ties by name.
+// Nesting is recomputed per (domain, tid) so a parent span is not charged
+// for time already attributed to its children.
+[[nodiscard]] std::vector<OpAggregate> AggregateSpans(
+    std::span<const TraceEvent> events, Domain domain,
+    std::optional<std::string> category = std::nullopt);
+
+// Text table ("" when empty) and CSV (header + one row per op).
+[[nodiscard]] std::string RenderAggregateTable(
+    const std::vector<OpAggregate>& aggregates, const std::string& title);
+[[nodiscard]] std::string AggregateCsv(
+    const std::vector<OpAggregate>& aggregates);
+
+}  // namespace mlpm::obs

@@ -1,0 +1,78 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace mlpm::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::Increment(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end())
+    it->second += delta;
+  else
+    counters_.emplace(std::string(name), delta);
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end())
+    it->second = value;
+  else
+    gauges_.emplace(std::string(name), value);
+}
+
+void MetricsRegistry::MaxGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end())
+    it->second = std::max(it->second, value);
+  else
+    gauges_.emplace(std::string(name), value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.counters.assign(counters_.begin(), counters_.end());
+  s.gauges.assign(gauges_.begin(), gauges_.end());
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+}
+
+std::string RenderMetricsTable(const MetricsRegistry::Snapshot& snapshot) {
+  if (snapshot.counters.empty() && snapshot.gauges.empty()) return {};
+  TextTable t("process metrics");
+  t.SetHeader({"Metric", "Kind", "Value"});
+  for (const auto& [name, value] : snapshot.counters)
+    t.AddRow({name, "counter", std::to_string(value)});
+  for (const auto& [name, value] : snapshot.gauges)
+    t.AddRow({name, "gauge", FormatDouble(value, 3)});
+  return t.Render();
+}
+
+}  // namespace mlpm::obs

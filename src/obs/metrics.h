@@ -1,0 +1,57 @@
+// Process-wide metrics: monotonic counters and gauges maintained by the
+// LoadGen, the executor, the SoC simulator and the thread pool, snapshotted
+// into the run report (DESIGN.md §11).  Unlike tracing, metrics are always
+// on: every update is a short critical section on a name-keyed map, and the
+// update sites are per-test or per-context, never per-element.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mlpm::obs {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] static MetricsRegistry& Global();
+
+  // Monotonic counter (creates at zero on first use).
+  void Increment(std::string_view name, std::uint64_t delta = 1);
+  // Last-write-wins gauge, and a variant that only ever raises the value
+  // (peak tracking, e.g. the largest activation arena seen).
+  void SetGauge(std::string_view name, double value);
+  void MaxGauge(std::string_view name, double value);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  // Returns 0.0 for a gauge never set (report rendering skips absent ones).
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;  // by name
+    std::vector<std::pair<std::string, double>> gauges;           // by name
+  };
+  [[nodiscard]] Snapshot Snap() const;
+
+  // Drops every counter and gauge (tests; the harness never resets).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+// Two-column text table of a snapshot, empty string when nothing was
+// recorded.  Gauges render with their natural precision.
+[[nodiscard]] std::string RenderMetricsTable(
+    const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace mlpm::obs

@@ -1,0 +1,348 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mlpm::obs {
+namespace {
+
+// Compact numeric formatting for JSON: integers stay integral, fractional
+// values keep nanosecond resolution (3 decimals of a microsecond) without
+// the trailing-zero noise of a fixed precision.
+std::string FormatNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+constexpr char PhaseChar(EventPhase p) {
+  switch (p) {
+    case EventPhase::kComplete: return 'X';
+    case EventPhase::kInstant: return 'i';
+    case EventPhase::kCounter: return 'C';
+    case EventPhase::kAsyncBegin: return 'b';
+    case EventPhase::kAsyncEnd: return 'e';
+  }
+  return '?';
+}
+
+void AppendArgs(std::ostringstream& os, const std::vector<TraceArg>& args) {
+  os << ",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << JsonEscape(args[i].key) << "\":";
+    if (args[i].numeric)
+      os << args[i].value;
+    else
+      os << '"' << JsonEscape(args[i].value) << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+TraceArg Arg(std::string key, double value) {
+  return TraceArg{std::move(key), FormatNumber(value), true};
+}
+
+TraceArg Arg(std::string key, std::uint64_t value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::Enable() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& [id, buffer] : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+double TraceRecorder::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::BufferForThisThread() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = buffers_.find(self);
+  if (it == buffers_.end()) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->auto_lane = "cpu-" + std::to_string(buffers_.size());
+    it = buffers_.emplace(self, std::move(buffer)).first;
+  }
+  return *it->second;
+}
+
+int TraceRecorder::LaneTid(Domain domain, std::string_view lane) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto key = std::make_pair(static_cast<int>(domain),
+                                  std::string(lane));
+  const auto it = lanes_.find(key);
+  if (it != lanes_.end()) return it->second;
+  const int tid = next_tid_++;
+  lanes_.emplace(key, tid);
+  return tid;
+}
+
+void TraceRecorder::Append(TraceEvent event, std::string_view lane) {
+  ThreadBuffer& buffer = BufferForThisThread();
+  event.tid = LaneTid(event.domain, lane.empty() ? buffer.auto_lane : lane);
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceRecorder::AddComplete(Domain domain, std::string_view lane,
+                                std::string name, double ts_us, double dur_us,
+                                std::vector<TraceArg> args,
+                                std::string category) {
+  if (!enabled()) return;
+  Expects(dur_us >= 0.0, "negative span duration");
+  TraceEvent e;
+  e.phase = EventPhase::kComplete;
+  e.domain = domain;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.args = std::move(args);
+  Append(std::move(e), lane);
+}
+
+void TraceRecorder::AddInstant(Domain domain, std::string_view lane,
+                               std::string name, double ts_us,
+                               std::vector<TraceArg> args,
+                               std::string category) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = EventPhase::kInstant;
+  e.domain = domain;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  Append(std::move(e), lane);
+}
+
+void TraceRecorder::AddCounter(Domain domain, std::string_view lane,
+                               std::string name, double ts_us, double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = EventPhase::kCounter;
+  e.domain = domain;
+  e.name = std::move(name);
+  e.ts_us = ts_us;
+  e.value = value;
+  Append(std::move(e), lane);
+}
+
+void TraceRecorder::AddAsyncBegin(Domain domain, std::string_view lane,
+                                  std::string name, std::string category,
+                                  std::uint64_t id, double ts_us,
+                                  std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = EventPhase::kAsyncBegin;
+  e.domain = domain;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.async_id = id;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  Append(std::move(e), lane);
+}
+
+void TraceRecorder::AddAsyncEnd(Domain domain, std::string_view lane,
+                                std::string name, std::string category,
+                                std::uint64_t id, double ts_us,
+                                std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = EventPhase::kAsyncEnd;
+  e.domain = domain;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.async_id = id;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  Append(std::move(e), lane);
+}
+
+TraceRecorder::Span::Span(TraceRecorder& recorder, std::string_view name,
+                          std::vector<TraceArg> args,
+                          std::string_view category) {
+  if (!recorder.enabled()) return;
+  recorder_ = &recorder;
+  name_ = std::string(name);
+  category_ = std::string(category);
+  args_ = std::move(args);
+  t0_us_ = recorder.NowUs();
+}
+
+TraceRecorder::Span::~Span() {
+  if (recorder_ == nullptr) return;
+  // A span opened while recording stays valid even if the recorder was
+  // disabled mid-flight: AddComplete drops it silently in that case.
+  recorder_->AddComplete(Domain::kHost, {}, std::move(name_), t0_us_,
+                         recorder_->NowUs() - t0_us_, std::move(args_),
+                         std::move(category_));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::size_t n = 0;
+  for (const auto& [id, buffer] : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [id, buffer] : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.domain != b.domain) return a.domain < b.domain;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;  // parents before children
+                   });
+  return merged;
+}
+
+std::string TraceRecorder::LaneName(Domain domain, int tid) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& [key, lane_tid] : lanes_)
+    if (key.first == static_cast<int>(domain) && lane_tid == tid)
+      return key.second;
+  return "?";
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  return ChromeTraceJson(Snapshot(), [this](Domain d, int tid) {
+    return LaneName(d, tid);
+  });
+}
+
+std::string ChromeTraceJson(
+    std::span<const TraceEvent> events,
+    const std::function<std::string(Domain, int)>& lane_name) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto meta = [&](Domain domain, int tid, std::string_view what,
+                        std::string_view value) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":" << static_cast<int>(domain);
+    if (tid >= 0) os << ",\"tid\":" << tid;
+    os << ",\"name\":\"" << what << "\",\"args\":{\"name\":\""
+       << JsonEscape(value) << "\"}}";
+  };
+
+  // process_name per domain seen, thread_name per (domain, tid) seen.
+  std::vector<std::pair<int, int>> seen;
+  for (const TraceEvent& e : events) {
+    const auto key = std::make_pair(static_cast<int>(e.domain), e.tid);
+    if (std::find(seen.begin(), seen.end(),
+                  std::make_pair(key.first, -1)) == seen.end()) {
+      seen.emplace_back(key.first, -1);
+      meta(e.domain, -1, "process_name", ToString(e.domain));
+    }
+    if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+      seen.push_back(key);
+      meta(e.domain, e.tid, "thread_name", lane_name(e.domain, e.tid));
+    }
+  }
+
+  for (const TraceEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"" << PhaseChar(e.phase)
+       << "\",\"pid\":" << static_cast<int>(e.domain)
+       << ",\"tid\":" << e.tid << ",\"name\":\"" << JsonEscape(e.name)
+       << "\",\"ts\":" << FormatNumber(e.ts_us);
+    if (!e.category.empty())
+      os << ",\"cat\":\"" << JsonEscape(e.category) << '"';
+    switch (e.phase) {
+      case EventPhase::kComplete:
+        os << ",\"dur\":" << FormatNumber(e.dur_us);
+        if (!e.args.empty()) AppendArgs(os, e.args);
+        break;
+      case EventPhase::kInstant:
+        os << ",\"s\":\"t\"";
+        if (!e.args.empty()) AppendArgs(os, e.args);
+        break;
+      case EventPhase::kCounter:
+        os << ",\"args\":{\"value\":" << FormatNumber(e.value) << '}';
+        break;
+      case EventPhase::kAsyncBegin:
+      case EventPhase::kAsyncEnd: {
+        char idbuf[24];
+        std::snprintf(idbuf, sizeof idbuf, "0x%llx",
+                      static_cast<unsigned long long>(e.async_id));
+        os << ",\"id\":\"" << idbuf << '"';
+        if (!e.args.empty()) AppendArgs(os, e.args);
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace mlpm::obs

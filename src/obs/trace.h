@@ -1,0 +1,199 @@
+// Unified observability: a low-overhead, thread-safe trace recorder shared
+// by the functional executor (wall clock), the SoC simulator (virtual busy
+// time) and the LoadGen (test clock).  One recorder, three time domains —
+// each domain becomes a Chrome trace-event *process* so Perfetto renders
+// the planes side by side without conflating their clocks (DESIGN.md §11).
+//
+// Recording is off by default.  Every instrumentation site guards on
+// `enabled()` — a single relaxed atomic load — so the disabled cost is a
+// branch per node/query, and a disabled run records exactly zero events
+// (tests/obs_test.cpp holds the executor to bit-identical outputs either
+// way).  When enabled, events land in per-thread buffers: each OS thread
+// appends to its own vector under its own uncontended mutex, so threads
+// never serialize against each other on the hot path, and Snapshot() can
+// still merge safely while workers are live.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mlpm::obs {
+
+// Time domain an event's timestamps are measured in.  Doubles as the Chrome
+// trace `pid`, keeping incommensurable clocks in separate process tracks.
+enum class Domain : int {
+  kHost = 1,     // wall clock: functional executor, harness phases
+  kSim = 2,      // virtual busy time: simulated IP blocks, DVFS, thermal
+  kLoadGen = 3,  // test clock: query lifecycle, scenario phase marks
+};
+
+[[nodiscard]] constexpr std::string_view ToString(Domain d) {
+  switch (d) {
+    case Domain::kHost: return "host executor (wall clock)";
+    case Domain::kSim: return "soc simulator (virtual time)";
+    case Domain::kLoadGen: return "loadgen (test clock)";
+  }
+  return "?";
+}
+
+// Chrome trace-event phases we emit (a strict subset of the format).
+enum class EventPhase : std::uint8_t {
+  kComplete,    // "X": a span with ts + dur
+  kInstant,     // "i": a point in time
+  kCounter,     // "C": a sampled value, rendered as a track
+  kAsyncBegin,  // "b": start of an overlappable operation (id-paired)
+  kAsyncEnd,    // "e": end of that operation
+};
+
+// One key/value annotation.  `numeric` values are emitted unquoted.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+[[nodiscard]] inline TraceArg Arg(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), false};
+}
+[[nodiscard]] inline TraceArg Arg(std::string key, const char* value) {
+  return TraceArg{std::move(key), value, false};
+}
+[[nodiscard]] TraceArg Arg(std::string key, double value);
+[[nodiscard]] TraceArg Arg(std::string key, std::uint64_t value);
+[[nodiscard]] inline TraceArg Arg(std::string key, int value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+
+struct TraceEvent {
+  EventPhase phase = EventPhase::kComplete;
+  Domain domain = Domain::kHost;
+  int tid = 0;               // stable per (domain, lane), assigned on use
+  std::uint64_t async_id = 0;  // pairs kAsyncBegin with kAsyncEnd
+  std::string name;
+  std::string category;  // "node", "soc", "query", "phase", ...
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // kComplete only
+  double value = 0.0;   // kCounter only
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Process-wide recorder used by all built-in instrumentation points.
+  [[nodiscard]] static TraceRecorder& Global();
+
+  // Clears all buffers and starts recording; the wall epoch for NowUs()
+  // resets to the call.  Disable() stops recording but keeps the events so
+  // they can still be exported.
+  void Enable();
+  void Disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Wall-clock microseconds since Enable() (the kHost time base).
+  [[nodiscard]] double NowUs() const;
+
+  // Appends one event.  `lane` names a virtual thread within the domain
+  // ("npu", "interconnect", "phases"...); an empty lane means the calling
+  // OS thread ("cpu-<n>" in registration order).  All Add* methods are
+  // no-ops while disabled.
+  void AddComplete(Domain domain, std::string_view lane, std::string name,
+                   double ts_us, double dur_us,
+                   std::vector<TraceArg> args = {},
+                   std::string category = {});
+  void AddInstant(Domain domain, std::string_view lane, std::string name,
+                  double ts_us, std::vector<TraceArg> args = {},
+                  std::string category = {});
+  void AddCounter(Domain domain, std::string_view lane, std::string name,
+                  double ts_us, double value);
+  void AddAsyncBegin(Domain domain, std::string_view lane, std::string name,
+                     std::string category, std::uint64_t id, double ts_us,
+                     std::vector<TraceArg> args = {});
+  void AddAsyncEnd(Domain domain, std::string_view lane, std::string name,
+                   std::string category, std::uint64_t id, double ts_us,
+                   std::vector<TraceArg> args = {});
+
+  // RAII wall-clock span on the calling thread (kHost domain).  Costs one
+  // atomic load when the recorder is disabled.
+  class Span {
+   public:
+    Span(TraceRecorder& recorder, std::string_view name,
+         std::vector<TraceArg> args = {}, std::string_view category = {});
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    TraceRecorder* recorder_ = nullptr;  // null when recording was off
+    std::string name_;
+    std::string category_;
+    std::vector<TraceArg> args_;
+    double t0_us_ = 0.0;
+  };
+
+  // Total events recorded since the last Enable().
+  [[nodiscard]] std::size_t event_count() const;
+
+  // Merged copy of every buffer, stably sorted by (domain, tid, ts, longer
+  // span first) so per-lane append order survives timestamp ties.
+  [[nodiscard]] std::vector<TraceEvent> Snapshot() const;
+
+  // Lane name for a (domain, tid) pair ("?" if unknown).
+  [[nodiscard]] std::string LaneName(Domain domain, int tid) const;
+
+  // Chrome trace-event JSON: {"traceEvents":[...]} with process_name /
+  // thread_name metadata.  Loadable in chrome://tracing and Perfetto.
+  [[nodiscard]] std::string ToChromeJson() const;
+
+  // Process-unique id source for async (begin/end) event pairing.
+  [[nodiscard]] std::uint64_t NextAsyncId() {
+    return next_async_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  struct ThreadBuffer {
+    std::string auto_lane;  // "cpu-<n>" for lane-less host events
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  void Append(TraceEvent event, std::string_view lane);
+  [[nodiscard]] ThreadBuffer& BufferForThisThread();
+  [[nodiscard]] int LaneTid(Domain domain, std::string_view lane);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_async_id_{1};
+  std::chrono::steady_clock::time_point epoch_{};
+
+  mutable std::mutex registry_mu_;  // guards buffers_ and lanes_
+  std::map<std::thread::id, std::unique_ptr<ThreadBuffer>> buffers_;
+  std::map<std::pair<int, std::string>, int> lanes_;  // (domain, lane) -> tid
+  int next_tid_ = 1;
+};
+
+// Serializes an already-merged event list.  `lane_name(domain, tid)` labels
+// the thread_name metadata rows.  Exposed so soc::ExecutionTrace can render
+// standalone traces through the same emitter.
+[[nodiscard]] std::string ChromeTraceJson(
+    std::span<const TraceEvent> events,
+    const std::function<std::string(Domain, int)>& lane_name);
+
+[[nodiscard]] std::string JsonEscape(std::string_view s);
+
+}  // namespace mlpm::obs

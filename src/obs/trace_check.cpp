@@ -1,0 +1,394 @@
+#include "obs/trace_check.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <variant>
+
+namespace mlpm::obs {
+namespace {
+
+// Minimal recursive-descent JSON reader.  Only what a trace file needs:
+// objects, arrays, strings with the common escapes, numbers, literals.
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  [[nodiscard]] const JsonObject* object() const {
+    const auto* p = std::get_if<std::shared_ptr<JsonObject>>(&v);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const JsonArray* array() const {
+    const auto* p = std::get_if<std::shared_ptr<JsonArray>>(&v);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const std::string* string() const {
+    return std::get_if<std::string>(&v);
+  }
+  [[nodiscard]] const double* number() const {
+    return std::get_if<double>(&v);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string& error) {
+    std::optional<JsonValue> v = Value();
+    if (!v) {
+      error = error_;
+      return std::nullopt;
+    }
+    Skip();
+    if (pos_ != text_.size()) {
+      error = "trailing characters after the top-level value at byte " +
+              std::to_string(pos_);
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void Skip() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool Fail(std::string what) {
+    if (error_.empty())
+      error_ = std::move(what) + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  std::optional<JsonValue> Value() {
+    Skip();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') {
+      std::string s;
+      if (!String(s)) return std::nullopt;
+      return JsonValue{s};
+    }
+    if (c == 't' || c == 'f' || c == 'n') return Literal();
+    return Number();
+  }
+
+  std::optional<JsonValue> Object() {
+    ++pos_;  // '{'
+    auto obj = std::make_shared<JsonObject>();
+    Skip();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return JsonValue{obj};
+    }
+    while (true) {
+      Skip();
+      std::string key;
+      if (!String(key)) return std::nullopt;
+      Skip();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        Fail("expected ':' in object");
+        return std::nullopt;
+      }
+      ++pos_;
+      std::optional<JsonValue> v = Value();
+      if (!v) return std::nullopt;
+      obj->emplace(std::move(key), std::move(*v));
+      Skip();
+      if (pos_ >= text_.size()) {
+        Fail("unterminated object");
+        return std::nullopt;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return JsonValue{obj};
+      }
+      Fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> Array() {
+    ++pos_;  // '['
+    auto arr = std::make_shared<JsonArray>();
+    Skip();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return JsonValue{arr};
+    }
+    while (true) {
+      std::optional<JsonValue> v = Value();
+      if (!v) return std::nullopt;
+      arr->push_back(std::move(*v));
+      Skip();
+      if (pos_ >= text_.size()) {
+        Fail("unterminated array");
+        return std::nullopt;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return JsonValue{arr};
+      }
+      Fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  bool String(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"')
+      return Fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+          // Control characters only in our emitter; keep the low byte.
+          const std::string hex = text_.substr(pos_, 4);
+          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          pos_ += 4;
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  std::optional<JsonValue> Literal() {
+    const auto take = [&](std::string_view word) {
+      if (text_.compare(pos_, word.size(), word) != 0) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (take("true")) return JsonValue{true};
+    if (take("false")) return JsonValue{false};
+    if (take("null")) return JsonValue{nullptr};
+    Fail("unknown literal");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> Number() {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) {
+      Fail("expected number");
+      return std::nullopt;
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return JsonValue{v};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+struct SpanRef {
+  double ts = 0.0;
+  double dur = 0.0;
+  const std::string* name = nullptr;
+};
+
+constexpr double kEpsUs = 5e-3;  // JSON round-trips at 1 ns resolution
+
+}  // namespace
+
+std::vector<std::string> ValidateChromeTrace(const std::string& json,
+                                             TraceCheckStats* stats) {
+  std::vector<std::string> problems;
+  TraceCheckStats local;
+  const auto problem = [&](std::string what) {
+    // The first few problems identify the failure; thousands of copies of
+    // the same structural issue would drown the report.
+    if (problems.size() < 32) problems.push_back(std::move(what));
+  };
+
+  std::string parse_error;
+  const std::optional<JsonValue> root = JsonParser(json).Parse(parse_error);
+  if (!root) {
+    problems.push_back("JSON parse error: " + parse_error);
+    if (stats) *stats = local;
+    return problems;
+  }
+
+  const JsonArray* events = nullptr;
+  if (const JsonObject* top = root->object()) {
+    const auto it = top->find("traceEvents");
+    if (it != top->end()) events = it->second.array();
+    if (events == nullptr)
+      problems.push_back("top-level object has no \"traceEvents\" array");
+  } else if (root->array() != nullptr) {
+    events = root->array();  // the bare-array flavor is also legal
+  } else {
+    problems.push_back("top level is neither an object nor an array");
+  }
+  if (events == nullptr) {
+    if (stats) *stats = local;
+    return problems;
+  }
+
+  std::map<std::pair<int, int>, std::vector<SpanRef>> spans_by_lane;
+  std::map<std::string, int> async_open;  // "(cat)#(id)" -> open count
+  std::size_t index = 0;
+  for (const JsonValue& ev : *events) {
+    const std::size_t i = index++;
+    const JsonObject* e = ev.object();
+    if (e == nullptr) {
+      problem("event " + std::to_string(i) + " is not an object");
+      continue;
+    }
+    const auto field = [&](const char* key) -> const JsonValue* {
+      const auto it = e->find(key);
+      return it == e->end() ? nullptr : &it->second;
+    };
+    const JsonValue* ph = field("ph");
+    if (ph == nullptr || ph->string() == nullptr) {
+      problem("event " + std::to_string(i) + " has no \"ph\" string");
+      continue;
+    }
+    const std::string& phase = *ph->string();
+    const JsonValue* pid = field("pid");
+    const JsonValue* tid = field("tid");
+    if (pid == nullptr || pid->number() == nullptr)
+      problem("event " + std::to_string(i) + " (ph " + phase +
+              ") has no numeric \"pid\"");
+    if (phase != "M" && (tid == nullptr || tid->number() == nullptr))
+      problem("event " + std::to_string(i) + " (ph " + phase +
+              ") has no numeric \"tid\"");
+    if (phase == "M") continue;  // metadata carries no timestamp
+
+    local.event_count++;
+    local.per_phase[phase]++;
+    if (pid != nullptr && pid->number() != nullptr)
+      local.per_pid[static_cast<int>(*pid->number())]++;
+    if (const JsonValue* cat = field("cat"); cat && cat->string())
+      local.per_category[*cat->string()]++;
+
+    const JsonValue* ts = field("ts");
+    if (ts == nullptr || ts->number() == nullptr) {
+      problem("event " + std::to_string(i) + " (ph " + phase +
+              ") has no numeric \"ts\"");
+      continue;
+    }
+    const JsonValue* name = field("name");
+    if (name == nullptr || name->string() == nullptr)
+      problem("event " + std::to_string(i) + " has no \"name\"");
+
+    if (phase == "X") {
+      const JsonValue* dur = field("dur");
+      if (dur == nullptr || dur->number() == nullptr) {
+        problem("complete event " + std::to_string(i) +
+                " has no numeric \"dur\"");
+        continue;
+      }
+      if (*dur->number() < 0.0)
+        problem("complete event " + std::to_string(i) + " has negative dur");
+      if (pid && pid->number() && tid && tid->number())
+        spans_by_lane[{static_cast<int>(*pid->number()),
+                       static_cast<int>(*tid->number())}]
+            .push_back(SpanRef{*ts->number(), *dur->number(),
+                               name ? name->string() : nullptr});
+    } else if (phase == "b" || phase == "e") {
+      const JsonValue* cat = field("cat");
+      const JsonValue* id = field("id");
+      if (cat == nullptr || cat->string() == nullptr)
+        problem("async event " + std::to_string(i) + " has no \"cat\"");
+      if (id == nullptr || id->string() == nullptr)
+        problem("async event " + std::to_string(i) + " has no \"id\"");
+      if (cat && cat->string() && id && id->string()) {
+        const std::string key = *cat->string() + "#" + *id->string();
+        if (phase == "b") {
+          if (++async_open[key] > 1)
+            problem("async id " + key + " begun twice without an end");
+        } else {
+          if (--async_open[key] < 0)
+            problem("async id " + key + " ended without a begin");
+        }
+      }
+    } else if (phase == "C") {
+      const JsonValue* args = field("args");
+      if (args == nullptr || args->object() == nullptr ||
+          args->object()->empty())
+        problem("counter event " + std::to_string(i) + " has no args");
+    } else if (phase != "i") {
+      problem("event " + std::to_string(i) + " has unsupported ph \"" +
+              phase + "\"");
+    }
+  }
+
+  // A query that legitimately never completed (faulted run) leaves an open
+  // async begin; an end without a begin is always a bug.
+  for (const auto& [key, open] : async_open)
+    if (open > 0) local.unmatched_async_begins += static_cast<size_t>(open);
+
+  // Per-lane nesting: sorted by (ts, longer first), every span must lie
+  // entirely inside the enclosing open span.
+  for (auto& [lane, spans] : spans_by_lane) {
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const SpanRef& a, const SpanRef& b) {
+                       if (a.ts != b.ts) return a.ts < b.ts;
+                       return a.dur > b.dur;
+                     });
+    std::vector<const SpanRef*> stack;
+    for (const SpanRef& s : spans) {
+      while (!stack.empty() &&
+             stack.back()->ts + stack.back()->dur <= s.ts + kEpsUs)
+        stack.pop_back();
+      if (!stack.empty()) {
+        const SpanRef& top = *stack.back();
+        if (s.ts + s.dur > top.ts + top.dur + kEpsUs)
+          problem("span \"" + (s.name ? *s.name : "?") + "\" (pid " +
+                  std::to_string(lane.first) + " tid " +
+                  std::to_string(lane.second) +
+                  ") overlaps \"" + (top.name ? *top.name : "?") +
+                  "\" without nesting inside it");
+      }
+      stack.push_back(&s);
+    }
+  }
+
+  if (stats) *stats = local;
+  return problems;
+}
+
+}  // namespace mlpm::obs

@@ -1,0 +1,28 @@
+// Structural validator for Chrome trace-event JSON, shared by the
+// `mlpm_trace_check` CLI (CI gate on traced smoke runs) and obs_test.
+// Checks the subset of the format this repo emits: every event carries
+// ph/pid/tid/ts (plus dur for complete spans), complete spans nest properly
+// per (pid, tid), and async begin/end events pair up per (cat, id).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mlpm::obs {
+
+struct TraceCheckStats {
+  std::size_t event_count = 0;             // excluding "M" metadata rows
+  std::map<std::string, std::size_t> per_phase;     // "X" -> n, ...
+  std::map<std::string, std::size_t> per_category;  // "node" -> n, ...
+  std::map<int, std::size_t> per_pid;
+  std::size_t unmatched_async_begins = 0;  // queries that never completed
+};
+
+// Returns the list of problems (empty means the trace is valid); fills
+// `stats` when non-null even on failure, as far as parsing got.
+[[nodiscard]] std::vector<std::string> ValidateChromeTrace(
+    const std::string& json, TraceCheckStats* stats = nullptr);
+
+}  // namespace mlpm::obs

@@ -2,11 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "soc/trace.h"
 
 namespace mlpm::soc {
+namespace {
+
+// Process-wide high-water mark of the simulated timeline (seconds); guards
+// the epoch hand-off between sequentially constructed simulators.
+std::mutex& TraceEpochMutex() {
+  static std::mutex mu;
+  return mu;
+}
+double& TraceTimelineEnd() {
+  static double end_s = 0.0;
+  return end_s;
+}
+
+}  // namespace
 
 SocSimulator::SocSimulator(ChipsetDesc chipset)
     : chipset_(std::move(chipset)), thermal_(chipset_.thermal) {}
+
+double SocSimulator::TraceBaseSeconds() {
+  if (trace_epoch_s_ < 0.0) {
+    std::scoped_lock lock(TraceEpochMutex());
+    trace_epoch_s_ = TraceTimelineEnd();
+  }
+  return trace_epoch_s_ + busy_time_s_;
+}
+
+void SocSimulator::PublishTraceEnd(double end_s) {
+  std::scoped_lock lock(TraceEpochMutex());
+  double& end = TraceTimelineEnd();
+  end = std::max(end, end_s);
+}
 
 bool SocSimulator::IsCpuOnly(const CompiledModel& model) const {
   for (const CompiledSegment& seg : model.segments) {
@@ -71,6 +104,44 @@ InferenceResult SocSimulator::RunInference(const CompiledModel& model) {
   if (r.outcome == InferenceOutcome::kThermalEmergency)
     thermal_.ForceTemperature(thermal_.throttle_limit_c());
   r.temperature_c = thermal_.temperature_c();
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Increment("soc.inferences");
+  if (r.throttle_factor < 1.0) metrics.Increment("soc.throttled_inferences");
+  if (r.outcome != InferenceOutcome::kOk)
+    metrics.Increment("soc.faults_injected");
+  if (r.outcome == InferenceOutcome::kThermalEmergency)
+    metrics.Increment("soc.thermal_emergencies");
+
+  if (obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+      rec.enabled()) {
+    const double t0_s = TraceBaseSeconds();
+    const double t0_us = t0_s * 1e6;
+    const bool full_run = r.outcome == InferenceOutcome::kOk ||
+                          r.outcome == InferenceOutcome::kThermalEmergency ||
+                          r.outcome == InferenceOutcome::kDropped;
+    if (full_run) {
+      // The attempt executed end to end at nominal latency: expand the
+      // per-IP dispatch/segment/transfer detail onto the engine lanes.
+      TraceInference(model, chipset_, r.throttle_factor, t0_s).AppendTo(rec);
+    } else {
+      // Stalls and crashes have no meaningful per-segment breakdown; one
+      // span covers the time the attempt consumed.
+      rec.AddComplete(obs::Domain::kSim, "runtime",
+                      "attempt:" + std::string(ToString(r.outcome)), t0_us,
+                      r.latency_s * 1e6, {}, "soc");
+    }
+    if (r.outcome != InferenceOutcome::kOk)
+      rec.AddInstant(obs::Domain::kSim, "faults",
+                     "fault:" + std::string(ToString(r.outcome)),
+                     t0_us + r.latency_s * 1e6, {}, "fault");
+    rec.AddCounter(obs::Domain::kSim, "dvfs", "throttle_factor", t0_us,
+                   r.throttle_factor);
+    rec.AddCounter(obs::Domain::kSim, "thermal", "temperature_c",
+                   t0_us + r.latency_s * 1e6, r.temperature_c);
+    PublishTraceEnd(t0_s + r.latency_s);
+  }
+
   busy_time_s_ += r.latency_s;
   return r;
 }
@@ -97,6 +168,10 @@ BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
   double raw_power = 0.0;
   for (const auto& m : replicas) raw_power += m.AveragePowerWatts();
   const double power = std::min(raw_power, chipset_.tdp_w);
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  const bool traced = rec.enabled();
+  const double batch_base_s = traced ? TraceBaseSeconds() : 0.0;
 
   double now = 0.0;
   double produced = 0.0;  // fractional samples completed so far
@@ -127,6 +202,11 @@ BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
                                  fault->kind == FaultKind::kDriverCrash)) {
           r.completed[emitted] = 0;
           injector_->RecordFault(*fault, busy_time_s_ + now + frac * dt, 0.0);
+          if (traced)
+            rec.AddInstant(obs::Domain::kSim, "faults",
+                           "fault:" + std::string(ToString(fault->kind)),
+                           (batch_base_s + now + frac * dt) * 1e6, {},
+                           "fault");
         }
       }
       ++emitted;
@@ -134,9 +214,36 @@ BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
     now += dt;
     thermal_.Step(power, dt);
     r.energy_j += power * dt;
+    if (traced) {
+      // One span per ALP integration step: the DVFS/thermal staircase of a
+      // long offline burst, visible on the simulator timeline.
+      rec.AddComplete(obs::Domain::kSim, "batch", "alp step",
+                      (batch_base_s + now - dt) * 1e6, dt * 1e6,
+                      {obs::Arg("rate_sps", rate),
+                       obs::Arg("throttle", throttle)},
+                      "soc");
+      rec.AddCounter(obs::Domain::kSim, "dvfs", "throttle_factor",
+                     (batch_base_s + now - dt) * 1e6, throttle);
+      rec.AddCounter(obs::Domain::kSim, "thermal", "temperature_c",
+                     (batch_base_s + now) * 1e6, thermal_.temperature_c());
+    }
   }
   r.makespan_s = r.completion_times_s.back();
   r.final_temperature_c = thermal_.temperature_c();
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Increment("soc.batches");
+  metrics.Increment("soc.batch_samples", sample_count);
+  if (traced) {
+    rec.AddComplete(obs::Domain::kSim, "batch", "offline batch",
+                    batch_base_s * 1e6, now * 1e6,
+                    {obs::Arg("samples", static_cast<std::uint64_t>(
+                                             sample_count)),
+                     obs::Arg("replicas", static_cast<std::uint64_t>(
+                                              replicas.size()))},
+                    "soc");
+    PublishTraceEnd(batch_base_s + now);
+  }
   busy_time_s_ += now;
   return r;
 }

@@ -122,10 +122,20 @@ class SocSimulator {
   void ResetThermal() { thermal_.Reset(); }
 
  private:
+  // Maps this simulator's local busy time onto the process-wide simulated
+  // timeline (obs::Domain::kSim).  Every test builds a fresh simulator whose
+  // busy time restarts at zero; without an epoch the traces of consecutive
+  // tests would overlap on the shared engine lanes.  The epoch is claimed
+  // lazily at the first traced event and published back after each run, so
+  // sequential simulators occupy disjoint windows.
+  [[nodiscard]] double TraceBaseSeconds();
+  static void PublishTraceEnd(double end_s);
+
   ChipsetDesc chipset_;
   ThermalModel thermal_;
   std::optional<FaultInjector> injector_;
   double busy_time_s_ = 0.0;
+  double trace_epoch_s_ = -1.0;  // <0: not claimed yet
 };
 
 }  // namespace mlpm::soc

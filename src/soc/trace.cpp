@@ -18,28 +18,34 @@ double ExecutionTrace::TotalDuration() const {
 }
 
 std::string ExecutionTrace::ToChromeJson() const {
-  // Stable tid per lane.
+  // Stable tid per lane, then the shared obs emitter: standalone SoC
+  // traces and full-stack recordings serialize identically.
   std::map<std::string, int> lanes;
   for (const TraceEvent& e : events_)
     lanes.try_emplace(e.lane, static_cast<int>(lanes.size()) + 1);
+  std::map<int, std::string> names;
+  for (const auto& [lane, tid] : lanes) names.emplace(tid, lane);
 
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  for (const auto& [lane, tid] : lanes) {
-    if (!first) os << ',';
-    first = false;
-    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << lane
-       << "\"}}";
-  }
+  std::vector<obs::TraceEvent> events;
+  events.reserve(events_.size());
   for (const TraceEvent& e : events_) {
-    os << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << lanes.at(e.lane)
-       << ",\"name\":\"" << e.name << "\",\"ts\":" << e.begin_s * 1e6
-       << ",\"dur\":" << e.duration_s * 1e6 << '}';
+    obs::TraceEvent oe;
+    oe.domain = obs::Domain::kSim;
+    oe.tid = lanes.at(e.lane);
+    oe.name = e.name;
+    oe.category = "soc";
+    oe.ts_us = e.begin_s * 1e6;
+    oe.dur_us = e.duration_s * 1e6;
+    events.push_back(std::move(oe));
   }
-  os << "]}";
-  return os.str();
+  return obs::ChromeTraceJson(
+      events, [&](obs::Domain, int tid) { return names.at(tid); });
+}
+
+void ExecutionTrace::AppendTo(obs::TraceRecorder& recorder) const {
+  for (const TraceEvent& e : events_)
+    recorder.AddComplete(obs::Domain::kSim, e.lane, e.name, e.begin_s * 1e6,
+                         e.duration_s * 1e6, {}, "soc");
 }
 
 ExecutionTrace TraceInference(const CompiledModel& model,

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "soc/chipset.h"
 #include "soc/compile.h"
 
@@ -28,8 +29,15 @@ class ExecutionTrace {
   [[nodiscard]] double TotalDuration() const;
 
   // Chrome trace-event JSON ("traceEvents" array of complete events; one
-  // tid per lane; microsecond timestamps).
+  // tid per lane; microsecond timestamps).  Rendered through the unified
+  // obs emitter so standalone SoC traces and full-stack recordings share
+  // one format (DESIGN.md §11).
   [[nodiscard]] std::string ToChromeJson() const;
+
+  // Feeds every event into `recorder` as a kSim complete span (category
+  // "soc", lane = engine name, seconds converted to microseconds).  Used by
+  // SocSimulator to stream per-IP detail into the global recorder.
+  void AppendTo(obs::TraceRecorder& recorder) const;
 
  private:
   std::vector<TraceEvent> events_;

@@ -1,0 +1,174 @@
+// Round-trip tests for the CSV exporter (harness/export.h): RFC 4180
+// quoting of hostile fields, stable column order, and the ParseCsv inverse.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/export.h"
+#include "harness/result_store.h"
+#include "models/zoo.h"
+
+namespace mlpm::harness {
+namespace {
+
+// The documented column order — any change to this list is a breaking
+// change for downstream consumers and must be deliberate.
+const std::vector<std::string> kColumns = {
+    "chipset",        "version",
+    "task",           "model",
+    "numerics",       "framework",
+    "accelerator",    "accuracy",
+    "fp32_reference", "ratio_to_fp32",
+    "quality_passed", "p90_latency_ms",
+    "mean_latency_ms", "offline_fps",
+    "energy_mj_per_inference", "status",
+    "fault_count",    "degradation_count",
+    "dropped",        "timed_out",
+    "lint_errors",    "lint_warnings",
+    "peak_arena_bytes", "naive_activation_bytes"};
+
+// A submission whose string fields exercise every character RFC 4180
+// forces into quotes: commas, double quotes, LF, CR and CRLF.
+SubmissionResult HostileResult() {
+  SubmissionResult result;
+  result.chipset_name = "Snap,dragon \"888\"\nrev\r\n2";
+  result.version = models::SuiteVersion::kV1_0;
+
+  TaskRunResult task;
+  task.entry = models::SuiteFor(models::SuiteVersion::kV1_0).front();
+  task.entry.model_name = "MobileNet,Edge\"TPU\"";
+  task.framework_name = "TF,Lite \"nightly\"\r\nbuild";
+  task.accelerator_label = "npu\r+ gpu";
+  task.accuracy = 0.75;
+  task.fp32_reference = 0.76;
+  task.ratio_to_fp32 = 0.9868;
+  task.quality_passed = true;
+
+  loadgen::TestResult ss;
+  ss.percentile_latency_s = 0.0123;
+  ss.mean_latency_s = 0.0101;
+  task.single_stream = ss;
+  loadgen::TestResult off;
+  off.throughput_sps = 512.5;
+  task.offline = off;
+
+  task.energy_per_inference_j = 0.0042;
+  task.fault_count = 3;
+  task.degradation_count = 1;
+  task.lint_error_count = 0;
+  task.lint_warning_count = 2;
+  task.peak_arena_bytes = 1 << 20;
+  task.naive_activation_bytes = 1 << 22;
+  result.tasks.push_back(std::move(task));
+  return result;
+}
+
+// The writer's quoting rule, restated independently for the round-trip
+// re-serialization check.
+std::string Quote(const std::string& v) {
+  if (v.find_first_of(",\"\n\r") == std::string::npos) return v;
+  std::string q = "\"";
+  for (char c : v) {
+    if (c == '"') q += '"';
+    q += c;
+  }
+  q += '"';
+  return q;
+}
+
+TEST(ExportCsv, HeaderHasStableColumnOrder) {
+  const auto records = ParseCsv(ToCsv(HostileResult()));
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records[0], kColumns);
+}
+
+TEST(ExportCsv, HostileFieldsRoundTripByteForByte) {
+  const SubmissionResult result = HostileResult();
+  const auto records = ParseCsv(ToCsv(result));
+  ASSERT_EQ(records.size(), 2u);  // header + one task row
+  const std::vector<std::string>& row = records[1];
+  ASSERT_EQ(row.size(), kColumns.size());
+  EXPECT_EQ(row[0], result.chipset_name);
+  EXPECT_EQ(row[2], result.tasks[0].entry.id);
+  EXPECT_EQ(row[3], result.tasks[0].entry.model_name);
+  EXPECT_EQ(row[5], result.tasks[0].framework_name);
+  EXPECT_EQ(row[6], result.tasks[0].accelerator_label);
+  EXPECT_EQ(row[10], "true");
+  EXPECT_EQ(row[16], "3");   // fault_count
+  EXPECT_EQ(row[17], "1");   // degradation_count
+}
+
+TEST(ExportCsv, EveryRowHasHeaderWidth) {
+  // A field with an embedded newline must not split its record.
+  const auto records = ParseCsv(ToCsv(HostileResult()));
+  for (const auto& r : records) EXPECT_EQ(r.size(), kColumns.size());
+}
+
+TEST(ExportCsv, ReserializingParsedRecordsReproducesTheFile) {
+  const std::string csv = ToCsv(HostileResult());
+  std::string rebuilt;
+  for (const auto& record : ParseCsv(csv)) {
+    for (std::size_t i = 0; i < record.size(); ++i) {
+      if (i != 0) rebuilt += ',';
+      rebuilt += Quote(record[i]);
+    }
+    rebuilt += '\n';
+  }
+  EXPECT_EQ(rebuilt, csv);
+}
+
+TEST(ExportCsv, StoreExportPrependsDateColumn) {
+  ResultStore store;
+  store.Add("2021-04-28", HostileResult());
+  const auto records = ParseCsv(ToCsv(store));
+  ASSERT_EQ(records.size(), 2u);
+  ASSERT_EQ(records[0].size(), kColumns.size() + 1);
+  EXPECT_EQ(records[0][0], "date");
+  EXPECT_EQ(records[1][0], "2021-04-28");
+  EXPECT_EQ(records[1][1], HostileResult().chipset_name);
+}
+
+// ---- ParseCsv unit cases ----
+
+TEST(ParseCsv, DoubledQuotesBecomeLiteralQuotes) {
+  const auto r = ParseCsv("\"a\"\"b\",c\n");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{"a\"b", "c"}));
+}
+
+TEST(ParseCsv, QuotedFieldsKeepCommasAndLineBreaks) {
+  const auto r = ParseCsv("\"a,b\",\"c\nd\",\"e\r\nf\"\n");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{"a,b", "c\nd", "e\r\nf"}));
+}
+
+TEST(ParseCsv, CrlfAndLfRecordEndsBothWork) {
+  const auto r = ParseCsv("a,b\r\nc,d\ne,f");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(r[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ(r[2], (std::vector<std::string>{"e", "f"}));
+}
+
+TEST(ParseCsv, TrailingNewlineProducesNoEmptyRecord) {
+  EXPECT_EQ(ParseCsv("a\n").size(), 1u);
+  EXPECT_EQ(ParseCsv("a").size(), 1u);
+  EXPECT_TRUE(ParseCsv("").empty());
+}
+
+TEST(ParseCsv, EmptyFieldsSurvive) {
+  const auto r = ParseCsv(",,\na,,b\n");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(r[1], (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(ParseCsv, QuotedEmptyFieldIsOneEmptyField) {
+  const auto r = ParseCsv("\"\"\n");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{""}));
+}
+
+}  // namespace
+}  // namespace mlpm::harness

@@ -1,10 +1,14 @@
 // Tests for the LoadGen: scenario run rules, seeded sampling, accuracy
-// mode, clock behavior, and the structured log.
+// mode, clock behavior, the structured log, and run-rule conformance as
+// observed through the trace recorder (issue discipline, phase-mark order,
+// query async spans).
 #include <gtest/gtest.h>
 
 #include "core/dataset_qsl.h"
 #include "core/loadgen.h"
 #include "core/logging.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
 
 namespace mlpm::loadgen {
 namespace {
@@ -569,6 +573,168 @@ TEST(TestLog, TimestampPrecisionSurvivesRoundTrip) {
   log.Record(LogEventKind::kQueryIssued, 7, Seconds{1.234567891});
   const TestLog parsed = TestLog::Parse(log.Serialize());
   EXPECT_NEAR(parsed.events()[0].timestamp.count(), 1.234567891, 1e-8);
+}
+
+// ---- conformance: run rules observed through the log and the trace ----
+
+TEST(LoadGenConformance, SingleStreamIssuesNextQueryOnlyAfterCompletion) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.002);
+  FakeQsl qsl(16);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  ASSERT_FALSE(r.Errored());
+  // The raw event stream must strictly alternate issue(id) -> complete(id):
+  // single-stream never has two queries in flight (paper §4.2).
+  const std::vector<LogEvent>& events = r.log.events();
+  ASSERT_FALSE(events.empty());
+  ASSERT_EQ(events.size() % 2, 0u);
+  for (std::size_t i = 0; i < events.size(); i += 2) {
+    EXPECT_EQ(events[i].kind, LogEventKind::kQueryIssued);
+    EXPECT_EQ(events[i + 1].kind, LogEventKind::kQueryCompleted);
+    EXPECT_EQ(events[i].query_id, events[i + 1].query_id);
+    EXPECT_GE(events[i + 1].timestamp.count(), events[i].timestamp.count());
+    if (i + 2 < events.size()) {
+      EXPECT_GE(events[i + 2].timestamp.count(),
+                events[i + 1].timestamp.count())
+          << "next query issued before the previous one completed";
+    }
+  }
+}
+
+TEST(LoadGenConformance, OfflineIssuesEveryQueryAtTimeZero) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  s.scenario = TestScenario::kOffline;
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  ASSERT_FALSE(r.Errored());
+  std::size_t issued = 0;
+  for (const LogEvent& e : r.log.events())
+    if (e.kind == LogEventKind::kQueryIssued) {
+      ++issued;
+      EXPECT_DOUBLE_EQ(e.timestamp.count(), 0.0)
+          << "offline burst must be issued up front, before any work runs";
+    }
+  EXPECT_EQ(issued, s.offline_sample_count);
+}
+
+TEST(LoadGenConformance, QueryFloorAndDurationFloorBothHonored) {
+  // Query floor dominating: 200 queries x 2 ms = 0.4 s > 0.2 s duration
+  // floor -> exactly the query floor runs.
+  {
+    VirtualClock clock;
+    FixedLatencySut sut(clock, 0.002);
+    FakeQsl qsl(16);
+    TestSettings s = FastSettings();
+    s.min_query_count = 200;
+    s.min_duration = Seconds{0.2};
+    const TestResult r = RunTest(sut, qsl, s, clock);
+    EXPECT_EQ(r.sample_count, 200u);
+    EXPECT_TRUE(r.min_query_count_met);
+    EXPECT_TRUE(r.min_duration_met);
+    EXPECT_GE(r.duration_s, 0.2);
+  }
+  // Duration floor dominating: the run must keep issuing past the query
+  // floor until the elapsed floor is met.
+  {
+    VirtualClock clock;
+    FixedLatencySut sut(clock, 0.002);
+    FakeQsl qsl(16);
+    TestSettings s = FastSettings();
+    s.min_query_count = 10;
+    s.min_duration = Seconds{0.3};
+    const TestResult r = RunTest(sut, qsl, s, clock);
+    // 0.3 s / 2 ms = 150, +1 tolerance for clock rounding at the boundary.
+    EXPECT_GE(r.sample_count, 150u);
+    EXPECT_LE(r.sample_count, 151u);
+    EXPECT_GE(r.duration_s, 0.3);
+    EXPECT_TRUE(r.min_query_count_met);
+    EXPECT_TRUE(r.min_duration_met);
+  }
+}
+
+// Phase-mark names of one traced run, in timeline order.
+std::vector<std::string> TracedPhases(TestScenario scenario, TestMode mode) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Enable();
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(16);
+  TestSettings s = FastSettings();
+  s.scenario = scenario;
+  s.mode = mode;
+  if (scenario == TestScenario::kServer) {
+    s.server_target_qps = 100.0;
+    s.server_query_count = 32;
+  }
+  if (scenario == TestScenario::kMultiStream) {
+    s.multistream_samples_per_query = 2;
+    s.multistream_query_count = 8;
+    s.multistream_interval = Seconds{0.01};
+  }
+  (void)RunTest(sut, qsl, s, clock);
+  rec.Disable();
+  std::vector<std::string> names;
+  for (const obs::TraceEvent& e : rec.Snapshot())
+    if (e.domain == obs::Domain::kLoadGen && e.category == "phase")
+      names.push_back(e.name);
+  return names;
+}
+
+TEST(LoadGenConformance, PhaseMarksAppearInOrderForEveryScenario) {
+  const std::vector<std::string> want = {"phase:load_samples", "phase:issue",
+                                        "phase:flush", "phase:done"};
+  for (const TestScenario scenario :
+       {TestScenario::kSingleStream, TestScenario::kOffline,
+        TestScenario::kServer, TestScenario::kMultiStream})
+    EXPECT_EQ(TracedPhases(scenario, TestMode::kPerformanceOnly), want)
+        << "scenario " << ToString(scenario);
+  EXPECT_EQ(TracedPhases(TestScenario::kSingleStream, TestMode::kAccuracyOnly),
+            want);
+}
+
+TEST(LoadGenConformance, QueryAsyncSpansPairUpAndValidate) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Enable();
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.002);
+  FakeQsl qsl(16);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  rec.Disable();
+  ASSERT_FALSE(r.Errored());
+
+  std::size_t begins = 0, ends = 0;
+  for (const obs::TraceEvent& e : rec.Snapshot()) {
+    if (e.category != "query") continue;
+    begins += e.phase == obs::EventPhase::kAsyncBegin;
+    ends += e.phase == obs::EventPhase::kAsyncEnd;
+  }
+  EXPECT_EQ(begins, r.sample_count);
+  EXPECT_EQ(ends, r.sample_count);
+
+  obs::TraceCheckStats stats;
+  const std::vector<std::string> problems =
+      obs::ValidateChromeTrace(rec.ToChromeJson(), &stats);
+  for (const std::string& p : problems) ADD_FAILURE() << p;
+  EXPECT_EQ(stats.unmatched_async_begins, 0u);
+}
+
+TEST(LoadGenConformance, DroppedQueriesLeaveUnmatchedAsyncBegins) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Enable();
+  VirtualClock clock;
+  DroppySut sut(clock, 4);  // every 4th completion never arrives
+  FakeQsl qsl(8);
+  const TestResult r = RunTest(sut, qsl, FastSettings(), clock);
+  rec.Disable();
+  ASSERT_GT(r.dropped_count, 0u);
+
+  obs::TraceCheckStats stats;
+  const std::vector<std::string> problems =
+      obs::ValidateChromeTrace(rec.ToChromeJson(), &stats);
+  for (const std::string& p : problems) ADD_FAILURE() << p;
+  EXPECT_EQ(stats.unmatched_async_begins, r.dropped_count);
 }
 
 TEST(OfficialSeed, MatchesSpec) {

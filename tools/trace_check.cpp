@@ -1,0 +1,90 @@
+// CI gate for traced runs: structurally validates a Chrome trace-event JSON
+// file produced by `headless_cli --trace` (or any tool using obs::
+// TraceRecorder) and prints a summary.  Non-zero exit on any structural
+// problem, so the workflow step fails loudly instead of uploading a broken
+// artifact.
+//
+// Usage:
+//   mlpm_trace_check FILE [--require cat1,cat2,...]
+//
+// --require fails the check unless every named category has at least one
+// event (the CI smoke run requires node, soc, query and phase events).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.h"
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require" && i + 1 < argc) {
+      required = SplitCommas(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: mlpm_trace_check FILE [--require cat1,cat2]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: mlpm_trace_check FILE [--require cat1,cat2]\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "mlpm_trace_check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  mlpm::obs::TraceCheckStats stats;
+  const std::vector<std::string> problems =
+      mlpm::obs::ValidateChromeTrace(json, &stats);
+
+  std::printf("%s: %zu events\n", path.c_str(), stats.event_count);
+  for (const auto& [phase, n] : stats.per_phase)
+    std::printf("  ph %-2s %zu\n", phase.c_str(), n);
+  for (const auto& [cat, n] : stats.per_category)
+    std::printf("  cat %-10s %zu\n", cat.c_str(), n);
+  for (const auto& [pid, n] : stats.per_pid)
+    std::printf("  pid %-2d %zu\n", pid, n);
+  if (stats.unmatched_async_begins > 0)
+    std::printf("  unmatched async begins (queries never completed): %zu\n",
+                stats.unmatched_async_begins);
+
+  int status = 0;
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "PROBLEM: %s\n", p.c_str());
+    status = 1;
+  }
+  for (const std::string& cat : required)
+    if (stats.per_category.find(cat) == stats.per_category.end()) {
+      std::fprintf(stderr, "PROBLEM: required category '%s' has no events\n",
+                   cat.c_str());
+      status = 1;
+    }
+  std::printf(status == 0 ? "trace OK\n" : "trace INVALID\n");
+  return status;
+}
