@@ -10,12 +10,17 @@
 //                [--cooldown SECONDS] [--csv FILE] [--log FILE]
 //                [--faults CRASH_PROB] [--fault-seed N] [--threads N]
 //                [--lint off|report|strict] [--trace FILE] [--profile]
+//                [--journal FILE] [--resume FILE]
 //
 // Examples:
 //   headless_cli --chipset "Core i7-11375H" --version v1.0
 //   headless_cli --chipset "Exynos 2100" --task is --accuracy
 //   headless_cli --chipset "Dimensity 1100" --performance-only --faults 0.9
 //   headless_cli --trace run.trace.json --profile   # open in ui.perfetto.dev
+//   headless_cli --journal run.mjl        # crash-safe WAL (DESIGN.md §12)
+//   headless_cli --resume run.mjl         # replay finished tasks, run rest
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +38,14 @@
 namespace {
 
 using namespace mlpm;
+
+// SIGINT/SIGTERM request a graceful stop: the run loop checks this flag
+// between suite tasks, journals everything finished so far, and emits a
+// partial report with an explicit "interrupted" run state (DESIGN.md §12).
+// std::sig_atomic_t keeps the handler async-signal-safe.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void HandleStopSignal(int /*signum*/) { g_interrupted = 1; }
 
 struct CliOptions {
   std::string chipset = "Core i7-11375H";
@@ -57,6 +70,11 @@ struct CliOptions {
   // per-op aggregate tables + process metrics to the report and CSV.
   std::string trace_path;
   bool profile = false;
+  // Crash safety (DESIGN.md §12): --journal appends one fsync'd record per
+  // completed task; --resume replays intact records from FILE (and keeps
+  // journaling to it) so an interrupted run finishes where it left off.
+  std::string journal_path;
+  bool resume = false;
 };
 
 // Strict positive-integer parse for --threads: rejects empty input, trailing
@@ -138,6 +156,13 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
       if (o.trace_path.empty()) return std::nullopt;
     } else if (arg == "--profile") {
       o.profile = true;
+    } else if (arg == "--journal") {
+      o.journal_path = value();
+      if (o.journal_path.empty()) return std::nullopt;
+    } else if (arg == "--resume") {
+      o.journal_path = value();
+      if (o.journal_path.empty()) return std::nullopt;
+      o.resume = true;
     } else {
       return std::nullopt;
     }
@@ -165,7 +190,8 @@ int main(int argc, char** argv) {
                  " [--cooldown S] [--csv FILE] [--log FILE]\n"
                  "                    [--faults CRASH_PROB] [--fault-seed N]"
                  " [--threads N] [--lint off|report|strict]\n"
-                 "                    [--trace FILE] [--profile]\n");
+                 "                    [--trace FILE] [--profile]"
+                 " [--journal FILE] [--resume FILE]\n");
     return 2;
   }
   const std::optional<soc::ChipsetDesc> chipset = FindChipset(opts->chipset);
@@ -187,6 +213,13 @@ int main(int argc, char** argv) {
   run.lint = opts->lint;
   run.trace_path = opts->trace_path;
   run.profile = opts->profile;
+  run.journal_path = opts->journal_path;
+  run.resume = opts->resume;
+  if (!opts->journal_path.empty()) {
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    run.cancel = [] { return g_interrupted != 0; };
+  }
   if (opts->crash_probability > 0.0) {
     soc::FaultPlan plan;
     plan.seed = opts->fault_seed;
@@ -204,6 +237,8 @@ int main(int argc, char** argv) {
     harness::SubmissionResult filtered;
     filtered.chipset_name = out.result.chipset_name;
     filtered.version = out.result.version;
+    filtered.interrupted = out.result.interrupted;
+    filtered.resumed_tasks = out.result.resumed_tasks;
     for (harness::TaskRunResult& t : out.result.tasks)
       if (t.entry.task == *opts->only_task)
         filtered.tasks.push_back(std::move(t));
@@ -257,6 +292,15 @@ int main(int argc, char** argv) {
     log << out.result.tasks[0].single_stream->log.Serialize();
     std::printf("wrote %s (unedited LoadGen log, first task)\n",
                 opts->log_path.c_str());
+  }
+  // Conventional "terminated by SIGINT" exit status; the journal already
+  // holds every finished task, so a --resume rerun completes the suite.
+  if (out.result.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted after %zu task(s); resume with: headless_cli "
+                 "--resume %s\n",
+                 out.result.tasks.size(), opts->journal_path.c_str());
+    return 130;
   }
   return out.submission_valid ? 0 : 1;
 }

@@ -1,0 +1,152 @@
+#include "backends/circuit_breaker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mlpm::backends {
+namespace {
+
+// Observes whether the inner SUT resolved the sample.  Completions are
+// forwarded to the real sink; a query the inner SUT returns from without
+// completing (gave up, lost completion) counts as a breaker failure.
+class ObservingSink final : public loadgen::ResponseSink {
+ public:
+  explicit ObservingSink(loadgen::ResponseSink& inner) : inner_(inner) {}
+
+  void Complete(loadgen::QuerySampleResponse response) override {
+    completed_ = true;
+    inner_.Complete(std::move(response));
+  }
+  void Reject(std::uint64_t id, std::string_view reason) override {
+    completed_ = true;  // resolved, just not successfully run
+    inner_.Reject(id, reason);
+  }
+
+  [[nodiscard]] bool completed() const { return completed_; }
+
+ private:
+  loadgen::ResponseSink& inner_;
+  bool completed_ = false;
+};
+
+}  // namespace
+
+CircuitBreakerBackend::CircuitBreakerBackend(loadgen::SystemUnderTest& inner,
+                                             loadgen::VirtualClock& clock,
+                                             CircuitBreakerOptions options)
+    : name_(std::string(inner.name()) + "+breaker"),
+      inner_(inner),
+      clock_(clock),
+      options_(options),
+      rng_(options.seed) {
+  Expects(options_.trip_threshold >= 1, "trip threshold must be positive");
+  Expects(options_.open_duration_s > 0.0, "open window must be positive");
+  Expects(options_.backoff_factor >= 1.0,
+          "open-window backoff must not shrink the window");
+  Expects(options_.max_open_duration_s >= options_.open_duration_s,
+          "open-window cap below the first window");
+  Expects(options_.probe_jitter_frac >= 0.0 &&
+              options_.probe_jitter_frac < 2.0,
+          "probe jitter fraction must be in [0, 2)");
+  Expects(options_.rejection_latency_s > 0.0,
+          "rejection must cost clock time (the issue loop needs progress)");
+}
+
+void CircuitBreakerBackend::Transition(BreakerState to,
+                                       std::uint64_t query_id) {
+  const double now_s = clock_.Now().count();
+  transitions_.push_back(BreakerTransition{state_, to, now_s, query_id});
+  obs::MetricsRegistry::Global().Increment("backend.breaker_transitions");
+  if (obs::TraceRecorder& rec = obs::TraceRecorder::Global(); rec.enabled())
+    rec.AddInstant(obs::Domain::kLoadGen, "breaker",
+                   "breaker:" + std::string(ToString(state_)) + "->" +
+                       std::string(ToString(to)),
+                   now_s * 1e6, {obs::Arg("query", query_id)}, "breaker");
+  state_ = to;
+}
+
+void CircuitBreakerBackend::TripOpen(std::uint64_t query_id) {
+  ++stats_.trips;
+  ++open_streak_;
+  const double window = std::min(
+      options_.max_open_duration_s,
+      options_.open_duration_s *
+          std::pow(options_.backoff_factor,
+                   static_cast<double>(open_streak_ - 1)));
+  // Jitter the probe deadline so a fleet of breakers tripped by the same
+  // incident doesn't retry in lockstep; the draw is seeded, so the
+  // schedule is still deterministic per seed.
+  const double jitter =
+      1.0 + options_.probe_jitter_frac * (rng_.NextDouble() - 0.5);
+  reopen_at_s_ = clock_.Now().count() + window * jitter;
+  consecutive_failures_ = 0;
+  Transition(BreakerState::kOpen, query_id);
+}
+
+void CircuitBreakerBackend::IssueQuery(
+    std::span<const loadgen::QuerySample> samples,
+    loadgen::ResponseSink& sink) {
+  Expects(!samples.empty(), "empty query");
+  if (samples.size() > 1) {
+    // Offline burst: replica-level fault handling owns this path.
+    inner_.IssueQuery(samples, sink);
+    return;
+  }
+  const loadgen::QuerySample& sample = samples[0];
+
+  if (state_ == BreakerState::kOpen) {
+    if (clock_.Now().count() < reopen_at_s_) {
+      ++stats_.rejected;
+      // Fast-fail: charge the fixed rejection cost so the test clock (and
+      // the single-stream issue loop) keeps moving, then tell the LoadGen
+      // the query will never complete.
+      clock_.Advance(loadgen::Seconds{options_.rejection_latency_s});
+      sink.Reject(sample.id, "circuit breaker open");
+      return;
+    }
+    Transition(BreakerState::kHalfOpen, sample.id);
+  }
+
+  const bool probing = state_ == BreakerState::kHalfOpen;
+  if (probing) ++stats_.probes;
+  ++stats_.passed;
+  ObservingSink observer(sink);
+  inner_.IssueQuery({&sample, 1}, observer);
+
+  if (observer.completed()) {
+    ++stats_.successes;
+    consecutive_failures_ = 0;
+    if (probing) {
+      open_streak_ = 0;
+      Transition(BreakerState::kClosed, sample.id);
+    }
+    return;
+  }
+  ++stats_.failures;
+  if (probing) {
+    // The probe failed: reopen with a longer window.
+    TripOpen(sample.id);
+  } else if (++consecutive_failures_ >= options_.trip_threshold) {
+    TripOpen(sample.id);
+  }
+}
+
+std::string CircuitBreakerBackend::EventLogText() const {
+  std::string out;
+  char line[128];
+  for (const BreakerTransition& t : transitions_) {
+    std::snprintf(line, sizeof line, "breaker %s->%s query=%llu t=%.9f\n",
+                  std::string(ToString(t.from)).c_str(),
+                  std::string(ToString(t.to)).c_str(),
+                  static_cast<unsigned long long>(t.query_id), t.time_s);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mlpm::backends

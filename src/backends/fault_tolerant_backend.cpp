@@ -23,10 +23,14 @@ FaultTolerantBackend::FaultTolerantBackend(
       offline_replicas_(std::move(offline_replicas)),
       clock_(clock),
       options_(options),
-      end_to_end_(end_to_end) {
+      end_to_end_(end_to_end),
+      backoff_rng_(options.backoff_seed) {
   Expects(options_.max_attempts >= 1, "need at least one attempt");
   Expects(options_.crash_fallback_threshold >= 1,
           "crash fallback threshold must be positive");
+  Expects(options_.backoff_jitter_frac >= 0.0 &&
+              options_.backoff_jitter_frac < 2.0,
+          "backoff jitter fraction must be in [0, 2)");
   Expects(simulator_.IsCpuOnly(cpu_fallback_),
           "the fallback plan must run entirely on the CPU");
 }
@@ -104,11 +108,15 @@ void FaultTolerantBackend::RunOne(const loadgen::QuerySample& sample,
       Record(RecoveryAction::kGaveUp, sample.id, attempt);
       return;  // the LoadGen watchdog expires the query
     }
-    // Exponential backoff before the retry.
+    // Exponential backoff before the retry, with seeded jitter so shards
+    // retrying the same fault don't synchronize into a retry storm.
     ++stats_.retries;
     Record(RecoveryAction::kRetry, sample.id, attempt);
-    clock_.Advance(loadgen::Seconds{
-        options_.backoff_base_s * static_cast<double>(1 << (attempt - 1))});
+    const double jitter =
+        1.0 + options_.backoff_jitter_frac * (backoff_rng_.NextDouble() - 0.5);
+    clock_.Advance(loadgen::Seconds{options_.backoff_base_s *
+                                    static_cast<double>(1 << (attempt - 1)) *
+                                    jitter});
   }
 }
 

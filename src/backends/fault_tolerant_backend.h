@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "backends/simulated_backend.h"
+#include "common/rng.h"
 #include "core/clock.h"
 #include "core/query.h"
 #include "soc/simulator.h"
@@ -38,6 +39,13 @@ struct FaultToleranceOptions {
   int crash_fallback_threshold = 3;
   // Cooldown applied immediately after a thermal emergency, seconds.
   double emergency_cooldown_s = 5.0;
+  // Deterministic backoff jitter: retry k waits
+  // backoff_base_s * 2^k * (1 + backoff_jitter_frac * (u - 0.5)) with u
+  // drawn from a stream seeded by backoff_seed.  Pure base*2^k would
+  // synchronize retry storms across fleet shards; the seeded draw keeps
+  // the event log byte-identical per seed.  Must be in [0, 2).
+  double backoff_jitter_frac = 0.5;
+  std::uint64_t backoff_seed = 0xB0FF;
 };
 
 enum class RecoveryAction : std::uint8_t {
@@ -125,6 +133,7 @@ class FaultTolerantBackend final : public loadgen::SystemUnderTest {
   EndToEndCosts end_to_end_;
   Stats stats_;
   std::vector<DegradationEvent> events_;
+  Rng backoff_rng_;
   int consecutive_crashes_ = 0;
   double total_energy_j_ = 0.0;
 };

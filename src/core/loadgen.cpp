@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <deque>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
@@ -59,6 +60,52 @@ class Collector final : public ResponseSink {
   // checker re-derives from the raw events).
   [[nodiscard]] Seconds first_issue() const { return first_issue_; }
 
+  // Admission control refused this arrival before issue: log it under the
+  // `shed` taxonomy class.  The sample never reaches the SUT, so there is
+  // nothing for the watchdog to wait on.
+  void Shed(const QuerySample& s, Seconds scheduled) {
+    ++shed_count_;
+    log_.Record(LogEventKind::kQueryShed, s.id, scheduled);
+    Error("query " + std::to_string(s.id) +
+          " shed by admission control (issue queue full)");
+    if (obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+        rec.enabled())
+      rec.AddInstant(obs::Domain::kLoadGen, "admission", "shed",
+                     scheduled.count() * 1e6,
+                     {obs::Arg("query", s.id),
+                      obs::Arg("sample", static_cast<std::uint64_t>(s.index))},
+                     "admission");
+    obs::MetricsRegistry::Global().Increment("loadgen.queries_shed");
+  }
+
+  // SUT-side fast-fail (open circuit breaker): the query was issued but the
+  // backend refused to run it.  Counts under `rejected`, never as a drop or
+  // timeout — the watchdog must not wait on a completion that will never
+  // arrive.
+  void Reject(std::uint64_t id, std::string_view reason) override {
+    const Seconds now = clock_.Now();
+    const auto it = issue_time_.find(id);
+    if (it == issue_time_.end() || completed_.contains(id) ||
+        rejected_.contains(id)) {
+      ++unknown_count_;
+      Error("rejection for query " + std::to_string(id) +
+            " that is not outstanding (ignored)");
+      return;
+    }
+    rejected_.insert(id);
+    ++rejected_count_;
+    log_.Record(LogEventKind::kQueryRejected, id, now);
+    Error("query " + std::to_string(id) + " rejected by SUT: " +
+          std::string(reason));
+    if (obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+        rec.enabled())
+      rec.AddAsyncEnd(obs::Domain::kLoadGen, "queries", "query", "query",
+                      AsyncId(id), now.count() * 1e6,
+                      {obs::Arg("outcome", "rejected"),
+                       obs::Arg("reason", std::string(reason))});
+    obs::MetricsRegistry::Global().Increment("loadgen.queries_rejected");
+  }
+
   void Complete(QuerySampleResponse response) override {
     const Seconds now = clock_.Now();
     const auto it = issue_time_.find(response.id);
@@ -66,6 +113,12 @@ class Collector final : public ResponseSink {
       ++unknown_count_;
       Error("completion for query " + std::to_string(response.id) +
             ", which was never issued (ignored)");
+      return;
+    }
+    if (rejected_.contains(response.id)) {
+      ++duplicate_count_;
+      Error("query " + std::to_string(response.id) +
+            " completed after being rejected (ignored)");
       return;
     }
     if (completed_.contains(response.id)) {
@@ -105,7 +158,7 @@ class Collector final : public ResponseSink {
   // passed — the test is over); without it they are dropped.
   void ExpireOutstanding() {
     for (const auto& [id, issued_at] : issue_time_) {
-      if (completed_.contains(id)) continue;
+      if (completed_.contains(id) || rejected_.contains(id)) continue;
       if (timeout_.count() > 0.0) {
         ++timed_out_count_;
         Error("query " + std::to_string(id) +
@@ -120,6 +173,12 @@ class Collector final : public ResponseSink {
 
   [[nodiscard]] std::size_t completed_count() const {
     return completed_.size();
+  }
+  // Queries that reached a terminal state through the sink (completed or
+  // rejected) — the progress measure the stall detector watches, since a
+  // breaker that fast-fails every query is making (degenerate) progress.
+  [[nodiscard]] std::size_t resolved_count() const {
+    return completed_.size() + rejected_.size();
   }
   [[nodiscard]] std::size_t issued_count() const { return issue_time_.size(); }
   [[nodiscard]] const std::vector<double>& latencies() const {
@@ -140,6 +199,8 @@ class Collector final : public ResponseSink {
     return duplicate_count_;
   }
   [[nodiscard]] std::size_t unknown_count() const { return unknown_count_; }
+  [[nodiscard]] std::size_t shed_count() const { return shed_count_; }
+  [[nodiscard]] std::size_t rejected_count() const { return rejected_count_; }
   [[nodiscard]] std::vector<std::string>&& TakeErrors() {
     return std::move(errors_);
   }
@@ -161,6 +222,7 @@ class Collector final : public ResponseSink {
   std::unordered_map<std::uint64_t, std::size_t> sample_index_;
   Seconds first_issue_{0.0};
   std::unordered_set<std::uint64_t> completed_;
+  std::unordered_set<std::uint64_t> rejected_;
   std::vector<double> latencies_s_;
   Seconds last_completion_{0.0};
   std::vector<std::pair<std::size_t, std::vector<infer::Tensor>>> outputs_;
@@ -168,6 +230,8 @@ class Collector final : public ResponseSink {
   std::size_t timed_out_count_ = 0;
   std::size_t duplicate_count_ = 0;
   std::size_t unknown_count_ = 0;
+  std::size_t shed_count_ = 0;
+  std::size_t rejected_count_ = 0;
   std::vector<std::string> errors_;
 };
 
@@ -196,6 +260,8 @@ void FinalizeErrors(TestResult& r, Collector& collector) {
   r.timed_out_count = collector.timed_out_count();
   r.duplicate_count = collector.duplicate_count();
   r.unknown_count = collector.unknown_count();
+  r.shed_count = collector.shed_count();
+  r.rejected_count = collector.rejected_count();
   r.error_log = collector.TakeErrors();
   if (r.invalid_reason.empty() && r.latencies_s.empty())
     r.invalid_reason = "no queries completed within the run";
@@ -209,6 +275,9 @@ void FinalizeErrors(TestResult& r, Collector& collector) {
     r.log.SetField("result_duplicate_count",
                    std::to_string(r.duplicate_count));
     r.log.SetField("result_unknown_count", std::to_string(r.unknown_count));
+    r.log.SetField("result_shed_count", std::to_string(r.shed_count));
+    r.log.SetField("result_rejected_count",
+                   std::to_string(r.rejected_count));
   }
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
@@ -245,6 +314,13 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
   if (settings.query_timeout.count() > 0.0)
     log.SetField("query_timeout_s",
                  std::to_string(settings.query_timeout.count()));
+  if (settings.scenario == TestScenario::kServer &&
+      settings.server_max_queue_depth > 0) {
+    log.SetField("server_max_queue_depth",
+                 std::to_string(settings.server_max_queue_depth));
+    log.SetField("server_max_shed_fraction",
+                 std::to_string(settings.server_max_shed_fraction));
+  }
 
   const bool accuracy = settings.mode == TestMode::kAccuracyOnly;
   Collector collector(clock, log, accuracy, settings.query_timeout,
@@ -329,11 +405,11 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
       const QuerySample s{next_id++,
                           static_cast<std::size_t>(rng.NextBelow(perf_count))};
       const Seconds before = clock.Now();
-      const std::size_t completed_before = collector.completed_count();
+      const std::size_t resolved_before = collector.resolved_count();
       collector.ExpectSample(s);
       sut.IssueQuery({&s, 1}, collector);
       ++issued;
-      if (collector.completed_count() == completed_before &&
+      if (collector.resolved_count() == resolved_before &&
           clock.Now() == before) {
         result.invalid_reason =
             "SUT stalled: no completion and no clock progress after query " +
@@ -403,20 +479,38 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
   } else {
     // Server: seeded Poisson arrivals at the target rate; queries queue
     // behind in-flight work and latency counts from the scheduled arrival.
+    // With admission control enabled (server_max_queue_depth > 0) an
+    // arrival that would find the issue queue full is shed instead of
+    // queueing without bound: the decision depends only on the seeded
+    // arrival process and the SUT's (deterministic) service times, so the
+    // shed set is identical run-to-run for the same seed.  The sample
+    // index is drawn before the shed decision so the RNG stream — and
+    // therefore every later query's sample — is unchanged by shedding.
     Expects(settings.server_target_qps > 0.0,
             "server scenario needs a positive target QPS");
     Rng arrival_rng = rng.Split(0xA11);
     Seconds arrival = start;
+    // Completion times of admitted-but-possibly-unfinished queries, in
+    // issue order (the SUT runs them serially on the test clock).
+    std::deque<Seconds> admitted;
     for (std::size_t i = 0; i < settings.server_query_count; ++i) {
       const double gap = -std::log(1.0 - arrival_rng.NextDouble()) /
                          settings.server_target_qps;
       arrival += Seconds{gap};
       const QuerySample s{next_id++,
                           static_cast<std::size_t>(rng.NextBelow(perf_count))};
+      while (!admitted.empty() && admitted.front() <= arrival)
+        admitted.pop_front();
+      if (settings.server_max_queue_depth > 0 &&
+          admitted.size() >= settings.server_max_queue_depth) {
+        collector.Shed(s, arrival);
+        continue;
+      }
       collector.ExpectSampleAt(s, arrival);
       // If the device is free before the arrival, idle until it.
       clock.WaitUntil(arrival);
       sut.IssueQuery({&s, 1}, collector);
+      admitted.push_back(clock.Now());
     }
   }
   mark("flush");
@@ -436,6 +530,14 @@ TestResult RunTest(SystemUnderTest& sut, QuerySampleLibrary& qsl,
       settings.scenario != TestScenario::kServer ||
       (!result.Errored() &&
        Seconds{result.percentile_latency_s} <= settings.server_latency_bound);
+  // Shedding keeps the accepted-query percentile honest, but a run that
+  // refuses too much of the offered load is not serving the target rate.
+  result.shed_bound_met =
+      settings.scenario != TestScenario::kServer ||
+      static_cast<double>(result.shed_count + result.rejected_count) <=
+          settings.server_max_shed_fraction *
+                  static_cast<double>(settings.server_query_count) +
+              1e-9;
 
   log.SetField("result_sample_count", std::to_string(result.sample_count));
   log.SetField("result_duration_s", std::to_string(result.duration_s));

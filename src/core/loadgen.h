@@ -34,6 +34,10 @@ struct TestResult {
   bool min_query_count_met = false;
   // Server scenario: percentile latency within the latency bound.
   bool latency_bound_met = false;
+  // Server scenario: shed + rejected queries within the allowed fraction
+  // of offered load (settings.server_max_shed_fraction).  Always true for
+  // other scenarios.
+  bool shed_bound_met = true;
 
   // Error taxonomy (paper App. D: buggy delegates, dropped inferences,
   // watchdog-killed drivers are routine on mobile).  A misbehaving SUT
@@ -44,6 +48,8 @@ struct TestResult {
   std::size_t timed_out_count = 0;  // expired by the per-query watchdog
   std::size_t duplicate_count = 0;  // repeat completions, ignored
   std::size_t unknown_count = 0;    // completions for unissued ids, ignored
+  std::size_t shed_count = 0;       // refused by LoadGen admission control
+  std::size_t rejected_count = 0;   // fast-failed by the SUT (breaker open)
   std::vector<std::string> error_log;
   // Empty for a structurally valid run.  Nonempty means the run produced
   // no usable measurement (no completions, stalled SUT, incomplete
@@ -53,7 +59,8 @@ struct TestResult {
   [[nodiscard]] bool Errored() const { return !invalid_reason.empty(); }
   // Anomalies observed (the run may still be valid, just degraded).
   [[nodiscard]] std::size_t AnomalyCount() const {
-    return dropped_count + timed_out_count + duplicate_count + unknown_count;
+    return dropped_count + timed_out_count + duplicate_count +
+           unknown_count + shed_count + rejected_count;
   }
 
   // Accuracy mode: model outputs per dataset sample index, for the

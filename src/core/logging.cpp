@@ -31,8 +31,13 @@ std::string TestLog::Serialize() const {
   os << "mlpm_loadgen_log v1\n";
   for (const auto& [k, v] : fields_) os << "field " << k << ' ' << v << '\n';
   for (const auto& e : events_) {
-    os << (e.kind == LogEventKind::kQueryIssued ? "issue " : "complete ")
-       << e.query_id << ' ' << std::fixed << e.timestamp.count() << '\n';
+    switch (e.kind) {
+      case LogEventKind::kQueryIssued: os << "issue "; break;
+      case LogEventKind::kQueryCompleted: os << "complete "; break;
+      case LogEventKind::kQueryShed: os << "shed "; break;
+      case LogEventKind::kQueryRejected: os << "rejected "; break;
+    }
+    os << e.query_id << ' ' << std::fixed << e.timestamp.count() << '\n';
   }
   return os.str();
 }
@@ -56,15 +61,17 @@ TestLog TestLog::Parse(const std::string& text) {
       std::getline(ls, value);
       if (!value.empty() && value.front() == ' ') value.erase(0, 1);
       log.fields_[key] = value;
-    } else if (tag == "issue" || tag == "complete") {
+    } else if (tag == "issue" || tag == "complete" || tag == "shed" ||
+               tag == "rejected") {
       std::uint64_t id = 0;
       double t = 0.0;
       ls >> id >> t;
       Expects(!ls.fail(), "malformed log event: " + line);
-      log.events_.push_back(LogEvent{tag == "issue"
-                                         ? LogEventKind::kQueryIssued
-                                         : LogEventKind::kQueryCompleted,
-                                     id, Seconds{t}});
+      LogEventKind kind = LogEventKind::kQueryCompleted;
+      if (tag == "issue") kind = LogEventKind::kQueryIssued;
+      else if (tag == "shed") kind = LogEventKind::kQueryShed;
+      else if (tag == "rejected") kind = LogEventKind::kQueryRejected;
+      log.events_.push_back(LogEvent{kind, id, Seconds{t}});
     } else {
       Expects(false, "unknown log line tag: " + tag);
     }

@@ -15,6 +15,11 @@ namespace mlpm::loadgen {
 enum class LogEventKind : std::uint8_t {
   kQueryIssued,
   kQueryCompleted,
+  // Admission-control taxonomy (DESIGN.md §12): `shed` = the LoadGen's
+  // bounded issue queue refused the arrival before it reached the SUT;
+  // `rejected` = the SUT-side breaker fast-failed an issued query.
+  kQueryShed,
+  kQueryRejected,
 };
 
 struct LogEvent {

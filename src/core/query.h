@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "infer/tensor.h"
@@ -29,6 +30,12 @@ class ResponseSink {
  public:
   virtual ~ResponseSink() = default;
   virtual void Complete(QuerySampleResponse response) = 0;
+
+  // Fast-fail path (DESIGN.md §12): a SUT-side admission layer (e.g. an open
+  // circuit breaker) refuses an issued sample without running it.  Rejected
+  // queries are accounted separately from drops/timeouts so the watchdog
+  // never waits on them.  Default is a no-op so plain SUTs ignore it.
+  virtual void Reject(std::uint64_t /*id*/, std::string_view /*reason*/) {}
 };
 
 // System under test (paper §4.3): anything that can run queries — the

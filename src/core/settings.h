@@ -66,6 +66,15 @@ struct TestSettings {
   Seconds server_latency_bound{0.050};
   std::size_t server_query_count = 2048;
 
+  // Server admission control (DESIGN.md §12): when nonzero, an arrival
+  // that would find this many admitted-but-unfinished queries ahead of it
+  // is shed deterministically — logged, counted, and never issued to the
+  // SUT — instead of queueing without bound.  Zero disables shedding.
+  std::size_t server_max_queue_depth = 0;
+  // Largest fraction of offered server queries that may be shed/rejected
+  // before the run fails SLO validity (TestResult::shed_bound_met).
+  double server_max_shed_fraction = 0.1;
+
   // Multi-stream run rules: N samples per query, a query every interval;
   // the run is valid if the percentile per-query latency fits the interval.
   std::size_t multistream_samples_per_query = 8;

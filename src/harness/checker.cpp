@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/statistics.h"
+#include "common/table.h"
 #include "datasets/calibration_set.h"
 #include "harness/task_bundle.h"
 
@@ -46,9 +47,14 @@ CheckReport CheckPerformanceLog(const std::string& serialized_log,
   if (field("mode") != std::string(ToString(expected.mode)))
     report.Problem("mode mismatch");
 
-  // Reconstruct per-query latencies from raw events.
+  // Reconstruct per-query latencies from raw events.  Shed and rejected
+  // queries (DESIGN.md §12) resolve without a completion: shed queries
+  // were never issued to the SUT at all, rejected ones were fast-failed
+  // by an open breaker — neither contributes a latency sample, and
+  // neither may be double-counted as never-completed.
   std::unordered_map<std::uint64_t, double> issued;
   std::vector<double> latencies;
+  std::size_t shed_events = 0, rejected_events = 0;
   double first_issue = -1.0, last_complete = 0.0;
   double last_issue_time = -1.0;
   bool outstanding = false;
@@ -67,6 +73,21 @@ CheckReport CheckPerformanceLog(const std::string& serialized_log,
       if (t < last_issue_time)
         report.Problem("issue timestamps are not monotonic");
       last_issue_time = t;
+    } else if (e.kind == loadgen::LogEventKind::kQueryShed) {
+      if (issued.contains(e.query_id))
+        report.Problem("query " + std::to_string(e.query_id) +
+                       " both issued and shed");
+      ++shed_events;
+    } else if (e.kind == loadgen::LogEventKind::kQueryRejected) {
+      const auto it = issued.find(e.query_id);
+      if (it == issued.end()) {
+        report.Problem("rejection for unknown query " +
+                       std::to_string(e.query_id));
+        continue;
+      }
+      ++rejected_events;
+      issued.erase(it);
+      if (issued.empty()) outstanding = false;
     } else {
       const auto it = issued.find(e.query_id);
       if (it == issued.end()) {
@@ -83,8 +104,9 @@ CheckReport CheckPerformanceLog(const std::string& serialized_log,
       if (issued.empty()) outstanding = false;
     }
   }
-  if (!issued.empty())
-    report.Problem(std::to_string(issued.size()) +
+  const std::size_t never_completed = issued.size();
+  if (never_completed > 0)
+    report.Problem(std::to_string(never_completed) +
                    " queries were never completed");
   if (latencies.empty()) {
     report.Problem("log contains no completed queries");
@@ -109,9 +131,26 @@ CheckReport CheckPerformanceLog(const std::string& serialized_log,
                        std::to_string(expected.offline_sample_count));
       break;
     case loadgen::TestScenario::kServer: {
-      if (latencies.size() != expected.server_query_count)
-        report.Problem("server query count is not " +
+      // Every offered query must be accounted for exactly once: completed,
+      // shed by admission control, rejected by the breaker, or flagged
+      // above as never completed (DESIGN.md §12).
+      const std::size_t accounted =
+          latencies.size() + shed_events + rejected_events + never_completed;
+      if (accounted != expected.server_query_count)
+        report.Problem("server query accounting is " +
+                       std::to_string(accounted) + ", not " +
                        std::to_string(expected.server_query_count));
+      if (expected.server_max_queue_depth > 0 &&
+          static_cast<double>(shed_events + rejected_events) >
+              expected.server_max_shed_fraction *
+                      static_cast<double>(expected.server_query_count) +
+                  1e-9)
+        report.Problem("server shed/rejected more than the allowed " +
+                       FormatDouble(expected.server_max_shed_fraction * 100,
+                                    1) +
+                       "% of offered queries");
+      // The latency SLO applies to the accepted queries only; shed
+      // queries were refused precisely so the accepted ones could meet it.
       const double pct =
           Percentile(latencies, expected.latency_percentile);
       if (pct > expected.server_latency_bound.count() + 1e-9)

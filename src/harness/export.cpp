@@ -10,7 +10,8 @@ constexpr const char* kHeader =
     "fp32_reference,ratio_to_fp32,quality_passed,p90_latency_ms,"
     "mean_latency_ms,offline_fps,energy_mj_per_inference,status,"
     "fault_count,degradation_count,dropped,timed_out,lint_errors,"
-    "lint_warnings,peak_arena_bytes,naive_activation_bytes";
+    "lint_warnings,peak_arena_bytes,naive_activation_bytes,shed,rejected,"
+    "breaker_trips";
 
 // CSV-quote a field if it contains a comma, quote or line break (RFC 4180:
 // fields containing CR or LF must be enclosed in double quotes too, or a
@@ -55,7 +56,8 @@ void AppendRows(std::ostringstream& os, const SubmissionResult& result,
        << t.fault_count << ',' << t.degradation_count << ',' << dropped << ','
        << timed_out << ',' << t.lint_error_count << ','
        << t.lint_warning_count << ',' << t.peak_arena_bytes << ','
-       << t.naive_activation_bytes << '\n';
+       << t.naive_activation_bytes << ',' << t.shed_count << ','
+       << t.rejected_count << ',' << t.breaker_trips << '\n';
   }
 }
 

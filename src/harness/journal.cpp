@@ -1,0 +1,780 @@
+#include "harness/journal.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define MLPM_JOURNAL_HAS_FSYNC 1
+#else
+#define MLPM_JOURNAL_HAS_FSYNC 0
+#endif
+
+namespace mlpm::harness {
+
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr std::string_view kHeader = "mlpm_journal v1";
+
+// ---- payload encoding -------------------------------------------------
+//
+// Entries are one of:
+//   u <key> <uint>\n
+//   d <key> <hexfloat>\n            (bit-exact double round trip)
+//   b <key> 0|1\n
+//   s <key> <len>\n<len bytes>\n    (arbitrary bytes, incl. newlines)
+//   D <key> <n> <hexfloat>...\n
+//   U <key> <n> <uint>...\n
+//   L <key> <n>\n  then n x  <len>\n<len bytes>\n
+
+std::string HexDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+void PutU(std::string& out, std::string_view key, std::uint64_t v) {
+  out += "u ";
+  out += key;
+  out += ' ';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+void PutD(std::string& out, std::string_view key, double v) {
+  out += "d ";
+  out += key;
+  out += ' ';
+  out += HexDouble(v);
+  out += '\n';
+}
+
+void PutB(std::string& out, std::string_view key, bool v) {
+  out += "b ";
+  out += key;
+  out += v ? " 1\n" : " 0\n";
+}
+
+void PutS(std::string& out, std::string_view key, std::string_view bytes) {
+  out += "s ";
+  out += key;
+  out += ' ';
+  out += std::to_string(bytes.size());
+  out += '\n';
+  out += bytes;
+  out += '\n';
+}
+
+void PutDV(std::string& out, std::string_view key,
+           const std::vector<double>& v) {
+  out += "D ";
+  out += key;
+  out += ' ';
+  out += std::to_string(v.size());
+  for (const double d : v) {
+    out += ' ';
+    out += HexDouble(d);
+  }
+  out += '\n';
+}
+
+void PutUV(std::string& out, std::string_view key,
+           const std::vector<std::size_t>& v) {
+  out += "U ";
+  out += key;
+  out += ' ';
+  out += std::to_string(v.size());
+  for (const std::size_t u : v) {
+    out += ' ';
+    out += std::to_string(u);
+  }
+  out += '\n';
+}
+
+void PutL(std::string& out, std::string_view key,
+          const std::vector<std::string>& v) {
+  out += "L ";
+  out += key;
+  out += ' ';
+  out += std::to_string(v.size());
+  out += '\n';
+  for (const std::string& s : v) {
+    out += std::to_string(s.size());
+    out += '\n';
+    out += s;
+    out += '\n';
+  }
+}
+
+// ---- payload decoding -------------------------------------------------
+
+struct Field {
+  char tag = '?';
+  std::string key;
+  std::string scalar;                 // u/d/b value text
+  std::string bytes;                  // s payload
+  std::vector<double> doubles;        // D
+  std::vector<std::uint64_t> uints;   // U
+  std::vector<std::string> strings;   // L
+};
+
+std::uint64_t ParseU64(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  Expects(errno == 0 && end != text.c_str() && *end == '\0',
+          "journal: bad integer '" + text + "'");
+  return v;
+}
+
+double ParseDouble(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  Expects(end != text.c_str() && *end == '\0',
+          "journal: bad double '" + text + "'");
+  return v;
+}
+
+// Walks a payload, yielding entries.  Throws CheckError on any structural
+// damage — the caller decides whether that aborts (writer-side) or just
+// truncates the valid prefix (loader-side).
+class PayloadParser {
+ public:
+  explicit PayloadParser(const std::string& payload) : payload_(payload) {}
+
+  [[nodiscard]] bool Next(Field& f) {
+    if (pos_ >= payload_.size()) return false;
+    const std::string line = TakeLine();
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    Expects(tag.size() == 1, "journal: bad entry tag '" + tag + "'");
+    f = Field{};
+    f.tag = tag[0];
+    ls >> f.key;
+    Expects(!f.key.empty(), "journal: entry without key");
+    switch (f.tag) {
+      case 'u':
+      case 'd':
+      case 'b': {
+        ls >> f.scalar;
+        Expects(!ls.fail(), "journal: missing value for key " + f.key);
+        break;
+      }
+      case 's': {
+        std::string len_text;
+        ls >> len_text;
+        f.bytes = TakeBlock(ParseU64(len_text));
+        break;
+      }
+      case 'D': {
+        std::string n_text;
+        ls >> n_text;
+        const std::uint64_t n = ParseU64(n_text);
+        f.doubles.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          std::string v;
+          ls >> v;
+          Expects(!ls.fail(), "journal: short double list for " + f.key);
+          f.doubles.push_back(ParseDouble(v));
+        }
+        break;
+      }
+      case 'U': {
+        std::string n_text;
+        ls >> n_text;
+        const std::uint64_t n = ParseU64(n_text);
+        f.uints.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          std::string v;
+          ls >> v;
+          Expects(!ls.fail(), "journal: short uint list for " + f.key);
+          f.uints.push_back(ParseU64(v));
+        }
+        break;
+      }
+      case 'L': {
+        std::string n_text;
+        ls >> n_text;
+        const std::uint64_t n = ParseU64(n_text);
+        f.strings.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const std::string len_line = TakeLine();
+          f.strings.push_back(TakeBlock(ParseU64(len_line)));
+        }
+        break;
+      }
+      default:
+        Expects(false, "journal: unknown entry tag '" + std::string(1, f.tag) +
+                           "'");
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::string TakeLine() {
+    const std::size_t nl = payload_.find('\n', pos_);
+    Expects(nl != std::string::npos, "journal: unterminated entry line");
+    std::string line = payload_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    return line;
+  }
+
+  [[nodiscard]] std::string TakeBlock(std::uint64_t len) {
+    Expects(pos_ + len + 1 <= payload_.size(),
+            "journal: block runs past the payload");
+    std::string bytes = payload_.substr(pos_, len);
+    pos_ += len;
+    Expects(payload_[pos_] == '\n', "journal: block missing terminator");
+    ++pos_;
+    return bytes;
+  }
+
+  const std::string& payload_;
+  std::size_t pos_ = 0;
+};
+
+// ---- TestResult codec -------------------------------------------------
+
+std::string EncodeTestResult(const loadgen::TestResult& r) {
+  std::string out;
+  PutU(out, "scenario", static_cast<std::uint64_t>(r.scenario));
+  PutU(out, "mode", static_cast<std::uint64_t>(r.mode));
+  PutDV(out, "latencies_s", r.latencies_s);
+  PutD(out, "duration_s", r.duration_s);
+  PutU(out, "sample_count", r.sample_count);
+  PutD(out, "percentile_latency_s", r.percentile_latency_s);
+  PutD(out, "mean_latency_s", r.mean_latency_s);
+  PutD(out, "throughput_sps", r.throughput_sps);
+  PutB(out, "min_duration_met", r.min_duration_met);
+  PutB(out, "min_query_count_met", r.min_query_count_met);
+  PutB(out, "latency_bound_met", r.latency_bound_met);
+  PutB(out, "shed_bound_met", r.shed_bound_met);
+  PutU(out, "dropped_count", r.dropped_count);
+  PutU(out, "timed_out_count", r.timed_out_count);
+  PutU(out, "duplicate_count", r.duplicate_count);
+  PutU(out, "unknown_count", r.unknown_count);
+  PutU(out, "shed_count", r.shed_count);
+  PutU(out, "rejected_count", r.rejected_count);
+  PutL(out, "error_log", r.error_log);
+  PutS(out, "invalid_reason", r.invalid_reason);
+  PutS(out, "log", r.log.Serialize());
+  return out;
+}
+
+loadgen::TestResult DecodeTestResult(const std::string& payload) {
+  loadgen::TestResult r;
+  PayloadParser parser(payload);
+  Field f;
+  while (parser.Next(f)) {
+    if (f.key == "scenario") {
+      const std::uint64_t v = ParseU64(f.scalar);
+      Expects(v <= 3, "journal: bad scenario " + f.scalar);
+      r.scenario = static_cast<loadgen::TestScenario>(v);
+    } else if (f.key == "mode") {
+      const std::uint64_t v = ParseU64(f.scalar);
+      Expects(v <= 1, "journal: bad mode " + f.scalar);
+      r.mode = static_cast<loadgen::TestMode>(v);
+    } else if (f.key == "latencies_s") {
+      r.latencies_s = std::move(f.doubles);
+    } else if (f.key == "duration_s") {
+      r.duration_s = ParseDouble(f.scalar);
+    } else if (f.key == "sample_count") {
+      r.sample_count = ParseU64(f.scalar);
+    } else if (f.key == "percentile_latency_s") {
+      r.percentile_latency_s = ParseDouble(f.scalar);
+    } else if (f.key == "mean_latency_s") {
+      r.mean_latency_s = ParseDouble(f.scalar);
+    } else if (f.key == "throughput_sps") {
+      r.throughput_sps = ParseDouble(f.scalar);
+    } else if (f.key == "min_duration_met") {
+      r.min_duration_met = f.scalar == "1";
+    } else if (f.key == "min_query_count_met") {
+      r.min_query_count_met = f.scalar == "1";
+    } else if (f.key == "latency_bound_met") {
+      r.latency_bound_met = f.scalar == "1";
+    } else if (f.key == "shed_bound_met") {
+      r.shed_bound_met = f.scalar == "1";
+    } else if (f.key == "dropped_count") {
+      r.dropped_count = ParseU64(f.scalar);
+    } else if (f.key == "timed_out_count") {
+      r.timed_out_count = ParseU64(f.scalar);
+    } else if (f.key == "duplicate_count") {
+      r.duplicate_count = ParseU64(f.scalar);
+    } else if (f.key == "unknown_count") {
+      r.unknown_count = ParseU64(f.scalar);
+    } else if (f.key == "shed_count") {
+      r.shed_count = ParseU64(f.scalar);
+    } else if (f.key == "rejected_count") {
+      r.rejected_count = ParseU64(f.scalar);
+    } else if (f.key == "error_log") {
+      r.error_log = std::move(f.strings);
+    } else if (f.key == "invalid_reason") {
+      r.invalid_reason = std::move(f.bytes);
+    } else if (f.key == "log") {
+      r.log = loadgen::TestLog::Parse(f.bytes);
+    }
+    // Unknown keys are skipped: older binaries read newer journals.
+  }
+  return r;
+}
+
+}  // namespace
+
+// ---- task record codec ------------------------------------------------
+
+std::string EncodeTaskRecord(const TaskRunResult& tr) {
+  std::string out;
+  PutS(out, "task", tr.entry.id);
+  PutU(out, "numerics", static_cast<std::uint64_t>(tr.numerics));
+  PutS(out, "framework", tr.framework_name);
+  PutS(out, "accelerator", tr.accelerator_label);
+  PutD(out, "accuracy", tr.accuracy);
+  PutD(out, "fp32_reference", tr.fp32_reference);
+  PutD(out, "ratio_to_fp32", tr.ratio_to_fp32);
+  PutB(out, "quality_passed", tr.quality_passed);
+  PutUV(out, "calibration_indices", tr.calibration_indices);
+  PutU(out, "accuracy_sample_count", tr.accuracy_sample_count);
+  PutU(out, "dataset_size", tr.dataset_size);
+  if (tr.single_stream)
+    PutS(out, "single_stream", EncodeTestResult(*tr.single_stream));
+  if (tr.offline) PutS(out, "offline", EncodeTestResult(*tr.offline));
+  PutD(out, "energy_per_inference_j", tr.energy_per_inference_j);
+  PutD(out, "peak_temperature_c", tr.peak_temperature_c);
+  PutU(out, "peak_arena_bytes", tr.peak_arena_bytes);
+  PutU(out, "naive_activation_bytes", tr.naive_activation_bytes);
+  PutU(out, "status", static_cast<std::uint64_t>(tr.status));
+  PutS(out, "status_detail", tr.status_detail);
+  PutU(out, "fault_count", tr.fault_count);
+  PutU(out, "degradation_count", tr.degradation_count);
+  PutU(out, "shed_count", tr.shed_count);
+  PutU(out, "rejected_count", tr.rejected_count);
+  PutU(out, "breaker_trips", tr.breaker_trips);
+  PutB(out, "degraded_to_cpu", tr.degraded_to_cpu);
+  PutU(out, "performance_attempts",
+       static_cast<std::uint64_t>(tr.performance_attempts));
+  PutS(out, "fault_log", tr.fault_log);
+  PutU(out, "lint_error_count", tr.lint_error_count);
+  PutU(out, "lint_warning_count", tr.lint_warning_count);
+  PutS(out, "lint_log", tr.lint_log);
+  // accuracy_outputs are deliberately not journaled: they are only needed
+  // transiently for scoring, and the derived score is recorded above.
+  return out;
+}
+
+TaskRunResult DecodeTaskRecord(const std::string& payload) {
+  TaskRunResult tr;
+  PayloadParser parser(payload);
+  Field f;
+  while (parser.Next(f)) {
+    if (f.key == "task") {
+      tr.entry.id = std::move(f.bytes);
+    } else if (f.key == "numerics") {
+      const std::uint64_t v = ParseU64(f.scalar);
+      Expects(v <= 4, "journal: bad numerics " + f.scalar);
+      tr.numerics = static_cast<DataType>(v);
+    } else if (f.key == "framework") {
+      tr.framework_name = std::move(f.bytes);
+    } else if (f.key == "accelerator") {
+      tr.accelerator_label = std::move(f.bytes);
+    } else if (f.key == "accuracy") {
+      tr.accuracy = ParseDouble(f.scalar);
+    } else if (f.key == "fp32_reference") {
+      tr.fp32_reference = ParseDouble(f.scalar);
+    } else if (f.key == "ratio_to_fp32") {
+      tr.ratio_to_fp32 = ParseDouble(f.scalar);
+    } else if (f.key == "quality_passed") {
+      tr.quality_passed = f.scalar == "1";
+    } else if (f.key == "calibration_indices") {
+      tr.calibration_indices.assign(f.uints.begin(), f.uints.end());
+    } else if (f.key == "accuracy_sample_count") {
+      tr.accuracy_sample_count = ParseU64(f.scalar);
+    } else if (f.key == "dataset_size") {
+      tr.dataset_size = ParseU64(f.scalar);
+    } else if (f.key == "single_stream") {
+      tr.single_stream = DecodeTestResult(f.bytes);
+    } else if (f.key == "offline") {
+      tr.offline = DecodeTestResult(f.bytes);
+    } else if (f.key == "energy_per_inference_j") {
+      tr.energy_per_inference_j = ParseDouble(f.scalar);
+    } else if (f.key == "peak_temperature_c") {
+      tr.peak_temperature_c = ParseDouble(f.scalar);
+    } else if (f.key == "peak_arena_bytes") {
+      tr.peak_arena_bytes = ParseU64(f.scalar);
+    } else if (f.key == "naive_activation_bytes") {
+      tr.naive_activation_bytes = ParseU64(f.scalar);
+    } else if (f.key == "status") {
+      const std::uint64_t v = ParseU64(f.scalar);
+      Expects(v <= 3, "journal: bad status " + f.scalar);
+      tr.status = static_cast<TaskStatus>(v);
+    } else if (f.key == "status_detail") {
+      tr.status_detail = std::move(f.bytes);
+    } else if (f.key == "fault_count") {
+      tr.fault_count = ParseU64(f.scalar);
+    } else if (f.key == "degradation_count") {
+      tr.degradation_count = ParseU64(f.scalar);
+    } else if (f.key == "shed_count") {
+      tr.shed_count = ParseU64(f.scalar);
+    } else if (f.key == "rejected_count") {
+      tr.rejected_count = ParseU64(f.scalar);
+    } else if (f.key == "breaker_trips") {
+      tr.breaker_trips = ParseU64(f.scalar);
+    } else if (f.key == "degraded_to_cpu") {
+      tr.degraded_to_cpu = f.scalar == "1";
+    } else if (f.key == "performance_attempts") {
+      tr.performance_attempts = static_cast<int>(ParseU64(f.scalar));
+    } else if (f.key == "fault_log") {
+      tr.fault_log = std::move(f.bytes);
+    } else if (f.key == "lint_error_count") {
+      tr.lint_error_count = ParseU64(f.scalar);
+    } else if (f.key == "lint_warning_count") {
+      tr.lint_warning_count = ParseU64(f.scalar);
+    } else if (f.key == "lint_log") {
+      tr.lint_log = std::move(f.bytes);
+    }
+  }
+  Expects(!tr.entry.id.empty(), "journal: record without a task id");
+  return tr;
+}
+
+std::string EncodeMeta(const JournalMeta& meta) {
+  std::string out;
+  PutS(out, "chipset", meta.chipset);
+  PutS(out, "version", meta.version);
+  PutU(out, "seed", meta.seed);
+  PutU(out, "config_hash", meta.config_hash);
+  return out;
+}
+
+JournalMeta DecodeMeta(const std::string& payload) {
+  JournalMeta meta;
+  PayloadParser parser(payload);
+  Field f;
+  while (parser.Next(f)) {
+    if (f.key == "chipset") meta.chipset = std::move(f.bytes);
+    else if (f.key == "version") meta.version = std::move(f.bytes);
+    else if (f.key == "seed") meta.seed = ParseU64(f.scalar);
+    else if (f.key == "config_hash") meta.config_hash = ParseU64(f.scalar);
+  }
+  Expects(!meta.chipset.empty() && !meta.version.empty(),
+          "journal: meta missing chipset/version");
+  return meta;
+}
+
+// ---- run-config digest ------------------------------------------------
+
+std::uint64_t HashRunConfig(const soc::ChipsetDesc& chipset,
+                            models::SuiteVersion version,
+                            const RunOptions& o) {
+  std::string canon;
+  const auto add = [&canon](std::string_view key, const std::string& value) {
+    canon += key;
+    canon += '=';
+    canon += value;
+    canon += ';';
+  };
+  const auto add_d = [&](std::string_view key, double v) {
+    add(key, HexDouble(v));
+  };
+  const auto add_u = [&](std::string_view key, std::uint64_t v) {
+    add(key, std::to_string(v));
+  };
+
+  add("chipset", chipset.name);
+  add("version", std::string(ToString(version)));
+  add_u("run_accuracy", o.run_accuracy ? 1 : 0);
+  add_u("run_performance", o.run_performance ? 1 : 0);
+  add_u("run_offline", o.run_offline ? 1 : 0);
+  add_d("cooldown_s", o.cooldown_s);
+  add_u("end_to_end", o.end_to_end ? 1 : 0);
+  add_u("use_qat_weights", o.use_qat_weights ? 1 : 0);
+  add_u("max_test_retries", static_cast<std::uint64_t>(o.max_test_retries));
+  add_u("lint", static_cast<std::uint64_t>(o.lint));
+
+  const loadgen::TestSettings& s = o.performance_settings;
+  add_u("seed", s.seed);
+  add_u("min_query_count", s.min_query_count);
+  add_d("min_duration_s", s.min_duration.count());
+  add_u("offline_sample_count", s.offline_sample_count);
+  add_d("latency_percentile", s.latency_percentile);
+  add_d("server_target_qps", s.server_target_qps);
+  add_d("server_latency_bound_s", s.server_latency_bound.count());
+  add_u("server_query_count", s.server_query_count);
+  add_u("server_max_queue_depth", s.server_max_queue_depth);
+  add_d("server_max_shed_fraction", s.server_max_shed_fraction);
+  add_u("multistream_samples_per_query", s.multistream_samples_per_query);
+  add_d("multistream_interval_s", s.multistream_interval.count());
+  add_u("multistream_query_count", s.multistream_query_count);
+  add_u("performance_sample_count", s.performance_sample_count);
+  add_d("query_timeout_s", s.query_timeout.count());
+
+  if (o.fault_plan) {
+    add_u("fault_seed", o.fault_plan->seed);
+    for (const soc::FaultSpec& spec : o.fault_plan->specs) {
+      add("fault_kind", std::string(ToString(spec.kind)));
+      add_d("fault_probability", spec.probability);
+      add_d("fault_stall_scale", spec.stall_scale);
+      add_d("fault_crash_latency_fraction", spec.crash_latency_fraction);
+    }
+    const backends::FaultToleranceOptions& ft = o.fault_tolerance;
+    add_u("ft_max_attempts", static_cast<std::uint64_t>(ft.max_attempts));
+    add_d("ft_backoff_base_s", ft.backoff_base_s);
+    add_u("ft_crash_fallback_threshold",
+          static_cast<std::uint64_t>(ft.crash_fallback_threshold));
+    add_d("ft_emergency_cooldown_s", ft.emergency_cooldown_s);
+    add_d("ft_backoff_jitter_frac", ft.backoff_jitter_frac);
+    add_u("ft_backoff_seed", ft.backoff_seed);
+  }
+  if (o.circuit_breaker) {
+    const backends::CircuitBreakerOptions& cb = *o.circuit_breaker;
+    add_u("cb_trip_threshold", static_cast<std::uint64_t>(cb.trip_threshold));
+    add_d("cb_open_duration_s", cb.open_duration_s);
+    add_d("cb_backoff_factor", cb.backoff_factor);
+    add_d("cb_max_open_duration_s", cb.max_open_duration_s);
+    add_d("cb_probe_jitter_frac", cb.probe_jitter_frac);
+    add_u("cb_seed", cb.seed);
+    add_d("cb_rejection_latency_s", cb.rejection_latency_s);
+  }
+  // threads / profile / trace_path / journal_path are excluded: they do
+  // not change any result field.
+  return Fnv1a64(canon);
+}
+
+// ---- loader -----------------------------------------------------------
+
+namespace {
+
+// One frame header line: "<kind> <len> <hash-hex>".  Returns false when
+// the bytes at `pos` cannot possibly be an intact frame.
+struct FrameHeader {
+  std::string kind;
+  std::uint64_t len = 0;
+  std::uint64_t hash = 0;
+  std::size_t payload_pos = 0;  // offset of the first payload byte
+};
+
+bool ParseFrameHeader(const std::string& data, std::size_t pos,
+                      FrameHeader& out, std::string& why) {
+  const std::size_t nl = data.find('\n', pos);
+  if (nl == std::string::npos) {
+    why = "unterminated frame header";
+    return false;
+  }
+  std::istringstream ls(data.substr(pos, nl - pos));
+  std::string kind, len_text, hash_text;
+  ls >> kind >> len_text >> hash_text;
+  if (ls.fail() || (kind != "meta" && kind != "rec")) {
+    why = "malformed frame header";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t len = std::strtoull(len_text.c_str(), &end, 10);
+  if (errno != 0 || *end != '\0') {
+    why = "bad frame length";
+    return false;
+  }
+  errno = 0;
+  const std::uint64_t hash = std::strtoull(hash_text.c_str(), &end, 16);
+  if (errno != 0 || *end != '\0') {
+    why = "bad frame checksum";
+    return false;
+  }
+  out.kind = kind;
+  out.len = len;
+  out.hash = hash;
+  out.payload_pos = nl + 1;
+  return true;
+}
+
+}  // namespace
+
+JournalLoad LoadJournal(const std::string& path) {
+  JournalLoad load;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    load.notes.push_back("cannot open journal: " + path);
+    return load;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+
+  // Header line.
+  const std::size_t header_end = data.find('\n');
+  if (header_end == std::string::npos ||
+      data.substr(0, header_end) != kHeader) {
+    load.notes.push_back("not a journal: missing '" + std::string(kHeader) +
+                         "' header");
+    load.torn_tail = !data.empty();
+    load.torn_bytes = data.size();
+    return load;
+  }
+
+  std::size_t pos = header_end + 1;
+  bool first_frame = true;
+  while (pos < data.size()) {
+    FrameHeader frame;
+    std::string why;
+    if (!ParseFrameHeader(data, pos, frame, why)) {
+      load.notes.push_back("torn tail at byte " + std::to_string(pos) + ": " +
+                           why);
+      break;
+    }
+    // Payload must be fully present, terminated, and checksum-clean.
+    if (frame.payload_pos + frame.len + 1 > data.size()) {
+      load.notes.push_back("torn tail at byte " + std::to_string(pos) +
+                           ": frame truncated mid-payload");
+      break;
+    }
+    if (data[frame.payload_pos + frame.len] != '\n') {
+      load.notes.push_back("torn tail at byte " + std::to_string(pos) +
+                           ": frame payload unterminated");
+      break;
+    }
+    const std::string payload = data.substr(frame.payload_pos, frame.len);
+    if (Fnv1a64(payload) != frame.hash) {
+      load.notes.push_back("torn tail at byte " + std::to_string(pos) +
+                           ": checksum mismatch on '" + frame.kind +
+                           "' frame");
+      break;
+    }
+    try {
+      if (first_frame) {
+        if (frame.kind != "meta") {
+          load.notes.push_back("first frame is '" + frame.kind +
+                               "', expected 'meta'");
+          break;
+        }
+        load.meta = DecodeMeta(payload);
+        load.meta_valid = true;
+      } else {
+        if (frame.kind != "rec") {
+          load.notes.push_back("unexpected '" + frame.kind +
+                               "' frame after the meta frame");
+          break;
+        }
+        load.tasks.push_back(DecodeTaskRecord(payload));
+        ++load.intact_records;
+      }
+    } catch (const std::exception& e) {
+      // Checksum-clean but undecodable: a format bug or version skew.
+      // Treat like a torn tail — keep the prefix, cut from here.
+      load.notes.push_back("undecodable '" + frame.kind + "' frame at byte " +
+                           std::to_string(pos) + ": " + e.what());
+      break;
+    }
+    first_frame = false;
+    pos = frame.payload_pos + frame.len + 1;
+  }
+
+  load.valid_prefix_bytes = pos;
+  load.torn_bytes = data.size() - pos;
+  load.torn_tail = load.torn_bytes > 0;
+  return load;
+}
+
+// ---- writer -----------------------------------------------------------
+
+JournalWriter JournalWriter::Open(const std::string& path,
+                                  const JournalMeta& meta, bool resume) {
+  if (resume) {
+    const JournalLoad existing = LoadJournal(path);
+    if (existing.meta_valid && existing.meta.Matches(meta)) {
+      if (existing.torn_tail) {
+        // Cut the torn tail so the next append starts on a frame
+        // boundary.  Rewriting the valid prefix is equivalent to (and
+        // simpler than) platform truncate(), and the prefix is small —
+        // a handful of per-task records.
+        std::ifstream in(path, std::ios::binary);
+        Expects(static_cast<bool>(in), "cannot reopen journal: " + path);
+        std::string prefix(existing.valid_prefix_bytes, '\0');
+        in.read(prefix.data(),
+                static_cast<std::streamsize>(prefix.size()));
+        Expects(static_cast<std::size_t>(in.gcount()) == prefix.size(),
+                "journal shrank while truncating: " + path);
+        in.close();
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        Expects(static_cast<bool>(out), "cannot truncate journal: " + path);
+        out.write(prefix.data(),
+                  static_cast<std::streamsize>(prefix.size()));
+        Expects(static_cast<bool>(out), "cannot rewrite journal: " + path);
+      }
+      std::unique_ptr<std::FILE, FileCloser> file(
+          std::fopen(path.c_str(), "ab"));
+      Expects(file != nullptr, "cannot append to journal: " + path);
+      return JournalWriter(path, std::move(file));
+    }
+    // Missing, damaged beyond the meta frame, or a different run's
+    // journal: fall through and start fresh.
+  }
+  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "wb"));
+  Expects(file != nullptr, "cannot create journal: " + path);
+  JournalWriter writer(path, std::move(file));
+  const std::string header = std::string(kHeader) + "\n";
+  Expects(std::fwrite(header.data(), 1, header.size(), writer.file_.get()) ==
+              header.size(),
+          "journal header write failed: " + path);
+  writer.AppendFrame("meta", EncodeMeta(meta));
+  return writer;
+}
+
+void JournalWriter::AppendFrame(std::string_view kind,
+                                const std::string& payload) {
+  char head[64];
+  std::snprintf(head, sizeof head, "%.*s %zu %016llx\n",
+                static_cast<int>(kind.size()), kind.data(), payload.size(),
+                static_cast<unsigned long long>(Fnv1a64(payload)));
+  std::string frame = head;
+  frame += payload;
+  frame += '\n';
+  Expects(std::fwrite(frame.data(), 1, frame.size(), file_.get()) ==
+              frame.size(),
+          "journal write failed: " + path_);
+
+  // Durability point: the record is not "appended" until it has hit the
+  // disk.  fsync latency is the price of crash safety — surface it.
+  const auto t0 = std::chrono::steady_clock::now();
+  Expects(std::fflush(file_.get()) == 0, "journal flush failed: " + path_);
+#if MLPM_JOURNAL_HAS_FSYNC
+  Expects(::fsync(::fileno(file_.get())) == 0,
+          "journal fsync failed: " + path_);
+#endif
+  const double fsync_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Increment("journal.records");
+  metrics.MaxGauge("journal.fsync_seconds_max", fsync_s);
+  if (obs::TraceRecorder& rec = obs::TraceRecorder::Global(); rec.enabled())
+    rec.AddInstant(
+        obs::Domain::kHost, "journal", "journal:append", rec.NowUs(),
+        {obs::Arg("bytes", static_cast<std::uint64_t>(frame.size())),
+         obs::Arg("fsync_ms", fsync_s * 1e3)},
+        "journal");
+}
+
+void JournalWriter::Append(const TaskRunResult& tr) {
+  AppendFrame("rec", EncodeTaskRecord(tr));
+}
+
+}  // namespace mlpm::harness

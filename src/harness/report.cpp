@@ -99,7 +99,8 @@ std::string FormatSubmission(const SubmissionResult& result) {
   if (any_fault) {
     TextTable f("fault / degradation summary");
     f.SetHeader({"Task", "Status", "Faults", "Recoveries", "Dropped",
-                 "Timed out", "Attempts", "Detail"});
+                 "Timed out", "Shed", "Rejected", "Trips", "Attempts",
+                 "Detail"});
     for (const TaskRunResult& task : result.tasks) {
       const std::size_t dropped =
           (task.single_stream ? task.single_stream->dropped_count : 0) +
@@ -111,6 +112,9 @@ std::string FormatSubmission(const SubmissionResult& result) {
                 std::to_string(task.fault_count),
                 std::to_string(task.degradation_count),
                 std::to_string(dropped), std::to_string(timed_out),
+                std::to_string(task.shed_count),
+                std::to_string(task.rejected_count),
+                std::to_string(task.breaker_trips),
                 std::to_string(task.performance_attempts),
                 task.status_detail});
     }
@@ -134,6 +138,17 @@ std::string FormatSubmission(const SubmissionResult& result) {
     }
     out += "\n";
     out += l.Render();
+  }
+
+  // Interruption transparency (DESIGN.md §12): a partial run says so in
+  // the report body, never silently.  An uninterrupted (or fully resumed)
+  // run emits nothing here, keeping resumed reports byte-identical to
+  // their uninterrupted baselines.
+  if (result.interrupted) {
+    out += "\nrun state: interrupted — " +
+           std::to_string(result.tasks.size()) + " of " +
+           std::to_string(models::SuiteFor(result.version).size()) +
+           " suite tasks completed; resume from the journal to finish\n";
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "core/dataset_qsl.h"
+#include "harness/journal.h"
 #include "infer/memory_plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -98,6 +99,7 @@ struct PerformanceAttempt {
   double peak_temperature_c = 0.0;
   std::size_t fault_count = 0;
   std::size_t degradation_count = 0;
+  std::size_t breaker_trips = 0;
   bool degraded_to_cpu = false;
   std::string fault_log;
 
@@ -106,8 +108,13 @@ struct PerformanceAttempt {
   }
 };
 
-template <typename Sut>
-PerformanceAttempt RunPerformanceWith(Sut& sut, loadgen::DatasetQsl& qsl,
+// `backend` owns the simulator/energy accounting; `front` is the SUT the
+// LoadGen actually issues to.  They are the same object except when an
+// admission layer (circuit breaker) is interposed between them.
+template <typename Backend>
+PerformanceAttempt RunPerformanceWith(Backend& backend,
+                                      loadgen::SystemUnderTest& front,
+                                      loadgen::DatasetQsl& qsl,
                                       loadgen::VirtualClock& clock,
                                       const RunOptions& options,
                                       bool has_offline) {
@@ -115,23 +122,23 @@ PerformanceAttempt RunPerformanceWith(Sut& sut, loadgen::DatasetQsl& qsl,
   loadgen::TestSettings ss = options.performance_settings;
   ss.scenario = loadgen::TestScenario::kSingleStream;
   ss.mode = loadgen::TestMode::kPerformanceOnly;
-  a.single_stream = loadgen::RunTest(sut, qsl, ss, clock);
-  a.peak_temperature_c = sut.simulator().thermal().temperature_c();
+  a.single_stream = loadgen::RunTest(front, qsl, ss, clock);
+  a.peak_temperature_c = backend.simulator().thermal().temperature_c();
 
   if (has_offline) {
     // Cooldown interval between the two performance tests (§6.1).
-    sut.Cooldown(options.cooldown_s);
+    backend.Cooldown(options.cooldown_s);
     loadgen::TestSettings off = options.performance_settings;
     off.scenario = loadgen::TestScenario::kOffline;
     off.mode = loadgen::TestMode::kPerformanceOnly;
-    a.offline = loadgen::RunTest(sut, qsl, off, clock);
+    a.offline = loadgen::RunTest(front, qsl, off, clock);
     a.peak_temperature_c =
         std::max(a.peak_temperature_c,
-                 sut.simulator().thermal().temperature_c());
+                 backend.simulator().thermal().temperature_c());
   }
-  a.energy_j = sut.total_energy_j();
-  a.fault_count = sut.simulator().fault_count();
-  if (const soc::FaultInjector* inj = sut.simulator().fault_injector())
+  a.energy_j = backend.total_energy_j();
+  a.fault_count = backend.simulator().fault_count();
+  if (const soc::FaultInjector* inj = backend.simulator().fault_injector())
     a.fault_log = inj->EventLogText();
   return a;
 }
@@ -167,10 +174,49 @@ SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
     if (pool_storage->thread_count() > 1) pool = &*pool_storage;
   }
 
+  // Crash-safe journaling + resume (DESIGN.md §12).  With a journal path
+  // set, every finished task is fsync'd to the write-ahead log before the
+  // next one starts; with `resume`, intact records from a prior run of the
+  // identical configuration are replayed instead of re-run.  An errored
+  // record is never replayed — a resumed run retries it.
+  std::map<std::string, TaskRunResult> replayable;
+  std::optional<JournalWriter> journal;
+  if (!options.journal_path.empty()) {
+    JournalMeta meta;
+    meta.chipset = chipset.name;
+    meta.version = std::string(ToString(version));
+    meta.seed = options.performance_settings.seed;
+    meta.config_hash = HashRunConfig(chipset, version, options);
+    if (options.resume) {
+      JournalLoad prior = LoadJournal(options.journal_path);
+      if (prior.meta_valid && prior.meta.Matches(meta))
+        for (TaskRunResult& t : prior.tasks)
+          if (t.status != TaskStatus::kErrored)
+            replayable.insert_or_assign(t.entry.id, std::move(t));
+    }
+    journal.emplace(
+        JournalWriter::Open(options.journal_path, meta, options.resume));
+  }
+
   // The prescribed task order is the suite order (§6.1).  One task blowing
   // up must not take the submission down with it: each task is isolated,
   // and a throw marks it errored while the rest of the suite proceeds.
   for (const models::BenchmarkEntry& entry : models::SuiteFor(version)) {
+    if (options.cancel && options.cancel()) {
+      // Cooperative interruption: stop cleanly between tasks.  Everything
+      // finished so far is already durable in the journal.
+      result.interrupted = true;
+      break;
+    }
+    if (const auto it = replayable.find(entry.id); it != replayable.end()) {
+      TaskRunResult tr = std::move(it->second);
+      replayable.erase(it);
+      // Journal records carry only the task id; rebind the live entry.
+      tr.entry = entry;
+      ++result.resumed_tasks;
+      result.tasks.push_back(std::move(tr));
+      continue;
+    }
     TaskRunResult tr;
     tr.entry = entry;
     try {
@@ -179,6 +225,7 @@ SubmissionResult RunSubmission(const soc::ChipsetDesc& chipset,
       tr.status = TaskStatus::kErrored;
       tr.status_detail = e.what();
     }
+    if (journal) journal->Append(tr);
     result.tasks.push_back(std::move(tr));
   }
 
@@ -330,17 +377,33 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
             backends::CompileCpuFallback(chipset, full, sub.numerics),
             backends::CompileOfflineReplicas(chipset, sub, full), clock,
             options.fault_tolerance, e2e);
-        attempt = RunPerformanceWith(sut, qsl, clock, options, has_offline);
+        if (options.circuit_breaker) {
+          // Admission layer between the LoadGen and the recovery layer:
+          // consecutive never-completed queries trip it open and later
+          // queries fast-fail instead of burning the retry budget.
+          backends::CircuitBreakerBackend breaker(sut, clock,
+                                                  *options.circuit_breaker);
+          attempt =
+              RunPerformanceWith(sut, breaker, qsl, clock, options,
+                                 has_offline);
+          attempt.breaker_trips = breaker.stats().trips;
+          attempt.fault_log += sut.EventLogText();
+          attempt.fault_log += breaker.EventLogText();
+        } else {
+          attempt =
+              RunPerformanceWith(sut, sut, qsl, clock, options, has_offline);
+          attempt.fault_log += sut.EventLogText();
+        }
         attempt.degradation_count = sut.stats().DegradationCount();
         attempt.degraded_to_cpu = sut.degraded_to_cpu();
-        attempt.fault_log += sut.EventLogText();
       } else {
         backends::SimulatedBackend sut(
             sut_name, soc::SocSimulator(chipset),
             backends::CompileSubmission(chipset, sub, full),
             backends::CompileOfflineReplicas(chipset, sub, full), clock,
             e2e);
-        attempt = RunPerformanceWith(sut, qsl, clock, options, has_offline);
+        attempt =
+            RunPerformanceWith(sut, sut, qsl, clock, options, has_offline);
       }
       tr.performance_attempts = i + 1;
       if (!attempt.Errored()) break;
@@ -351,6 +414,11 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
     tr.peak_temperature_c = attempt.peak_temperature_c;
     tr.fault_count = attempt.fault_count;
     tr.degradation_count = attempt.degradation_count;
+    tr.shed_count = tr.single_stream->shed_count +
+                    (tr.offline ? tr.offline->shed_count : 0);
+    tr.rejected_count = tr.single_stream->rejected_count +
+                        (tr.offline ? tr.offline->rejected_count : 0);
+    tr.breaker_trips = attempt.breaker_trips;
     tr.degraded_to_cpu = attempt.degraded_to_cpu;
     tr.fault_log = std::move(attempt.fault_log);
     if (tr.single_stream->sample_count > 0)

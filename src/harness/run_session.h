@@ -9,6 +9,7 @@
 // virtual clock).  See DESIGN.md §1.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "backends/circuit_breaker.h"
 #include "backends/fault_tolerant_backend.h"
 #include "backends/simulated_backend.h"
 #include "backends/vendor_policy.h"
@@ -68,6 +70,12 @@ struct RunOptions {
   backends::FaultToleranceOptions fault_tolerance;
   int max_test_retries = 1;
 
+  // Overload admission control (DESIGN.md §12).  When set, fault-tolerant
+  // performance runs go through a CircuitBreakerBackend that fast-fails
+  // queries while the backend keeps failing to complete them.  Requires a
+  // fault_plan (a fault-free backend never trips the breaker).
+  std::optional<backends::CircuitBreakerOptions> circuit_breaker;
+
   // Worker threads for the accuracy phase (sample-level fan-out through the
   // reference executor).  0 = hardware concurrency, 1 = serial.  Accuracy
   // results are bit-identical for any value; the performance phase's
@@ -88,6 +96,20 @@ struct RunOptions {
   // instrumentation point and records nothing.
   bool profile = false;
   std::string trace_path;
+
+  // Crash-safe journaling (DESIGN.md §12).  When `journal_path` is set,
+  // RunSubmission appends one fsync'd, checksummed record per finished
+  // task.  With `resume` additionally set, intact records from a previous
+  // run of the *same* configuration (chipset, version, seed, config hash)
+  // are replayed instead of re-run; torn or errored records re-run.  The
+  // resumed submission is field-identical to an uninterrupted one.
+  std::string journal_path;
+  bool resume = false;
+
+  // Cooperative cancellation: checked between tasks.  When it returns
+  // true the submission stops early with SubmissionResult::interrupted
+  // set (already-journaled tasks survive for a later --resume).
+  std::function<bool()> cancel;
 };
 
 // How a task run ended, from the harness's point of view.
@@ -148,6 +170,10 @@ struct TaskRunResult {
   std::string status_detail;          // invalid_reason / exception text
   std::size_t fault_count = 0;        // injected faults observed
   std::size_t degradation_count = 0;  // recovery actions taken
+  // Admission-control accounting across the task's performance tests.
+  std::size_t shed_count = 0;      // refused by LoadGen admission control
+  std::size_t rejected_count = 0;  // fast-failed by the circuit breaker
+  std::size_t breaker_trips = 0;   // closed/half-open -> open transitions
   bool degraded_to_cpu = false;
   int performance_attempts = 0;       // test runs incl. retries (0 if skipped)
   // Concatenated injector + recovery event logs; byte-identical across
@@ -167,6 +193,11 @@ struct SubmissionResult {
   std::string chipset_name;
   models::SuiteVersion version = models::SuiteVersion::kV1_0;
   std::vector<TaskRunResult> tasks;
+  // True when RunOptions::cancel stopped the run before the suite finished;
+  // `tasks` then holds only the completed prefix.
+  bool interrupted = false;
+  // Tasks replayed from the journal instead of executed (--resume).
+  std::size_t resumed_tasks = 0;
 };
 
 // Runs the full suite for one chipset.  `bundles` may be shared across

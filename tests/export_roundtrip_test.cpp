@@ -26,7 +26,9 @@ const std::vector<std::string> kColumns = {
     "fault_count",    "degradation_count",
     "dropped",        "timed_out",
     "lint_errors",    "lint_warnings",
-    "peak_arena_bytes", "naive_activation_bytes"};
+    "peak_arena_bytes", "naive_activation_bytes",
+    "shed",           "rejected",
+    "breaker_trips"};
 
 // A submission whose string fields exercise every character RFC 4180
 // forces into quotes: commas, double quotes, LF, CR and CRLF.
@@ -60,6 +62,9 @@ SubmissionResult HostileResult() {
   task.lint_warning_count = 2;
   task.peak_arena_bytes = 1 << 20;
   task.naive_activation_bytes = 1 << 22;
+  task.shed_count = 7;
+  task.rejected_count = 4;
+  task.breaker_trips = 2;
   result.tasks.push_back(std::move(task));
   return result;
 }
@@ -97,6 +102,9 @@ TEST(ExportCsv, HostileFieldsRoundTripByteForByte) {
   EXPECT_EQ(row[10], "true");
   EXPECT_EQ(row[16], "3");   // fault_count
   EXPECT_EQ(row[17], "1");   // degradation_count
+  EXPECT_EQ(row[24], "7");   // shed
+  EXPECT_EQ(row[25], "4");   // rejected
+  EXPECT_EQ(row[26], "2");   // breaker_trips
 }
 
 TEST(ExportCsv, EveryRowHasHeaderWidth) {

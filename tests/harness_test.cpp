@@ -228,6 +228,50 @@ TEST(Checker, ValidatesServerLogs) {
 }
 
 
+TEST(Checker, AccountsForShedQueriesInServerLogs) {
+  // A server run with admission control sheds part of a 2x overload; the
+  // checker must accept the log when the declared shed budget covers it
+  // (completions + shed + rejected must tally to the offered count) and
+  // flag it when the budget is tighter than what the run shed.
+  class FixedLatencySut final : public loadgen::SystemUnderTest {
+   public:
+    explicit FixedLatencySut(loadgen::VirtualClock& clock) : clock_(clock) {}
+    [[nodiscard]] std::string_view name() const override { return "fixed"; }
+    void IssueQuery(std::span<const loadgen::QuerySample> samples,
+                    loadgen::ResponseSink& sink) override {
+      for (const loadgen::QuerySample& s : samples) {
+        clock_.Advance(loadgen::Seconds{0.001});
+        sink.Complete(loadgen::QuerySampleResponse{s.id, {}});
+      }
+    }
+
+   private:
+    loadgen::VirtualClock& clock_;
+  };
+  loadgen::VirtualClock clock;
+  FixedLatencySut sut(clock);
+  const TaskBundle& bundle = Bundles().Get(
+      models::SuiteFor(models::SuiteVersion::kV1_0)[0],
+      models::SuiteVersion::kV1_0);
+  loadgen::DatasetQsl qsl(bundle.dataset());
+  loadgen::TestSettings s;
+  s.scenario = loadgen::TestScenario::kServer;
+  s.server_target_qps = 2000.0;  // 2x the 1 ms service capacity
+  s.server_query_count = 512;
+  s.server_latency_bound = loadgen::Seconds{0.01};
+  s.server_max_queue_depth = 8;
+  s.server_max_shed_fraction = 0.6;
+  const loadgen::TestResult r = loadgen::RunTest(sut, qsl, s, clock);
+  ASSERT_GT(r.shed_count, 0u);
+  EXPECT_TRUE(r.shed_bound_met);
+  const CheckReport ok = CheckPerformanceLog(r.log.Serialize(), s);
+  EXPECT_TRUE(ok.valid) << FormatCheckReport(ok);
+  // The same log fails a submission that only declared a 1% shed budget.
+  loadgen::TestSettings strict = s;
+  strict.server_max_shed_fraction = 0.01;
+  EXPECT_FALSE(CheckPerformanceLog(r.log.Serialize(), strict).valid);
+}
+
 TEST(QualityAnchors, EveryNumericsModeClearsItsTable1Target) {
   // Covers all (task, numerics) combinations any vendor submits: vision
   // INT8 on phones and laptops, NLP FP16 on phones, NLP INT8 on laptops.

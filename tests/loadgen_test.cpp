@@ -454,6 +454,130 @@ TEST(LoadGen, ErroredRunNeverMeetsLatencyBound) {
   EXPECT_FALSE(r.latency_bound_met);
 }
 
+// ---- server admission control (DESIGN.md §12) ----
+
+// Overload settings shared by the admission-control tests: offered load is
+// 2x the SUT's capacity (2000 QPS against a 1 ms service time).
+TestSettings OverloadSettings() {
+  TestSettings s;
+  s.scenario = TestScenario::kServer;
+  s.server_target_qps = 2000.0;
+  s.server_query_count = 512;
+  s.server_latency_bound = Seconds{0.01};
+  s.offline_sample_count = 100;
+  return s;
+}
+
+TEST(LoadGen, ServerAdmissionControlShedsUnderOverload) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(16);
+  TestSettings s = OverloadSettings();
+  s.server_max_queue_depth = 8;
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  // Every offered query is accounted for: completed or shed.
+  EXPECT_GT(r.shed_count, 0u);
+  EXPECT_EQ(r.sample_count + r.shed_count, 512u);
+  // Accepted queries wait behind at most `depth` in-flight queries:
+  // 8 x 1 ms < the 10 ms bound, so the accepted-query p90 holds even
+  // though the same offered load without shedding misses it badly
+  // (ServerOverloadQueuesAndMissesBound above).
+  EXPECT_TRUE(r.latency_bound_met);
+  EXPECT_LT(r.percentile_latency_s, 0.01);
+  // ...but refusing ~half the offered load blows the default 10% shed
+  // budget, so the run as a whole is still not a passing server run.
+  EXPECT_FALSE(r.shed_bound_met);
+}
+
+TEST(LoadGen, ServerSheddingIsDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    VirtualClock clock;
+    FixedLatencySut sut(clock, 0.001);
+    FakeQsl qsl(16);
+    TestSettings s = OverloadSettings();
+    s.server_max_queue_depth = 8;
+    s.seed = seed;
+    return RunTest(sut, qsl, s, clock);
+  };
+  const TestResult a = run(1), b = run(1), c = run(2);
+  EXPECT_EQ(a.shed_count, b.shed_count);
+  EXPECT_EQ(a.sample_count, b.sample_count);
+  EXPECT_EQ(a.percentile_latency_s, b.percentile_latency_s);
+  // A different seed sheds a different arrival pattern.
+  EXPECT_NE(a.percentile_latency_s, c.percentile_latency_s);
+}
+
+TEST(LoadGen, ServerShedBudgetIsConfigurable) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(16);
+  TestSettings s = OverloadSettings();
+  s.server_max_queue_depth = 8;
+  s.server_max_shed_fraction = 0.6;  // accept heavy shedding explicitly
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_GT(r.shed_count, 0u);
+  EXPECT_TRUE(r.shed_bound_met);
+}
+
+TEST(LoadGen, ServerUnboundedQueueNeverSheds) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(16);
+  const TestSettings s = OverloadSettings();  // depth 0 = disabled
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  EXPECT_EQ(r.shed_count, 0u);
+  EXPECT_TRUE(r.shed_bound_met);
+}
+
+TEST(LoadGen, ServerSheddingDoesNotPerturbSampleSelection) {
+  // The sample index is drawn before the shed decision, so the accepted
+  // queries see the same sample sequence whether or not shedding is on:
+  // the k-th *issued* query under shedding matches some prefix-preserving
+  // subsequence of the unshedded run's samples.
+  const auto seen = [](std::size_t depth) {
+    VirtualClock clock;
+    FixedLatencySut sut(clock, 0.001);
+    FakeQsl qsl(16);
+    TestSettings s = OverloadSettings();
+    s.server_max_queue_depth = depth;
+    RunTest(sut, qsl, s, clock);
+    return sut.seen_indices_;
+  };
+  const std::vector<std::size_t> unshed = seen(0);
+  const std::vector<std::size_t> shed = seen(8);
+  ASSERT_EQ(unshed.size(), 512u);
+  ASSERT_LT(shed.size(), unshed.size());
+  // Every accepted query's sample matches the unshedded run at the same
+  // offered-query position; verify via subsequence containment.
+  std::size_t j = 0;
+  for (std::size_t idx : shed) {
+    while (j < unshed.size() && unshed[j] != idx) ++j;
+    ASSERT_LT(j, unshed.size()) << "sample stream diverged under shedding";
+    ++j;
+  }
+}
+
+TEST(LoadGen, ShedEventsRoundTripThroughTheLog) {
+  VirtualClock clock;
+  FixedLatencySut sut(clock, 0.001);
+  FakeQsl qsl(16);
+  TestSettings s = OverloadSettings();
+  s.server_max_queue_depth = 8;
+  const TestResult r = RunTest(sut, qsl, s, clock);
+  ASSERT_GT(r.shed_count, 0u);
+
+  const std::string serialized = r.log.Serialize();
+  const TestLog parsed = TestLog::Parse(serialized);
+  EXPECT_EQ(parsed.Serialize(), serialized);
+  std::size_t shed_events = 0;
+  for (const LogEvent& e : parsed.events())
+    shed_events += e.kind == LogEventKind::kQueryShed ? 1 : 0;
+  EXPECT_EQ(shed_events, r.shed_count);
+  ASSERT_NE(parsed.FieldOrNull("result_shed_count"), nullptr);
+  EXPECT_EQ(*parsed.FieldOrNull("result_shed_count"),
+            std::to_string(r.shed_count));
+}
+
 
 // ---- multi-stream scenario ----
 

@@ -1,0 +1,121 @@
+// Journal validate/inspect tool (DESIGN.md §12).  Reads a crash-safe
+// submission journal, verifies the header, meta frame and every record
+// checksum, and prints what a --resume run would replay: which suite tasks
+// are already on disk, which would re-run, and whether a torn tail will be
+// truncated.
+//
+// Usage:
+//   mlpm_journal [--verbose] FILE
+//
+// Exit codes:
+//   0  journal is clean (valid meta, no torn tail)
+//   1  journal is damaged but resumable (torn tail / bad records were cut)
+//   2  journal is unreadable (missing file, bad header or meta frame)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/journal.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace mlpm;
+
+int Usage() {
+  std::fprintf(stderr, "usage: mlpm_journal [--verbose] FILE\n");
+  return 2;
+}
+
+// The meta frame stores the suite version as text; map it back to the enum
+// so the tool can list which suite tasks are still missing from the file.
+std::vector<models::BenchmarkEntry> SuiteForVersionName(
+    const std::string& name) {
+  for (models::SuiteVersion v :
+       {models::SuiteVersion::kV0_7, models::SuiteVersion::kV1_0})
+    if (name == ToString(v)) return models::SuiteFor(v);
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose") {
+      verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  const harness::JournalLoad load = harness::LoadJournal(path);
+  if (!load.meta_valid) {
+    std::fprintf(stderr, "%s: not a readable journal\n", path.c_str());
+    for (const std::string& n : load.notes)
+      std::fprintf(stderr, "  %s\n", n.c_str());
+    return 2;
+  }
+
+  std::printf("journal: %s\n", path.c_str());
+  std::printf("  chipset:     %s\n", load.meta.chipset.c_str());
+  std::printf("  version:     %s\n", load.meta.version.c_str());
+  std::printf("  seed:        %llu\n",
+              static_cast<unsigned long long>(load.meta.seed));
+  std::printf("  config hash: %016llx\n",
+              static_cast<unsigned long long>(load.meta.config_hash));
+  std::printf("  records:     %zu intact\n", load.intact_records);
+
+  for (const harness::TaskRunResult& t : load.tasks) {
+    const std::string status{ToString(t.status)};
+    std::printf("  rec %-24s status=%s accuracy=%.4f quality=%s\n",
+                t.entry.id.c_str(), status.c_str(), t.accuracy,
+                t.quality_passed ? "pass" : "FAIL");
+    if (verbose) {
+      std::printf("      faults=%zu shed=%zu rejected=%zu trips=%zu "
+                  "attempts=%zu\n",
+                  t.fault_count, t.shed_count, t.rejected_count,
+                  t.breaker_trips, t.performance_attempts);
+    }
+  }
+
+  for (const std::string& n : load.notes)
+    std::printf("  note: %s\n", n.c_str());
+  if (load.torn_tail)
+    std::printf("  torn tail: %zu byte(s) after offset %zu would be "
+                "truncated on resume\n",
+                load.torn_bytes, load.valid_prefix_bytes);
+
+  // What a --resume run would actually do: errored records re-run, intact
+  // non-errored ones replay, anything absent from the file runs fresh.
+  const std::vector<models::BenchmarkEntry> suite =
+      SuiteForVersionName(load.meta.version);
+  if (!suite.empty()) {
+    std::size_t replayable = 0;
+    std::string pending;
+    for (const models::BenchmarkEntry& entry : suite) {
+      bool done = false;
+      for (const harness::TaskRunResult& t : load.tasks)
+        done |= t.entry.id == entry.id &&
+                t.status != harness::TaskStatus::kErrored;
+      if (done) {
+        ++replayable;
+      } else {
+        if (!pending.empty()) pending += ", ";
+        pending += entry.id;
+      }
+    }
+    std::printf("  resume: %zu of %zu suite task(s) replayable%s%s\n",
+                replayable, suite.size(),
+                pending.empty() ? "" : "; pending: ", pending.c_str());
+  }
+
+  return load.torn_tail ? 1 : 0;
+}
