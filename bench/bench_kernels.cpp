@@ -7,24 +7,31 @@
 //
 // Standalone (no benchmark framework): adaptive wall-clock timing, a table
 // on stdout, and a machine-readable BENCH_kernels.json for CI artifacts.
-// Every optimized-vs-reference pair is asserted bit-identical before being
-// timed, so a speedup can never come from a wrong answer.
+// Every optimized-vs-reference pair is asserted correct before being timed
+// (bit-identical for integer kernels; to a documented tolerance for SIMD
+// f32, which reassociates), so a speedup can never come from a wrong
+// answer.  The dispatch section times every kernel table the runtime
+// registry reports available on this host (DESIGN.md §13).
 //
 // Usage: bench_kernels [--json PATH] [--smoke]
 //   --json PATH  output file (default BENCH_kernels.json)
-//   --smoke      reduced timing budget for CI; all bit-exactness and
-//                memory-plan assertions still run at full strength
+//   --smoke      reduced timing budget for CI; every section (including
+//                runtime kernel dispatch) and every exactness assertion
+//                still runs at full strength
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "infer/executor.h"
 #include "infer/int8_conv.h"
 #include "infer/int8_gemm.h"
+#include "infer/kernels/registry.h"
 #include "infer/memory_plan.h"
 #include "infer/prepared_model.h"
 #include "infer/weights.h"
@@ -135,6 +142,79 @@ void BenchGemmU8(const ThreadPool& pool) {
     Record(tag + "_threaded_gops", ops / s_par / 1e9, "GOP/s");
     Record(tag + "_opt_speedup", s_ref / s_opt, "x");
     Record(tag + "_threaded_speedup", s_ref / s_par, "x");
+  }
+}
+
+// Runtime-dispatched kernel tables (DESIGN.md §13): every ISA the registry
+// reports available, on a square shape and on a large reference-model shape
+// (the 784x864x192 im2col GEMM of a MobileNetEdgeTPU mid-network 3x3 conv).
+// INT8 results must be bit-identical to the scalar oracle on every table;
+// f32 SIMD tables may reassociate, so they are checked to a relative
+// tolerance instead.
+void BenchGemmDispatch() {
+  const infer::kernels::KernelRegistry& reg =
+      infer::kernels::KernelRegistry::Global();
+  std::printf("dispatched GEMM kernels (host: %s):\n",
+              std::string(infer::kernels::ToString(
+                              reg.Resolve(infer::kernels::KernelIsa::kAuto)))
+                  .c_str());
+
+  struct Shape {
+    const char* tag;
+    std::size_t m, k, n;
+  };
+  // The second entry is the acceptance shape: a full-scale conv lowered to
+  // im2col, big enough that the GEMM dominates and prefetch/tile effects
+  // are visible.
+  const Shape shapes[] = {{"n256", 256, 256, 256},
+                          {"mobilenet_784x864x192", 784, 864, 192}};
+
+  for (const Shape& sh : shapes) {
+    Rng rng(1);
+    std::vector<float> a(sh.m * sh.k), b(sh.n * sh.k);
+    std::vector<float> c_ref(sh.m * sh.n), c_isa(sh.m * sh.n);
+    for (auto& v : a) v = static_cast<float>(rng.NextGaussian());
+    for (auto& v : b) v = static_cast<float>(rng.NextGaussian());
+    std::vector<std::uint8_t> qa(sh.m * sh.k), qb(sh.n * sh.k);
+    for (auto& v : qa) v = static_cast<std::uint8_t>(rng.NextBelow(256));
+    for (auto& v : qb) v = static_cast<std::uint8_t>(rng.NextBelow(256));
+    std::vector<std::int32_t> i_ref(sh.m * sh.n), i_isa(sh.m * sh.n);
+
+    infer::GemmF32Ref(a, b, sh.m, sh.n, sh.k, c_ref);
+    infer::GemmU8U8I32Ref(qa, 128, qb, 3, sh.m, sh.n, sh.k, i_ref);
+    const double flops = 2.0 * static_cast<double>(sh.m) * sh.n * sh.k;
+    const double s_f32_ref = TimeSeconds(
+        [&] { infer::GemmF32Ref(a, b, sh.m, sh.n, sh.k, c_isa); });
+    const double s_u8_ref = TimeSeconds([&] {
+      infer::GemmU8U8I32Ref(qa, 128, qb, 3, sh.m, sh.n, sh.k, i_isa);
+    });
+
+    for (const infer::kernels::KernelIsa isa : reg.AvailableIsas()) {
+      const infer::kernels::KernelTable& table = reg.Select(isa);
+      const std::string tag = std::string("dispatch_") + sh.tag + "_" +
+                              std::string(infer::kernels::ToString(isa));
+
+      infer::GemmF32(a, b, sh.m, sh.n, sh.k, c_isa, table);
+      for (std::size_t i = 0; i < c_ref.size(); ++i) {
+        // f32 SIMD kernels reassociate and contract (FMA): exactness is
+        // not required, closeness is.  |ref| ~ sqrt(k) for Gaussian data.
+        const double tol = 1e-4 * std::sqrt(static_cast<double>(sh.k));
+        Check(std::fabs(c_isa[i] - c_ref[i]) <= tol,
+              "dispatched f32 GEMM outside tolerance vs scalar oracle");
+      }
+      infer::GemmU8U8I32(qa, 128, qb, 3, sh.m, sh.n, sh.k, i_isa, table);
+      Check(i_isa == i_ref, "dispatched u8 GEMM != scalar oracle");
+
+      const double s_f32 = TimeSeconds(
+          [&] { infer::GemmF32(a, b, sh.m, sh.n, sh.k, c_isa, table); });
+      const double s_u8 = TimeSeconds([&] {
+        infer::GemmU8U8I32(qa, 128, qb, 3, sh.m, sh.n, sh.k, i_isa, table);
+      });
+      Record(tag + "_f32_gflops", flops / s_f32 / 1e9, "GFLOP/s");
+      Record(tag + "_f32_speedup", s_f32_ref / s_f32, "x");
+      Record(tag + "_u8_gops", flops / s_u8 / 1e9, "GOP/s");
+      Record(tag + "_u8_speedup", s_u8_ref / s_u8, "x");
+    }
   }
 }
 
@@ -398,6 +478,7 @@ int main(int argc, char** argv) {
   std::printf("bench_kernels: %zu execution lane(s)\n", pool.thread_count());
   BenchGemmF32(pool);
   BenchGemmU8(pool);
+  BenchGemmDispatch();
   BenchConvInt8(pool);
   BenchExecutor(pool);
   BenchArenaExecution();

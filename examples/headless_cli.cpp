@@ -9,6 +9,7 @@
 //                [--task all|ic|od|is|nlp] [--accuracy] [--e2e]
 //                [--cooldown SECONDS] [--csv FILE] [--log FILE]
 //                [--faults CRASH_PROB] [--fault-seed N] [--threads N]
+//                [--kernel-isa auto|scalar|avx2|neon]
 //                [--lint off|report|strict] [--trace FILE] [--profile]
 //                [--journal FILE] [--resume FILE]
 //
@@ -64,6 +65,11 @@ struct CliOptions {
   // the flag is absent; an explicit --threads value must be >= 1).
   // Results are bit-identical for any value.
   int threads = 0;
+  // Kernel table for the accuracy-phase executors: auto picks the best the
+  // host supports (AVX2 > NEON > scalar); scalar forces the portable
+  // bit-exact kernels; a forced ISA the host lacks falls back to scalar
+  // with a RUN007 lint diagnostic.
+  infer::kernels::KernelIsa kernel_isa = infer::kernels::KernelIsa::kAuto;
   harness::LintMode lint = harness::LintMode::kReport;
   // Observability (DESIGN.md §11): --trace writes a Chrome trace_event JSON
   // (open with ui.perfetto.dev or chrome://tracing); --profile appends the
@@ -145,6 +151,18 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
       const std::optional<int> t = ParseThreadCount(value());
       if (!t) return std::nullopt;
       o.threads = *t;
+    } else if (arg == "--kernel-isa") {
+      const std::string name = value();
+      const std::optional<infer::kernels::KernelIsa> isa =
+          infer::kernels::ParseKernelIsa(name);
+      if (!isa) {
+        std::fprintf(stderr,
+                     "--kernel-isa: unknown ISA '%s' (use auto, scalar, "
+                     "avx2 or neon)\n",
+                     name.c_str());
+        return std::nullopt;
+      }
+      o.kernel_isa = *isa;
     } else if (arg == "--lint") {
       const std::string m = value();
       if (m == "off") o.lint = harness::LintMode::kOff;
@@ -189,7 +207,8 @@ int main(int argc, char** argv) {
                  "                    [--accuracy|--performance-only] [--e2e]"
                  " [--cooldown S] [--csv FILE] [--log FILE]\n"
                  "                    [--faults CRASH_PROB] [--fault-seed N]"
-                 " [--threads N] [--lint off|report|strict]\n"
+                 " [--threads N] [--kernel-isa auto|scalar|avx2|neon]\n"
+                 "                    [--lint off|report|strict]\n"
                  "                    [--trace FILE] [--profile]"
                  " [--journal FILE] [--resume FILE]\n");
     return 2;
@@ -210,6 +229,7 @@ int main(int argc, char** argv) {
   run.end_to_end = opts->end_to_end;
   run.cooldown_s = opts->cooldown_s;
   run.threads = opts->threads;
+  run.kernel_isa = opts->kernel_isa;
   run.lint = opts->lint;
   run.trace_path = opts->trace_path;
   run.profile = opts->profile;

@@ -11,7 +11,7 @@ namespace {
 
 // Sorted by code.  Codes are append-only across releases: a code is never
 // renumbered or reused, so downstream tooling can key on them.
-constexpr std::array<CodeInfo, 28> kCatalogue{{
+constexpr std::array<CodeInfo, 29> kCatalogue{{
     {"GRAPH001", Severity::kWarning,
      "dead tensor: produced but never consumed nor marked as output"},
     {"GRAPH002", Severity::kWarning,
@@ -48,6 +48,8 @@ constexpr std::array<CodeInfo, 28> kCatalogue{{
      "scratch buffer shared across worker threads (nondeterministic reuse)"},
     {"RUN006", Severity::kWarning,
      "ad-hoc (non-pool) threading: partitioning is not deterministic"},
+    {"RUN007", Severity::kError,
+     "kernel ISA is unknown or unavailable on this host"},
     {"SHAPE001", Severity::kError,
      "node output shape disagrees with shape inference"},
     {"SHAPE002", Severity::kError,
@@ -67,7 +69,7 @@ constexpr std::array<CodeInfo, 28> kCatalogue{{
     {"SOC005", Severity::kError, "malformed execution policy"},
 }};
 
-static_assert(kCatalogue.size() == 28);
+static_assert(kCatalogue.size() == 29);
 
 }  // namespace
 

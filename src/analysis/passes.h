@@ -86,12 +86,19 @@ struct MappingConfigView {
 void CheckSocMapping(const graph::Graph& g, const MappingConfigView& m,
                      DiagnosticEngine& de);
 
-// --- Run-configuration determinism lints (RUN001-RUN006) -------------------
+// --- Run-configuration determinism lints (RUN001-RUN007) -------------------
 
 struct RunConfigView {
   int threads = 1;
   double cooldown_s = 60.0;
   int max_test_retries = 1;
+  // Requested kernel ISA name ("auto", "scalar", "avx2", "neon") and
+  // whether the host's kernel registry can honor it.  The caller resolves
+  // availability (infer::kernels::KernelRegistry) so this layer stays free
+  // of an infer dependency; an unknown name or an unavailable ISA is
+  // RUN007 (the run would silently fall back to the portable kernels).
+  std::string kernel_isa = "auto";
+  bool kernel_isa_available = true;
   // Named per-inference fault probabilities from the fault plan.
   std::vector<std::pair<std::string, double>> fault_probabilities;
   // Declared threading properties of the execution engine driving the run.

@@ -1,4 +1,4 @@
-// Run-configuration determinism lints (RUN001-RUN006).
+// Run-configuration determinism lints (RUN001-RUN007).
 //
 // These catch the configuration mistakes that turn a benchmark run into
 // noise: impossible thread counts, fault probabilities outside [0, 1],
@@ -48,6 +48,20 @@ void CheckRunConfig(const RunConfigView& rc, DiagnosticEngine& de) {
               "multi-threaded run without a fixed thread pool; per-query "
               "thread spawning adds scheduler jitter to every latency "
               "sample");
+
+  const bool known_isa = rc.kernel_isa == "auto" ||
+                         rc.kernel_isa == "scalar" ||
+                         rc.kernel_isa == "avx2" || rc.kernel_isa == "neon";
+  if (!known_isa)
+    de.Report("RUN007", ConfigSource("run.kernel_isa"),
+              "unknown kernel ISA \"" + rc.kernel_isa +
+                  "\"; expected auto, scalar, avx2 or neon");
+  else if (!rc.kernel_isa_available)
+    de.Report("RUN007", ConfigSource("run.kernel_isa"),
+              "kernel ISA \"" + rc.kernel_isa +
+                  "\" is unavailable on this host; the run falls back to "
+                  "the portable scalar kernels and its performance is not "
+                  "representative of a " + rc.kernel_isa + " build");
 }
 
 }  // namespace mlpm::analysis

@@ -11,7 +11,7 @@ constexpr const char* kHeader =
     "mean_latency_ms,offline_fps,energy_mj_per_inference,status,"
     "fault_count,degradation_count,dropped,timed_out,lint_errors,"
     "lint_warnings,peak_arena_bytes,naive_activation_bytes,shed,rejected,"
-    "breaker_trips";
+    "breaker_trips,kernel_isa";
 
 // CSV-quote a field if it contains a comma, quote or line break (RFC 4180:
 // fields containing CR or LF must be enclosed in double quotes too, or a
@@ -57,7 +57,8 @@ void AppendRows(std::ostringstream& os, const SubmissionResult& result,
        << timed_out << ',' << t.lint_error_count << ','
        << t.lint_warning_count << ',' << t.peak_arena_bytes << ','
        << t.naive_activation_bytes << ',' << t.shed_count << ','
-       << t.rejected_count << ',' << t.breaker_trips << '\n';
+       << t.rejected_count << ',' << t.breaker_trips << ','
+       << Field(t.kernel_isa) << '\n';
   }
 }
 

@@ -375,6 +375,7 @@ std::string EncodeTaskRecord(const TaskRunResult& tr) {
   PutU(out, "lint_error_count", tr.lint_error_count);
   PutU(out, "lint_warning_count", tr.lint_warning_count);
   PutS(out, "lint_log", tr.lint_log);
+  PutS(out, "kernel_isa", tr.kernel_isa);
   // accuracy_outputs are deliberately not journaled: they are only needed
   // transiently for scoring, and the derived score is recorded above.
   return out;
@@ -449,6 +450,8 @@ TaskRunResult DecodeTaskRecord(const std::string& payload) {
       tr.lint_warning_count = ParseU64(f.scalar);
     } else if (f.key == "lint_log") {
       tr.lint_log = std::move(f.bytes);
+    } else if (f.key == "kernel_isa") {
+      tr.kernel_isa = std::move(f.bytes);
     }
   }
   Expects(!tr.entry.id.empty(), "journal: record without a task id");
@@ -508,6 +511,10 @@ std::uint64_t HashRunConfig(const soc::ChipsetDesc& chipset,
   add_u("use_qat_weights", o.use_qat_weights ? 1 : 0);
   add_u("max_test_retries", static_cast<std::uint64_t>(o.max_test_retries));
   add_u("lint", static_cast<std::uint64_t>(o.lint));
+  // The *requested* ISA, not the resolved one: the hash guards against
+  // mixing journals from differently-configured runs, and f32 accuracy
+  // results differ across kernel tables.
+  add("kernel_isa", std::string(ToString(o.kernel_isa)));
 
   const loadgen::TestSettings& s = o.performance_settings;
   add_u("seed", s.seed);

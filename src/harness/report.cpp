@@ -23,15 +23,17 @@ std::string FormatBytes(std::size_t bytes) {
 std::string FormatSubmission(const SubmissionResult& result) {
   TextTable t("MLPerf Mobile " + std::string(ToString(result.version)) +
               " — " + result.chipset_name);
-  t.SetHeader({"Task", "Numerics", "Framework", "Accelerator", "Accuracy",
-               "vs FP32", "Quality", "p90 latency", "1/latency (q/s)",
-               "Offline FPS", "mJ/inf", "Arena", "Act. saved"});
+  t.SetHeader({"Task", "Numerics", "Framework", "Accelerator", "Kernels",
+               "Accuracy", "vs FP32", "Quality", "p90 latency",
+               "1/latency (q/s)", "Offline FPS", "mJ/inf", "Arena",
+               "Act. saved"});
   for (const TaskRunResult& task : result.tasks) {
     std::vector<std::string> row;
     row.push_back(task.entry.id);
     row.push_back(std::string(ToString(task.numerics)));
     row.push_back(task.framework_name);
     row.push_back(task.accelerator_label);
+    row.push_back(task.kernel_isa.empty() ? "-" : task.kernel_isa);
     row.push_back(FormatDouble(task.accuracy, 4) + " " +
                   task.entry.metric_name);
     row.push_back(FormatPercent(task.ratio_to_fp32, 1));

@@ -277,6 +277,9 @@ analysis::DiagnosticEngine LintTask(const soc::ChipsetDesc& chipset,
   rc.threads = options.threads;
   rc.cooldown_s = options.cooldown_s;
   rc.max_test_retries = options.max_test_retries;
+  rc.kernel_isa = std::string(ToString(options.kernel_isa));
+  rc.kernel_isa_available =
+      infer::kernels::KernelRegistry::Global().Available(options.kernel_isa);
   if (options.fault_plan)
     for (const soc::FaultSpec& spec : options.fault_plan->specs)
       rc.fault_probabilities.emplace_back(std::string(ToString(spec.kind)),
@@ -296,6 +299,10 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
   tr.numerics = sub.numerics;
   tr.framework_name = sub.framework.name;
   tr.accelerator_label = sub.accelerator_label;
+  // Resolved unconditionally (also in performance-only runs) so exported
+  // rows are byte-identical whether or not the accuracy phase ran.
+  tr.kernel_isa = std::string(infer::kernels::ToString(
+      infer::kernels::KernelRegistry::Global().Resolve(options.kernel_isa)));
 
   // Built once: the lint gate, the memory plan, and the performance phase
   // all read the same full-scale graph.
@@ -328,8 +335,10 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
     // the functional reference backend at the submission numerics.
     const infer::NumericsMode mode = ModeFor(sub.numerics);
     const TaskBundle::PreparedModel prepared =
-        bundle.Prepare(mode, options.use_qat_weights &&
-                                 mode == infer::NumericsMode::kInt8);
+        bundle.Prepare(mode,
+                       options.use_qat_weights &&
+                           mode == infer::NumericsMode::kInt8,
+                       options.kernel_isa);
     tr.calibration_indices = prepared.calibration_indices;
 
     loadgen::DatasetQsl qsl(bundle.dataset());
@@ -346,10 +355,25 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
     tr.accuracy = bundle.dataset().ScoreOutputs(acc_result.accuracy_outputs);
     tr.accuracy_sample_count = acc_result.sample_count;
     tr.dataset_size = bundle.dataset().size();
-    tr.fp32_reference = bundle.Fp32Score(pool);
+    tr.fp32_reference = bundle.Fp32Score(pool, options.kernel_isa);
     tr.ratio_to_fp32 =
         tr.fp32_reference > 0 ? tr.accuracy / tr.fp32_reference : 0.0;
     tr.quality_passed = tr.ratio_to_fp32 >= entry.quality_target;
+
+    // Per-kernel dispatch counters for the profile report.  MaxGauge, not
+    // Increment: cached executors accumulate across tasks and submissions,
+    // so the gauge tracks the executor's cumulative high-water mark.
+    const infer::Executor& exec = *prepared.executor;
+    const infer::KernelDispatchCounts counts = exec.dispatch_counts();
+    const std::string isa_prefix =
+        "kernels.dispatch." +
+        std::string(infer::kernels::ToString(exec.kernel_isa())) + ".";
+    obs::MetricsRegistry& mr = obs::MetricsRegistry::Global();
+    mr.MaxGauge(isa_prefix + "conv2d", static_cast<double>(counts.conv2d));
+    mr.MaxGauge(isa_prefix + "depthwise_conv2d",
+                static_cast<double>(counts.depthwise_conv2d));
+    mr.MaxGauge(isa_prefix + "fully_connected",
+                static_cast<double>(counts.fully_connected));
   }
 
   if (options.run_performance) {

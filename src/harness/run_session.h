@@ -82,6 +82,14 @@ struct RunOptions {
   // virtual-clock simulation is unaffected.
   int threads = 1;
 
+  // Kernel ISA for the accuracy-plane executors (kernels/registry.h).
+  // kAuto dispatches to the best table the host supports; kScalar forces
+  // the bit-exact portable kernels; a forced ISA unavailable on this host
+  // falls back to scalar (lint reports it as RUN007 before the run).  The
+  // FP32 reference is scored with the same ISA, so ratio_to_fp32 compares
+  // numerics, not kernels.
+  infer::kernels::KernelIsa kernel_isa = infer::kernels::KernelIsa::kAuto;
+
   // Static verification gate run before each task (model IR, quantization
   // recipe, SoC mapping, run configuration).  Never touches the timed path:
   // all passes complete before the LoadGen starts.
@@ -141,6 +149,9 @@ struct TaskRunResult {
   DataType numerics = DataType::kInt8;
   std::string framework_name;
   std::string accelerator_label;
+  // The resolved kernel ISA the accuracy executors dispatched to ("scalar",
+  // "avx2", "neon") — the concrete table, never "auto".
+  std::string kernel_isa;
 
   // Accuracy phase.
   double accuracy = 0.0;

@@ -64,9 +64,12 @@ std::unique_ptr<TaskBundle> TaskBundle::Create(
   return b;
 }
 
-TaskBundle::PreparedModel TaskBundle::Prepare(infer::NumericsMode mode,
-                                              bool use_qat_weights) const {
-  const int key = static_cast<int>(mode) * 2 + (use_qat_weights ? 1 : 0);
+TaskBundle::PreparedModel TaskBundle::Prepare(
+    infer::NumericsMode mode, bool use_qat_weights,
+    infer::kernels::KernelIsa isa) const {
+  const int key = (static_cast<int>(mode) * 2 + (use_qat_weights ? 1 : 0)) *
+                      8 +
+                  static_cast<int>(isa);
   if (const auto it = prepared_cache_.find(key); it != prepared_cache_.end())
     return it->second;
 
@@ -85,9 +88,10 @@ TaskBundle::PreparedModel TaskBundle::Prepare(infer::NumericsMode mode,
     const infer::QuantParams qp =
         quant::CalibratePtq(*graph_, *weights, samples);
     p.model = std::make_shared<infer::PreparedModel>(*graph_, *weights, mode,
-                                                     &qp);
+                                                     &qp, isa);
   } else {
-    p.model = std::make_shared<infer::PreparedModel>(*graph_, *weights, mode);
+    p.model = std::make_shared<infer::PreparedModel>(*graph_, *weights, mode,
+                                                     nullptr, isa);
   }
   p.executor = &p.model->executor();
   prepared_cache_.emplace(key, p);
@@ -102,12 +106,16 @@ double TaskBundle::ScoreAccuracy(const infer::Executor& executor,
   return dataset_->ScoreOutputs(outputs);
 }
 
-double TaskBundle::Fp32Score(const ThreadPool* pool) const {
-  if (!fp32_score_) {
-    const infer::Executor fp32(*graph_, weights_, infer::NumericsMode::kFp32);
-    fp32_score_ = ScoreAccuracy(fp32, pool);
-  }
-  return *fp32_score_;
+double TaskBundle::Fp32Score(const ThreadPool* pool,
+                             infer::kernels::KernelIsa isa) const {
+  const int key = static_cast<int>(isa);
+  if (const auto it = fp32_scores_.find(key); it != fp32_scores_.end())
+    return it->second;
+  const infer::Executor fp32(*graph_, weights_, infer::NumericsMode::kFp32,
+                             nullptr, isa);
+  const double score = ScoreAccuracy(fp32, pool);
+  fp32_scores_.emplace(key, score);
+  return score;
 }
 
 }  // namespace mlpm::harness

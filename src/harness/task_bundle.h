@@ -59,18 +59,24 @@ class TaskBundle {
   // Prepares an executor at the given numerics.  INT8 runs PTQ over the
   // approved calibration subset; `use_qat_weights` selects the
   // mutually-agreed QAT-equivalent weights instead of the plain frozen ones.
-  // Results are cached per (mode, qat) pair: weights are quantized/packed
-  // once per graph and reused across runs.
-  [[nodiscard]] PreparedModel Prepare(infer::NumericsMode mode,
-                                      bool use_qat_weights = false) const;
+  // `isa` forces the kernel table (kAuto = best available).  Results are
+  // cached per (mode, qat, isa) triple: weights are quantized/packed once
+  // per graph and reused across runs.
+  [[nodiscard]] PreparedModel Prepare(
+      infer::NumericsMode mode, bool use_qat_weights = false,
+      infer::kernels::KernelIsa isa = infer::kernels::KernelIsa::kAuto) const;
 
   // Runs the full validation set through `executor` and scores it, fanning
   // samples out over `pool` when given (bit-identical to the serial path).
   [[nodiscard]] double ScoreAccuracy(const infer::Executor& executor,
                                      const ThreadPool* pool = nullptr) const;
 
-  // FP32 reference score (cached after first call).
-  [[nodiscard]] double Fp32Score(const ThreadPool* pool = nullptr) const;
+  // FP32 reference score, computed with the same kernel ISA as the run
+  // under test so the ratio compares numerics, not kernels (cached per ISA
+  // after first call).
+  [[nodiscard]] double Fp32Score(
+      const ThreadPool* pool = nullptr,
+      infer::kernels::KernelIsa isa = infer::kernels::KernelIsa::kAuto) const;
 
  private:
   TaskBundle() = default;
@@ -84,8 +90,9 @@ class TaskBundle {
   infer::WeightStore weights_;
   mutable std::optional<infer::WeightStore> qat_weights_;  // lazy
   std::unique_ptr<datasets::TaskDataset> dataset_;
-  mutable std::optional<double> fp32_score_;
-  // Prepack cache, keyed by (mode, use_qat_weights).
+  // FP32 reference scores keyed by kernel ISA.
+  mutable std::map<int, double> fp32_scores_;
+  // Prepack cache, keyed by (mode, use_qat_weights, isa).
   mutable std::map<int, PreparedModel> prepared_cache_;
 };
 

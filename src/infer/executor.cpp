@@ -60,7 +60,7 @@ std::int64_t PadBegin(std::int64_t in, std::int64_t out, int kernel,
 
 void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
                const Tensor& w, const Tensor& bias, Tensor& out,
-               const ThreadPool* pool) {
+               const kernels::KernelTable& kt, const ThreadPool* pool) {
   const TensorShape& is = in.shape();
   const TensorShape& os = out.shape();
   const std::int64_t N = is.batch(), IH = is.height(), IW = is.width(),
@@ -76,9 +76,11 @@ void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
   float* __restrict op = out.data();
 
   // Parallel over independent output rows (b, oh); within a pixel, four
-  // output channels run together so each input pixel load feeds four
-  // accumulators.  Every accumulator starts at its bias and adds terms in
-  // the same (kh, kw, ic) order as the scalar loop — bit-identical output.
+  // output channels run together through the dispatched dot4 microkernel so
+  // each input pixel load feeds four accumulators.  With the scalar table
+  // every accumulator starts at its bias and adds terms in the same
+  // (kh, kw, ic) order as the original loop — bit-identical output;
+  // vectorized tables reassociate within the documented f32 tolerance.
   ParallelForRange(pool, 0, N * OH, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t row = lo; row < hi; ++row) {
       const std::int64_t b = row / OH;
@@ -87,8 +89,7 @@ void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
         float* out_px = op + ((b * OH + oh) * OW + ow) * OC;
         std::int64_t oc = 0;
         for (; oc + 4 <= OC; oc += 4) {
-          float acc0 = bp[oc], acc1 = bp[oc + 1], acc2 = bp[oc + 2],
-                acc3 = bp[oc + 3];
+          float acc[4] = {bp[oc], bp[oc + 1], bp[oc + 2], bp[oc + 3]};
           for (int kh = 0; kh < a.kernel_h; ++kh) {
             const std::int64_t ih =
                 oh * a.stride - ph + static_cast<std::int64_t>(kh) *
@@ -105,22 +106,14 @@ void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
               const std::int64_t wstride =
                   static_cast<std::int64_t>(a.kernel_h) * a.kernel_w * IC;
               const float* w0 = wp + oc * wstride + woff;
-              const float* w1 = w0 + wstride;
-              const float* w2 = w1 + wstride;
-              const float* w3 = w2 + wstride;
-              for (std::int64_t ic = 0; ic < IC; ++ic) {
-                const float v = in_px[ic];
-                acc0 += v * w0[ic];
-                acc1 += v * w1[ic];
-                acc2 += v * w2[ic];
-                acc3 += v * w3[ic];
-              }
+              kt.dot4_f32(in_px, w0, w0 + wstride, w0 + 2 * wstride,
+                          w0 + 3 * wstride, IC, acc);
             }
           }
-          out_px[oc] = ApplyActivation(acc0, a.activation);
-          out_px[oc + 1] = ApplyActivation(acc1, a.activation);
-          out_px[oc + 2] = ApplyActivation(acc2, a.activation);
-          out_px[oc + 3] = ApplyActivation(acc3, a.activation);
+          out_px[oc] = ApplyActivation(acc[0], a.activation);
+          out_px[oc + 1] = ApplyActivation(acc[1], a.activation);
+          out_px[oc + 2] = ApplyActivation(acc[2], a.activation);
+          out_px[oc + 3] = ApplyActivation(acc[3], a.activation);
         }
         for (; oc < OC; ++oc) {
           float acc = bp[oc];
@@ -149,8 +142,14 @@ void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
   (void)n;
 }
 
+// `w` holds the weights repacked to [KH, KW, C] at executor construction,
+// so every tap is a channel-contiguous multiply-accumulate served by the
+// dispatched dw_madd microkernel.  With the scalar table each channel sees
+// the original bias-first, (kh, kw)-ordered accumulation (the per-tap round
+// trip through the acc buffer is value-preserving) — bit-identical output.
 void RunDepthwiseConv2d(const graph::DepthwiseConv2dAttrs& a, const Tensor& in,
                         const Tensor& w, const Tensor& bias, Tensor& out,
+                        const kernels::KernelTable& kt,
                         const ThreadPool* pool) {
   const TensorShape& is = in.shape();
   const TensorShape& os = out.shape();
@@ -161,35 +160,37 @@ void RunDepthwiseConv2d(const graph::DepthwiseConv2dAttrs& a, const Tensor& in,
       PadBegin(IH, OH, a.kernel_h, a.stride, a.dilation, a.padding);
   const std::int64_t pw =
       PadBegin(IW, OW, a.kernel_w, a.stride, a.dilation, a.padding);
-  const float* __restrict wp = w.data();  // [C, KH, KW]
+  const float* __restrict wp = w.data();  // [KH, KW, C]
   const float* __restrict bp = bias.data();
   const float* __restrict ip = in.data();
   float* __restrict op = out.data();
 
   ParallelForRange(pool, 0, N * OH, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> acc(static_cast<std::size_t>(C));
     for (std::int64_t row = lo; row < hi; ++row) {
       const std::int64_t b = row / OH;
       const std::int64_t oh = row % OH;
       for (std::int64_t ow = 0; ow < OW; ++ow) {
-        for (std::int64_t c = 0; c < C; ++c) {
-          float acc = bp[c];
-          for (int kh = 0; kh < a.kernel_h; ++kh) {
-            const std::int64_t ih =
-                oh * a.stride - ph + static_cast<std::int64_t>(kh) *
+        std::copy_n(bp, C, acc.data());
+        for (int kh = 0; kh < a.kernel_h; ++kh) {
+          const std::int64_t ih =
+              oh * a.stride - ph + static_cast<std::int64_t>(kh) * a.dilation;
+          if (ih < 0 || ih >= IH) continue;
+          for (int kw = 0; kw < a.kernel_w; ++kw) {
+            const std::int64_t iw =
+                ow * a.stride - pw + static_cast<std::int64_t>(kw) *
                                          a.dilation;
-            if (ih < 0 || ih >= IH) continue;
-            for (int kw = 0; kw < a.kernel_w; ++kw) {
-              const std::int64_t iw =
-                  ow * a.stride - pw + static_cast<std::int64_t>(kw) *
-                                           a.dilation;
-              if (iw < 0 || iw >= IW) continue;
-              acc += ip[((b * IH + ih) * IW + iw) * C + c] *
-                     wp[(c * a.kernel_h + kh) * a.kernel_w + kw];
-            }
+            if (iw < 0 || iw >= IW) continue;
+            kt.dw_madd_f32(
+                ip + ((b * IH + ih) * IW + iw) * C,
+                wp + (static_cast<std::int64_t>(kh) * a.kernel_w + kw) * C,
+                acc.data(), C);
           }
-          op[((b * OH + oh) * OW + ow) * C + c] =
-              ApplyActivation(acc, a.activation);
         }
+        float* out_px = op + ((b * OH + oh) * OW + ow) * C;
+        for (std::int64_t c = 0; c < C; ++c)
+          out_px[c] = ApplyActivation(acc[static_cast<std::size_t>(c)],
+                                      a.activation);
       }
     }
   });
@@ -197,6 +198,7 @@ void RunDepthwiseConv2d(const graph::DepthwiseConv2dAttrs& a, const Tensor& in,
 
 void RunFullyConnected(const graph::FullyConnectedAttrs& a, const Tensor& in,
                        const Tensor& w, const Tensor& bias, Tensor& out,
+                       const kernels::KernelTable& kt,
                        const ThreadPool* pool) {
   const TensorShape& is = in.shape();
   const std::int64_t in_f = is.dim(is.rank() - 1);
@@ -206,30 +208,22 @@ void RunFullyConnected(const graph::FullyConnectedAttrs& a, const Tensor& in,
   const float* __restrict wp = w.data();  // [out_f, in_f]
   const float* __restrict bp = bias.data();
   float* __restrict op = out.data();
-  // Four output features share each input load; every accumulator keeps the
-  // scalar loop's per-element order (bias first, then i ascending).
+  // Four output features share each input load through the dispatched dot4
+  // microkernel; the scalar table keeps the original per-element order
+  // (bias first, then i ascending).
   const auto run_rows = [&](std::int64_t r, std::int64_t o_lo,
                             std::int64_t o_hi) {
     const float* row = ip + r * in_f;
     std::int64_t o = o_lo;
     for (; o + 4 <= o_hi; o += 4) {
       const float* w0 = wp + o * in_f;
-      const float* w1 = w0 + in_f;
-      const float* w2 = w1 + in_f;
-      const float* w3 = w2 + in_f;
-      float acc0 = bp[o], acc1 = bp[o + 1], acc2 = bp[o + 2],
-            acc3 = bp[o + 3];
-      for (std::int64_t i = 0; i < in_f; ++i) {
-        const float v = row[i];
-        acc0 += v * w0[i];
-        acc1 += v * w1[i];
-        acc2 += v * w2[i];
-        acc3 += v * w3[i];
-      }
-      op[r * out_f + o] = ApplyActivation(acc0, a.activation);
-      op[r * out_f + o + 1] = ApplyActivation(acc1, a.activation);
-      op[r * out_f + o + 2] = ApplyActivation(acc2, a.activation);
-      op[r * out_f + o + 3] = ApplyActivation(acc3, a.activation);
+      float acc[4] = {bp[o], bp[o + 1], bp[o + 2], bp[o + 3]};
+      kt.dot4_f32(row, w0, w0 + in_f, w0 + 2 * in_f, w0 + 3 * in_f, in_f,
+                  acc);
+      op[r * out_f + o] = ApplyActivation(acc[0], a.activation);
+      op[r * out_f + o + 1] = ApplyActivation(acc[1], a.activation);
+      op[r * out_f + o + 2] = ApplyActivation(acc[2], a.activation);
+      op[r * out_f + o + 3] = ApplyActivation(acc[3], a.activation);
     }
     for (; o < o_hi; ++o) {
       const float* wrow = wp + o * in_f;
@@ -244,10 +238,15 @@ void RunFullyConnected(const graph::FullyConnectedAttrs& a, const Tensor& in,
       for (std::int64_t r = lo; r < hi; ++r) run_rows(r, 0, out_f);
     });
   } else {
-    // Single row (classifier heads): parallel over output features.
-    ParallelForRange(pool, 0, out_f, [&](std::int64_t lo, std::int64_t hi) {
-      run_rows(0, lo, hi);
-    });
+    // Single row (classifier heads): parallel over output features, chunked
+    // in dot4-sized quads so a feature's dot4-vs-remainder path depends only
+    // on its absolute index — required for bit-identical results across
+    // thread counts (DESIGN.md §8).
+    constexpr std::int64_t kB = kernels::kF32RowBlock;
+    ParallelForRange(pool, 0, (out_f + kB - 1) / kB,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       run_rows(0, lo * kB, std::min(hi * kB, out_f));
+                     });
   }
 }
 
@@ -618,8 +617,12 @@ float FakeQuantActivation(float v, const TensorRange& r, int bits) {
 }
 
 Executor::Executor(const Graph& graph, const WeightStore& weights,
-                   NumericsMode mode, const QuantParams* quant)
-    : graph_(graph), mode_(mode), plan_(MemoryPlan::Build(graph)) {
+                   NumericsMode mode, const QuantParams* quant,
+                   kernels::KernelIsa isa)
+    : graph_(graph),
+      mode_(mode),
+      plan_(MemoryPlan::Build(graph)),
+      kernels_(&kernels::KernelRegistry::Global().Select(isa)) {
   if (mode_ == NumericsMode::kInt8) {
     Expects(quant != nullptr, "INT8 execution requires QuantParams");
     quant_ = *quant;
@@ -645,6 +648,36 @@ Executor::Executor(const Graph& graph, const WeightStore& weights,
     }
     prepared_weights_[static_cast<std::size_t>(id)] = std::move(t);
   }
+  // Prepack depthwise weights for the selected table: [C,KH,KW] ->
+  // [KH,KW,C], after the numerics transform so values are the prepared
+  // ones.  A pure layout change — every table reads the same values.
+  dw_packed_weights_.resize(graph_.tensors().size());
+  for (const Node& n : graph_.nodes()) {
+    if (n.op != OpType::kDepthwiseConv2d) continue;
+    const TensorId wid = n.weights[0];
+    if (dw_packed_weights_[static_cast<std::size_t>(wid)] != nullptr) continue;
+    const Tensor& src = WeightFor(wid);
+    const auto& a = std::get<graph::DepthwiseConv2dAttrs>(n.attrs);
+    const std::int64_t kh = a.kernel_h, kw = a.kernel_w;
+    const std::int64_t c = static_cast<std::int64_t>(src.size()) / (kh * kw);
+    auto packed =
+        std::make_unique<Tensor>(graph::TensorShape({kh, kw, c}));
+    const float* sp = src.data();
+    float* dp = packed->data();
+    for (std::int64_t ch = 0; ch < c; ++ch)
+      for (std::int64_t y = 0; y < kh; ++y)
+        for (std::int64_t x = 0; x < kw; ++x)
+          dp[(y * kw + x) * c + ch] = sp[(ch * kh + y) * kw + x];
+    dw_packed_weights_[static_cast<std::size_t>(wid)] = std::move(packed);
+  }
+}
+
+KernelDispatchCounts Executor::dispatch_counts() const {
+  KernelDispatchCounts counts;
+  counts.conv2d = dispatch_counts_[0].load(std::memory_order_relaxed);
+  counts.depthwise_conv2d = dispatch_counts_[1].load(std::memory_order_relaxed);
+  counts.fully_connected = dispatch_counts_[2].load(std::memory_order_relaxed);
+  return counts;
 }
 
 const Tensor& Executor::WeightFor(TensorId id) const {
@@ -663,6 +696,9 @@ namespace {
 template <typename Fetch>
 void DispatchNode(const Graph& g, const Node& n, const Fetch& fetch,
                   const std::vector<std::unique_ptr<Tensor>>& prepared_weights,
+                  const std::vector<std::unique_ptr<Tensor>>& dw_packed,
+                  const kernels::KernelTable& kt,
+                  std::array<std::atomic<std::uint64_t>, 3>& dispatch_counts,
                   Tensor& out, const ThreadPool* pool) {
   const auto weight_for = [&](TensorId id) -> const Tensor& {
     const auto& p = prepared_weights[static_cast<std::size_t>(id)];
@@ -679,18 +715,25 @@ void DispatchNode(const Graph& g, const Node& n, const Fetch& fetch,
     case OpType::kInput:
       break;
     case OpType::kConv2d:
+      dispatch_counts[0].fetch_add(1, std::memory_order_relaxed);
       RunConv2d(n, std::get<graph::Conv2dAttrs>(n.attrs), fetch(n.inputs[0]),
-                weight_for(n.weights[0]), weight_for(n.weights[1]), out, pool);
+                weight_for(n.weights[0]), weight_for(n.weights[1]), out, kt,
+                pool);
       break;
-    case OpType::kDepthwiseConv2d:
+    case OpType::kDepthwiseConv2d: {
+      dispatch_counts[1].fetch_add(1, std::memory_order_relaxed);
+      const auto& packed = dw_packed[static_cast<std::size_t>(n.weights[0])];
+      Expects(packed != nullptr, "missing packed depthwise weight");
       RunDepthwiseConv2d(std::get<graph::DepthwiseConv2dAttrs>(n.attrs),
-                         fetch(n.inputs[0]), weight_for(n.weights[0]),
-                         weight_for(n.weights[1]), out, pool);
+                         fetch(n.inputs[0]), *packed,
+                         weight_for(n.weights[1]), out, kt, pool);
       break;
+    }
     case OpType::kFullyConnected:
+      dispatch_counts[2].fetch_add(1, std::memory_order_relaxed);
       RunFullyConnected(std::get<graph::FullyConnectedAttrs>(n.attrs),
                         fetch(n.inputs[0]), weight_for(n.weights[0]),
-                        weight_for(n.weights[1]), out, pool);
+                        weight_for(n.weights[1]), out, kt, pool);
       break;
     case OpType::kAdd: {
       const Tensor& x = fetch(n.inputs[0]);
@@ -894,7 +937,8 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
     const bool traced = rec.enabled();
     const double t0_us = traced ? rec.NowUs() : 0.0;
     Tensor out(graph_.tensor(n.output).shape);
-    DispatchNode(graph_, n, fetch, prepared_weights_, out, pool);
+    DispatchNode(graph_, n, fetch, prepared_weights_, dw_packed_weights_,
+                 *kernels_, dispatch_counts_, out, pool);
     if (observer) observer(n.output, out);
     ApplyOutputNumerics(mode_, quant_, n.output, out, pool);
     if (traced)
@@ -940,7 +984,8 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
     const bool traced = rec.enabled();
     const double t0_us = traced ? rec.NowUs() : 0.0;
     Tensor& out = ctx.slots_[static_cast<std::size_t>(n.output)];
-    DispatchNode(graph_, n, fetch, prepared_weights_, out, pool);
+    DispatchNode(graph_, n, fetch, prepared_weights_, dw_packed_weights_,
+                 *kernels_, dispatch_counts_, out, pool);
     if (observer) observer(n.output, out);
     ApplyOutputNumerics(mode_, quant_, n.output, out, pool);
     if (traced)

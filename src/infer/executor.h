@@ -12,12 +12,16 @@
 //           activations fake-quantized asymmetric using calibrated ranges.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "infer/kernels/registry.h"
 #include "infer/memory_plan.h"
 #include "infer/quant_params.h"
 #include "infer/tensor.h"
@@ -72,13 +76,28 @@ enum class NumericsMode : std::uint8_t { kFp32, kFp16, kInt8 };
 using NodeObserver =
     std::function<void(graph::TensorId, const Tensor&)>;
 
+// How many node executions each dispatched microkernel family served, so
+// profiles can show which microkernel ran each op (harness exports these as
+// kernels.dispatch.* metrics alongside the resolved ISA name).
+struct KernelDispatchCounts {
+  std::uint64_t conv2d = 0;
+  std::uint64_t depthwise_conv2d = 0;
+  std::uint64_t fully_connected = 0;
+};
+
 class Executor {
  public:
   // `graph` and `weights` must outlive the executor.  For kInt8 mode,
-  // `quant` must be non-null and is copied.
+  // `quant` must be non-null and is copied.  `isa` selects the SIMD kernel
+  // table (kernels/registry.h): kAuto resolves to the best table the host
+  // supports; an unavailable forced ISA falls back to scalar.  Depthwise
+  // weights are repacked [C,KH,KW] -> [KH,KW,C] at construction so every
+  // table reads channel-contiguous taps (a pure layout change — the scalar
+  // table remains bit-identical to the pre-registry executor).
   Executor(const graph::Graph& graph, const WeightStore& weights,
            NumericsMode mode = NumericsMode::kFp32,
-           const QuantParams* quant = nullptr);
+           const QuantParams* quant = nullptr,
+           kernels::KernelIsa isa = kernels::KernelIsa::kAuto);
 
   // Runs the graph; `inputs` must match graph.input_ids() in order and
   // shape.  Returns one tensor per graph output.
@@ -116,6 +135,15 @@ class Executor {
   // The static activation plan (built once at construction).
   [[nodiscard]] const MemoryPlan& memory_plan() const { return plan_; }
 
+  // The resolved kernel ISA (never kAuto) and its table.
+  [[nodiscard]] kernels::KernelIsa kernel_isa() const { return kernels_->isa; }
+  [[nodiscard]] const kernels::KernelTable& kernels() const {
+    return *kernels_;
+  }
+  // Snapshot of the per-kernel dispatch counters, accumulated across every
+  // Run on this executor (thread-safe; counters are relaxed atomics).
+  [[nodiscard]] KernelDispatchCounts dispatch_counts() const;
+
  private:
   [[nodiscard]] const Tensor& WeightFor(graph::TensorId id) const;
 
@@ -126,6 +154,13 @@ class Executor {
   // Weights transformed once for the executor's numerics mode, indexed by
   // TensorId (nullptr for activation slots).
   std::vector<std::unique_ptr<Tensor>> prepared_weights_;
+  // The runtime-selected kernel table (points at registry-owned statics).
+  const kernels::KernelTable* kernels_;
+  // Depthwise weights repacked to the table's channel-contiguous [KH,KW,C]
+  // layout, indexed by weight TensorId (nullptr elsewhere).
+  std::vector<std::unique_ptr<Tensor>> dw_packed_weights_;
+  // conv2d / depthwise / fully-connected node executions, in that order.
+  mutable std::array<std::atomic<std::uint64_t>, 3> dispatch_counts_{};
 };
 
 }  // namespace mlpm::infer

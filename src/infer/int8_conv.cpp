@@ -44,7 +44,8 @@ PackedConvWeights PackConvWeights(const Tensor& weights,
 Tensor ConvInt8NHWC(const Tensor& input, const PackedConvWeights& packed,
                     const Tensor& bias, int stride, graph::Padding padding,
                     const QuantizationParams& input_params,
-                    ConvScratch* scratch, const ThreadPool* pool) {
+                    ConvScratch* scratch, const ThreadPool* pool,
+                    const kernels::KernelTable* table) {
   const auto& is = input.shape();
   Expects(is.rank() == 4 && is.batch() == 1, "input must be [1,H,W,C]");
   Expects(packed.in_channels == is.channels(), "channel mismatch");
@@ -102,7 +103,8 @@ Tensor ConvInt8NHWC(const Tensor& input, const PackedConvWeights& packed,
   GemmU8U8I32(s.cols, input_params.zero_point, packed.data,
               packed.params.zero_point, static_cast<std::size_t>(rows),
               static_cast<std::size_t>(oc), static_cast<std::size_t>(patch),
-              s.acc, pool);
+              s.acc, table != nullptr ? *table : kernels::ScalarKernels(),
+              pool);
 
   // Requantize to float and add the (float/INT32-precision) bias.
   Tensor out(graph::TensorShape({1, oh, ow, oc}));

@@ -22,6 +22,10 @@ namespace mlpm {
 class ThreadPool;
 }
 
+namespace mlpm::infer::kernels {
+struct KernelTable;
+}
+
 namespace mlpm::infer {
 
 struct QuantizationParams {
@@ -59,14 +63,17 @@ struct ConvScratch {
 // the result is dequantized back to float with the bias added.  Only
 // SAME/VALID padding, square kernels, dilation 1.  `scratch` (optional)
 // avoids per-call allocation; `pool` (optional) parallelizes im2col, GEMM
-// row blocks, and requantization over independent output rows.
+// row blocks, and requantization over independent output rows.  `table`
+// (optional) runs the u8 GEMM through a runtime-dispatched SIMD kernel
+// table (kernels/registry.h) — results are bit-identical for every table.
 [[nodiscard]] Tensor ConvInt8NHWC(const Tensor& input,
                                   const PackedConvWeights& packed,
                                   const Tensor& bias, int stride,
                                   graph::Padding padding,
                                   const QuantizationParams& input_params,
                                   ConvScratch* scratch = nullptr,
-                                  const ThreadPool* pool = nullptr);
+                                  const ThreadPool* pool = nullptr,
+                                  const kernels::KernelTable* table = nullptr);
 
 // Legacy overload: packs the weights on every call, then runs the
 // prepacked kernel.  Kept for callers without a prepack cache.

@@ -6,184 +6,16 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "infer/kernels/registry.h"
+
+// The tiled row workers live in kernels/portable.cpp (and their SIMD
+// counterparts in kernels/avx2.cpp / kernels/neon.cpp); this file owns the
+// public entry points, which validate shapes, precompute the zero-point row
+// sums, and split the row range across the thread pool.  The table-less
+// overloads run the scalar table and are bit-identical to the pre-registry
+// kernels.
 
 namespace mlpm::infer {
-namespace {
-
-// Register tile: 4x4 output blocks, 16 independent accumulators.  Each
-// accumulator sums its k terms in increasing order, so every output element
-// sees exactly the same operation sequence as the scalar reference kernel.
-constexpr std::size_t kTile = 4;
-// K-blocking keeps the streamed A/B row segments L1-resident for large k.
-// Accumulators round-trip through C between blocks, which preserves values
-// exactly (a float store/load is value-preserving).
-constexpr std::size_t kKBlock = 512;
-
-void GemmF32RowRange(const float* a, const float* b_t, std::int64_t i_begin,
-                     std::int64_t i_end, std::size_t n, std::size_t k,
-                     float* c) {
-  std::fill(c + static_cast<std::size_t>(i_begin) * n,
-            c + static_cast<std::size_t>(i_end) * n, 0.0f);
-  for (std::size_t kb = 0; kb < k; kb += kKBlock) {
-    const std::size_t kc = std::min(kKBlock, k - kb);
-    std::int64_t i = i_begin;
-    for (; i + static_cast<std::int64_t>(kTile) <= i_end; i += kTile) {
-      const float* a0 = a + static_cast<std::size_t>(i) * k + kb;
-      const float* a1 = a0 + k;
-      const float* a2 = a1 + k;
-      const float* a3 = a2 + k;
-      std::size_t j = 0;
-      for (; j + kTile <= n; j += kTile) {
-        const float* b0 = b_t + j * k + kb;
-        const float* b1 = b0 + k;
-        const float* b2 = b1 + k;
-        const float* b3 = b2 + k;
-        float* c0 = c + static_cast<std::size_t>(i) * n + j;
-        float* c1 = c0 + n;
-        float* c2 = c1 + n;
-        float* c3 = c2 + n;
-        float acc00 = c0[0], acc01 = c0[1], acc02 = c0[2], acc03 = c0[3];
-        float acc10 = c1[0], acc11 = c1[1], acc12 = c1[2], acc13 = c1[3];
-        float acc20 = c2[0], acc21 = c2[1], acc22 = c2[2], acc23 = c2[3];
-        float acc30 = c3[0], acc31 = c3[1], acc32 = c3[2], acc33 = c3[3];
-        for (std::size_t kk = 0; kk < kc; ++kk) {
-          const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
-          const float bv0 = b0[kk], bv1 = b1[kk], bv2 = b2[kk], bv3 = b3[kk];
-          acc00 += av0 * bv0; acc01 += av0 * bv1;
-          acc02 += av0 * bv2; acc03 += av0 * bv3;
-          acc10 += av1 * bv0; acc11 += av1 * bv1;
-          acc12 += av1 * bv2; acc13 += av1 * bv3;
-          acc20 += av2 * bv0; acc21 += av2 * bv1;
-          acc22 += av2 * bv2; acc23 += av2 * bv3;
-          acc30 += av3 * bv0; acc31 += av3 * bv1;
-          acc32 += av3 * bv2; acc33 += av3 * bv3;
-        }
-        c0[0] = acc00; c0[1] = acc01; c0[2] = acc02; c0[3] = acc03;
-        c1[0] = acc10; c1[1] = acc11; c1[2] = acc12; c1[3] = acc13;
-        c2[0] = acc20; c2[1] = acc21; c2[2] = acc22; c2[3] = acc23;
-        c3[0] = acc30; c3[1] = acc31; c3[2] = acc32; c3[3] = acc33;
-      }
-      for (; j < n; ++j) {
-        const float* bj = b_t + j * k + kb;
-        float s0 = c[static_cast<std::size_t>(i) * n + j];
-        float s1 = c[static_cast<std::size_t>(i + 1) * n + j];
-        float s2 = c[static_cast<std::size_t>(i + 2) * n + j];
-        float s3 = c[static_cast<std::size_t>(i + 3) * n + j];
-        for (std::size_t kk = 0; kk < kc; ++kk) {
-          const float bv = bj[kk];
-          s0 += a0[kk] * bv;
-          s1 += a1[kk] * bv;
-          s2 += a2[kk] * bv;
-          s3 += a3[kk] * bv;
-        }
-        c[static_cast<std::size_t>(i) * n + j] = s0;
-        c[static_cast<std::size_t>(i + 1) * n + j] = s1;
-        c[static_cast<std::size_t>(i + 2) * n + j] = s2;
-        c[static_cast<std::size_t>(i + 3) * n + j] = s3;
-      }
-    }
-    for (; i < i_end; ++i) {
-      const float* ai = a + static_cast<std::size_t>(i) * k + kb;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* bj = b_t + j * k + kb;
-        float s = c[static_cast<std::size_t>(i) * n + j];
-        for (std::size_t kk = 0; kk < kc; ++kk) s += ai[kk] * bj[kk];
-        c[static_cast<std::size_t>(i) * n + j] = s;
-      }
-    }
-  }
-}
-
-// The integer kernel folds the zero points out of the inner loop:
-//   sum_k (a-az)(b-bz) = sum_k a*b - az*sum_k b - bz*sum_k a + k*az*bz.
-// All arithmetic runs modulo 2^32 in uint32 (the final value fits int32
-// exactly as in the reference kernel; C++20 defines the modular
-// unsigned->signed conversion), leaving a plain u8*u8 dot product inside.
-void GemmU8RowRange(const std::uint8_t* a, const std::uint8_t* b_t,
-                    std::int64_t i_begin, std::int64_t i_end, std::size_t n,
-                    std::size_t k, std::uint32_t a_zp, std::uint32_t b_zp,
-                    const std::uint32_t* b_sums, std::int32_t* c) {
-  const std::uint32_t kzz =
-      static_cast<std::uint32_t>(k) * a_zp * b_zp;
-  const auto row_sum = [k](const std::uint8_t* row) {
-    std::uint32_t s = 0;
-    for (std::size_t kk = 0; kk < k; ++kk) s += row[kk];
-    return s;
-  };
-  std::int64_t i = i_begin;
-  for (; i + static_cast<std::int64_t>(kTile) <= i_end; i += kTile) {
-    const std::uint8_t* a0 = a + static_cast<std::size_t>(i) * k;
-    const std::uint8_t* a1 = a0 + k;
-    const std::uint8_t* a2 = a1 + k;
-    const std::uint8_t* a3 = a2 + k;
-    const std::uint32_t base0 = kzz - b_zp * row_sum(a0);
-    const std::uint32_t base1 = kzz - b_zp * row_sum(a1);
-    const std::uint32_t base2 = kzz - b_zp * row_sum(a2);
-    const std::uint32_t base3 = kzz - b_zp * row_sum(a3);
-    std::size_t j = 0;
-    for (; j + kTile <= n; j += kTile) {
-      const std::uint8_t* b0 = b_t + j * k;
-      const std::uint8_t* b1 = b0 + k;
-      const std::uint8_t* b2 = b1 + k;
-      const std::uint8_t* b3 = b2 + k;
-      std::uint32_t acc[kTile][kTile] = {};
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const std::uint32_t av0 = a0[kk], av1 = a1[kk], av2 = a2[kk],
-                            av3 = a3[kk];
-        const std::uint32_t bv0 = b0[kk], bv1 = b1[kk], bv2 = b2[kk],
-                            bv3 = b3[kk];
-        acc[0][0] += av0 * bv0; acc[0][1] += av0 * bv1;
-        acc[0][2] += av0 * bv2; acc[0][3] += av0 * bv3;
-        acc[1][0] += av1 * bv0; acc[1][1] += av1 * bv1;
-        acc[1][2] += av1 * bv2; acc[1][3] += av1 * bv3;
-        acc[2][0] += av2 * bv0; acc[2][1] += av2 * bv1;
-        acc[2][2] += av2 * bv2; acc[2][3] += av2 * bv3;
-        acc[3][0] += av3 * bv0; acc[3][1] += av3 * bv1;
-        acc[3][2] += av3 * bv2; acc[3][3] += av3 * bv3;
-      }
-      const std::uint32_t bases[kTile] = {base0, base1, base2, base3};
-      for (std::size_t r = 0; r < kTile; ++r)
-        for (std::size_t q = 0; q < kTile; ++q)
-          c[(static_cast<std::size_t>(i) + r) * n + j + q] =
-              static_cast<std::int32_t>(acc[r][q] + bases[r] -
-                                        a_zp * b_sums[j + q]);
-    }
-    for (; j < n; ++j) {
-      const std::uint8_t* bj = b_t + j * k;
-      std::uint32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const std::uint32_t bv = bj[kk];
-        s0 += a0[kk] * bv;
-        s1 += a1[kk] * bv;
-        s2 += a2[kk] * bv;
-        s3 += a3[kk] * bv;
-      }
-      const std::uint32_t col = a_zp * b_sums[j];
-      c[static_cast<std::size_t>(i) * n + j] =
-          static_cast<std::int32_t>(s0 + base0 - col);
-      c[static_cast<std::size_t>(i + 1) * n + j] =
-          static_cast<std::int32_t>(s1 + base1 - col);
-      c[static_cast<std::size_t>(i + 2) * n + j] =
-          static_cast<std::int32_t>(s2 + base2 - col);
-      c[static_cast<std::size_t>(i + 3) * n + j] =
-          static_cast<std::int32_t>(s3 + base3 - col);
-    }
-  }
-  for (; i < i_end; ++i) {
-    const std::uint8_t* ai = a + static_cast<std::size_t>(i) * k;
-    const std::uint32_t base = kzz - b_zp * row_sum(ai);
-    for (std::size_t j = 0; j < n; ++j) {
-      const std::uint8_t* bj = b_t + j * k;
-      std::uint32_t s = 0;
-      for (std::size_t kk = 0; kk < k; ++kk)
-        s += static_cast<std::uint32_t>(ai[kk]) * bj[kk];
-      c[static_cast<std::size_t>(i) * n + j] =
-          static_cast<std::int32_t>(s + base - a_zp * b_sums[j]);
-    }
-  }
-}
-
-}  // namespace
 
 void QuantizeU8(std::span<const float> src, float scale,
                 std::int32_t zero_point, std::span<std::uint8_t> dst) {
@@ -204,41 +36,55 @@ float DequantizeAcc(std::int32_t acc, float lhs_scale, float rhs_scale) {
 void GemmU8U8I32(std::span<const std::uint8_t> a, std::int32_t a_zp,
                  std::span<const std::uint8_t> b_t, std::int32_t b_zp,
                  std::size_t m, std::size_t n, std::size_t k,
-                 std::span<std::int32_t> c, const ThreadPool* pool) {
+                 std::span<std::int32_t> c, const kernels::KernelTable& table,
+                 const ThreadPool* pool) {
   Expects(a.size() == m * k, "A size mismatch");
   Expects(b_t.size() == n * k, "B size mismatch");
   Expects(c.size() == m * n, "C size mismatch");
   std::vector<std::uint32_t> b_sums(n);
   ParallelForRange(pool, 0, static_cast<std::int64_t>(n),
                    [&](std::int64_t lo, std::int64_t hi) {
-                     for (std::int64_t j = lo; j < hi; ++j) {
-                       const std::uint8_t* row =
-                           b_t.data() + static_cast<std::size_t>(j) * k;
-                       std::uint32_t s = 0;
-                       for (std::size_t kk = 0; kk < k; ++kk) s += row[kk];
-                       b_sums[static_cast<std::size_t>(j)] = s;
-                     }
+                     table.row_sums_u8(b_t.data(), lo, hi, k, b_sums.data());
                    });
   ParallelForRange(pool, 0, static_cast<std::int64_t>(m),
                    [&](std::int64_t lo, std::int64_t hi) {
-                     GemmU8RowRange(a.data(), b_t.data(), lo, hi, n, k,
-                                    static_cast<std::uint32_t>(a_zp),
-                                    static_cast<std::uint32_t>(b_zp),
-                                    b_sums.data(), c.data());
+                     table.gemm_u8_rows(a.data(), b_t.data(), lo, hi, n, k,
+                                        static_cast<std::uint32_t>(a_zp),
+                                        static_cast<std::uint32_t>(b_zp),
+                                        b_sums.data(), c.data());
+                   });
+}
+
+void GemmU8U8I32(std::span<const std::uint8_t> a, std::int32_t a_zp,
+                 std::span<const std::uint8_t> b_t, std::int32_t b_zp,
+                 std::size_t m, std::size_t n, std::size_t k,
+                 std::span<std::int32_t> c, const ThreadPool* pool) {
+  GemmU8U8I32(a, a_zp, b_t, b_zp, m, n, k, c, kernels::ScalarKernels(), pool);
+}
+
+void GemmF32(std::span<const float> a, std::span<const float> b_t,
+             std::size_t m, std::size_t n, std::size_t k, std::span<float> c,
+             const kernels::KernelTable& table, const ThreadPool* pool) {
+  Expects(a.size() == m * k, "A size mismatch");
+  Expects(b_t.size() == n * k, "B size mismatch");
+  Expects(c.size() == m * n, "C size mismatch");
+  // Partition over quads of rows, not rows: vectorized tables tile four rows
+  // at a time relative to i_begin, and bit-identical-across-thread-counts
+  // (DESIGN.md §8) requires the tile/remainder split to be absolute.
+  const std::int64_t rows = static_cast<std::int64_t>(m);
+  constexpr std::int64_t kB = kernels::kF32RowBlock;
+  ParallelForRange(pool, 0, (rows + kB - 1) / kB,
+                   [&](std::int64_t lo, std::int64_t hi) {
+                     table.gemm_f32_rows(a.data(), b_t.data(), lo * kB,
+                                         std::min(hi * kB, rows), n, k,
+                                         c.data());
                    });
 }
 
 void GemmF32(std::span<const float> a, std::span<const float> b_t,
              std::size_t m, std::size_t n, std::size_t k, std::span<float> c,
              const ThreadPool* pool) {
-  Expects(a.size() == m * k, "A size mismatch");
-  Expects(b_t.size() == n * k, "B size mismatch");
-  Expects(c.size() == m * n, "C size mismatch");
-  ParallelForRange(pool, 0, static_cast<std::int64_t>(m),
-                   [&](std::int64_t lo, std::int64_t hi) {
-                     GemmF32RowRange(a.data(), b_t.data(), lo, hi, n, k,
-                                     c.data());
-                   });
+  GemmF32(a, b_t, m, n, k, c, kernels::ScalarKernels(), pool);
 }
 
 void GemmU8U8I32Ref(std::span<const std::uint8_t> a, std::int32_t a_zp,

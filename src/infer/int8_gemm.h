@@ -16,10 +16,19 @@
 //   - GemmF32Ref / GemmU8U8I32Ref: the original scalar triple loops, kept
 //     as the correctness baseline for tests and the speedup baseline for
 //     bench_kernels.
+//
+// Both tiered kernels also take an optional kernels::KernelTable to run the
+// row workers through a runtime-selected SIMD implementation (see
+// kernels/registry.h).  Without a table they use the scalar table, which is
+// bit-identical to the pre-registry kernels.  The u8 kernel is bit-exact for
+// EVERY table; the f32 kernel is bit-exact only for the scalar table and
+// within a small relative tolerance for vectorized ones.
 #pragma once
 
 #include <cstdint>
 #include <span>
+
+#include "infer/kernels/registry.h"
 
 namespace mlpm {
 class ThreadPool;
@@ -46,6 +55,18 @@ void GemmU8U8I32(std::span<const std::uint8_t> a, std::int32_t a_zp,
 // Float GEMM (same B-transposed layout).
 void GemmF32(std::span<const float> a, std::span<const float> b_t,
              std::size_t m, std::size_t n, std::size_t k, std::span<float> c,
+             const ThreadPool* pool = nullptr);
+
+// Dispatched overloads: run the row workers from `table` (scalar, AVX2, or
+// NEON).  `GemmU8U8I32` results are bit-identical across tables.
+void GemmU8U8I32(std::span<const std::uint8_t> a, std::int32_t a_zp,
+                 std::span<const std::uint8_t> b_t, std::int32_t b_zp,
+                 std::size_t m, std::size_t n, std::size_t k,
+                 std::span<std::int32_t> c, const kernels::KernelTable& table,
+                 const ThreadPool* pool = nullptr);
+void GemmF32(std::span<const float> a, std::span<const float> b_t,
+             std::size_t m, std::size_t n, std::size_t k, std::span<float> c,
+             const kernels::KernelTable& table,
              const ThreadPool* pool = nullptr);
 
 // Unoptimized scalar reference kernels (identical results).

@@ -31,10 +31,13 @@ namespace mlpm::infer {
 class PreparedModel {
  public:
   // Same contract as Executor: `graph` and `weights` must outlive this.
+  // `isa` selects the SIMD kernel table for every run on this model (and
+  // the ISA-specialized prepack done at construction).
   PreparedModel(const graph::Graph& graph, const WeightStore& weights,
                 NumericsMode mode = NumericsMode::kFp32,
-                const QuantParams* quant = nullptr)
-      : executor_(graph, weights, mode, quant) {}
+                const QuantParams* quant = nullptr,
+                kernels::KernelIsa isa = kernels::KernelIsa::kAuto)
+      : executor_(graph, weights, mode, quant, isa) {}
 
   [[nodiscard]] const Executor& executor() const { return executor_; }
 

@@ -42,7 +42,7 @@ bool Has(const DiagnosticEngine& de, std::string_view code) {
 
 TEST(DiagnosticEngine, CatalogueIsSortedAndComplete) {
   const auto cat = analysis::DiagnosticCatalogue();
-  EXPECT_EQ(cat.size(), 28u);
+  EXPECT_EQ(cat.size(), 29u);
   EXPECT_TRUE(std::is_sorted(
       cat.begin(), cat.end(),
       [](const auto& a, const auto& b) { return a.code < b.code; }));
@@ -575,7 +575,7 @@ TEST(SocMapping, ShippedSubmissionsAreClean) {
   }
 }
 
-// --- Run configuration (RUN001-RUN006) -------------------------------------
+// --- Run configuration (RUN001-RUN007) -------------------------------------
 
 TEST(RunConfig, NegativeThreadsIsRun001) {
   analysis::RunConfigView rc;
@@ -629,6 +629,37 @@ TEST(RunConfig, NonPoolThreadingIsRun006) {
   analysis::CheckRunConfig(rc, de);
   EXPECT_EQ(CodesOf(de), std::vector<std::string>{"RUN006"});
   EXPECT_FALSE(de.HasErrors());
+}
+
+TEST(RunConfig, UnknownKernelIsaIsRun007) {
+  analysis::RunConfigView rc;
+  rc.kernel_isa = "sse9";
+  DiagnosticEngine de;
+  analysis::CheckRunConfig(rc, de);
+  EXPECT_EQ(CodesOf(de), std::vector<std::string>{"RUN007"});
+  EXPECT_TRUE(de.HasErrors());
+}
+
+TEST(RunConfig, UnavailableKernelIsaIsRun007) {
+  analysis::RunConfigView rc;
+  rc.kernel_isa = "neon";
+  rc.kernel_isa_available = false;
+  DiagnosticEngine de;
+  analysis::CheckRunConfig(rc, de);
+  EXPECT_EQ(CodesOf(de), std::vector<std::string>{"RUN007"});
+  EXPECT_TRUE(de.HasErrors());
+  // The message must spell out the silent consequence (scalar fallback).
+  EXPECT_NE(de.ToText().find("falls back"), std::string::npos)
+      << de.ToText();
+}
+
+TEST(RunConfig, AvailableKernelIsaIsClean) {
+  analysis::RunConfigView rc;
+  rc.kernel_isa = "avx2";
+  rc.kernel_isa_available = true;
+  DiagnosticEngine de;
+  analysis::CheckRunConfig(rc, de);
+  EXPECT_TRUE(de.empty()) << de.ToText();
 }
 
 TEST(RunConfig, DefaultHarnessConfigurationIsClean) {

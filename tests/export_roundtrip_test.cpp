@@ -28,7 +28,7 @@ const std::vector<std::string> kColumns = {
     "lint_errors",    "lint_warnings",
     "peak_arena_bytes", "naive_activation_bytes",
     "shed",           "rejected",
-    "breaker_trips"};
+    "breaker_trips",  "kernel_isa"};
 
 // A submission whose string fields exercise every character RFC 4180
 // forces into quotes: commas, double quotes, LF, CR and CRLF.
@@ -65,6 +65,7 @@ SubmissionResult HostileResult() {
   task.shed_count = 7;
   task.rejected_count = 4;
   task.breaker_trips = 2;
+  task.kernel_isa = "avx2,\"simd\"";
   result.tasks.push_back(std::move(task));
   return result;
 }
@@ -105,6 +106,7 @@ TEST(ExportCsv, HostileFieldsRoundTripByteForByte) {
   EXPECT_EQ(row[24], "7");   // shed
   EXPECT_EQ(row[25], "4");   // rejected
   EXPECT_EQ(row[26], "2");   // breaker_trips
+  EXPECT_EQ(row[27], result.tasks[0].kernel_isa);
 }
 
 TEST(ExportCsv, EveryRowHasHeaderWidth) {

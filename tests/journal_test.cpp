@@ -93,6 +93,7 @@ TaskRunResult HostileTask(const std::string& id) {
   t.lint_error_count = 0;
   t.lint_warning_count = 4;
   t.lint_log = "warning: something\n";
+  t.kernel_isa = "avx2";
   return t;
 }
 
@@ -139,6 +140,7 @@ TEST(Journal, TaskRecordRoundTripsBitExact) {
   EXPECT_EQ(decoded.fault_log, original.fault_log);
   EXPECT_EQ(decoded.lint_warning_count, original.lint_warning_count);
   EXPECT_EQ(decoded.lint_log, original.lint_log);
+  EXPECT_EQ(decoded.kernel_isa, original.kernel_isa);
 }
 
 TEST(Journal, MetaRoundTrips) {

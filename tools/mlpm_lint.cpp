@@ -13,9 +13,14 @@
 //   mlpm_lint --memory             static activation-memory summary for the
 //                                  reference models (planner only, nothing
 //                                  is executed)
+//   mlpm_lint --kernel-isa NAME    lint a run configuration that forces the
+//                                  kernel ISA NAME against this host's
+//                                  kernel registry (RUN007 when unknown or
+//                                  unavailable)
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +29,7 @@
 #include "analysis/passes.h"
 #include "backends/vendor_policy.h"
 #include "graph/serialize.h"
+#include "infer/kernels/registry.h"
 #include "infer/memory_plan.h"
 #include "models/zoo.h"
 #include "soc/chipset.h"
@@ -42,7 +48,8 @@ struct Options {
   bool lint_models = false;
   bool print_codes = false;
   bool memory_summary = false;
-  std::string chipset;  // empty = none, "all" = every catalog chipset
+  std::string chipset;     // empty = none, "all" = every catalog chipset
+  std::string kernel_isa;  // empty = not requested
   std::vector<models::SuiteVersion> versions = {models::SuiteVersion::kV0_7,
                                                 models::SuiteVersion::kV1_0};
   std::vector<std::string> files;
@@ -52,7 +59,7 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json] [--version v0.7|v1.0|all] [--models]"
                " [--chipset NAME|all] [--codes] [--memory]"
-               " [FILE.graph ...]\n";
+               " [--kernel-isa auto|scalar|avx2|neon] [FILE.graph ...]\n";
   return 2;
 }
 
@@ -167,6 +174,23 @@ void LintSubmissions(const Options& opt, std::vector<TargetReport>& reports) {
   }
 }
 
+// Lints a run configuration that forces `name` as the kernel ISA, resolved
+// against this host's kernel registry — the pre-run diagnostic for a CLI
+// `--kernel-isa` value that would silently fall back to scalar (RUN007).
+void LintKernelIsa(const std::string& name,
+                   std::vector<TargetReport>& reports) {
+  TargetReport r;
+  r.name = "run-config (--kernel-isa " + name + ")";
+  analysis::RunConfigView rc;
+  rc.kernel_isa = name;
+  const std::optional<infer::kernels::KernelIsa> isa =
+      infer::kernels::ParseKernelIsa(name);
+  rc.kernel_isa_available =
+      isa && infer::kernels::KernelRegistry::Global().Available(*isa);
+  analysis::CheckRunConfig(rc, r.engine);
+  reports.push_back(std::move(r));
+}
+
 void PrintCodes() {
   for (const analysis::CodeInfo& c : analysis::DiagnosticCatalogue())
     std::cout << c.code << "  " << ToString(c.default_severity) << "  "
@@ -200,6 +224,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--chipset") {
       if (++i >= argc) return Usage(argv[0]);
       opt.chipset = argv[i];
+    } else if (arg == "--kernel-isa") {
+      if (++i >= argc) return Usage(argv[0]);
+      opt.kernel_isa = argv[i];
     } else if (arg == "--version") {
       if (++i >= argc) return Usage(argv[0]);
       const std::string v = argv[i];
@@ -229,7 +256,8 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (!opt.lint_models && opt.chipset.empty() && opt.files.empty())
+  if (!opt.lint_models && opt.chipset.empty() && opt.kernel_isa.empty() &&
+      opt.files.empty())
     return Usage(argv[0]);
 
   std::vector<TargetReport> reports;
@@ -237,6 +265,7 @@ int main(int argc, char** argv) {
     for (const std::string& f : opt.files) LintFile(f, reports);
     if (opt.lint_models) LintReferenceModels(opt, reports);
     if (!opt.chipset.empty()) LintSubmissions(opt, reports);
+    if (!opt.kernel_isa.empty()) LintKernelIsa(opt.kernel_isa, reports);
   } catch (const std::exception& e) {
     std::cerr << "mlpm_lint: " << e.what() << '\n';
     return 2;
