@@ -38,6 +38,7 @@
 #include "models/mobilenet_edgetpu.h"
 #include "models/zoo.h"
 #include "obs/trace.h"
+#include "transform/pass_manager.h"
 
 namespace {
 
@@ -441,6 +442,69 @@ void BenchMemoryPlans() {
   }
 }
 
+// Verified transform pipeline (DESIGN.md §14) over every mini reference
+// model at FP32: the fused graph must execute strictly fewer nodes than the
+// canonical (split) form, produce bit-identical outputs, and not regress
+// single-sample latency grossly (>2x is a hard CI failure; the speedup
+// itself is recorded so smaller drifts show up in the artifact).
+void BenchTransform() {
+  std::printf("graph-transform pipeline (mini reference models, fp32):\n");
+  std::vector<std::string> seen;
+  for (const auto version :
+       {models::SuiteVersion::kV1_0, models::SuiteVersion::kV0_7}) {
+    for (const models::BenchmarkEntry& entry : models::SuiteFor(version)) {
+      bool dup = false;
+      for (const std::string& s : seen) dup = dup || s == entry.model_name;
+      if (dup) continue;
+      seen.push_back(entry.model_name);
+
+      const graph::Graph g = models::BuildReferenceGraph(
+          entry, version, models::ModelScale::kMini);
+      const infer::WeightStore w = infer::InitializeWeights(g, 13);
+      const transform::TransformResult res =
+          transform::MakeDefaultPipeline(
+              transform::TransformOptions{.mode = infer::NumericsMode::kFp32})
+              .Run(g, w);
+      Check(!res.diagnostics.HasErrors() && !res.AnyRolledBack(),
+            "transform pipeline reported errors on a reference model");
+      Check(res.nodes_after < res.nodes_canonical,
+            "fusion did not reduce executed node count");
+
+      const infer::Executor base(g, w);
+      const infer::Executor fused(res.graph, res.weights);
+      Rng rng(17);
+      std::vector<infer::Tensor> inputs;
+      for (const graph::TensorId id : g.input_ids()) {
+        infer::Tensor t(g.tensor(id).shape);
+        for (auto& v : t.values())
+          v = static_cast<float>(rng.NextUniform(-1, 1));
+        inputs.push_back(std::move(t));
+      }
+      const auto out_base = base.Run(inputs);
+      const auto out_fused = fused.Run(inputs);
+      Check(out_base.size() == out_fused.size(),
+            "transformed output count != untransformed");
+      for (std::size_t o = 0; o < out_base.size(); ++o)
+        for (std::size_t i = 0; i < out_base[o].size(); ++i)
+          Check(out_base[o].at(i) == out_fused[o].at(i),
+                "transformed graph != untransformed (fp32 must be bit-exact)");
+
+      const double s_base = TimeSeconds([&] { auto out = base.Run(inputs); });
+      const double s_fused =
+          TimeSeconds([&] { auto out = fused.Run(inputs); });
+      Check(s_fused <= 2.0 * s_base,
+            "fused path grossly slower than untransformed graph");
+      const std::string tag = "transform_" + entry.model_name;
+      Record(tag + "_nodes_removed",
+             static_cast<double>(res.nodes_canonical - res.nodes_after),
+             "nodes");
+      Record(tag + "_base_ms", s_base * 1e3, "ms");
+      Record(tag + "_fused_ms", s_fused * 1e3, "ms");
+      Record(tag + "_speedup", s_base / s_fused, "x");
+    }
+  }
+}
+
 void WriteJson(const std::string& path, const ThreadPool& pool) {
   std::ofstream out(path);
   out << "{\n  \"host_threads\": " << pool.thread_count()
@@ -484,6 +548,7 @@ int main(int argc, char** argv) {
   BenchArenaExecution();
   BenchTraceOverhead();
   BenchMemoryPlans();
+  BenchTransform();
   WriteJson(json_path, pool);
   return 0;
 }

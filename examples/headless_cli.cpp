@@ -10,7 +10,8 @@
 //                [--cooldown SECONDS] [--csv FILE] [--log FILE]
 //                [--faults CRASH_PROB] [--fault-seed N] [--threads N]
 //                [--kernel-isa auto|scalar|avx2|neon]
-//                [--lint off|report|strict] [--trace FILE] [--profile]
+//                [--lint off|report|strict] [--transform]
+//                [--trace FILE] [--profile]
 //                [--journal FILE] [--resume FILE]
 //
 // Examples:
@@ -71,6 +72,10 @@ struct CliOptions {
   // with a RUN007 lint diagnostic.
   infer::kernels::KernelIsa kernel_isa = infer::kernels::KernelIsa::kAuto;
   harness::LintMode lint = harness::LintMode::kReport;
+  // Verified graph-transform stage (DESIGN.md §14): accuracy executors run
+  // the rewrite pipeline's invariant-checked output; falls back to the
+  // untransformed graph on any equivalence-probe disagreement.
+  bool transform = false;
   // Observability (DESIGN.md §11): --trace writes a Chrome trace_event JSON
   // (open with ui.perfetto.dev or chrome://tracing); --profile appends the
   // per-op aggregate tables + process metrics to the report and CSV.
@@ -169,6 +174,8 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
       else if (m == "report") o.lint = harness::LintMode::kReport;
       else if (m == "strict") o.lint = harness::LintMode::kStrict;
       else return std::nullopt;
+    } else if (arg == "--transform") {
+      o.transform = true;
     } else if (arg == "--trace") {
       o.trace_path = value();
       if (o.trace_path.empty()) return std::nullopt;
@@ -208,7 +215,8 @@ int main(int argc, char** argv) {
                  " [--cooldown S] [--csv FILE] [--log FILE]\n"
                  "                    [--faults CRASH_PROB] [--fault-seed N]"
                  " [--threads N] [--kernel-isa auto|scalar|avx2|neon]\n"
-                 "                    [--lint off|report|strict]\n"
+                 "                    [--lint off|report|strict]"
+                 " [--transform]\n"
                  "                    [--trace FILE] [--profile]"
                  " [--journal FILE] [--resume FILE]\n");
     return 2;
@@ -231,6 +239,7 @@ int main(int argc, char** argv) {
   run.threads = opts->threads;
   run.kernel_isa = opts->kernel_isa;
   run.lint = opts->lint;
+  run.transform = opts->transform;
   run.trace_path = opts->trace_path;
   run.profile = opts->profile;
   run.journal_path = opts->journal_path;

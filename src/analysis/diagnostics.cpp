@@ -11,7 +11,7 @@ namespace {
 
 // Sorted by code.  Codes are append-only across releases: a code is never
 // renumbered or reused, so downstream tooling can key on them.
-constexpr std::array<CodeInfo, 29> kCatalogue{{
+constexpr std::array<CodeInfo, 37> kCatalogue{{
     {"GRAPH001", Severity::kWarning,
      "dead tensor: produced but never consumed nor marked as output"},
     {"GRAPH002", Severity::kWarning,
@@ -67,9 +67,28 @@ constexpr std::array<CodeInfo, 29> kCatalogue{{
     {"SOC004", Severity::kWarning,
      "policy declares CPU-fallback op-coverage holes"},
     {"SOC005", Severity::kError, "malformed execution policy"},
+    {"XFM001", Severity::kError,
+     "rewrite left a dangling edge: node references a removed or "
+     "out-of-range tensor"},
+    {"XFM002", Severity::kError,
+     "rewrite broke the shape contract: a surviving tensor changed shape"},
+    {"XFM003", Severity::kError,
+     "rewrite lost or reordered a graph output"},
+    {"XFM004", Severity::kNote,
+     "rewrite skipped: it would move a quantization point under the "
+     "submission numerics"},
+    {"XFM005", Severity::kError,
+     "alias-unsafe rewrite: memory plan aliases a buffer for an op outside "
+     "the planner's in-place set"},
+    {"XFM006", Severity::kError,
+     "rewrite modified nodes outside its matched subgraph"},
+    {"XFM007", Severity::kError,
+     "rewrite introduced new analysis diagnostics on the transformed graph"},
+    {"XFM008", Severity::kWarning,
+     "pass rolled back: its rewrites failed post-pass verification"},
 }};
 
-static_assert(kCatalogue.size() == 29);
+static_assert(kCatalogue.size() == 37);
 
 }  // namespace
 
@@ -106,8 +125,18 @@ void DiagnosticEngine::Report(std::string_view code, SourceRef source,
 
 void DiagnosticEngine::Report(std::string_view code, Severity severity,
                               SourceRef source, std::string message) {
-  diagnostics_.push_back(Diagnostic{std::string(code), severity,
-                                    std::move(source), std::move(message)});
+  Diagnostic d{std::string(code), severity, std::move(source),
+               std::move(message)};
+  // Keep the list ordered by (code, source id), stable for ties: pass
+  // output then never depends on pass-internal iteration order, so golden
+  // JSON tests and the transform layer's pre/post-pass diffs cannot flake.
+  const auto pos = std::upper_bound(
+      diagnostics_.begin(), diagnostics_.end(), d,
+      [](const Diagnostic& a, const Diagnostic& b) {
+        if (a.code != b.code) return a.code < b.code;
+        return a.source.id < b.source.id;
+      });
+  diagnostics_.insert(pos, std::move(d));
 }
 
 Severity DiagnosticEngine::MaxSeverity() const {

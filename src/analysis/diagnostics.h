@@ -89,6 +89,9 @@ class DiagnosticEngine {
   void Report(std::string_view code, Severity severity, SourceRef source,
               std::string message);
 
+  // Always ordered by (code, source id), insertion-stable for ties —
+  // emission order is deterministic regardless of pass-internal iteration
+  // order.  ToText/ToJson render in this order.
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diagnostics_;
   }

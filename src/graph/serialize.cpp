@@ -29,6 +29,7 @@ const char* OpToken(OpType t) {
     case OpType::kEmbeddingLookup: return "embedding";
     case OpType::kMultiHeadAttention: return "mha";
     case OpType::kLstm: return "lstm";
+    case OpType::kConstant: return "const";
   }
   return "?";
 }
@@ -53,6 +54,7 @@ OpType OpFromToken(const std::string& s) {
       {"embedding", OpType::kEmbeddingLookup},
       {"mha", OpType::kMultiHeadAttention},
       {"lstm", OpType::kLstm},
+      {"const", OpType::kConstant},
   };
   const auto it = map.find(s);
   Expects(it != map.end(), "unknown op token: " + s);
@@ -136,6 +138,7 @@ void WriteAttrs(std::ostream& os, const Node& n) {
     case OpType::kMul:
     case OpType::kGlobalAvgPool:
     case OpType::kLayerNorm:
+    case OpType::kConstant:
       break;  // no attrs
   }
 }
@@ -233,6 +236,7 @@ OpAttrs ReadAttrs(OpType op, std::istream& is) {
     case OpType::kMul:
     case OpType::kGlobalAvgPool:
     case OpType::kLayerNorm:
+    case OpType::kConstant:
       return EmptyAttrs{};
   }
   return EmptyAttrs{};

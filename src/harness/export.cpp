@@ -11,7 +11,8 @@ constexpr const char* kHeader =
     "mean_latency_ms,offline_fps,energy_mj_per_inference,status,"
     "fault_count,degradation_count,dropped,timed_out,lint_errors,"
     "lint_warnings,peak_arena_bytes,naive_activation_bytes,shed,rejected,"
-    "breaker_trips,kernel_isa";
+    "breaker_trips,kernel_isa,transform_applied,transform_passes,"
+    "transform_rewrites";
 
 // CSV-quote a field if it contains a comma, quote or line break (RFC 4180:
 // fields containing CR or LF must be enclosed in double quotes too, or a
@@ -58,7 +59,9 @@ void AppendRows(std::ostringstream& os, const SubmissionResult& result,
        << t.lint_warning_count << ',' << t.peak_arena_bytes << ','
        << t.naive_activation_bytes << ',' << t.shed_count << ','
        << t.rejected_count << ',' << t.breaker_trips << ','
-       << Field(t.kernel_isa) << '\n';
+       << Field(t.kernel_isa) << ','
+       << (t.transform_applied ? "true" : "false") << ','
+       << Field(t.transform_passes) << ',' << t.transform_rewrites << '\n';
   }
 }
 

@@ -376,6 +376,13 @@ std::string EncodeTaskRecord(const TaskRunResult& tr) {
   PutU(out, "lint_warning_count", tr.lint_warning_count);
   PutS(out, "lint_log", tr.lint_log);
   PutS(out, "kernel_isa", tr.kernel_isa);
+  PutB(out, "transform_requested", tr.transform_requested);
+  PutB(out, "transform_applied", tr.transform_applied);
+  PutS(out, "transform_passes", tr.transform_passes);
+  PutU(out, "transform_rewrites", tr.transform_rewrites);
+  PutU(out, "transform_nodes_before", tr.transform_nodes_before);
+  PutU(out, "transform_nodes_after", tr.transform_nodes_after);
+  PutS(out, "transform_detail", tr.transform_detail);
   // accuracy_outputs are deliberately not journaled: they are only needed
   // transiently for scoring, and the derived score is recorded above.
   return out;
@@ -452,6 +459,20 @@ TaskRunResult DecodeTaskRecord(const std::string& payload) {
       tr.lint_log = std::move(f.bytes);
     } else if (f.key == "kernel_isa") {
       tr.kernel_isa = std::move(f.bytes);
+    } else if (f.key == "transform_requested") {
+      tr.transform_requested = f.scalar == "1";
+    } else if (f.key == "transform_applied") {
+      tr.transform_applied = f.scalar == "1";
+    } else if (f.key == "transform_passes") {
+      tr.transform_passes = std::move(f.bytes);
+    } else if (f.key == "transform_rewrites") {
+      tr.transform_rewrites = ParseU64(f.scalar);
+    } else if (f.key == "transform_nodes_before") {
+      tr.transform_nodes_before = ParseU64(f.scalar);
+    } else if (f.key == "transform_nodes_after") {
+      tr.transform_nodes_after = ParseU64(f.scalar);
+    } else if (f.key == "transform_detail") {
+      tr.transform_detail = std::move(f.bytes);
     }
   }
   Expects(!tr.entry.id.empty(), "journal: record without a task id");
@@ -515,6 +536,9 @@ std::uint64_t HashRunConfig(const soc::ChipsetDesc& chipset,
   // mixing journals from differently-configured runs, and f32 accuracy
   // results differ across kernel tables.
   add("kernel_isa", std::string(ToString(o.kernel_isa)));
+  // The transform stage changes the executed graph, so resumed accuracy
+  // results are only interchangeable within one setting of it.
+  add_u("transform", o.transform ? 1 : 0);
 
   const loadgen::TestSettings& s = o.performance_settings;
   add_u("seed", s.seed);

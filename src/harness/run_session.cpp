@@ -338,8 +338,15 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
         bundle.Prepare(mode,
                        options.use_qat_weights &&
                            mode == infer::NumericsMode::kInt8,
-                       options.kernel_isa);
+                       options.kernel_isa, options.transform);
     tr.calibration_indices = prepared.calibration_indices;
+    tr.transform_requested = prepared.transform.requested;
+    tr.transform_applied = prepared.transform.applied;
+    tr.transform_passes = prepared.transform.passes;
+    tr.transform_rewrites = prepared.transform.rewrites;
+    tr.transform_nodes_before = prepared.transform.nodes_before;
+    tr.transform_nodes_after = prepared.transform.nodes_after;
+    tr.transform_detail = prepared.transform.detail;
 
     loadgen::DatasetQsl qsl(bundle.dataset());
     loadgen::RealClock clock;

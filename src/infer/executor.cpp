@@ -822,6 +822,13 @@ void DispatchNode(const Graph& g, const Node& n, const Fetch& fetch,
               weight_for(n.weights[0]), weight_for(n.weights[1]),
               weight_for(n.weights[2]), out);
       break;
+    case OpType::kConstant: {
+      // Materialized constant (transform-layer constant folding): the value
+      // lives in the node's single weight tensor.
+      const Tensor& value = weight_for(n.weights[0]);
+      std::copy_n(value.data(), value.size(), out.data());
+      break;
+    }
   }
 }
 

@@ -1,0 +1,40 @@
+// Dead-node elimination: removes nodes with no dataflow path to any graph
+// output.  Reverse reachability from the outputs, matching the liveness
+// notion GRAPH002 uses, so the pass never deletes anything the analysis
+// layer considers live.  Removing unreachable work is exact in every mode.
+
+#include <vector>
+
+#include "transform/pass_util.h"
+#include "transform/passes.h"
+
+namespace mlpm::transform {
+namespace {
+
+class DeadNodeElimPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "dead-node-elim";
+  }
+  [[nodiscard]] std::span<const Invariant> preserved() const override {
+    return kAllInvariants;
+  }
+
+  void Run(MutableGraph& g, PassContext& ctx) const override {
+    const std::vector<bool> reachable = detail::ReachableNodes(g);
+    for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+      if (!g.alive(i) || reachable[i]) continue;
+      ctx.Touch(g.nodes()[i].name);
+      g.Kill(i);
+      ++ctx.rewrites;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TransformPass> MakeDeadNodeElimPass() {
+  return std::make_unique<DeadNodeElimPass>();
+}
+
+}  // namespace mlpm::transform

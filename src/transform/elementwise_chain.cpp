@@ -1,0 +1,93 @@
+// Elementwise-chain fusion: collapses two adjacent standalone clamp
+// activations into one when their composition is itself a single clamp:
+//
+//   relu(relu(x))  = relu(x)      relu6(relu(x))  = relu6(x)
+//   relu(relu6(x)) = relu6(x)     relu6(relu6(x)) = relu6(x)
+//
+// The composition is an algebraic identity on reals and both sides round
+// identically under FP16 (clamp bounds are binary16-exact), so the rewrite
+// runs under FP32 and FP16.  Under INT8 it removes a fake-quantization
+// point and is refused (XFM004).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "transform/pass_util.h"
+#include "transform/passes.h"
+
+namespace mlpm::transform {
+namespace {
+
+using graph::Activation;
+
+// Composition b∘a restricted to the clamp family; nullopt otherwise.
+std::optional<Activation> Compose(Activation a, Activation b) {
+  if (!detail::IsClampFamily(a) || !detail::IsClampFamily(b))
+    return std::nullopt;
+  return (a == Activation::kRelu6 || b == Activation::kRelu6)
+             ? Activation::kRelu6
+             : Activation::kRelu;
+}
+
+class ElementwiseChainPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "elementwise-chain";
+  }
+  [[nodiscard]] std::span<const Invariant> preserved() const override {
+    return kAllInvariants;
+  }
+
+  void Run(MutableGraph& g, PassContext& ctx) const override {
+    auto producers = g.BuildProducers();
+    auto consumers = g.BuildConsumers();
+    for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+      if (!g.alive(i)) continue;
+      graph::Node& second = g.nodes()[i];
+      if (second.op != graph::OpType::kActivation) continue;
+
+      const graph::TensorId mid = second.inputs[0];
+      const std::int32_t p =
+          (mid >= 0 && static_cast<std::size_t>(mid) < producers.size())
+              ? producers[static_cast<std::size_t>(mid)]
+              : -1;
+      if (p < 0) continue;
+      const auto pi = static_cast<std::size_t>(p);
+      const graph::Node& first = g.nodes()[pi];
+      if (first.op != graph::OpType::kActivation) continue;
+
+      const auto composed = Compose(
+          std::get<graph::ActivationAttrs>(first.attrs).activation,
+          std::get<graph::ActivationAttrs>(second.attrs).activation);
+      if (!composed) continue;
+      if (consumers[static_cast<std::size_t>(mid)].size() != 1 ||
+          g.IsGraphOutput(mid))
+        continue;
+
+      if (ctx.mode == infer::NumericsMode::kInt8) {
+        ctx.Skip("collapsing '" + first.name + "' into '" + second.name +
+                 "' would remove a quantization point under INT8");
+        continue;
+      }
+
+      second.attrs = graph::ActivationAttrs{*composed};
+      second.inputs[0] = first.inputs[0];
+      g.Kill(pi);
+      ctx.Touch(first.name);
+      ctx.Touch(second.name);
+      ++ctx.rewrites;
+      // Edges changed; rebuild the indices so longer chains keep folding.
+      producers = g.BuildProducers();
+      consumers = g.BuildConsumers();
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TransformPass> MakeElementwiseChainPass() {
+  return std::make_unique<ElementwiseChainPass>();
+}
+
+}  // namespace mlpm::transform

@@ -1,0 +1,88 @@
+// Conv+bias+activation fusion: a standalone kActivation whose single
+// producer is a conv/dwconv/fc with no fused activation (bias add is already
+// part of those ops in this IR) is folded into the producer's attrs.
+//
+// Numerics gate: activations the canonicalization split created this run
+// ("synthetic") re-fuse in every mode — the rewrite restores the original
+// pre-split node exactly.  Pre-existing standalone activations fuse under
+// FP32 always and under FP16 only for the clamp family; under INT8 fusing
+// one removes a fake-quantization point, so it is refused (XFM004).
+
+#include <string>
+
+#include "transform/pass_util.h"
+#include "transform/passes.h"
+
+namespace mlpm::transform {
+namespace {
+
+class FuseConvActivationPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "fuse-conv-activation";
+  }
+  [[nodiscard]] std::span<const Invariant> preserved() const override {
+    return kAllInvariants;
+  }
+
+  void Run(MutableGraph& g, PassContext& ctx) const override {
+    auto producers = g.BuildProducers();
+    auto consumers = g.BuildConsumers();
+    for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+      if (!g.alive(i)) continue;
+      const graph::Node& act_node = g.nodes()[i];
+      if (act_node.op != graph::OpType::kActivation) continue;
+      const graph::Activation act =
+          std::get<graph::ActivationAttrs>(act_node.attrs).activation;
+      if (act == graph::Activation::kNone) continue;  // identity-cancel's job
+
+      const graph::TensorId mid = act_node.inputs[0];
+      const std::int32_t p =
+          (mid >= 0 && static_cast<std::size_t>(mid) < producers.size())
+              ? producers[static_cast<std::size_t>(mid)]
+              : -1;
+      if (p < 0) continue;
+      const auto pi = static_cast<std::size_t>(p);
+      if (!detail::IsConvLike(g.nodes()[pi].op)) continue;
+      if (detail::FusedActivation(g.nodes()[pi]) != graph::Activation::kNone)
+        continue;
+      if (consumers[static_cast<std::size_t>(mid)].size() != 1 ||
+          g.IsGraphOutput(mid))
+        continue;
+
+      bool allowed = ctx.synthetic_activations.contains(act_node.name);
+      if (!allowed) {
+        switch (ctx.mode) {
+          case infer::NumericsMode::kFp32: allowed = true; break;
+          case infer::NumericsMode::kFp16:
+            allowed = detail::IsClampFamily(act);
+            break;
+          case infer::NumericsMode::kInt8: allowed = false; break;
+        }
+      }
+      if (!allowed) {
+        ctx.Skip("fusing '" + act_node.name + "' into '" +
+                 g.nodes()[pi].name + "' would remove a " +
+                 std::string(ToString(ctx.mode)) + " numerics point");
+        continue;
+      }
+
+      detail::SetFusedActivation(g.nodes()[pi], act);
+      detail::Rewire(g, ctx, act_node.output, mid);
+      g.Kill(i);
+      ctx.Touch(g.nodes()[pi].name);
+      ctx.Touch(act_node.name);
+      ++ctx.rewrites;
+      producers = g.BuildProducers();
+      consumers = g.BuildConsumers();
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TransformPass> MakeFuseConvActivationPass() {
+  return std::make_unique<FuseConvActivationPass>();
+}
+
+}  // namespace mlpm::transform

@@ -1,0 +1,159 @@
+#include "transform/graph_diff.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <variant>
+
+namespace mlpm::transform {
+namespace {
+
+// Prints every attribute field that affects execution.  A new attr struct
+// added to OpAttrs without a case here fails to compile (exhaustive visit),
+// so the diff can never silently ignore an attribute change.
+struct AttrPrinter {
+  std::ostringstream& os;
+  void operator()(const graph::EmptyAttrs&) const {}
+  void operator()(const graph::Conv2dAttrs& a) const {
+    os << " oc=" << a.out_channels << " k=" << a.kernel_h << 'x' << a.kernel_w
+       << " s=" << a.stride << " d=" << a.dilation
+       << " p=" << static_cast<int>(a.padding)
+       << " act=" << graph::ToString(a.activation);
+  }
+  void operator()(const graph::DepthwiseConv2dAttrs& a) const {
+    os << " k=" << a.kernel_h << 'x' << a.kernel_w << " s=" << a.stride
+       << " d=" << a.dilation << " p=" << static_cast<int>(a.padding)
+       << " act=" << graph::ToString(a.activation);
+  }
+  void operator()(const graph::FullyConnectedAttrs& a) const {
+    os << " of=" << a.out_features
+       << " act=" << graph::ToString(a.activation);
+  }
+  void operator()(const graph::PoolAttrs& a) const {
+    os << " k=" << a.kernel << " s=" << a.stride
+       << " p=" << static_cast<int>(a.padding);
+  }
+  void operator()(const graph::ResizeAttrs& a) const {
+    os << " oh=" << a.out_h << " ow=" << a.out_w;
+  }
+  void operator()(const graph::ConcatAttrs& a) const {
+    os << " axis=" << a.axis;
+  }
+  void operator()(const graph::ReshapeAttrs& a) const {
+    os << " dims=";
+    for (const auto d : a.new_dims) os << d << ',';
+  }
+  void operator()(const graph::SoftmaxAttrs& a) const {
+    os << " axis=" << a.axis;
+  }
+  void operator()(const graph::ActivationAttrs& a) const {
+    os << " act=" << graph::ToString(a.activation);
+  }
+  void operator()(const graph::LayerNormAttrs& a) const {
+    os << " eps=" << a.epsilon;
+  }
+  void operator()(const graph::EmbeddingAttrs& a) const {
+    os << " vocab=" << a.vocab_size << " dim=" << a.embed_dim;
+  }
+  void operator()(const graph::AttentionAttrs& a) const {
+    os << " heads=" << a.num_heads << " hd=" << a.head_dim;
+  }
+  void operator()(const graph::LstmAttrs& a) const {
+    os << " hidden=" << a.hidden_dim;
+  }
+};
+
+using RenameMap = std::unordered_map<std::string, std::string>;
+
+// Follows declared edge replacements to a fixed point; the iteration cap
+// makes an (illegal) rename cycle terminate instead of hanging the gate.
+const std::string& Resolve(const std::string& name, const RenameMap* renames) {
+  if (renames == nullptr) return name;
+  const std::string* cur = &name;
+  for (std::size_t hops = 0; hops <= renames->size(); ++hops) {
+    const auto it = renames->find(*cur);
+    if (it == renames->end()) break;
+    cur = &it->second;
+  }
+  return *cur;
+}
+
+void PrintTensor(std::ostringstream& os, const graph::Graph& g,
+                 graph::TensorId id, const RenameMap* renames) {
+  if (id < 0 || static_cast<std::size_t>(id) >= g.tensors().size()) {
+    os << "<invalid#" << id << '>';
+    return;
+  }
+  const auto& t = g.tensors()[static_cast<std::size_t>(id)];
+  os << Resolve(t.name, renames) << t.shape.ToString();
+}
+
+std::string Signature(const graph::Graph& g, const graph::Node& n,
+                      const RenameMap* renames) {
+  std::ostringstream os;
+  os << graph::ToString(n.op);
+  std::visit(AttrPrinter{os}, n.attrs);
+  os << " in=[";
+  for (const graph::TensorId id : n.inputs) {
+    PrintTensor(os, g, id, renames);
+    os << ' ';
+  }
+  os << "] w=[";
+  for (const graph::TensorId id : n.weights) {
+    PrintTensor(os, g, id, renames);
+    os << ' ';
+  }
+  os << "] out=";
+  PrintTensor(os, g, n.output, renames);
+  return os.str();
+}
+
+}  // namespace
+
+std::string NodeSignature(const graph::Graph& g, const graph::Node& n) {
+  return Signature(g, n, nullptr);
+}
+
+std::vector<std::string> DiffOutsideTouched(
+    const graph::Graph& before, const graph::Graph& after,
+    const std::unordered_set<std::string>& touched,
+    const std::unordered_map<std::string, std::string>& edge_renames) {
+  std::vector<std::string> violations;
+
+  // Untouched node names in storage order, plus name -> signature maps.
+  // Before-side signatures are resolved through the declared renames.
+  const auto collect = [&](const graph::Graph& g, const RenameMap* renames,
+                           std::vector<std::string>& order,
+                           std::unordered_map<std::string, std::string>& sig) {
+    for (const graph::Node& n : g.nodes()) {
+      if (touched.contains(n.name)) continue;
+      order.push_back(n.name);
+      sig.emplace(n.name, Signature(g, n, renames));
+    }
+  };
+  std::vector<std::string> before_order, after_order;
+  std::unordered_map<std::string, std::string> before_sig, after_sig;
+  collect(before, &edge_renames, before_order, before_sig);
+  collect(after, nullptr, after_order, after_sig);
+
+  for (const std::string& name : before_order)
+    if (!after_sig.contains(name))
+      violations.push_back("node '" + name +
+                           "' removed but not declared touched");
+  for (const std::string& name : after_order) {
+    const auto b = before_sig.find(name);
+    if (b == before_sig.end()) {
+      violations.push_back("node '" + name +
+                           "' added but not declared touched");
+    } else if (b->second != after_sig.at(name)) {
+      violations.push_back("node '" + name +
+                           "' rewritten but not declared touched (" +
+                           b->second + " -> " + after_sig.at(name) + ")");
+    }
+  }
+  if (violations.empty() && before_order != after_order)
+    violations.push_back(
+        "untouched nodes were reordered relative to each other");
+  return violations;
+}
+
+}  // namespace mlpm::transform

@@ -1,0 +1,36 @@
+// Structural graph diff used by the PassManager's subgraph-locality gate
+// (XFM006): after a pass runs, every node it did NOT declare as touched must
+// appear in both graphs with an identical signature and in the same relative
+// storage order.  Signatures are keyed on tensor *names*, not ids, so the
+// id renumbering MutableGraph::Freeze performs never reads as a change.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mlpm::transform {
+
+// Canonical, id-independent description of one node: op token, attrs,
+// operand/weight tensor names with shapes, output name with shape.
+[[nodiscard]] std::string NodeSignature(const graph::Graph& g,
+                                        const graph::Node& n);
+
+// Violations of subgraph locality: human-readable strings, one per node
+// that was added, removed, rewritten or reordered outside `touched`.
+// Empty means the rewrite provably confined itself to its matched subgraph.
+//
+// `edge_renames` is the pass's declared set of edge replacements (old
+// tensor name -> new tensor name); the before-side signatures are resolved
+// through it (transitively) so a declared rewiring of an untouched
+// consumer's input is legal, while an undeclared one — or a redirect onto a
+// tensor whose shape differs — still reads as a violation.
+[[nodiscard]] std::vector<std::string> DiffOutsideTouched(
+    const graph::Graph& before, const graph::Graph& after,
+    const std::unordered_set<std::string>& touched,
+    const std::unordered_map<std::string, std::string>& edge_renames);
+
+}  // namespace mlpm::transform

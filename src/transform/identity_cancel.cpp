@@ -1,0 +1,86 @@
+// Identity cancellation: removes nodes that provably copy their input —
+// kActivation with kNone, kReshape whose output shape equals its input
+// shape, and single-input kConcat.  A copy of an already-rounded tensor is
+// idempotent under every numerics mode (re-rounding / re-fake-quantizing a
+// value that sits on the grid is a no-op), so cancellation is exact —
+// EXCEPT when the copy consumes a raw graph input: the executor applies
+// numerics only at node outputs, so that copy is the input's *first*
+// rounding point and removing it changes FP16/INT8 results.  That case is
+// numerics-gated instead.
+//
+// Same-size kResizeBilinear is deliberately NOT cancelled: its arithmetic
+// path can normalize -0.0 to +0.0, so it is not a bit-exact copy.  1x1/s1
+// pools are left alone for the same conservatism.
+
+#include "transform/pass_util.h"
+#include "transform/passes.h"
+
+namespace mlpm::transform {
+namespace {
+
+class IdentityCancelPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "identity-cancel";
+  }
+  [[nodiscard]] std::span<const Invariant> preserved() const override {
+    return kAllInvariants;
+  }
+
+  void Run(MutableGraph& g, PassContext& ctx) const override {
+    using graph::OpType;
+    // Cancelling a *dead* identity would strand its input's producer (a new
+    // GRAPH001 finding the XFM007 gate would veto); dead code belongs to
+    // dead-node-elim.  Kills only rewire through surviving edges, so the
+    // upfront reachability stays valid across the loop.
+    const std::vector<bool> reachable = detail::ReachableNodes(g);
+    for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+      if (!g.alive(i) || !reachable[i]) continue;
+      const graph::Node& n = g.nodes()[i];
+      bool identity = false;
+      switch (n.op) {
+        case OpType::kActivation:
+          identity = std::get<graph::ActivationAttrs>(n.attrs).activation ==
+                     graph::Activation::kNone;
+          break;
+        case OpType::kReshape:
+          identity = n.inputs.size() == 1 &&
+                     g.tensor(n.output).shape == g.tensor(n.inputs[0]).shape;
+          break;
+        case OpType::kConcat:
+          identity = n.inputs.size() == 1;
+          break;
+        default:
+          break;
+      }
+      if (!identity) continue;
+
+      const graph::TensorId in = n.inputs[0];
+      const graph::TensorId out = n.output;
+      // Cancelling a node that bridges a graph input straight to a graph
+      // output would alias the two; keep it as an explicit copy.
+      if (g.IsGraphInput(in) && g.IsGraphOutput(out)) continue;
+      // A copy fed by a raw graph input is that input's first numerics
+      // point (see header comment) — only a no-op at FP32.
+      if (ctx.mode != infer::NumericsMode::kFp32 && g.IsGraphInput(in)) {
+        ctx.Skip("cancelling '" + n.name +
+                 "' would drop the first numerics point after graph input '" +
+                 g.tensor(in).name + "'");
+        continue;
+      }
+
+      detail::Rewire(g, ctx, out, in);
+      g.Kill(i);
+      ctx.Touch(n.name);
+      ++ctx.rewrites;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TransformPass> MakeIdentityCancelPass() {
+  return std::make_unique<IdentityCancelPass>();
+}
+
+}  // namespace mlpm::transform

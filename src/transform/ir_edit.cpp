@@ -1,0 +1,154 @@
+#include "transform/ir_edit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mlpm::transform {
+
+using graph::Node;
+using graph::TensorId;
+using graph::TensorInfo;
+
+MutableGraph::MutableGraph(const graph::Graph& g)
+    : name_(g.name()),
+      nodes_(g.nodes()),
+      alive_(g.nodes().size(), true),
+      tensors_(g.tensors()),
+      inputs_(g.input_ids()),
+      outputs_(g.output_ids()) {}
+
+const TensorInfo& MutableGraph::tensor(TensorId id) const {
+  Expects(id >= 0 && static_cast<std::size_t>(id) < tensors_.size(),
+          "MutableGraph: tensor id out of range");
+  return tensors_[static_cast<std::size_t>(id)];
+}
+
+std::size_t MutableGraph::live_node_count() const {
+  return static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+}
+
+std::vector<std::int32_t> MutableGraph::BuildProducers() const {
+  std::vector<std::int32_t> producer(tensors_.size(), -1);
+  for (std::size_t ni = 0; ni < nodes_.size(); ++ni) {
+    if (!alive_[ni]) continue;
+    const TensorId out = nodes_[ni].output;
+    if (out >= 0 && static_cast<std::size_t>(out) < tensors_.size())
+      producer[static_cast<std::size_t>(out)] = static_cast<std::int32_t>(ni);
+  }
+  return producer;
+}
+
+std::vector<std::vector<std::size_t>> MutableGraph::BuildConsumers() const {
+  std::vector<std::vector<std::size_t>> consumers(tensors_.size());
+  for (std::size_t ni = 0; ni < nodes_.size(); ++ni) {
+    if (!alive_[ni]) continue;
+    for (const TensorId in : nodes_[ni].inputs)
+      if (in >= 0 && static_cast<std::size_t>(in) < tensors_.size())
+        consumers[static_cast<std::size_t>(in)].push_back(ni);
+  }
+  return consumers;
+}
+
+bool MutableGraph::IsGraphInput(TensorId id) const {
+  return std::find(inputs_.begin(), inputs_.end(), id) != inputs_.end();
+}
+
+bool MutableGraph::IsGraphOutput(TensorId id) const {
+  return std::find(outputs_.begin(), outputs_.end(), id) != outputs_.end();
+}
+
+TensorId MutableGraph::AddTensor(std::string name, graph::TensorShape shape,
+                                 graph::TensorKind kind) {
+  tensors_.push_back(TensorInfo{std::move(name), std::move(shape), kind, -1});
+  return static_cast<TensorId>(tensors_.size() - 1);
+}
+
+std::size_t MutableGraph::InsertNodeAfter(std::size_t index, Node n) {
+  Expects(index < nodes_.size(), "InsertNodeAfter: index out of range");
+  const auto at = static_cast<std::ptrdiff_t>(index + 1);
+  nodes_.insert(nodes_.begin() + at, std::move(n));
+  alive_.insert(alive_.begin() + at, true);
+  return index + 1;
+}
+
+void MutableGraph::Kill(std::size_t node_index) {
+  Expects(node_index < nodes_.size(), "Kill: index out of range");
+  alive_[node_index] = false;
+}
+
+void MutableGraph::RedirectUses(TensorId from, TensorId to) {
+  for (std::size_t ni = 0; ni < nodes_.size(); ++ni) {
+    if (!alive_[ni]) continue;
+    for (TensorId& in : nodes_[ni].inputs)
+      if (in == from) in = to;
+  }
+  for (TensorId& out : outputs_)
+    if (out == from) out = to;
+}
+
+FrozenGraph MutableGraph::Freeze() const {
+  // Referenced tensors: graph inputs/outputs plus everything a live node
+  // touches.  Everything else (outputs of killed nodes, orphaned weights)
+  // is dropped.
+  std::vector<bool> keep(tensors_.size(), false);
+  const auto mark = [&](TensorId id) {
+    if (id >= 0 && static_cast<std::size_t>(id) < tensors_.size())
+      keep[static_cast<std::size_t>(id)] = true;
+  };
+  for (const TensorId id : inputs_) mark(id);
+  for (const TensorId id : outputs_) mark(id);
+  for (std::size_t ni = 0; ni < nodes_.size(); ++ni) {
+    if (!alive_[ni]) continue;
+    const Node& n = nodes_[ni];
+    for (const TensorId id : n.inputs) mark(id);
+    for (const TensorId id : n.weights) mark(id);
+    mark(n.output);
+  }
+
+  FrozenGraph out;
+  out.tensor_map.assign(tensors_.size(), graph::kInvalidTensor);
+  std::vector<TensorInfo> tensors;
+  for (std::size_t ti = 0; ti < tensors_.size(); ++ti) {
+    if (!keep[ti]) continue;
+    out.tensor_map[ti] = static_cast<TensorId>(tensors.size());
+    TensorInfo info = tensors_[ti];
+    info.producer = -1;  // re-derived from the compacted node list below
+    tensors.push_back(std::move(info));
+  }
+
+  const auto remap = [&](TensorId id) {
+    return (id >= 0 && static_cast<std::size_t>(id) < out.tensor_map.size())
+               ? out.tensor_map[static_cast<std::size_t>(id)]
+               : graph::kInvalidTensor;
+  };
+
+  std::vector<Node> nodes;
+  nodes.reserve(live_node_count());
+  for (std::size_t ni = 0; ni < nodes_.size(); ++ni) {
+    if (!alive_[ni]) continue;
+    Node n = nodes_[ni];
+    for (TensorId& id : n.inputs) id = remap(id);
+    for (TensorId& id : n.weights) id = remap(id);
+    n.output = remap(n.output);
+    if (n.output >= 0 &&
+        static_cast<std::size_t>(n.output) < tensors.size())
+      tensors[static_cast<std::size_t>(n.output)].producer =
+          static_cast<std::int32_t>(nodes.size());
+    nodes.push_back(std::move(n));
+  }
+
+  std::vector<TensorId> inputs = inputs_;
+  for (TensorId& id : inputs) id = remap(id);
+  std::vector<TensorId> outputs = outputs_;
+  for (TensorId& id : outputs) id = remap(id);
+
+  out.graph = graph::AssembleGraphUnchecked(name_, std::move(nodes),
+                                            std::move(tensors),
+                                            std::move(inputs),
+                                            std::move(outputs));
+  return out;
+}
+
+}  // namespace mlpm::transform

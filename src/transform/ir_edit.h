@@ -1,0 +1,91 @@
+// Mutable working copy of a graph::Graph for the transform layer.
+//
+// graph::Graph is immutable by design (frozen reference models, §5.1), so
+// rewrites happen on an editable copy: passes mutate nodes and tensors
+// through the helpers below, then Freeze() compacts dead nodes and orphaned
+// tensors back into an immutable Graph via graph::AssembleGraphUnchecked.
+// A MutableGraph performs no validation of its own — the PassManager
+// (pass_manager.h) statically verifies every frozen candidate against the
+// full analysis suite and rolls the pass back on violation, which keeps the
+// edit API small and the trust boundary in one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mlpm::transform {
+
+// Result of MutableGraph::Freeze: the compacted graph plus the dense
+// renumbering applied to surviving tensors.
+struct FrozenGraph {
+  graph::Graph graph;
+  // Old tensor id -> new tensor id; graph::kInvalidTensor for tensors
+  // dropped because no live node or graph input/output references them.
+  std::vector<graph::TensorId> tensor_map;
+};
+
+class MutableGraph {
+ public:
+  explicit MutableGraph(const graph::Graph& g);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::vector<graph::Node>& nodes() { return nodes_; }
+  [[nodiscard]] const std::vector<graph::Node>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<graph::TensorInfo>& tensors() const {
+    return tensors_;
+  }
+  [[nodiscard]] const graph::TensorInfo& tensor(graph::TensorId id) const;
+  [[nodiscard]] const std::vector<graph::TensorId>& input_ids() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<graph::TensorId>& output_ids() const {
+    return outputs_;
+  }
+
+  [[nodiscard]] bool alive(std::size_t node_index) const {
+    return alive_[node_index];
+  }
+  [[nodiscard]] std::size_t live_node_count() const;
+
+  // Producing live-node index per tensor id (-1 for graph inputs, weights
+  // and dropped producers).  Recomputed on call.
+  [[nodiscard]] std::vector<std::int32_t> BuildProducers() const;
+  // Consuming live-node indices per tensor id.  Recomputed on call.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> BuildConsumers() const;
+  [[nodiscard]] bool IsGraphInput(graph::TensorId id) const;
+  [[nodiscard]] bool IsGraphOutput(graph::TensorId id) const;
+
+  graph::TensorId AddTensor(std::string name, graph::TensorShape shape,
+                            graph::TensorKind kind);
+  // Inserts `n` immediately after node `index`.  Storage order stays
+  // topological as long as `n` only consumes tensors produced at or before
+  // `index` — the PassManager's XFM001 check re-proves this on the result.
+  // Returns the new node's index (existing indices above it shift by one).
+  std::size_t InsertNodeAfter(std::size_t index, graph::Node n);
+  void Kill(std::size_t node_index);
+  // Replaces every use of `from` — live node inputs and graph outputs —
+  // with `to`.  Weight references are never rewritten.
+  void RedirectUses(graph::TensorId from, graph::TensorId to);
+
+  // Compacts live nodes (in storage order) and referenced tensors into an
+  // immutable Graph.  Tensor ids are renumbered densely in ascending old-id
+  // order, so an edit sequence that restores the original structure also
+  // restores the original ids (and structural fingerprint).
+  [[nodiscard]] FrozenGraph Freeze() const;
+
+ private:
+  std::string name_;
+  std::vector<graph::Node> nodes_;
+  std::vector<bool> alive_;
+  std::vector<graph::TensorInfo> tensors_;
+  std::vector<graph::TensorId> inputs_;
+  std::vector<graph::TensorId> outputs_;
+};
+
+}  // namespace mlpm::transform

@@ -1,0 +1,18 @@
+#include "transform/pass.h"
+
+namespace mlpm::transform {
+
+std::string_view ToString(Invariant inv) {
+  switch (inv) {
+    case Invariant::kNoDanglingEdges: return "no-dangling-edges";
+    case Invariant::kShapeContract: return "shape-contract";
+    case Invariant::kGraphOutputs: return "graph-outputs";
+    case Invariant::kQuantContract: return "quant-contract";
+    case Invariant::kAliasSafety: return "alias-safety";
+    case Invariant::kSubgraphLocality: return "subgraph-locality";
+    case Invariant::kCleanDiagnostics: return "clean-diagnostics";
+  }
+  return "?";
+}
+
+}  // namespace mlpm::transform

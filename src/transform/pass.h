@@ -1,0 +1,112 @@
+// TransformPass interface and per-run pass context.
+//
+// A pass is a pattern-based rewrite over a MutableGraph.  Each pass declares
+// the invariants it preserves; the declaration is the pass's side of the
+// verification contract (DESIGN.md §14) — the PassManager's post-pass gate
+// re-proves every declared invariant statically (XFM001-XFM007) and rolls
+// the pass back on violation, so a declaration is never taken on faith.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "infer/executor.h"
+#include "infer/weights.h"
+#include "transform/ir_edit.h"
+
+namespace mlpm::transform {
+
+// Invariants a pass can declare.  Each maps to one XFM diagnostic the
+// PassManager checks after the pass runs.
+enum class Invariant : std::uint8_t {
+  kNoDanglingEdges,   // XFM001: every edge resolves; storage order executable
+  kShapeContract,     // XFM002: surviving tensors keep their shapes
+  kGraphOutputs,      // XFM003: graph outputs keep position and shape
+  kQuantContract,     // XFM004: no quantization point moves under INT8/FP16
+  kAliasSafety,       // XFM005: memory-plan aliasing stays in the legal set
+  kSubgraphLocality,  // XFM006: only the matched subgraph is touched
+  kCleanDiagnostics,  // XFM007: no new analysis diagnostics
+};
+
+[[nodiscard]] std::string_view ToString(Invariant inv);
+
+// Every shipped pass preserves the full set; a future pass that cannot
+// (e.g. a layout rewrite that legally changes shapes) would declare less
+// and the PassManager would refuse to gate what it cannot verify.
+inline constexpr std::array<Invariant, 7> kAllInvariants = {
+    Invariant::kNoDanglingEdges, Invariant::kShapeContract,
+    Invariant::kGraphOutputs,    Invariant::kQuantContract,
+    Invariant::kAliasSafety,     Invariant::kSubgraphLocality,
+    Invariant::kCleanDiagnostics,
+};
+
+// State threaded through one PassManager invocation.  The numerics mode and
+// the synthetic-activation set persist across passes; the per-pass fields
+// (rewrites, skipped, touched, staged weights) are reset between passes.
+struct PassContext {
+  infer::NumericsMode mode = infer::NumericsMode::kFp32;
+
+  // Values of the run's existing weights (constant folding reads operands).
+  const infer::WeightStore* weights = nullptr;
+  // Weights added by the current pass; merged into the run's store when the
+  // pass commits, dropped when it rolls back.
+  infer::WeightStore staged_weights;
+
+  // kActivation nodes synthesized by the canonicalization split
+  // (split-activations).  Re-fusing one of these is an exact round trip in
+  // every numerics mode, so the fusion pass accepts them unconditionally.
+  std::unordered_set<std::string> synthetic_activations;
+
+  // Per-pass bookkeeping.
+  std::size_t rewrites = 0;
+  std::size_t skipped = 0;              // rewrites refused by a numerics gate
+  std::vector<std::string> skip_notes;  // rendered as XFM004 notes
+  std::unordered_set<std::string> touched;  // node names the pass edited
+
+  // Edge replacements the pass performed (old tensor name -> new tensor
+  // name).  The structural diff resolves untouched consumers' inputs through
+  // this map, so a declared rewiring does not read as an illegal edit of the
+  // consumer — while an undeclared one, or a redirect onto a tensor of a
+  // different shape, still does.
+  std::unordered_map<std::string, std::string> edge_renames;
+
+  void Touch(const std::string& node_name) { touched.insert(node_name); }
+  void Skip(std::string why) {
+    ++skipped;
+    skip_notes.push_back(std::move(why));
+  }
+  // Weight lookup across the run store and this pass's staged additions;
+  // nullptr when the name is unknown to both.
+  [[nodiscard]] const infer::Tensor* FindWeight(
+      const std::string& name) const {
+    if (staged_weights.Contains(name)) return &staged_weights.Get(name);
+    if (weights != nullptr && weights->Contains(name))
+      return &weights->Get(name);
+    return nullptr;
+  }
+};
+
+class TransformPass {
+ public:
+  TransformPass() = default;
+  TransformPass(const TransformPass&) = delete;
+  TransformPass& operator=(const TransformPass&) = delete;
+  virtual ~TransformPass() = default;
+
+  // Stable pass name ("fuse-conv-activation"); lands in the journal, the
+  // CSV export and the metrics registry, so it is part of the repo's
+  // artifact contract.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::span<const Invariant> preserved() const = 0;
+  virtual void Run(MutableGraph& g, PassContext& ctx) const = 0;
+};
+
+}  // namespace mlpm::transform

@@ -1,0 +1,343 @@
+#include "transform/pass_manager.h"
+
+#include <chrono>
+#include <iomanip>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/passes.h"
+#include "infer/memory_plan.h"
+#include "transform/graph_diff.h"
+#include "transform/passes.h"
+
+namespace mlpm::transform {
+namespace {
+
+using analysis::DiagnosticEngine;
+using graph::TensorId;
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Identity of a diagnostic that survives node-index renumbering: rewrites
+// shift node indices, so keying on source.id would make a pre-existing
+// finding on an untouched node read as "new".
+std::string DiagKey(const analysis::Diagnostic& d) {
+  std::string key = d.code;
+  key += '\x1f';
+  key += analysis::ToString(d.source.kind);
+  key += '\x1f';
+  key += d.source.name;
+  return key;
+}
+
+// XFM001: every edge of the edited graph resolves, node names stay unique,
+// storage order is executable (defs before uses) and every referenced
+// weight has a value.  Runs on the MutableGraph *before* Freeze, because
+// Freeze itself assumes these properties.
+void VerifyEdges(const MutableGraph& mg, const PassContext& ctx,
+                 std::string_view pass, DiagnosticEngine& de) {
+  const auto report = [&](const graph::Node& n, std::size_t index,
+                          std::string what) {
+    de.Report("XFM001",
+              analysis::NodeSource(n.name, static_cast<std::int32_t>(index)),
+              std::string(pass) + ": " + std::move(what));
+  };
+  const auto in_range = [&](TensorId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < mg.tensors().size();
+  };
+
+  std::unordered_set<std::string_view> names;
+  std::vector<bool> produced(mg.tensors().size(), false);
+  for (const TensorId id : mg.input_ids())
+    if (in_range(id)) produced[static_cast<std::size_t>(id)] = true;
+
+  for (std::size_t i = 0; i < mg.nodes().size(); ++i) {
+    if (!mg.alive(i)) continue;
+    const graph::Node& n = mg.nodes()[i];
+    if (!names.insert(n.name).second)
+      report(n, i, "duplicate node name after rewrite");
+    for (const TensorId in : n.inputs) {
+      if (!in_range(in))
+        report(n, i, "dangling input edge (tensor id out of range)");
+      else if (!produced[static_cast<std::size_t>(in)])
+        report(n, i, "consumes '" + mg.tensor(in).name +
+                         "' before it is produced (dangling edge or broken "
+                         "storage order)");
+    }
+    for (const TensorId w : n.weights) {
+      if (!in_range(w)) {
+        report(n, i, "dangling weight edge (tensor id out of range)");
+      } else if (mg.tensor(w).kind == graph::TensorKind::kWeight &&
+                 ctx.FindWeight(mg.tensor(w).name) == nullptr) {
+        report(n, i, "weight '" + mg.tensor(w).name +
+                         "' has no value in the weight store");
+      }
+    }
+    if (!in_range(n.output))
+      report(n, i, "dangling output edge (tensor id out of range)");
+    else
+      produced[static_cast<std::size_t>(n.output)] = true;
+  }
+  for (const TensorId out : mg.output_ids())
+    if (!in_range(out) || !produced[static_cast<std::size_t>(out)])
+      de.Report("XFM001", analysis::GraphSource(std::string(mg.name())),
+                std::string(pass) + ": graph output is dangling");
+}
+
+// XFM002/XFM003/XFM005/XFM006/XFM007 on the frozen candidate.
+void VerifyFrozen(const graph::Graph& before, const FrozenGraph& frozen,
+                  const PassContext& ctx, std::string_view pass,
+                  const std::unordered_set<std::string>& baseline,
+                  DiagnosticEngine& de) {
+  const graph::Graph& after = frozen.graph;
+
+  // XFM003: outputs keep count, position and shape.
+  if (before.output_ids().size() != after.output_ids().size()) {
+    de.Report("XFM003", analysis::GraphSource(std::string(after.name())),
+              std::string(pass) + ": output count changed from " +
+                  std::to_string(before.output_ids().size()) + " to " +
+                  std::to_string(after.output_ids().size()));
+  } else {
+    for (std::size_t i = 0; i < before.output_ids().size(); ++i) {
+      const auto& bs =
+          before.tensors()[static_cast<std::size_t>(before.output_ids()[i])]
+              .shape;
+      const auto& as =
+          after.tensors()[static_cast<std::size_t>(after.output_ids()[i])]
+              .shape;
+      if (!(bs == as))
+        de.Report("XFM003", analysis::GraphSource(std::string(after.name())),
+                  std::string(pass) + ": output #" + std::to_string(i) +
+                      " changed shape from " + bs.ToString() + " to " +
+                      as.ToString());
+    }
+  }
+
+  // XFM002: surviving tensors keep name and shape.  Pre-pass tensor ids are
+  // stable in the MutableGraph (edits only append), so tensor_map[i] maps a
+  // pre-pass id to its post-freeze id.
+  const std::size_t surviving =
+      std::min(before.tensors().size(), frozen.tensor_map.size());
+  for (std::size_t ti = 0; ti < surviving; ++ti) {
+    const TensorId ni = frozen.tensor_map[ti];
+    if (ni == graph::kInvalidTensor) continue;
+    const auto& bt = before.tensors()[ti];
+    const auto& at = after.tensors()[static_cast<std::size_t>(ni)];
+    if (bt.name != at.name)
+      de.Report("XFM002",
+                analysis::TensorSource(bt.name, static_cast<std::int32_t>(ti)),
+                std::string(pass) + ": tensor renamed to '" + at.name + "'");
+    else if (!(bt.shape == at.shape))
+      de.Report("XFM002",
+                analysis::TensorSource(bt.name, static_cast<std::int32_t>(ti)),
+                std::string(pass) + ": tensor changed shape from " +
+                    bt.shape.ToString() + " to " + at.shape.ToString());
+  }
+
+  // XFM006: structural diff proves subgraph locality.
+  for (const std::string& v :
+       DiffOutsideTouched(before, after, ctx.touched, ctx.edge_renames))
+    de.Report("XFM006", analysis::GraphSource(std::string(after.name())),
+              std::string(pass) + ": " + v);
+
+  // XFM007: the full analysis suite finds nothing it did not already find
+  // on the original graph.
+  DiagnosticEngine post;
+  analysis::RunModelPasses(after, post);
+  for (const analysis::Diagnostic& d : post.diagnostics())
+    if (!baseline.contains(DiagKey(d)))
+      de.Report("XFM007", d.source,
+                std::string(pass) + ": new " + d.code +
+                    " after rewrite: " + d.message);
+
+  // XFM005: alias safety for the PR 4 memory planner.  Only meaningful on a
+  // structurally sound graph, so gate on the checks above.
+  if (de.HasErrors()) return;
+  const infer::MemoryPlan plan = infer::MemoryPlan::Build(after);
+  for (std::size_t ti = 0; ti < plan.placements().size(); ++ti) {
+    if (plan.placements()[ti].kind != infer::PlacementKind::kAlias) continue;
+    const std::int32_t producer =
+        after.tensors()[ti].producer;
+    if (producer < 0 ||
+        !infer::SupportsInPlace(
+            after.nodes()[static_cast<std::size_t>(producer)].op))
+      de.Report("XFM005",
+                analysis::TensorSource(after.tensors()[ti].name,
+                                       static_cast<std::int32_t>(ti)),
+                std::string(pass) +
+                    ": memory plan aliases a buffer whose producer is "
+                    "outside the planner's in-place set");
+  }
+}
+
+}  // namespace
+
+std::size_t TransformResult::TotalRewrites() const {
+  std::size_t n = 0;
+  for (const PassStats& p : passes)
+    if (!p.rolled_back) n += p.rewrites;
+  return n;
+}
+
+bool TransformResult::AnyRolledBack() const {
+  for (const PassStats& p : passes)
+    if (p.rolled_back) return true;
+  return false;
+}
+
+std::string TransformResult::PassList() const {
+  std::string out;
+  for (const PassStats& p : passes) {
+    if (p.rolled_back) continue;  // only committed passes are "resolved"
+    if (!out.empty()) out += ',';
+    out += p.name;
+  }
+  return out;
+}
+
+std::string TransformResult::Summary() const {
+  std::ostringstream os;
+  os << "  " << std::left << std::setw(22) << "pass" << std::right
+     << std::setw(9) << "rewrites" << std::setw(9) << "skipped"
+     << std::setw(8) << "status" << std::setw(10) << "apply_ms"
+     << std::setw(10) << "check_ms" << std::setw(7) << "nodes" << '\n';
+  for (const PassStats& p : passes) {
+    os << "  " << std::left << std::setw(22) << p.name << std::right
+       << std::setw(9) << p.rewrites << std::setw(9) << p.skipped
+       << std::setw(8) << (p.rolled_back ? "ROLLED" : "ok") << std::setw(10)
+       << std::fixed << std::setprecision(2) << p.apply_ms << std::setw(10)
+       << p.verify_ms << std::setw(7) << p.nodes_after << '\n';
+  }
+  os << "  nodes: " << nodes_before << " -> " << nodes_canonical
+     << " (canonical) -> " << nodes_after << '\n';
+  return os.str();
+}
+
+void PassManager::AddPass(std::unique_ptr<TransformPass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+TransformResult PassManager::Run(const graph::Graph& g,
+                                 const infer::WeightStore& weights) const {
+  TransformResult res;
+  res.nodes_before = g.nodes().size();
+  res.nodes_canonical = g.nodes().size();
+  res.weights = weights;
+
+  // Diagnostic baseline: what the analysis suite already says about the
+  // untransformed graph.  Computed once; XFM007 is "nothing NEW appears".
+  DiagnosticEngine base;
+  analysis::RunModelPasses(g, base);
+  std::unordered_set<std::string> baseline;
+  for (const analysis::Diagnostic& d : base.diagnostics())
+    baseline.insert(DiagKey(d));
+
+  graph::Graph current = g;
+
+  PassContext ctx;
+  ctx.mode = options_.mode;
+  ctx.weights = &res.weights;
+
+  for (const auto& pass : passes_) {
+    PassStats st;
+    st.name = std::string(pass->name());
+
+    ctx.rewrites = 0;
+    ctx.skipped = 0;
+    ctx.skip_notes.clear();
+    ctx.touched.clear();
+    ctx.edge_renames.clear();
+    ctx.staged_weights = infer::WeightStore{};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    MutableGraph mg(current);
+    pass->Run(mg, ctx);
+    st.apply_ms = MsSince(t0);
+    st.rewrites = ctx.rewrites;
+    st.skipped = ctx.skipped;
+
+    if (ctx.skipped > 0) {
+      // Aggregated: one note per pass, not one per refused site.
+      res.diagnostics.Report(
+          "XFM004", analysis::GraphSource(std::string(g.name())),
+          st.name + ": " + std::to_string(ctx.skipped) +
+              " rewrite(s) gated under " +
+              std::string(ToString(options_.mode)) +
+              "; first: " + ctx.skip_notes.front());
+    }
+
+    if (ctx.rewrites > 0) {
+      const auto t1 = std::chrono::steady_clock::now();
+      DiagnosticEngine verdict;
+      VerifyEdges(mg, ctx, pass->name(), verdict);
+      FrozenGraph frozen;
+      if (!verdict.HasErrors()) {
+        frozen = mg.Freeze();
+        VerifyFrozen(current, frozen, ctx, pass->name(), baseline, verdict);
+      }
+      st.verify_ms = MsSince(t1);
+
+      if (verdict.HasErrors()) {
+        st.rolled_back = true;
+        for (const analysis::Diagnostic& d : verdict.diagnostics())
+          res.diagnostics.Report(d.code, d.severity, d.source, d.message);
+        res.diagnostics.Report(
+            "XFM008", analysis::GraphSource(std::string(g.name())),
+            st.name + ": rolled back (" +
+                std::to_string(verdict.error_count()) +
+                " invariant violation(s)); graph left unchanged");
+      } else {
+        current = std::move(frozen.graph);
+        for (const auto& [name, tensor] : ctx.staged_weights.raw())
+          res.weights.Put(name, tensor);
+      }
+    }
+
+    st.nodes_after = current.nodes().size();
+    if (!st.rolled_back && st.name == "split-activations")
+      res.nodes_canonical = current.nodes().size();
+
+    if (options_.metrics != nullptr) {
+      const std::string prefix = "transform.pass." + st.name;
+      options_.metrics->Increment(prefix + ".rewrites",
+                                  static_cast<std::uint64_t>(st.rewrites));
+      if (st.skipped > 0)
+        options_.metrics->Increment(prefix + ".skipped",
+                                    static_cast<std::uint64_t>(st.skipped));
+      if (st.rolled_back)
+        options_.metrics->Increment(prefix + ".rolled_back", 1);
+      options_.metrics->SetGauge(prefix + ".apply_ms", st.apply_ms);
+      options_.metrics->SetGauge(prefix + ".verify_ms", st.verify_ms);
+    }
+    res.passes.push_back(std::move(st));
+  }
+
+  res.graph = std::move(current);
+  res.nodes_after = res.graph.nodes().size();
+  if (options_.metrics != nullptr) {
+    options_.metrics->SetGauge("transform.nodes_before",
+                               static_cast<double>(res.nodes_before));
+    options_.metrics->SetGauge("transform.nodes_after",
+                               static_cast<double>(res.nodes_after));
+    options_.metrics->Increment("transform.runs", 1);
+  }
+  return res;
+}
+
+PassManager MakeDefaultPipeline(TransformOptions options) {
+  PassManager pm(options);
+  pm.AddPass(MakeSplitActivationsPass());
+  pm.AddPass(MakeConstantFoldPass());
+  pm.AddPass(MakeIdentityCancelPass());
+  pm.AddPass(MakeElementwiseChainPass());
+  pm.AddPass(MakeFuseConvActivationPass());
+  pm.AddPass(MakeDeadNodeElimPass());
+  return pm;
+}
+
+}  // namespace mlpm::transform

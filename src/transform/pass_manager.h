@@ -1,0 +1,96 @@
+// Deterministic PassManager: runs an ordered pass pipeline over a graph,
+// statically verifying every pass's declared invariants before committing
+// its rewrites (DESIGN.md §14).
+//
+// Per pass the manager:
+//   1. snapshots the current graph and runs the pass on a MutableGraph copy;
+//   2. re-proves each declared invariant — XFM001 dangling edges / broken
+//      storage order, XFM002 shape contract, XFM003 graph outputs, XFM005
+//      memory-planner alias safety, XFM006 subgraph locality (structural
+//      diff), XFM007 no new diagnostics from the full src/analysis suite;
+//   3. commits the rewrite only if verification is clean — otherwise the
+//      pass is rolled back wholesale and XFM008 records the event.
+// Rewrites a pass refuses on numerics grounds surface as XFM004 notes.
+//
+// The manager itself is deterministic: same graph, same weights, same
+// options -> same TransformResult, byte for byte.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "graph/graph.h"
+#include "infer/weights.h"
+#include "obs/metrics.h"
+#include "transform/pass.h"
+
+namespace mlpm::transform {
+
+struct TransformOptions {
+  infer::NumericsMode mode = infer::NumericsMode::kFp32;
+  // When set, per-pass rewrite counts and verification timings are published
+  // ("transform.pass.<name>.rewrites", ".apply_ms", ".verify_ms", ...).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// Per-pass outcome, in pipeline order.
+struct PassStats {
+  std::string name;
+  std::size_t rewrites = 0;     // rewrites applied (kept even if rolled back)
+  std::size_t skipped = 0;      // rewrites refused by a numerics gate
+  bool rolled_back = false;     // verification failed; graph unchanged
+  double apply_ms = 0.0;        // time inside TransformPass::Run
+  double verify_ms = 0.0;       // time inside the invariant gate
+  std::size_t nodes_after = 0;  // committed graph size after this pass
+};
+
+struct TransformResult {
+  graph::Graph graph;           // transformed graph (== input when inert)
+  infer::WeightStore weights;   // run weights + committed folded constants
+  std::vector<PassStats> passes;
+  analysis::DiagnosticEngine diagnostics;  // XFM004/XFM008 + gate findings
+
+  std::size_t nodes_before = 0;     // input graph
+  std::size_t nodes_canonical = 0;  // after the canonicalization split
+  std::size_t nodes_after = 0;      // final committed graph
+
+  [[nodiscard]] std::size_t TotalRewrites() const;
+  [[nodiscard]] bool AnyRolledBack() const;
+  // Comma-joined committed pass names ("split-activations,constant-fold,...")
+  // — the journal/report/CSV form of the resolved pipeline.
+  [[nodiscard]] std::string PassList() const;
+  // Fixed-width per-pass table for mlpm_lint --transform.
+  [[nodiscard]] std::string Summary() const;
+};
+
+class PassManager {
+ public:
+  explicit PassManager(TransformOptions options = {})
+      : options_(options) {}
+
+  PassManager(const PassManager&) = delete;
+  PassManager& operator=(const PassManager&) = delete;
+  PassManager(PassManager&&) = default;
+  PassManager& operator=(PassManager&&) = default;
+
+  void AddPass(std::unique_ptr<TransformPass> pass);
+  [[nodiscard]] const TransformOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t pass_count() const { return passes_.size(); }
+
+  // Runs the pipeline.  Never throws on a bad rewrite — a pass that fails
+  // verification is rolled back and reported; the returned graph is always
+  // executable if the input was.
+  [[nodiscard]] TransformResult Run(const graph::Graph& g,
+                                    const infer::WeightStore& weights) const;
+
+ private:
+  TransformOptions options_;
+  std::vector<std::unique_ptr<TransformPass>> passes_;
+};
+
+// The shipped pipeline in its canonical order (passes.h documents why).
+[[nodiscard]] PassManager MakeDefaultPipeline(TransformOptions options = {});
+
+}  // namespace mlpm::transform

@@ -1,0 +1,83 @@
+// Internal helpers shared by the shipped passes.  Not part of the library's
+// public surface.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/ops.h"
+#include "transform/pass.h"
+
+namespace mlpm::transform::detail {
+
+// RedirectUses plus the bookkeeping the locality gate needs: records the
+// edge replacement in the context so untouched downstream consumers are
+// diffed modulo the declared rewiring.
+inline void Rewire(MutableGraph& g, PassContext& ctx, graph::TensorId from,
+                   graph::TensorId to) {
+  ctx.edge_renames[g.tensor(from).name] = g.tensor(to).name;
+  g.RedirectUses(from, to);
+}
+
+inline bool IsConvLike(graph::OpType op) {
+  return op == graph::OpType::kConv2d ||
+         op == graph::OpType::kDepthwiseConv2d ||
+         op == graph::OpType::kFullyConnected;
+}
+
+// The activation fused into a conv-like node's attrs (kNone if the node is
+// not conv-like).
+inline graph::Activation FusedActivation(const graph::Node& n) {
+  if (const auto* a = std::get_if<graph::Conv2dAttrs>(&n.attrs))
+    return a->activation;
+  if (const auto* a = std::get_if<graph::DepthwiseConv2dAttrs>(&n.attrs))
+    return a->activation;
+  if (const auto* a = std::get_if<graph::FullyConnectedAttrs>(&n.attrs))
+    return a->activation;
+  return graph::Activation::kNone;
+}
+
+inline void SetFusedActivation(graph::Node& n, graph::Activation act) {
+  if (auto* conv = std::get_if<graph::Conv2dAttrs>(&n.attrs))
+    conv->activation = act;
+  else if (auto* dw = std::get_if<graph::DepthwiseConv2dAttrs>(&n.attrs))
+    dw->activation = act;
+  else if (auto* fc = std::get_if<graph::FullyConnectedAttrs>(&n.attrs))
+    fc->activation = act;
+}
+
+// relu/relu6 are clamps with binary16-representable bounds, so they commute
+// exactly with FP16 rounding: rnd(clamp(rnd(x))) == rnd(clamp(x)).  That
+// lemma is what lets clamp-family rewrites through the FP16 numerics gate.
+inline bool IsClampFamily(graph::Activation a) {
+  return a == graph::Activation::kRelu || a == graph::Activation::kRelu6;
+}
+
+// Reverse reachability from the graph outputs — the same liveness notion
+// GRAPH002 uses.  reachable[i] is true iff live node i has a dataflow path
+// to a graph output.  Passes that *create* nodes consult this so they never
+// mint a new unreachable node out of already-dead code (a new GRAPH002
+// finding the XFM007 gate would veto); passes that remove dead code use it
+// to agree with the analysis layer on what "dead" means.
+inline std::vector<bool> ReachableNodes(const MutableGraph& g) {
+  const std::vector<std::int32_t> producers = g.BuildProducers();
+  std::vector<bool> reachable(g.nodes().size(), false);
+  std::vector<std::size_t> stack;
+  const auto visit = [&](graph::TensorId id) {
+    const std::int32_t p =
+        (id >= 0 && static_cast<std::size_t>(id) < producers.size())
+            ? producers[static_cast<std::size_t>(id)]
+            : -1;
+    if (p >= 0 && !reachable[static_cast<std::size_t>(p)]) {
+      reachable[static_cast<std::size_t>(p)] = true;
+      stack.push_back(static_cast<std::size_t>(p));
+    }
+  };
+  for (const graph::TensorId out : g.output_ids()) visit(out);
+  while (!stack.empty()) {
+    const std::size_t ni = stack.back();
+    stack.pop_back();
+    for (const graph::TensorId in : g.nodes()[ni].inputs) visit(in);
+  }
+  return reachable;
+}
+
+}  // namespace mlpm::transform::detail

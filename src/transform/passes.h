@@ -1,0 +1,44 @@
+// The shipped pass set (DESIGN.md §14).
+//
+// Pipeline order matters and DefaultPipeline (pass_manager.h) encodes it:
+//
+//   split-activations      canonicalization: un-fuses conv/fc activations
+//                          into standalone kActivation nodes so the fusion
+//                          pass has a uniform pattern to match (the frozen
+//                          reference models ship pre-fused).  Marks every
+//                          node it creates as synthetic.
+//   constant-fold          evaluates nodes whose inputs are all constants
+//                          through the reference executor (FP32 only) and
+//                          replaces them with kConstant nodes.
+//   identity-cancel        removes provable copies: no-op activations,
+//                          same-shape reshapes, single-input concats.
+//   elementwise-chain      collapses adjacent relu/relu6 chains whose
+//                          composition is itself a single clamp.
+//   fuse-conv-activation   fuses a standalone activation back into its
+//                          producing conv/dwconv/fc.  Synthetic activations
+//                          fuse in every numerics mode (exact round trip);
+//                          pre-existing ones are gated per mode because
+//                          fusing them removes a quantization point.
+//   dead-node-elim         drops nodes with no dataflow path to an output.
+//
+// Numerics gates (XFM004): every rewrite here is bit-exact under FP32.
+// Under FP16 only clamp-family rewrites (relu/relu6) commute with the
+// per-node rounding and are kept.  Under INT8 any rewrite that adds or
+// removes a fake-quantization point is refused; only identity cancellation,
+// synthetic re-fusion and dead-node elimination survive the gate.
+#pragma once
+
+#include <memory>
+
+#include "transform/pass.h"
+
+namespace mlpm::transform {
+
+[[nodiscard]] std::unique_ptr<TransformPass> MakeSplitActivationsPass();
+[[nodiscard]] std::unique_ptr<TransformPass> MakeConstantFoldPass();
+[[nodiscard]] std::unique_ptr<TransformPass> MakeIdentityCancelPass();
+[[nodiscard]] std::unique_ptr<TransformPass> MakeElementwiseChainPass();
+[[nodiscard]] std::unique_ptr<TransformPass> MakeFuseConvActivationPass();
+[[nodiscard]] std::unique_ptr<TransformPass> MakeDeadNodeElimPass();
+
+}  // namespace mlpm::transform

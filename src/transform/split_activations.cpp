@@ -1,0 +1,95 @@
+// Canonicalization: un-fuse conv/dwconv/fc activations into standalone
+// kActivation nodes.  The reference models ship pre-fused, so without this
+// step the fusion pass would have nothing to match; with it, the pipeline
+// measures its node-count reduction against the canonical (split) form.
+//
+// The split itself is numerics-gated: a standalone activation inserts one
+// extra ApplyOutputNumerics point, so it is only performed where that point
+// is provably a no-op (FP32 always; FP16 only for clamp-family activations,
+// which commute with binary16 rounding).  Under INT8 the pass is inert —
+// splitting would add a fake-quantization point that re-fusion might not
+// remove if a later gate refuses it.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "transform/pass_util.h"
+#include "transform/passes.h"
+
+namespace mlpm::transform {
+namespace {
+
+class SplitActivationsPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "split-activations";
+  }
+  [[nodiscard]] std::span<const Invariant> preserved() const override {
+    return kAllInvariants;
+  }
+
+  void Run(MutableGraph& g, PassContext& ctx) const override {
+    using graph::Activation;
+    std::vector<bool> reachable = detail::ReachableNodes(g);
+    for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+      if (!g.alive(i)) continue;
+      if (!detail::IsConvLike(g.nodes()[i].op)) continue;
+      const Activation act = detail::FusedActivation(g.nodes()[i]);
+      if (act == Activation::kNone) continue;
+      // Splitting dead code would mint a brand-new unreachable node — a
+      // new GRAPH002 finding, which the XFM007 gate rightly vetoes.  Leave
+      // dead convs for dead-node-elim.
+      if (!reachable[i]) continue;
+
+      if (ctx.mode == infer::NumericsMode::kInt8) {
+        ctx.Skip("splitting '" + g.nodes()[i].name +
+                 "' would add a quantization point under INT8");
+        continue;
+      }
+      if (ctx.mode == infer::NumericsMode::kFp16 &&
+          !detail::IsClampFamily(act)) {
+        ctx.Skip("splitting '" + g.nodes()[i].name + "' (" +
+                 std::string(graph::ToString(act)) +
+                 ") would add an FP16 rounding point");
+        continue;
+      }
+
+      const std::string conv_name = g.nodes()[i].name;
+      const graph::TensorId conv_out = g.nodes()[i].output;
+      const std::string act_name = conv_name + "/act";
+      const graph::TensorId act_out = g.AddTensor(
+          act_name + ":0", g.tensor(conv_out).shape,
+          graph::TensorKind::kActivation);
+
+      detail::Rewire(g, ctx, conv_out, act_out);
+      detail::SetFusedActivation(g.nodes()[i], Activation::kNone);
+
+      graph::Node split;
+      split.name = act_name;
+      split.op = graph::OpType::kActivation;
+      split.attrs = graph::ActivationAttrs{act};
+      split.inputs = {conv_out};
+      split.output = act_out;
+      i = g.InsertNodeAfter(i, std::move(split));
+      // The synthetic activation inherits the conv's consumers, so it is
+      // reachable by construction; keep the vector index-aligned.
+      reachable.insert(reachable.begin() + static_cast<std::ptrdiff_t>(i),
+                       true);
+
+      ctx.synthetic_activations.insert(act_name);
+      ctx.Touch(conv_name);
+      ctx.Touch(act_name);
+      ++ctx.rewrites;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TransformPass> MakeSplitActivationsPass() {
+  return std::make_unique<SplitActivationsPass>();
+}
+
+}  // namespace mlpm::transform

@@ -28,7 +28,9 @@ const std::vector<std::string> kColumns = {
     "lint_errors",    "lint_warnings",
     "peak_arena_bytes", "naive_activation_bytes",
     "shed",           "rejected",
-    "breaker_trips",  "kernel_isa"};
+    "breaker_trips",  "kernel_isa",
+    "transform_applied", "transform_passes",
+    "transform_rewrites"};
 
 // A submission whose string fields exercise every character RFC 4180
 // forces into quotes: commas, double quotes, LF, CR and CRLF.
@@ -66,6 +68,10 @@ SubmissionResult HostileResult() {
   task.rejected_count = 4;
   task.breaker_trips = 2;
   task.kernel_isa = "avx2,\"simd\"";
+  task.transform_requested = true;
+  task.transform_applied = true;
+  task.transform_passes = "split-activations,\"fuse\",\r\nconstant-fold";
+  task.transform_rewrites = 9;
   result.tasks.push_back(std::move(task));
   return result;
 }
@@ -107,6 +113,9 @@ TEST(ExportCsv, HostileFieldsRoundTripByteForByte) {
   EXPECT_EQ(row[25], "4");   // rejected
   EXPECT_EQ(row[26], "2");   // breaker_trips
   EXPECT_EQ(row[27], result.tasks[0].kernel_isa);
+  EXPECT_EQ(row[28], "true");  // transform_applied
+  EXPECT_EQ(row[29], result.tasks[0].transform_passes);
+  EXPECT_EQ(row[30], "9");   // transform_rewrites
 }
 
 TEST(ExportCsv, EveryRowHasHeaderWidth) {

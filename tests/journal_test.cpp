@@ -94,6 +94,13 @@ TaskRunResult HostileTask(const std::string& id) {
   t.lint_warning_count = 4;
   t.lint_log = "warning: something\n";
   t.kernel_isa = "avx2";
+  t.transform_requested = true;
+  t.transform_applied = false;
+  t.transform_passes = "split-activations,constant-fold\nwith\nbreaks";
+  t.transform_rewrites = 42;
+  t.transform_nodes_before = 103;
+  t.transform_nodes_after = 70;
+  t.transform_detail = "equivalence probe failed on sample 0";
   return t;
 }
 
@@ -141,6 +148,13 @@ TEST(Journal, TaskRecordRoundTripsBitExact) {
   EXPECT_EQ(decoded.lint_warning_count, original.lint_warning_count);
   EXPECT_EQ(decoded.lint_log, original.lint_log);
   EXPECT_EQ(decoded.kernel_isa, original.kernel_isa);
+  EXPECT_EQ(decoded.transform_requested, original.transform_requested);
+  EXPECT_EQ(decoded.transform_applied, original.transform_applied);
+  EXPECT_EQ(decoded.transform_passes, original.transform_passes);
+  EXPECT_EQ(decoded.transform_rewrites, original.transform_rewrites);
+  EXPECT_EQ(decoded.transform_nodes_before, original.transform_nodes_before);
+  EXPECT_EQ(decoded.transform_nodes_after, original.transform_nodes_after);
+  EXPECT_EQ(decoded.transform_detail, original.transform_detail);
 }
 
 TEST(Journal, MetaRoundTrips) {

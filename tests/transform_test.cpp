@@ -1,0 +1,446 @@
+// Unit tests for the verified graph-transform pipeline (DESIGN.md §14):
+// MutableGraph editing, each shipped pass's rewrite and numerics gate, the
+// PassManager's invariant verification + rollback, the structural diff
+// behind the subgraph-locality gate, and the end-to-end harness wiring
+// (TaskBundle::Prepare with the transform stage on).
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostics.h"
+#include "analysis/passes.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "harness/task_bundle.h"
+#include "infer/executor.h"
+#include "infer/weights.h"
+#include "models/deeplab.h"
+#include "models/mobilebert.h"
+#include "models/mobilenet_edgetpu.h"
+#include "models/ssd.h"
+#include "models/zoo.h"
+#include "transform/graph_diff.h"
+#include "transform/ir_edit.h"
+#include "transform/pass.h"
+#include "transform/pass_manager.h"
+#include "transform/passes.h"
+
+namespace mlpm {
+namespace {
+
+using transform::Invariant;
+using transform::kAllInvariants;
+using transform::MakeDefaultPipeline;
+using transform::MutableGraph;
+using transform::PassContext;
+using transform::TransformOptions;
+using transform::TransformResult;
+
+std::vector<infer::Tensor> GraphInputs(const graph::Graph& g,
+                                       std::uint64_t seed) {
+  std::vector<infer::Tensor> inputs;
+  Rng rng(seed);
+  for (const graph::TensorId id : g.input_ids()) {
+    infer::Tensor t(g.tensor(id).shape);
+    for (auto& v : t.values())
+      v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+void ExpectBitIdentical(const std::vector<infer::Tensor>& want,
+                        const std::vector<infer::Tensor>& got,
+                        const std::string& what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (std::size_t o = 0; o < want.size(); ++o) {
+    ASSERT_EQ(want[o].size(), got[o].size()) << what;
+    for (std::size_t i = 0; i < want[o].size(); ++i)
+      ASSERT_EQ(want[o].at(i), got[o].at(i))
+          << what << " output " << o << " element " << i;
+  }
+}
+
+// FP32 outputs of `g` with `w` on a fixed probe input.
+std::vector<infer::Tensor> Fp32Outputs(const graph::Graph& g,
+                                       const infer::WeightStore& w,
+                                       std::uint64_t seed) {
+  const infer::Executor ex(g, w);
+  return ex.Run(GraphInputs(g, seed));
+}
+
+// A small pre-fused model: the shape the frozen reference models ship in.
+graph::Graph PreFusedModel() {
+  graph::GraphBuilder b("prefused");
+  const auto in = b.Input("in", graph::TensorShape({1, 8, 8, 4}));
+  const auto c1 = b.Conv2d(in, 8, 3, 1, graph::Activation::kRelu);
+  const auto c2 = b.DepthwiseConv2d(c1, 3, 1, graph::Activation::kRelu6);
+  const auto fc = b.FullyConnected(c2, 10, graph::Activation::kRelu);
+  b.MarkOutput(fc);
+  return std::move(b).Build();
+}
+
+TransformResult RunPipeline(const graph::Graph& g,
+                            const infer::WeightStore& w,
+                            infer::NumericsMode mode) {
+  return MakeDefaultPipeline(TransformOptions{.mode = mode, .metrics = nullptr})
+      .Run(g, w);
+}
+
+// ---- MutableGraph ----
+
+TEST(MutableGraph, FreezeOfUneditedGraphIsTheIdentity) {
+  const graph::Graph g = PreFusedModel();
+  const MutableGraph m(g);
+  const transform::FrozenGraph f = m.Freeze();
+  EXPECT_EQ(f.graph.StructuralFingerprint(), g.StructuralFingerprint());
+  ASSERT_EQ(f.tensor_map.size(), g.tensors().size());
+  for (std::size_t i = 0; i < f.tensor_map.size(); ++i)
+    EXPECT_EQ(f.tensor_map[i], static_cast<graph::TensorId>(i));
+}
+
+TEST(MutableGraph, KillAndRedirectCompactAwayTheDeadNode) {
+  graph::GraphBuilder b("copychain");
+  const auto in = b.Input("in", graph::TensorShape({1, 4}));
+  const auto id = b.Activate(in, graph::Activation::kNone, "copy");
+  const auto fc = b.FullyConnected(id, 3, graph::Activation::kNone, "fc");
+  b.MarkOutput(fc);
+  const graph::Graph g = std::move(b).Build();
+
+  MutableGraph m(g);
+  // Node 0 is "copy": bypass it and kill it.
+  ASSERT_EQ(m.nodes()[0].name, "copy");
+  m.RedirectUses(m.nodes()[0].output, m.nodes()[0].inputs[0]);
+  m.Kill(0);
+  EXPECT_EQ(m.live_node_count(), g.nodes().size() - 1);
+
+  const transform::FrozenGraph f = m.Freeze();
+  EXPECT_EQ(f.graph.nodes().size(), g.nodes().size() - 1);
+  // The copy's output tensor is orphaned and dropped.
+  EXPECT_EQ(f.tensor_map[static_cast<std::size_t>(g.nodes()[0].output)],
+            graph::kInvalidTensor);
+  // The surviving fc now consumes the graph input directly.
+  EXPECT_EQ(f.graph.nodes()[0].inputs[0], f.graph.input_ids()[0]);
+}
+
+// ---- pipeline round trip + individual passes ----
+
+TEST(TransformPipeline, Fp32RoundTripRestoresPreFusedForm) {
+  const graph::Graph g = PreFusedModel();
+  const infer::WeightStore w = infer::InitializeWeights(g, 3);
+  const TransformResult res = RunPipeline(g, w, infer::NumericsMode::kFp32);
+
+  // Split un-fuses three activations; fusion puts all three back.
+  EXPECT_GE(res.TotalRewrites(), 6u);
+  EXPECT_FALSE(res.AnyRolledBack());
+  EXPECT_TRUE(res.diagnostics.diagnostics().empty()) <<
+      res.diagnostics.ToText();
+  EXPECT_EQ(res.nodes_before, g.nodes().size());
+  EXPECT_EQ(res.nodes_canonical, g.nodes().size() + 3);
+  EXPECT_EQ(res.nodes_after, g.nodes().size());
+  EXPECT_EQ(res.graph.StructuralFingerprint(), g.StructuralFingerprint());
+  ExpectBitIdentical(Fp32Outputs(g, w, 11),
+                     Fp32Outputs(res.graph, res.weights, 11), "round trip");
+}
+
+TEST(TransformPipeline, ConstantFoldEvaluatesAndDeadCodeDisappears) {
+  graph::GraphBuilder b("fold");
+  const auto in = b.Input("in", graph::TensorShape({1, 2, 2, 4}));
+  const auto k = b.Constant(graph::TensorShape({1, 2, 2, 4}), "k");
+  const auto kr = b.Activate(k, graph::Activation::kRelu, "krelu");
+  const auto sum = b.Add(in, kr, "sum");
+  b.MarkOutput(sum);
+  const graph::Graph g = std::move(b).Build();
+  const infer::WeightStore w = infer::InitializeWeights(g, 5);
+
+  const TransformResult res = RunPipeline(g, w, infer::NumericsMode::kFp32);
+  EXPECT_FALSE(res.AnyRolledBack());
+  EXPECT_TRUE(res.diagnostics.diagnostics().empty()) <<
+      res.diagnostics.ToText();
+  // "krelu" folded to a constant; the original "k" became dead and was
+  // eliminated: 3 nodes -> 2.
+  EXPECT_EQ(res.nodes_after, 2u);
+  EXPECT_TRUE(res.weights.Contains("krelu/folded"));
+  ExpectBitIdentical(Fp32Outputs(g, w, 7),
+                     Fp32Outputs(res.graph, res.weights, 7), "fold");
+}
+
+TEST(TransformPipeline, IdentityCancelRemovesProvableCopies) {
+  graph::GraphBuilder b("identities");
+  const auto in = b.Input("in", graph::TensorShape({1, 4, 4, 2}));
+  const auto id1 = b.Activate(in, graph::Activation::kNone, "noact");
+  const auto rs = b.Reshape(id1, {1, 4, 4, 2}, "sameshape");
+  const auto cat = b.Concat({rs}, 3, "onecat");
+  const auto fc = b.FullyConnected(cat, 5, graph::Activation::kNone, "fc");
+  b.MarkOutput(fc);
+  const graph::Graph g = std::move(b).Build();
+  const infer::WeightStore w = infer::InitializeWeights(g, 9);
+
+  const TransformResult res = RunPipeline(g, w, infer::NumericsMode::kFp32);
+  EXPECT_FALSE(res.AnyRolledBack());
+  EXPECT_TRUE(res.diagnostics.diagnostics().empty()) <<
+      res.diagnostics.ToText();
+  EXPECT_EQ(res.nodes_after, 1u);  // only fc survives
+  ExpectBitIdentical(Fp32Outputs(g, w, 13),
+                     Fp32Outputs(res.graph, res.weights, 13), "identities");
+}
+
+TEST(TransformPipeline, ElementwiseChainComposesClampFamily) {
+  graph::GraphBuilder b("clamps");
+  const auto in = b.Input("in", graph::TensorShape({1, 16}));
+  const auto r1 = b.Activate(in, graph::Activation::kRelu, "r1");
+  const auto r2 = b.Activate(r1, graph::Activation::kRelu6, "r2");
+  b.MarkOutput(r2);
+  const graph::Graph g = std::move(b).Build();
+  const infer::WeightStore w = infer::InitializeWeights(g, 2);
+
+  const TransformResult res = RunPipeline(g, w, infer::NumericsMode::kFp32);
+  EXPECT_FALSE(res.AnyRolledBack());
+  EXPECT_TRUE(res.diagnostics.diagnostics().empty()) <<
+      res.diagnostics.ToText();
+  EXPECT_EQ(res.nodes_after, 1u);
+  // relu6 dominates the composition.
+  ASSERT_EQ(res.graph.nodes().size(), 1u);
+  const auto* attrs =
+      std::get_if<graph::ActivationAttrs>(&res.graph.nodes()[0].attrs);
+  ASSERT_NE(attrs, nullptr);
+  EXPECT_EQ(attrs->activation, graph::Activation::kRelu6);
+  ExpectBitIdentical(Fp32Outputs(g, w, 17),
+                     Fp32Outputs(res.graph, res.weights, 17), "clamps");
+}
+
+TEST(TransformPipeline, Int8GateRefusesRewritesAndNotesXfm004) {
+  const graph::Graph g = PreFusedModel();
+  const infer::WeightStore w = infer::InitializeWeights(g, 3);
+  const TransformResult res = RunPipeline(g, w, infer::NumericsMode::kInt8);
+
+  // Nothing in this graph is legally rewritable under INT8: the graph is
+  // byte-identical and every refusal is on the record as an XFM004 note.
+  EXPECT_EQ(res.TotalRewrites(), 0u);
+  EXPECT_EQ(res.graph.StructuralFingerprint(), g.StructuralFingerprint());
+  EXPECT_FALSE(res.diagnostics.HasErrors());
+  EXPECT_NE(res.diagnostics.ToText().find("XFM004"), std::string::npos);
+}
+
+TEST(TransformPipeline, Fp16ClampRoundTripStillFuses) {
+  const graph::Graph g = PreFusedModel();  // relu/relu6 only: clamp family
+  const infer::WeightStore w = infer::InitializeWeights(g, 3);
+  const TransformResult res = RunPipeline(g, w, infer::NumericsMode::kFp16);
+  EXPECT_GE(res.TotalRewrites(), 6u);
+  EXPECT_FALSE(res.AnyRolledBack());
+  EXPECT_EQ(res.graph.StructuralFingerprint(), g.StructuralFingerprint());
+}
+
+// ---- verification gate: a misbehaving pass is rolled back ----
+
+// Deliberately broken pass: claims the full invariant set, then kills the
+// output-producing node without redirecting anything.
+class BreakOutputsPass final : public transform::TransformPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "break-outputs";
+  }
+  [[nodiscard]] std::span<const Invariant> preserved() const override {
+    return kAllInvariants;
+  }
+  void Run(MutableGraph& g, PassContext& ctx) const override {
+    for (std::size_t i = g.nodes().size(); i-- > 0;) {
+      if (!g.alive(i)) continue;
+      ctx.Touch(g.nodes()[i].name);
+      g.Kill(i);
+      ++ctx.rewrites;
+      return;
+    }
+  }
+};
+
+// Deliberately sneaky pass: edits a node's attrs without declaring it
+// touched — exactly what the locality diff (XFM006) exists to catch.
+class UndeclaredEditPass final : public transform::TransformPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "undeclared-edit";
+  }
+  [[nodiscard]] std::span<const Invariant> preserved() const override {
+    return kAllInvariants;
+  }
+  void Run(MutableGraph& g, PassContext& ctx) const override {
+    for (graph::Node& n : g.nodes()) {
+      if (auto* a = std::get_if<graph::ActivationAttrs>(&n.attrs)) {
+        a->activation = graph::Activation::kRelu6;
+        ++ctx.rewrites;  // deliberately no ctx.Touch(n.name)
+        return;
+      }
+    }
+  }
+};
+
+TEST(PassManagerGate, BrokenPassIsRolledBackWithXfm008) {
+  const graph::Graph g = PreFusedModel();
+  const infer::WeightStore w = infer::InitializeWeights(g, 3);
+  transform::PassManager pm(TransformOptions{});
+  pm.AddPass(std::make_unique<BreakOutputsPass>());
+  const TransformResult res = pm.Run(g, w);
+
+  EXPECT_TRUE(res.AnyRolledBack());
+  EXPECT_EQ(res.graph.StructuralFingerprint(), g.StructuralFingerprint());
+  const std::string text = res.diagnostics.ToText();
+  EXPECT_NE(text.find("XFM008"), std::string::npos) << text;
+  // The committed pass list excludes the rolled-back pass.
+  EXPECT_EQ(res.PassList(), "");
+}
+
+TEST(PassManagerGate, UndeclaredEditTripsLocalityAndRollsBack) {
+  graph::GraphBuilder b("sneaky");
+  const auto in = b.Input("in", graph::TensorShape({1, 8}));
+  const auto act = b.Activate(in, graph::Activation::kRelu, "a");
+  b.MarkOutput(act);
+  const graph::Graph g = std::move(b).Build();
+  const infer::WeightStore w = infer::InitializeWeights(g, 1);
+
+  transform::PassManager pm(TransformOptions{});
+  pm.AddPass(std::make_unique<UndeclaredEditPass>());
+  const TransformResult res = pm.Run(g, w);
+
+  EXPECT_TRUE(res.AnyRolledBack());
+  EXPECT_EQ(res.graph.StructuralFingerprint(), g.StructuralFingerprint());
+  const std::string text = res.diagnostics.ToText();
+  EXPECT_NE(text.find("XFM006"), std::string::npos) << text;
+  EXPECT_NE(text.find("XFM008"), std::string::npos) << text;
+}
+
+// ---- structural diff ----
+
+TEST(GraphDiff, FlagsUndeclaredAttrEditAndAcceptsDeclaredOne) {
+  const auto build = [](graph::Activation act) {
+    graph::GraphBuilder b("d");
+    const auto in = b.Input("in", graph::TensorShape({1, 8}));
+    const auto a = b.Activate(in, act, "a");
+    b.MarkOutput(a);
+    return std::move(b).Build();
+  };
+  const graph::Graph before = build(graph::Activation::kRelu);
+  const graph::Graph after = build(graph::Activation::kRelu6);
+
+  const std::vector<std::string> undeclared =
+      transform::DiffOutsideTouched(before, after, {}, {});
+  ASSERT_FALSE(undeclared.empty());
+  EXPECT_NE(undeclared[0].find("a"), std::string::npos);
+
+  EXPECT_TRUE(transform::DiffOutsideTouched(before, after, {"a"}, {}).empty());
+}
+
+TEST(GraphDiff, NodeSignatureIsTensorIdIndependent) {
+  // Same structure built twice must produce identical signatures even
+  // though freeze-style renumbering could permute ids.
+  const graph::Graph a = PreFusedModel();
+  const graph::Graph b = PreFusedModel();
+  for (std::size_t i = 0; i < a.nodes().size(); ++i)
+    EXPECT_EQ(transform::NodeSignature(a, a.nodes()[i]),
+              transform::NodeSignature(b, b.nodes()[i]));
+}
+
+// ---- determinism ----
+
+TEST(TransformPipeline, ByteForByteDeterministic) {
+  const graph::Graph g = PreFusedModel();
+  const infer::WeightStore w = infer::InitializeWeights(g, 3);
+  const TransformResult a = RunPipeline(g, w, infer::NumericsMode::kFp32);
+  const TransformResult b = RunPipeline(g, w, infer::NumericsMode::kFp32);
+  EXPECT_EQ(a.graph.StructuralFingerprint(), b.graph.StructuralFingerprint());
+  EXPECT_EQ(a.PassList(), b.PassList());
+  EXPECT_EQ(a.diagnostics.ToText(), b.diagnostics.ToText());
+  EXPECT_EQ(a.TotalRewrites(), b.TotalRewrites());
+}
+
+// ---- reference models ----
+
+TEST(TransformPipeline, ReferenceModelsRoundTripCleanAtFp32) {
+  struct Case {
+    std::string name;
+    graph::Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back(
+      {"mobilenet", models::BuildMobileNetEdgeTpu(models::ModelScale::kMini)});
+  cases.push_back(
+      {"ssd_v2",
+       models::BuildSsdMobileNetV2(models::ModelScale::kMini).graph});
+  cases.push_back(
+      {"mobiledet", models::BuildMobileDetSsd(models::ModelScale::kMini).graph});
+  cases.push_back(
+      {"deeplab", models::BuildDeepLabV3Plus(models::ModelScale::kMini)});
+  cases.push_back(
+      {"mobilebert", models::BuildMobileBert(models::MiniMobileBertConfig())});
+
+  for (const Case& c : cases) {
+    const infer::WeightStore w = infer::InitializeWeights(c.graph, 7);
+    const TransformResult res =
+        RunPipeline(c.graph, w, infer::NumericsMode::kFp32);
+    EXPECT_TRUE(res.diagnostics.diagnostics().empty())
+        << c.name << ":\n" << res.diagnostics.ToText();
+    EXPECT_FALSE(res.AnyRolledBack()) << c.name;
+    EXPECT_GT(res.TotalRewrites(), 0u) << c.name;
+    // Fusion strictly reduces the executed node count vs canonical form.
+    EXPECT_LT(res.nodes_after, res.nodes_canonical) << c.name;
+    // The frozen references ship pre-fused, so the full pipeline is a
+    // provable round trip: same fingerprint, same node count.
+    EXPECT_EQ(res.nodes_after, res.nodes_before) << c.name;
+    EXPECT_EQ(res.graph.StructuralFingerprint(),
+              c.graph.StructuralFingerprint())
+        << c.name;
+    ExpectBitIdentical(Fp32Outputs(c.graph, w, 23),
+                       Fp32Outputs(res.graph, res.weights, 23), c.name);
+  }
+}
+
+// ---- harness wiring ----
+
+TEST(TaskBundleTransform, PrepareAppliesAndScoresIdentically) {
+  const models::BenchmarkEntry entry =
+      models::SuiteFor(models::SuiteVersion::kV1_0).front();
+  const auto bundle =
+      harness::TaskBundle::Create(entry, models::SuiteVersion::kV1_0);
+
+  const auto base = bundle->Prepare(infer::NumericsMode::kFp32);
+  const auto transformed = bundle->Prepare(
+      infer::NumericsMode::kFp32, false, infer::kernels::KernelIsa::kAuto,
+      /*transform=*/true);
+
+  EXPECT_FALSE(base.transform.requested);
+  EXPECT_TRUE(transformed.transform.requested);
+  EXPECT_TRUE(transformed.transform.applied)
+      << transformed.transform.detail;
+  EXPECT_GT(transformed.transform.rewrites, 0u);
+  EXPECT_LT(transformed.transform.nodes_after,
+            transformed.transform.nodes_before);
+  EXPECT_FALSE(transformed.transform.passes.empty());
+
+  // Accuracy over the full validation set is unchanged by the stage.
+  EXPECT_EQ(bundle->ScoreAccuracy(*base.executor),
+            bundle->ScoreAccuracy(*transformed.executor));
+}
+
+TEST(TaskBundleTransform, Int8PrepareIsGatedButStillValid) {
+  const models::BenchmarkEntry entry =
+      models::SuiteFor(models::SuiteVersion::kV1_0).front();
+  const auto bundle =
+      harness::TaskBundle::Create(entry, models::SuiteVersion::kV1_0);
+
+  const auto p = bundle->Prepare(infer::NumericsMode::kInt8, false,
+                                 infer::kernels::KernelIsa::kAuto,
+                                 /*transform=*/true);
+  EXPECT_TRUE(p.transform.requested);
+  // Under INT8 every structural rewrite on this model is refused, so the
+  // stage applies an unchanged graph (and the probe is trivially exact).
+  EXPECT_TRUE(p.transform.applied) << p.transform.detail;
+  EXPECT_EQ(p.transform.nodes_before, p.transform.nodes_after);
+  EXPECT_FALSE(p.calibration_indices.empty());
+}
+
+}  // namespace
+}  // namespace mlpm

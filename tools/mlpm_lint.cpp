@@ -1,9 +1,12 @@
 // mlpm_lint: standalone static-verification CLI (DESIGN.md §9).
 //
 // Lints model-IR files, the shipped reference models, and the vendor
-// submission configurations without executing anything.  The exit code is
-// the numeric maximum severity seen: 0 clean/notes, 1 warnings, 2 errors —
-// so a CI step can gate on it directly.
+// submission configurations without executing anything.  Exit codes keep
+// lint findings distinct from tool failure so CI can gate on each
+// separately:
+//   0  clean (notes do not gate)
+//   1  findings at warning or error severity
+//   2  usage error or internal failure — nothing was fully linted
 //
 // Usage:
 //   mlpm_lint [--json] [--version v0.7|v1.0|all] [FILE.graph ...]
@@ -17,6 +20,11 @@
 //                                  kernel ISA NAME against this host's
 //                                  kernel registry (RUN007 when unknown or
 //                                  unavailable)
+//   mlpm_lint --transform          dry-run the verified transform pipeline
+//                                  (src/transform, FP32) over the reference
+//                                  models: per-pass rewrite counts and
+//                                  verification timings, plus any XFM
+//                                  diagnostics as lint findings
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -31,8 +39,10 @@
 #include "graph/serialize.h"
 #include "infer/kernels/registry.h"
 #include "infer/memory_plan.h"
+#include "infer/weights.h"
 #include "models/zoo.h"
 #include "soc/chipset.h"
+#include "transform/pass_manager.h"
 
 namespace {
 
@@ -48,6 +58,7 @@ struct Options {
   bool lint_models = false;
   bool print_codes = false;
   bool memory_summary = false;
+  bool transform_summary = false;
   std::string chipset;     // empty = none, "all" = every catalog chipset
   std::string kernel_isa;  // empty = not requested
   std::vector<models::SuiteVersion> versions = {models::SuiteVersion::kV0_7,
@@ -58,7 +69,7 @@ struct Options {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json] [--version v0.7|v1.0|all] [--models]"
-               " [--chipset NAME|all] [--codes] [--memory]"
+               " [--chipset NAME|all] [--codes] [--memory] [--transform]"
                " [--kernel-isa auto|scalar|avx2|neon] [FILE.graph ...]\n";
   return 2;
 }
@@ -191,6 +202,31 @@ void LintKernelIsa(const std::string& name,
   reports.push_back(std::move(r));
 }
 
+// Dry-runs the default transform pipeline over every selected reference
+// model.  Nothing outside this process is affected: the transformed graph
+// is discarded, only the per-pass summary and the XFM diagnostics remain.
+// Weights use the harness's default seed so constant folding sees the same
+// values a run would.
+void DryRunTransforms(const Options& opt, std::vector<TargetReport>& reports) {
+  for (const models::SuiteVersion v : opt.versions) {
+    for (const models::BenchmarkEntry& e : models::SuiteFor(v)) {
+      TargetReport r;
+      r.name = std::string(ToString(v)) + "/" + e.id + " (" + e.model_name +
+               ")";
+      const graph::Graph g =
+          models::BuildReferenceGraph(e, v, models::ModelScale::kFull);
+      const infer::WeightStore weights = infer::InitializeWeights(g, 1u);
+      const transform::PassManager pm = transform::MakeDefaultPipeline(
+          {.mode = infer::NumericsMode::kFp32, .metrics = nullptr});
+      transform::TransformResult res = pm.Run(g, weights);
+      if (!opt.json)
+        std::cout << "== transform " << r.name << " ==\n" << res.Summary();
+      r.engine = std::move(res.diagnostics);
+      reports.push_back(std::move(r));
+    }
+  }
+}
+
 void PrintCodes() {
   for (const analysis::CodeInfo& c : analysis::DiagnosticCatalogue())
     std::cout << c.code << "  " << ToString(c.default_severity) << "  "
@@ -221,6 +257,8 @@ int main(int argc, char** argv) {
       opt.print_codes = true;
     } else if (arg == "--memory") {
       opt.memory_summary = true;
+    } else if (arg == "--transform") {
+      opt.transform_summary = true;
     } else if (arg == "--chipset") {
       if (++i >= argc) return Usage(argv[0]);
       opt.chipset = argv[i];
@@ -257,7 +295,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!opt.lint_models && opt.chipset.empty() && opt.kernel_isa.empty() &&
-      opt.files.empty())
+      !opt.transform_summary && opt.files.empty())
     return Usage(argv[0]);
 
   std::vector<TargetReport> reports;
@@ -266,6 +304,7 @@ int main(int argc, char** argv) {
     if (opt.lint_models) LintReferenceModels(opt, reports);
     if (!opt.chipset.empty()) LintSubmissions(opt, reports);
     if (!opt.kernel_isa.empty()) LintKernelIsa(opt.kernel_isa, reports);
+    if (opt.transform_summary) DryRunTransforms(opt, reports);
   } catch (const std::exception& e) {
     std::cerr << "mlpm_lint: " << e.what() << '\n';
     return 2;
@@ -301,5 +340,8 @@ int main(int argc, char** argv) {
                       : std::string("all clean"))
               << '\n';
   }
-  return !any ? 0 : static_cast<int>(max);
+  // Findings exit 1 regardless of severity tier; 2 is reserved for usage
+  // and internal errors so automation can tell "the model is bad" from
+  // "the tool invocation is bad".  Notes alone do not gate.
+  return (any && max >= analysis::Severity::kWarning) ? 1 : 0;
 }
