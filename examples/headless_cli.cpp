@@ -11,6 +11,7 @@
 //                [--faults CRASH_PROB] [--fault-seed N] [--threads N]
 //                [--kernel-isa auto|scalar|avx2|neon]
 //                [--lint off|report|strict] [--transform]
+//                [--tile auto|off|N]
 //                [--trace FILE] [--profile]
 //                [--journal FILE] [--resume FILE]
 //
@@ -76,6 +77,10 @@ struct CliOptions {
   // the rewrite pipeline's invariant-checked output; falls back to the
   // untransformed graph on any equivalence-probe disagreement.
   bool transform = false;
+  // Tiled, fused pipeline execution (DESIGN.md §15): --tile auto sizes row
+  // bands against the cache budget, --tile N forces N output rows per tile.
+  // Bit-identical results; changes the memory/locality profile only.
+  infer::TileOptions tiling;
   // Observability (DESIGN.md §11): --trace writes a Chrome trace_event JSON
   // (open with ui.perfetto.dev or chrome://tracing); --profile appends the
   // per-op aggregate tables + process metrics to the report and CSV.
@@ -176,6 +181,28 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
       else return std::nullopt;
     } else if (arg == "--transform") {
       o.transform = true;
+    } else if (arg == "--tile") {
+      const std::string t = value();
+      if (t == "off") {
+        o.tiling.enabled = false;
+      } else if (t == "auto") {
+        o.tiling.enabled = true;
+        o.tiling.rows = -1;
+      } else {
+        char* end = nullptr;
+        errno = 0;
+        const long long rows = std::strtoll(t.c_str(), &end, 10);
+        if (t.empty() || end == t.c_str() || *end != '\0' ||
+            errno == ERANGE || rows < 1) {
+          std::fprintf(stderr,
+                       "--tile: '%s' is not a tile height (use auto, off, "
+                       "or a positive row count)\n",
+                       t.c_str());
+          return std::nullopt;
+        }
+        o.tiling.enabled = true;
+        o.tiling.rows = rows;
+      }
     } else if (arg == "--trace") {
       o.trace_path = value();
       if (o.trace_path.empty()) return std::nullopt;
@@ -216,7 +243,7 @@ int main(int argc, char** argv) {
                  "                    [--faults CRASH_PROB] [--fault-seed N]"
                  " [--threads N] [--kernel-isa auto|scalar|avx2|neon]\n"
                  "                    [--lint off|report|strict]"
-                 " [--transform]\n"
+                 " [--transform] [--tile auto|off|N]\n"
                  "                    [--trace FILE] [--profile]"
                  " [--journal FILE] [--resume FILE]\n");
     return 2;
@@ -240,6 +267,7 @@ int main(int argc, char** argv) {
   run.kernel_isa = opts->kernel_isa;
   run.lint = opts->lint;
   run.transform = opts->transform;
+  run.tiling = opts->tiling;
   run.trace_path = opts->trace_path;
   run.profile = opts->profile;
   run.journal_path = opts->journal_path;

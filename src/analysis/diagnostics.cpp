@@ -11,7 +11,7 @@ namespace {
 
 // Sorted by code.  Codes are append-only across releases: a code is never
 // renumbered or reused, so downstream tooling can key on them.
-constexpr std::array<CodeInfo, 37> kCatalogue{{
+constexpr std::array<CodeInfo, 38> kCatalogue{{
     {"GRAPH001", Severity::kWarning,
      "dead tensor: produced but never consumed nor marked as output"},
     {"GRAPH002", Severity::kWarning,
@@ -50,6 +50,8 @@ constexpr std::array<CodeInfo, 37> kCatalogue{{
      "ad-hoc (non-pool) threading: partitioning is not deterministic"},
     {"RUN007", Severity::kError,
      "kernel ISA is unknown or unavailable on this host"},
+    {"RUN008", Severity::kError,
+     "tile configuration is invalid or has no effect on this graph"},
     {"SHAPE001", Severity::kError,
      "node output shape disagrees with shape inference"},
     {"SHAPE002", Severity::kError,
@@ -88,7 +90,7 @@ constexpr std::array<CodeInfo, 37> kCatalogue{{
      "pass rolled back: its rewrites failed post-pass verification"},
 }};
 
-static_assert(kCatalogue.size() == 37);
+static_assert(kCatalogue.size() == 38);
 
 }  // namespace
 

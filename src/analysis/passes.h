@@ -99,6 +99,16 @@ struct RunConfigView {
   // RUN007 (the run would silently fall back to the portable kernels).
   std::string kernel_isa = "auto";
   bool kernel_isa_available = true;
+  // Tiled-execution request (DESIGN.md §15).  `tile_rows` follows
+  // infer::TileOptions: -1 = auto, >= 1 = explicit tile height; anything
+  // else is an invalid configuration (RUN008 error).  The caller resolves
+  // `graph_has_fusable_segment` (infer::HasFusableSegment) so this layer
+  // stays free of an infer dependency; tiling requested on a graph with no
+  // fusable segment is a RUN008 warning — the run silently executes
+  // whole-op and any memory/latency expectations from tiling are void.
+  bool tiling_requested = false;
+  std::int64_t tile_rows = -1;
+  bool graph_has_fusable_segment = false;
   // Named per-inference fault probabilities from the fault plan.
   std::vector<std::pair<std::string, double>> fault_probabilities;
   // Declared threading properties of the execution engine driving the run.

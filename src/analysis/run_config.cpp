@@ -1,4 +1,4 @@
-// Run-configuration determinism lints (RUN001-RUN007).
+// Run-configuration determinism lints (RUN001-RUN008).
 //
 // These catch the configuration mistakes that turn a benchmark run into
 // noise: impossible thread counts, fault probabilities outside [0, 1],
@@ -62,6 +62,21 @@ void CheckRunConfig(const RunConfigView& rc, DiagnosticEngine& de) {
                   "\" is unavailable on this host; the run falls back to "
                   "the portable scalar kernels and its performance is not "
                   "representative of a " + rc.kernel_isa + " build");
+
+  if (rc.tiling_requested) {
+    if (rc.tile_rows != -1 && rc.tile_rows < 1)
+      de.Report("RUN008", ConfigSource("run.tile_rows"),
+                "tile height " + std::to_string(rc.tile_rows) +
+                    " is invalid; use a positive row count, or -1 for "
+                    "automatic selection against the cache budget");
+    else if (!rc.graph_has_fusable_segment)
+      // Valid configuration, no effect: warn, don't block the run.
+      de.Report("RUN008", Severity::kWarning, ConfigSource("run.tiling"),
+                "tiling requested but the model has no fusable segment "
+                "(no chain of two-plus bounds-inference-capable NHWC ops "
+                "with a conv); the run executes whole-op and tiling's "
+                "memory/latency effects do not apply");
+  }
 }
 
 }  // namespace mlpm::analysis

@@ -1,0 +1,84 @@
+// Half-open index intervals and multi-dimensional boxes.
+//
+// The tiled execution engine (DESIGN.md §15) reasons about *crops*: a box
+// selects, per dimension, the half-open index range [begin, end) of a
+// tensor that a pipeline stage must produce or consume.  Bounds inference
+// (graph/bounds.h) maps an output crop backwards through an op to the input
+// box it requires; the tile planner partitions a tensor's full box into
+// disjoint crops that exactly cover it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/shape.h"
+
+namespace mlpm::graph {
+
+// A half-open index range [begin, end).  Empty when end <= begin.
+struct Interval {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] std::int64_t length() const {
+    return end > begin ? end - begin : 0;
+  }
+  [[nodiscard]] bool empty() const { return end <= begin; }
+  [[nodiscard]] bool Contains(std::int64_t i) const {
+    return i >= begin && i < end;
+  }
+  [[nodiscard]] bool Contains(const Interval& o) const {
+    return o.empty() || (o.begin >= begin && o.end <= end);
+  }
+  [[nodiscard]] Interval Intersect(const Interval& o) const {
+    const std::int64_t b = begin > o.begin ? begin : o.begin;
+    const std::int64_t e = end < o.end ? end : o.end;
+    return {b, e < b ? b : e};
+  }
+  [[nodiscard]] bool operator==(const Interval& o) const = default;
+};
+
+// One interval per dimension, in the tensor's own dimension order (NHWC for
+// vision tensors).  A box built from a shape spans the whole tensor.
+struct Box {
+  std::vector<Interval> dims;
+
+  [[nodiscard]] static Box FromShape(const TensorShape& s) {
+    Box b;
+    b.dims.reserve(s.rank());
+    for (std::size_t d = 0; d < s.rank(); ++d)
+      b.dims.push_back({0, s.dim(d)});
+    return b;
+  }
+
+  [[nodiscard]] std::size_t rank() const { return dims.size(); }
+  [[nodiscard]] std::int64_t elements() const {
+    std::int64_t n = 1;
+    for (const Interval& i : dims) n *= i.length();
+    return n;
+  }
+  [[nodiscard]] bool empty() const {
+    for (const Interval& i : dims)
+      if (i.empty()) return true;
+    return dims.empty();
+  }
+  [[nodiscard]] bool Contains(const Box& o) const {
+    if (o.rank() != rank()) return false;
+    for (std::size_t d = 0; d < dims.size(); ++d)
+      if (!dims[d].Contains(o.dims[d])) return false;
+    return true;
+  }
+  [[nodiscard]] bool operator==(const Box& o) const = default;
+
+  [[nodiscard]] std::string ToString() const {
+    std::string s = "[";
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      if (d != 0) s += ", ";
+      s += std::to_string(dims[d].begin) + ":" + std::to_string(dims[d].end);
+    }
+    return s + "]";
+  }
+};
+
+}  // namespace mlpm::graph

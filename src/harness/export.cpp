@@ -12,7 +12,8 @@ constexpr const char* kHeader =
     "fault_count,degradation_count,dropped,timed_out,lint_errors,"
     "lint_warnings,peak_arena_bytes,naive_activation_bytes,shed,rejected,"
     "breaker_trips,kernel_isa,transform_applied,transform_passes,"
-    "transform_rewrites";
+    "transform_rewrites,tiling_applied,tile_segments,tile_rows,"
+    "tile_slab_bytes";
 
 // CSV-quote a field if it contains a comma, quote or line break (RFC 4180:
 // fields containing CR or LF must be enclosed in double quotes too, or a
@@ -61,7 +62,9 @@ void AppendRows(std::ostringstream& os, const SubmissionResult& result,
        << t.rejected_count << ',' << t.breaker_trips << ','
        << Field(t.kernel_isa) << ','
        << (t.transform_applied ? "true" : "false") << ','
-       << Field(t.transform_passes) << ',' << t.transform_rewrites << '\n';
+       << Field(t.transform_passes) << ',' << t.transform_rewrites << ','
+       << (t.tiling_applied ? "true" : "false") << ',' << t.tile_segments
+       << ',' << t.tile_rows << ',' << t.tile_slab_bytes << '\n';
   }
 }
 

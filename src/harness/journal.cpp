@@ -383,6 +383,11 @@ std::string EncodeTaskRecord(const TaskRunResult& tr) {
   PutU(out, "transform_nodes_before", tr.transform_nodes_before);
   PutU(out, "transform_nodes_after", tr.transform_nodes_after);
   PutS(out, "transform_detail", tr.transform_detail);
+  PutB(out, "tiling_requested", tr.tiling_requested);
+  PutB(out, "tiling_applied", tr.tiling_applied);
+  PutU(out, "tile_segments", tr.tile_segments);
+  PutU(out, "tile_rows", static_cast<std::uint64_t>(tr.tile_rows));
+  PutU(out, "tile_slab_bytes", tr.tile_slab_bytes);
   // accuracy_outputs are deliberately not journaled: they are only needed
   // transiently for scoring, and the derived score is recorded above.
   return out;
@@ -473,6 +478,17 @@ TaskRunResult DecodeTaskRecord(const std::string& payload) {
       tr.transform_nodes_after = ParseU64(f.scalar);
     } else if (f.key == "transform_detail") {
       tr.transform_detail = std::move(f.bytes);
+    } else if (f.key == "tiling_requested") {
+      tr.tiling_requested = f.scalar == "1";
+    } else if (f.key == "tiling_applied") {
+      tr.tiling_applied = f.scalar == "1";
+    } else if (f.key == "tile_segments") {
+      tr.tile_segments = ParseU64(f.scalar);
+    } else if (f.key == "tile_rows") {
+      // Stored as the two's-complement u64 image (-1 = auto round-trips).
+      tr.tile_rows = static_cast<std::int64_t>(ParseU64(f.scalar));
+    } else if (f.key == "tile_slab_bytes") {
+      tr.tile_slab_bytes = ParseU64(f.scalar);
     }
   }
   Expects(!tr.entry.id.empty(), "journal: record without a task id");
@@ -539,6 +555,12 @@ std::uint64_t HashRunConfig(const soc::ChipsetDesc& chipset,
   // The transform stage changes the executed graph, so resumed accuracy
   // results are only interchangeable within one setting of it.
   add_u("transform", o.transform ? 1 : 0);
+  // Tiling is bit-identical to whole-op execution, but the memory-plan
+  // figures and applied/segment fields in each record depend on it, so
+  // journals are only interchangeable within one tiling configuration.
+  add_u("tiling", o.tiling.enabled ? 1 : 0);
+  add_u("tile_rows", static_cast<std::uint64_t>(o.tiling.rows));
+  add_u("tile_cache_bytes", o.tiling.cache_bytes);
 
   const loadgen::TestSettings& s = o.performance_settings;
   add_u("seed", s.seed);

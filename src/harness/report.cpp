@@ -166,6 +166,36 @@ std::string FormatSubmission(const SubmissionResult& result) {
     out += x.Render();
   }
 
+  // Tiled-execution transparency (DESIGN.md §15): when tiling was
+  // requested, the report shows per task whether the accuracy executors
+  // actually ran fused tile segments, how many chains fused, the tile
+  // height in effect, and the per-worker slab footprint that replaced the
+  // segment interiors' arena share.
+  bool any_tiling = false;
+  for (const TaskRunResult& task : result.tasks)
+    any_tiling |= task.tiling_requested;
+  if (any_tiling) {
+    TextTable g("tiled execution");
+    g.SetHeader({"Task", "Applied", "Segments", "Tile rows", "Slab"});
+    for (const TaskRunResult& task : result.tasks) {
+      if (!task.tiling_requested) continue;
+      // "planned": the plan fused segments (the arena figures above are
+      // tile-aware) but no accuracy executor ran, so nothing executed
+      // tiled — performance-only runs land here.
+      const char* applied = task.tiling_applied    ? "yes"
+                            : task.tile_segments > 0 ? "planned"
+                                                     : "WHOLE-OP";
+      g.AddRow({task.entry.id, applied,
+                std::to_string(task.tile_segments),
+                task.tile_rows == -1 ? "auto"
+                                     : std::to_string(task.tile_rows),
+                task.tile_segments > 0 ? FormatBytes(task.tile_slab_bytes)
+                                       : "-"});
+    }
+    out += "\n";
+    out += g.Render();
+  }
+
   // Interruption transparency (DESIGN.md §12): a partial run says so in
   // the report body, never silently.  An uninterrupted (or fully resumed)
   // run emits nothing here, keeping resumed reports byte-identical to

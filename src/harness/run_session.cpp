@@ -280,6 +280,9 @@ analysis::DiagnosticEngine LintTask(const soc::ChipsetDesc& chipset,
   rc.kernel_isa = std::string(ToString(options.kernel_isa));
   rc.kernel_isa_available =
       infer::kernels::KernelRegistry::Global().Available(options.kernel_isa);
+  rc.tiling_requested = options.tiling.enabled;
+  rc.tile_rows = options.tiling.rows;
+  rc.graph_has_fusable_segment = infer::HasFusableSegment(full);
   if (options.fault_plan)
     for (const soc::FaultSpec& spec : options.fault_plan->specs)
       rc.fault_probabilities.emplace_back(std::string(ToString(spec.kind)),
@@ -311,10 +314,24 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
 
   // Activation footprint of the full-scale model under the static planner
   // (reported per task; the arena itself is only exercised by the accuracy
-  // phase's mini models).
-  const infer::MemoryPlan plan = infer::MemoryPlan::Build(full);
+  // phase's mini models).  With tiling requested the plan is tile-aware:
+  // segment interiors leave the arena for per-worker slabs, and the
+  // reported arena/slab split reflects that.
+  tr.tiling_requested = options.tiling.enabled;
+  tr.tile_rows = options.tiling.enabled ? options.tiling.rows : 0;
+  // An invalid tile height (rows == 0 or negative explicit) is RUN008 — an
+  // error under the lint gate.  Under kReport the run must still proceed,
+  // so the invalid request degrades to untiled execution here.
+  infer::TileOptions tile_opt = options.tiling;
+  if (tile_opt.enabled && tile_opt.rows != -1 && tile_opt.rows < 1)
+    tile_opt.enabled = false;
+  const infer::TilePlan full_tiles = infer::BuildTilePlan(full, tile_opt);
+  const infer::MemoryPlan plan = infer::MemoryPlan::Build(
+      full, full_tiles.empty() ? nullptr : &full_tiles);
   tr.peak_arena_bytes = plan.peak_arena_bytes();
   tr.naive_activation_bytes = plan.naive_bytes();
+  tr.tile_segments = full_tiles.segments.size();
+  tr.tile_slab_bytes = plan.tile_slab_bytes();
 
   if (options.lint != LintMode::kOff) {
     const analysis::DiagnosticEngine de = LintTask(chipset, sub, full, options);
@@ -338,8 +355,10 @@ void RunTask(const soc::ChipsetDesc& chipset, models::SuiteVersion version,
         bundle.Prepare(mode,
                        options.use_qat_weights &&
                            mode == infer::NumericsMode::kInt8,
-                       options.kernel_isa, options.transform);
+                       options.kernel_isa, options.transform, tile_opt);
     tr.calibration_indices = prepared.calibration_indices;
+    tr.tiling_applied = prepared.executor != nullptr &&
+                        prepared.executor->tiled();
     tr.transform_requested = prepared.transform.requested;
     tr.transform_applied = prepared.transform.applied;
     tr.transform_passes = prepared.transform.passes;

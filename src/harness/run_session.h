@@ -99,6 +99,17 @@ struct RunOptions {
   // its meaning.  Off by default: scores are byte-identical to prior runs.
   bool transform = false;
 
+  // Opt-in tiled, fused pipeline execution (DESIGN.md §15).  When
+  // `tiling.enabled`, the accuracy-plane executors run fusable conv/dw
+  // chains crop-by-crop through per-worker tile slabs instead of
+  // materializing full intermediates; results are bit-identical to the
+  // whole-op path for every numerics mode and thread count, so accuracy
+  // scores are unchanged.  `tiling.rows` forces the tile height (-1 = auto
+  // against tiling.cache_bytes); rows == 0 is invalid and lint-gated
+  // (RUN008).  The memory-plan figures reported for the full-scale graph
+  // become tile-aware.  Off by default: byte-identical to prior runs.
+  infer::TileOptions tiling;
+
   // Static verification gate run before each task (model IR, quantization
   // recipe, SoC mapping, run configuration).  Never touches the timed path:
   // all passes complete before the LoadGen starts.
@@ -182,8 +193,20 @@ struct TaskRunResult {
   // Static activation memory plan over the full-scale graph (DESIGN.md §10):
   // the packed arena footprint vs the naive sum of all activation tensors.
   // Planner-only figures (no execution); 0 when the plan was not computed.
+  // With tiling applied the arena figure is tile-aware (segment interiors
+  // move out of the arena into tile_slab_bytes).
   std::size_t peak_arena_bytes = 0;
   std::size_t naive_activation_bytes = 0;
+
+  // Tiled, fused pipeline execution (DESIGN.md §15).  `tiling_applied`
+  // means the accuracy executors actually ran tiled segments (requested
+  // and at least one fusable chain existed); figures are from the
+  // full-scale graph's tile plan.  All zero/false when tiling is off.
+  bool tiling_requested = false;
+  bool tiling_applied = false;
+  std::size_t tile_segments = 0;   // fused chains in the full-scale plan
+  std::int64_t tile_rows = 0;      // requested rows (-1 = auto)
+  std::size_t tile_slab_bytes = 0; // one worker's peak slab block
 
   // Fault / degradation accounting.
   TaskStatus status = TaskStatus::kValid;

@@ -106,15 +106,17 @@ std::unique_ptr<TaskBundle> TaskBundle::Create(
 
 TaskBundle::PreparedModel TaskBundle::Prepare(
     infer::NumericsMode mode, bool use_qat_weights,
-    infer::kernels::KernelIsa isa, bool transform) const {
-  const int key = (static_cast<int>(mode) * 2 + (use_qat_weights ? 1 : 0)) *
-                      8 +
-                  static_cast<int>(isa) + (transform ? 64 : 0);
+    infer::kernels::KernelIsa isa, bool transform,
+    const infer::TileOptions& tiling) const {
+  const std::pair<int, std::int64_t> key{
+      (static_cast<int>(mode) * 2 + (use_qat_weights ? 1 : 0)) * 8 +
+          static_cast<int>(isa) + (transform ? 64 : 0),
+      tiling.enabled ? tiling.rows : -2};
   if (const auto it = prepared_cache_.find(key); it != prepared_cache_.end())
     return it->second;
 
   if (transform) {
-    PreparedModel p = PrepareTransformed(mode, use_qat_weights, isa);
+    PreparedModel p = PrepareTransformed(mode, use_qat_weights, isa, tiling);
     prepared_cache_.emplace(key, p);
     return p;
   }
@@ -134,10 +136,10 @@ TaskBundle::PreparedModel TaskBundle::Prepare(
     const infer::QuantParams qp =
         quant::CalibratePtq(*graph_, *weights, samples);
     p.model = std::make_shared<infer::PreparedModel>(*graph_, *weights, mode,
-                                                     &qp, isa);
+                                                     &qp, isa, tiling);
   } else {
     p.model = std::make_shared<infer::PreparedModel>(*graph_, *weights, mode,
-                                                     nullptr, isa);
+                                                     nullptr, isa, tiling);
   }
   p.executor = &p.model->executor();
   prepared_cache_.emplace(key, p);
@@ -146,12 +148,12 @@ TaskBundle::PreparedModel TaskBundle::Prepare(
 
 TaskBundle::PreparedModel TaskBundle::PrepareTransformed(
     infer::NumericsMode mode, bool use_qat_weights,
-    infer::kernels::KernelIsa isa) const {
+    infer::kernels::KernelIsa isa, const infer::TileOptions& tiling) const {
   // The untransformed model at identical numerics is both the equivalence
   // baseline and the fallback if any gate trips; the regular cache shares
   // its prepack with non-transform runs.
   PreparedModel base = Prepare(mode, use_qat_weights, isa,
-                               /*transform=*/false);
+                               /*transform=*/false, tiling);
   base.transform.requested = true;
 
   // Base Prepare() materialized qat_weights_ when requested.
@@ -191,10 +193,11 @@ TaskBundle::PreparedModel TaskBundle::PrepareTransformed(
     const infer::QuantParams qp =
         quant::CalibratePtq(tr->graph, tr->weights, samples);
     p.model = std::make_shared<infer::PreparedModel>(tr->graph, tr->weights,
-                                                     mode, &qp, isa);
+                                                     mode, &qp, isa, tiling);
   } else {
     p.model = std::make_shared<infer::PreparedModel>(tr->graph, tr->weights,
-                                                     mode, nullptr, isa);
+                                                     mode, nullptr, isa,
+                                                     tiling);
   }
   p.executor = &p.model->executor();
   p.transformed = tr;  // keeps the graph/weights alive for p.model

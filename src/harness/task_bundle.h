@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -90,10 +91,15 @@ class TaskBundle {
   // committed rewrites commute exactly with those roundings; the tolerance
   // absorbs only compiler-level FP reassociation).  Any disagreement falls
   // back to the untransformed model and records why in `transform.detail`.
+  //
+  // `tiling` opts the prepared executors into fused tiled segment execution
+  // (DESIGN.md §15) — bit-identical to whole-op execution, so accuracy
+  // scores are unchanged; only memory footprint and locality differ.  The
+  // FP32 reference (Fp32Score) always runs untiled as the oracle.
   [[nodiscard]] PreparedModel Prepare(
       infer::NumericsMode mode, bool use_qat_weights = false,
       infer::kernels::KernelIsa isa = infer::kernels::KernelIsa::kAuto,
-      bool transform = false) const;
+      bool transform = false, const infer::TileOptions& tiling = {}) const;
 
   // Runs the full validation set through `executor` and scores it, fanning
   // samples out over `pool` when given (bit-identical to the serial path).
@@ -116,7 +122,7 @@ class TaskBundle {
   // disagreement.
   [[nodiscard]] PreparedModel PrepareTransformed(
       infer::NumericsMode mode, bool use_qat_weights,
-      infer::kernels::KernelIsa isa) const;
+      infer::kernels::KernelIsa isa, const infer::TileOptions& tiling) const;
 
   models::BenchmarkEntry entry_;
   models::SuiteVersion version_ = models::SuiteVersion::kV1_0;
@@ -129,8 +135,11 @@ class TaskBundle {
   std::unique_ptr<datasets::TaskDataset> dataset_;
   // FP32 reference scores keyed by kernel ISA.
   mutable std::map<int, double> fp32_scores_;
-  // Prepack cache, keyed by (mode, use_qat_weights, isa, transform).
-  mutable std::map<int, PreparedModel> prepared_cache_;
+  // Prepack cache, keyed by ((mode, use_qat_weights, isa, transform),
+  // tile-rows) — the second component is the tiling request (-2 = untiled),
+  // so differently-tiled executors never share an entry.
+  mutable std::map<std::pair<int, std::int64_t>, PreparedModel>
+      prepared_cache_;
 };
 
 }  // namespace mlpm::harness

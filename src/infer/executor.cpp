@@ -7,6 +7,9 @@
 
 #include "common/fp16.h"
 #include "common/thread_pool.h"
+#include "graph/bounds.h"
+#include "infer/op_math.h"
+#include "infer/tiled_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,38 +28,9 @@ using graph::TensorShape;
 // costs more than the loop below it.
 constexpr std::size_t kElementwiseCutoff = 1024;
 
-float ApplyActivation(float v, Activation a) {
-  switch (a) {
-    case Activation::kNone:
-      return v;
-    case Activation::kRelu:
-      return v > 0.0f ? v : 0.0f;
-    case Activation::kRelu6:
-      return std::clamp(v, 0.0f, 6.0f);
-    case Activation::kSigmoid:
-      return 1.0f / (1.0f + std::exp(-v));
-    case Activation::kTanh:
-      return std::tanh(v);
-    case Activation::kGelu: {
-      // tanh approximation of GELU.
-      const float c = 0.7978845608f;  // sqrt(2/pi)
-      const float inner = c * (v + 0.044715f * v * v * v);
-      return 0.5f * v * (1.0f + std::tanh(inner));
-    }
-  }
-  return v;
-}
-
-// Padding offset at the start of one spatial dimension for SAME padding.
-std::int64_t PadBegin(std::int64_t in, std::int64_t out, int kernel,
-                      int stride, int dilation, Padding pad) {
-  if (pad == Padding::kValid) return 0;
-  const std::int64_t eff_k =
-      static_cast<std::int64_t>(dilation) * (kernel - 1) + 1;
-  const std::int64_t total =
-      std::max<std::int64_t>(0, (out - 1) * stride + eff_k - in);
-  return total / 2;
-}
+// ApplyActivation lives in infer/op_math.h and SAME-padding offsets in
+// graph::SamePadBegin so the whole-op kernels below and the tiled band
+// kernels (tiled_ops.cpp) provably share one definition of both.
 
 void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
                const Tensor& w, const Tensor& bias, Tensor& out,
@@ -67,9 +41,9 @@ void RunConv2d(const Node& n, const graph::Conv2dAttrs& a, const Tensor& in,
                      IC = is.channels();
   const std::int64_t OH = os.height(), OW = os.width(), OC = os.channels();
   const std::int64_t ph =
-      PadBegin(IH, OH, a.kernel_h, a.stride, a.dilation, a.padding);
+      graph::SamePadBegin(IH, OH, a.kernel_h, a.stride, a.dilation, a.padding);
   const std::int64_t pw =
-      PadBegin(IW, OW, a.kernel_w, a.stride, a.dilation, a.padding);
+      graph::SamePadBegin(IW, OW, a.kernel_w, a.stride, a.dilation, a.padding);
   const float* __restrict wp = w.data();
   const float* __restrict bp = bias.data();
   const float* __restrict ip = in.data();
@@ -157,9 +131,9 @@ void RunDepthwiseConv2d(const graph::DepthwiseConv2dAttrs& a, const Tensor& in,
                      C = is.channels();
   const std::int64_t OH = os.height(), OW = os.width();
   const std::int64_t ph =
-      PadBegin(IH, OH, a.kernel_h, a.stride, a.dilation, a.padding);
+      graph::SamePadBegin(IH, OH, a.kernel_h, a.stride, a.dilation, a.padding);
   const std::int64_t pw =
-      PadBegin(IW, OW, a.kernel_w, a.stride, a.dilation, a.padding);
+      graph::SamePadBegin(IW, OW, a.kernel_w, a.stride, a.dilation, a.padding);
   const float* __restrict wp = w.data();  // [KH, KW, C]
   const float* __restrict bp = bias.data();
   const float* __restrict ip = in.data();
@@ -618,10 +592,12 @@ float FakeQuantActivation(float v, const TensorRange& r, int bits) {
 
 Executor::Executor(const Graph& graph, const WeightStore& weights,
                    NumericsMode mode, const QuantParams* quant,
-                   kernels::KernelIsa isa)
+                   kernels::KernelIsa isa, const TileOptions& tiling)
     : graph_(graph),
       mode_(mode),
-      plan_(MemoryPlan::Build(graph)),
+      tile_plan_(BuildTilePlan(graph, tiling)),
+      plan_(MemoryPlan::Build(graph,
+                              tile_plan_.empty() ? nullptr : &tile_plan_)),
       kernels_(&kernels::KernelRegistry::Global().Select(isa)) {
   if (mode_ == NumericsMode::kInt8) {
     Expects(quant != nullptr, "INT8 execution requires QuantParams");
@@ -885,6 +861,144 @@ void TraceNode(obs::TraceRecorder& rec, const Graph& graph, const Node& node,
                   t1_us - t0_us, std::move(args), "node");
 }
 
+// Executes one fused tile segment: the segment's output rows are cut into
+// row bands (the ThreadPool parallel grain), and each band is produced by
+// walking the chain front-to-back through a per-worker slab that holds only
+// the tile-sized slice of every interior tensor.  Input row ranges come
+// from graph::InferInputBounds walked tail-to-head, so every band reads
+// exactly the rows it needs — bit-identical to whole-op execution because
+// each output element sees the identical kernel calls on identical data
+// (tiled_ops.h).  `seg_out` is the tail node's full arena view.
+template <typename Fetch>
+void RunTiledSegment(const Graph& g, const TilePlan& plan, std::size_t seg_idx,
+                     const Fetch& fetch,
+                     const std::vector<std::unique_ptr<Tensor>>& prepared,
+                     const std::vector<std::unique_ptr<Tensor>>& dw_packed,
+                     const kernels::KernelTable& kt,
+                     std::array<std::atomic<std::uint64_t>, 3>& dispatch_counts,
+                     NumericsMode mode, const QuantParams& quant,
+                     Tensor& seg_out, const ThreadPool* pool) {
+  const TileSegment& s = plan.segments[seg_idx];
+  const int n_nodes = static_cast<int>(s.last_node - s.first_node + 1);
+  const auto weight_for = [&](TensorId id) -> const Tensor& {
+    const auto& p = prepared[static_cast<std::size_t>(id)];
+    Expects(p != nullptr, "missing prepared weight");
+    return *p;
+  };
+  // Dispatch counters tick once per node per run (not per tile), matching
+  // the whole-op path so profiles stay comparable.
+  for (std::int32_t m = s.first_node; m <= s.last_node; ++m) {
+    const Node& n = g.nodes()[static_cast<std::size_t>(m)];
+    if (n.op == OpType::kConv2d)
+      dispatch_counts[0].fetch_add(1, std::memory_order_relaxed);
+    else if (n.op == OpType::kDepthwiseConv2d)
+      dispatch_counts[1].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  const std::int64_t tiles = s.tile_count();
+  ParallelForRange(pool, 0, tiles, [&](std::int64_t lo, std::int64_t hi) {
+    // One slab per chunk: every interior tensor's tile slice, packed at
+    // the planner's aligned offsets.
+    std::vector<float> slab(s.slab_elements);
+    std::vector<graph::Interval> out_rows(static_cast<std::size_t>(n_nodes));
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const bool traced = rec.enabled();
+      const double t0_us = traced ? rec.NowUs() : 0.0;
+      const std::int64_t r0 = t * s.tile_rows;
+      const std::int64_t r1 = std::min(r0 + s.tile_rows, s.out_rows);
+      // Tail-to-head bounds inference: node j must produce the rows node
+      // j+1 consumes.
+      out_rows[static_cast<std::size_t>(n_nodes - 1)] = {r0, r1};
+      for (int j = n_nodes - 1; j > 0; --j) {
+        const Node& n = g.nodes()[static_cast<std::size_t>(s.first_node + j)];
+        const graph::TensorShape& ish = g.tensor(n.inputs[0]).shape;
+        const graph::TensorShape& osh = g.tensor(n.output).shape;
+        graph::Box crop = graph::Box::FromShape(osh);
+        crop.dims[1] = out_rows[static_cast<std::size_t>(j)];
+        out_rows[static_cast<std::size_t>(j - 1)] =
+            graph::InferInputBounds(n, ish, osh, crop).dims[1];
+      }
+      // Head-to-tail execution over the inferred bands.
+      for (int j = 0; j < n_nodes; ++j) {
+        const Node& n = g.nodes()[static_cast<std::size_t>(s.first_node + j)];
+        const graph::TensorShape& osh = g.tensor(n.output).shape;
+        const graph::Interval rows = out_rows[static_cast<std::size_t>(j)];
+        RowBand in_band;
+        if (j == 0) {
+          in_band = FullBand(fetch(n.inputs[0]));
+        } else {
+          const graph::TensorShape& ish = g.tensor(n.inputs[0]).shape;
+          const graph::Interval in_rows =
+              out_rows[static_cast<std::size_t>(j - 1)];
+          in_band = RowBand{slab.data() + s.slab_offsets[j - 1],
+                            in_rows.begin, in_rows.length(), ish.height(),
+                            ish.width(), ish.channels()};
+        }
+        MutableRowBand out_band;
+        if (j == n_nodes - 1) {
+          out_band = MutableRowBand{
+              seg_out.data() + rows.begin * osh.width() * osh.channels(),
+              rows.begin, rows.length(), osh.height(), osh.width(),
+              osh.channels()};
+        } else {
+          Expects(rows.length() <= s.slab_rows[static_cast<std::size_t>(j)],
+                  "tile band exceeds planned slab rows");
+          out_band = MutableRowBand{slab.data() + s.slab_offsets[j],
+                                    rows.begin, rows.length(), osh.height(),
+                                    osh.width(), osh.channels()};
+        }
+        switch (n.op) {
+          case OpType::kConv2d:
+            RunConv2dRows(std::get<graph::Conv2dAttrs>(n.attrs), in_band,
+                          weight_for(n.weights[0]), weight_for(n.weights[1]),
+                          out_band, kt);
+            break;
+          case OpType::kDepthwiseConv2d: {
+            const auto& packed =
+                dw_packed[static_cast<std::size_t>(n.weights[0])];
+            Expects(packed != nullptr, "missing packed depthwise weight");
+            RunDepthwiseConv2dRows(
+                std::get<graph::DepthwiseConv2dAttrs>(n.attrs), in_band,
+                *packed, weight_for(n.weights[1]), out_band, kt);
+            break;
+          }
+          case OpType::kAvgPool:
+          case OpType::kMaxPool:
+            RunPoolRows(n.op, std::get<graph::PoolAttrs>(n.attrs), in_band,
+                        out_band);
+            break;
+          case OpType::kAdd:
+          case OpType::kMul:
+            RunBinaryRows(n.op, in_band, FullBand(fetch(n.inputs[1])),
+                          out_band);
+            break;
+          case OpType::kActivation:
+            RunActivationRows(
+                std::get<graph::ActivationAttrs>(n.attrs).activation, in_band,
+                out_band);
+            break;
+          case OpType::kResizeBilinear:
+            RunResizeBilinearRows(in_band, out_band);
+            break;
+          default:
+            Expects(false, "unsupported op in tile segment");
+        }
+        ApplyNumericsRows(mode, quant, n.output, out_band);
+      }
+      if (traced) {
+        std::vector<obs::TraceArg> args;
+        args.reserve(2);
+        args.push_back(obs::Arg("segment", static_cast<int>(seg_idx)));
+        args.push_back(
+            obs::Arg("rows", std::to_string(r0) + ":" + std::to_string(r1)));
+        rec.AddComplete(obs::Domain::kHost, {}, "tile", t0_us,
+                        rec.NowUs() - t0_us, std::move(args), "tile");
+      }
+    }
+  });
+}
+
 }  // namespace
 
 ExecutionContext::ExecutionContext(const Executor& executor)
@@ -897,7 +1011,11 @@ ExecutionContext::ExecutionContext(const Executor& executor)
   const Graph& g = executor.graph();
   for (std::size_t id = 0; id < slots_.size(); ++id) {
     const TensorPlacement& p = plan_->placements()[id];
-    if (p.kind == PlacementKind::kUnplanned) continue;
+    // Tile-slab tensors have no arena storage: the tiled executor
+    // materializes them band-by-band in per-worker slabs.
+    if (p.kind == PlacementKind::kUnplanned ||
+        p.kind == PlacementKind::kTileSlab)
+      continue;
     slots_[id] = Tensor::View(g.tensor(static_cast<TensorId>(id)).shape,
                               arena_.data() + p.offset);
   }
@@ -968,6 +1086,9 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
           "execution context belongs to a different executor");
   Expects(inputs.size() == graph_.input_ids().size(),
           "wrong number of graph inputs");
+  // Observed runs (calibration) need every full intermediate, which tiled
+  // segments never materialize — fall back to the whole-op oracle path.
+  if (tiled() && observer) return Run(inputs, observer, pool);
   std::fill(ctx.external_.begin(), ctx.external_.end(), nullptr);
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     const TensorId id = graph_.input_ids()[i];
@@ -986,8 +1107,42 @@ std::vector<Tensor> Executor::Run(std::span<const Tensor> inputs,
   };
 
   obs::TraceRecorder& rec = obs::TraceRecorder::Global();
-  for (const Node& n : graph_.nodes()) {
+  const auto& nodes = graph_.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
     if (n.op == OpType::kInput) continue;
+    if (tiled()) {
+      const std::int32_t seg = tile_plan_.segment_of_node[i];
+      if (seg >= 0) {
+        // Segment head: run the whole fused chain tile-by-tile, then jump
+        // past its tail (interiors never execute as standalone nodes).
+        const TileSegment& s =
+            tile_plan_.segments[static_cast<std::size_t>(seg)];
+        const bool traced = rec.enabled();
+        const double t0_us = traced ? rec.NowUs() : 0.0;
+        const Node& tail = nodes[static_cast<std::size_t>(s.last_node)];
+        Tensor& seg_out = ctx.slots_[static_cast<std::size_t>(tail.output)];
+        RunTiledSegment(graph_, tile_plan_, static_cast<std::size_t>(seg),
+                        fetch, prepared_weights_, dw_packed_weights_,
+                        *kernels_, dispatch_counts_, mode_, quant_, seg_out,
+                        pool);
+        if (traced) {
+          std::vector<obs::TraceArg> args;
+          args.reserve(3);
+          args.push_back(
+              obs::Arg("tensor", graph_.tensor(tail.output).name));
+          args.push_back(obs::Arg("nodes", static_cast<int>(
+                                               s.last_node - s.first_node +
+                                               1)));
+          args.push_back(
+              obs::Arg("tiles", static_cast<int>(s.tile_count())));
+          rec.AddComplete(obs::Domain::kHost, {}, "tiled_segment", t0_us,
+                          rec.NowUs() - t0_us, std::move(args), "node");
+        }
+        i = static_cast<std::size_t>(s.last_node);
+        continue;
+      }
+    }
     const bool traced = rec.enabled();
     const double t0_us = traced ? rec.NowUs() : 0.0;
     Tensor& out = ctx.slots_[static_cast<std::size_t>(n.output)];

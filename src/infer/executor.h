@@ -25,6 +25,7 @@
 #include "infer/memory_plan.h"
 #include "infer/quant_params.h"
 #include "infer/tensor.h"
+#include "infer/tile_planner.h"
 #include "infer/weights.h"
 
 namespace mlpm {
@@ -94,10 +95,18 @@ class Executor {
   // weights are repacked [C,KH,KW] -> [KH,KW,C] at construction so every
   // table reads channel-contiguous taps (a pure layout change — the scalar
   // table remains bit-identical to the pre-registry executor).
+  //
+  // `tiling` (tile_planner.h) opts the arena Run overload into fused tiled
+  // segment execution: fusable conv/dw chains run crop-by-crop through
+  // per-worker slabs instead of materializing full intermediates.  Tiled
+  // execution is bit-identical to whole-op execution for every numerics
+  // mode, kernel table, and thread count (DESIGN.md §15); the legacy
+  // overloads always run whole-op and remain the oracle.
   Executor(const graph::Graph& graph, const WeightStore& weights,
            NumericsMode mode = NumericsMode::kFp32,
            const QuantParams* quant = nullptr,
-           kernels::KernelIsa isa = kernels::KernelIsa::kAuto);
+           kernels::KernelIsa isa = kernels::KernelIsa::kAuto,
+           const TileOptions& tiling = {});
 
   // Runs the graph; `inputs` must match graph.input_ids() in order and
   // shape.  Returns one tensor per graph output.
@@ -132,8 +141,12 @@ class Executor {
 
   [[nodiscard]] NumericsMode mode() const { return mode_; }
   [[nodiscard]] const graph::Graph& graph() const { return graph_; }
-  // The static activation plan (built once at construction).
+  // The static activation plan (built once at construction; tile-aware
+  // when the executor was constructed with tiling enabled).
   [[nodiscard]] const MemoryPlan& memory_plan() const { return plan_; }
+  // The tile plan (empty when tiling is off or no segment qualified).
+  [[nodiscard]] const TilePlan& tile_plan() const { return tile_plan_; }
+  [[nodiscard]] bool tiled() const { return !tile_plan_.empty(); }
 
   // The resolved kernel ISA (never kAuto) and its table.
   [[nodiscard]] kernels::KernelIsa kernel_isa() const { return kernels_->isa; }
@@ -150,6 +163,8 @@ class Executor {
   const graph::Graph& graph_;
   NumericsMode mode_;
   QuantParams quant_;
+  // Declared before plan_: the memory plan is built against the tile plan.
+  TilePlan tile_plan_;
   MemoryPlan plan_;
   // Weights transformed once for the executor's numerics mode, indexed by
   // TensorId (nullptr for activation slots).

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "infer/tile_planner.h"
 
 namespace mlpm::infer {
 namespace {
@@ -33,9 +34,41 @@ bool SupportsInPlace(graph::OpType op) {
 }
 
 MemoryPlan MemoryPlan::Build(const Graph& g) {
-  const std::vector<graph::LiveInterval> live = graph::ComputeLiveness(g);
+  return Build(g, nullptr);
+}
+
+MemoryPlan MemoryPlan::Build(const Graph& g, const TilePlan* tiling) {
+  std::vector<graph::LiveInterval> live = graph::ComputeLiveness(g);
+  // A tiled segment executes as one unit: while the tail writes its output
+  // band, the head is still reading its exterior input for the next tile.
+  // Every exterior tensor any segment node reads must therefore stay live
+  // through the segment's last node, or the packer could lay the tail's
+  // output over a buffer the segment still reads.
+  if (tiling != nullptr) {
+    for (const TileSegment& s : tiling->segments)
+      for (std::int32_t m = s.first_node; m <= s.last_node; ++m)
+        for (const TensorId id : g.nodes()[static_cast<std::size_t>(m)].inputs)
+          if (!tiling->interior[static_cast<std::size_t>(id)])
+            live[static_cast<std::size_t>(id)].last_use =
+                std::max(live[static_cast<std::size_t>(id)].last_use,
+                         s.last_node);
+  }
   MemoryPlan plan;
   plan.placements_.resize(g.tensors().size());
+  plan.tile_slab_bytes_ = tiling != nullptr ? tiling->slab_bytes() : 0;
+
+  // Per-tile slab bytes by interior TensorId (0 for everything else).
+  std::vector<std::size_t> slab_tensor_bytes(g.tensors().size(), 0);
+  if (tiling != nullptr) {
+    for (const TileSegment& s : tiling->segments)
+      for (std::size_t j = 0; j < s.interior.size(); ++j) {
+        const graph::TensorShape& sh = g.tensor(s.interior[j]).shape;
+        slab_tensor_bytes[static_cast<std::size_t>(s.interior[j])] =
+            static_cast<std::size_t>(s.slab_rows[j] * sh.width() *
+                                     sh.channels()) *
+            sizeof(float);
+      }
+  }
 
   // Per-root bookkeeping while aliases accrete onto buffers.  `root_of` is
   // only meaningful for planned tensors; aliases point directly at their
@@ -51,15 +84,31 @@ MemoryPlan MemoryPlan::Build(const Graph& g) {
     // A produced-but-never-read tensor still needs somewhere to write.
     const std::int32_t out_last = std::max(live[out].last_use, i);
 
+    // Segment-interior tensors never touch the arena: the tiled executor
+    // materializes them tile-by-tile in per-worker slabs, so their full-size
+    // live interval disappears from packing entirely.  The naive footprint
+    // still counts them at full size — that is exactly the saving.
+    if (tiling != nullptr && tiling->interior[out]) {
+      plan.placements_[out] = {PlacementKind::kTileSlab, 0, n.output};
+      plan.naive_bytes_ +=
+          static_cast<std::size_t>(out_elements) * sizeof(float);
+      plan.intervals_.push_back(IntervalBytes{n.output, i, out_last,
+                                              slab_tensor_bytes[out],
+                                              PlacementKind::kTileSlab});
+      continue;
+    }
+
     // Alias onto the first input's buffer when the op tolerates it, the
     // element counts match (index-aligned access), and the buffer carries
     // no value anyone reads after this node.  Graph inputs are caller
     // memory and never aliased; a buffer holding a graph output has
-    // last_use == nodes().size() and so never dies early.
+    // last_use == nodes().size() and so never dies early.  Tile-slab
+    // inputs have no arena buffer to share, so they never donate one.
     if (SupportsInPlace(n.op) && !n.inputs.empty()) {
       const auto in0 = static_cast<std::size_t>(n.inputs[0]);
       const TensorPlacement& src = plan.placements_[in0];
-      if (src.kind != PlacementKind::kUnplanned) {
+      if (src.kind == PlacementKind::kArena ||
+          src.kind == PlacementKind::kAlias) {
         ArenaBuffer& buf = plan.buffers_[static_cast<std::size_t>(
             buffer_index[static_cast<std::size_t>(src.buffer)])];
         if (buf.last_use == i &&
@@ -136,11 +185,26 @@ MemoryPlan MemoryPlan::Build(const Graph& g) {
   // Resolve alias offsets now that every root has one.
   for (std::size_t id = 0; id < plan.placements_.size(); ++id) {
     TensorPlacement& p = plan.placements_[id];
-    if (p.kind == PlacementKind::kUnplanned) continue;
+    if (p.kind == PlacementKind::kUnplanned ||
+        p.kind == PlacementKind::kTileSlab)
+      continue;
     const ArenaBuffer& buf = plan.buffers_[static_cast<std::size_t>(
         buffer_index[static_cast<std::size_t>(p.buffer)])];
     p.offset = buf.offset;
   }
+
+  // Arena-buffer intervals carry their *merged* lifetimes (aliases may have
+  // extended last_use), so they are collected after packing; slab intervals
+  // were recorded during the walk.  Deterministic (def, root) order.
+  for (const ArenaBuffer& buf : plan.buffers_)
+    plan.intervals_.push_back(IntervalBytes{buf.root, buf.def, buf.last_use,
+                                            buf.elements * sizeof(float),
+                                            PlacementKind::kArena});
+  std::sort(plan.intervals_.begin(), plan.intervals_.end(),
+            [](const IntervalBytes& a, const IntervalBytes& b) {
+              if (a.def != b.def) return a.def < b.def;
+              return a.root < b.root;
+            });
   Ensures(plan.peak_arena_bytes() <= plan.naive_bytes_ +
                                          plan.buffers_.size() *
                                              kArenaAlignElements *

@@ -26,6 +26,8 @@
 
 namespace mlpm::infer {
 
+struct TilePlan;
+
 // Arena offsets are aligned to 64 bytes (16 floats) so vectorized kernel
 // loops see cacheline-aligned buffers.
 inline constexpr std::size_t kArenaAlignElements = 16;
@@ -35,6 +37,7 @@ enum class PlacementKind : std::uint8_t {
   kUnplanned,  // weights and graph inputs: bound externally, never in arena
   kArena,      // root of an arena buffer at [offset, offset + elements)
   kAlias,      // shares its (transitive) producer-input's arena buffer
+  kTileSlab,   // segment-interior: lives in per-tile slabs, never the arena
 };
 
 struct TensorPlacement {
@@ -57,11 +60,30 @@ struct ArenaBuffer {
   std::int32_t last_use = 0; // last node index reading it (or nodes() size)
 };
 
+// Byte accounting for one planned live interval — an arena buffer (full
+// tensor bytes) or a tile-slab tensor (one tile's slab bytes).  Exposed so
+// reports can attribute the planned footprint interval-by-interval instead
+// of quoting only the packed arena total (which under-describes tiled runs,
+// where segment interiors never enter the arena at all).
+struct IntervalBytes {
+  graph::TensorId root = graph::kInvalidTensor;
+  std::int32_t def = 0;
+  std::int32_t last_use = 0;
+  std::size_t bytes = 0;
+  PlacementKind kind = PlacementKind::kArena;
+};
+
 class MemoryPlan {
  public:
   // Plans activation memory for `g`.  Deterministic: the same graph always
   // produces the same plan.
   [[nodiscard]] static MemoryPlan Build(const graph::Graph& g);
+
+  // As above, but with segment-interior tensors of `tiling` (may be null)
+  // placed in per-tile slabs instead of the arena: they are excluded from
+  // packing, shrinking the arena, and accounted under tile_slab_bytes().
+  [[nodiscard]] static MemoryPlan Build(const graph::Graph& g,
+                                        const TilePlan* tiling);
 
   [[nodiscard]] const std::vector<TensorPlacement>& placements() const {
     return placements_;
@@ -75,25 +97,43 @@ class MemoryPlan {
   [[nodiscard]] std::size_t peak_arena_bytes() const {
     return arena_elements_ * sizeof(float);
   }
+  // One worker's peak tile-slab footprint (0 for untiled plans).  Each
+  // concurrent worker holds one slab block while executing a tile.
+  [[nodiscard]] std::size_t tile_slab_bytes() const {
+    return tile_slab_bytes_;
+  }
+  // The plan's total planned activation footprint for one worker: the
+  // packed arena plus one tile-slab block.  This — not peak_arena_bytes()
+  // alone — is what "Act. saved" compares against the naive footprint.
+  [[nodiscard]] std::size_t planned_activation_bytes() const {
+    return peak_arena_bytes() + tile_slab_bytes_;
+  }
   // What the legacy allocate-per-node path provisions over a run: one
   // buffer per produced activation tensor, no reuse.
   [[nodiscard]] std::size_t naive_bytes() const { return naive_bytes_; }
   // Tensors that reuse their input's buffer (views + in-place writes).
   [[nodiscard]] std::size_t alias_count() const { return alias_count_; }
-  // Fraction of the naive footprint saved by packing, in [0, 1).
+  // Per-interval byte accounting: one entry per arena buffer and per
+  // tile-slab tensor, in deterministic (def, root) order.
+  [[nodiscard]] const std::vector<IntervalBytes>& interval_bytes() const {
+    return intervals_;
+  }
+  // Fraction of the naive footprint saved by planning, in [0, 1).
   [[nodiscard]] double savings_ratio() const {
     return naive_bytes_ == 0
                ? 0.0
-               : 1.0 - static_cast<double>(peak_arena_bytes()) /
+               : 1.0 - static_cast<double>(planned_activation_bytes()) /
                            static_cast<double>(naive_bytes_);
   }
 
  private:
   std::vector<TensorPlacement> placements_;
   std::vector<ArenaBuffer> buffers_;
+  std::vector<IntervalBytes> intervals_;
   std::size_t arena_elements_ = 0;
   std::size_t naive_bytes_ = 0;
   std::size_t alias_count_ = 0;
+  std::size_t tile_slab_bytes_ = 0;
 };
 
 // True if `op` may write its output in place over its first input (all

@@ -33,11 +33,14 @@ class PreparedModel {
   // Same contract as Executor: `graph` and `weights` must outlive this.
   // `isa` selects the SIMD kernel table for every run on this model (and
   // the ISA-specialized prepack done at construction).
+  // `tiling` (tile_planner.h) opts every Run into fused tiled segment
+  // execution — bit-identical to the untiled path (DESIGN.md §15).
   PreparedModel(const graph::Graph& graph, const WeightStore& weights,
                 NumericsMode mode = NumericsMode::kFp32,
                 const QuantParams* quant = nullptr,
-                kernels::KernelIsa isa = kernels::KernelIsa::kAuto)
-      : executor_(graph, weights, mode, quant, isa) {}
+                kernels::KernelIsa isa = kernels::KernelIsa::kAuto,
+                const TileOptions& tiling = {})
+      : executor_(graph, weights, mode, quant, isa, tiling) {}
 
   [[nodiscard]] const Executor& executor() const { return executor_; }
 

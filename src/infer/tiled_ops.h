@@ -1,0 +1,91 @@
+// Crop-aware kernels for tiled segment execution.
+//
+// Each runner computes a *band of output rows* of one NHWC (batch-1) op,
+// reading inputs through RowBand views that expose global coordinates over
+// a partially-materialized buffer (a tile slab holding rows
+// [origin, origin + rows) of the logical tensor, or a fully-materialized
+// tensor with origin 0).
+//
+// Bit-identity contract (DESIGN.md §15): every runner mirrors the
+// whole-op executor kernel exactly — bias-first accumulators, the same
+// (kh, kw) tap order, the same dot4/dw_madd microkernel calls keyed on the
+// same absolute output-channel index, taps skipped outside the *logical*
+// tensor bounds (not the slab bounds).  Because each output element is
+// produced by the identical sequence of operations on identical inputs,
+// tiled execution equals whole-op execution bitwise — for every kernel
+// table, including vectorized ones.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/ops.h"
+#include "infer/executor.h"
+#include "infer/kernels/registry.h"
+#include "infer/quant_params.h"
+#include "infer/tensor.h"
+
+namespace mlpm::infer {
+
+// Rows [origin, origin + rows) of a logical [1, height, width, channels]
+// tensor; data points at row `origin`.  A fully-materialized tensor is the
+// band {data, 0, height, height, width, channels}.
+struct RowBand {
+  const float* data = nullptr;
+  std::int64_t origin = 0;
+  std::int64_t rows = 0;
+  std::int64_t height = 0;  // full logical H, the padding/clamp bound
+  std::int64_t width = 0;
+  std::int64_t channels = 0;
+};
+
+struct MutableRowBand {
+  float* data = nullptr;
+  std::int64_t origin = 0;
+  std::int64_t rows = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::int64_t channels = 0;
+
+  [[nodiscard]] RowBand AsConst() const {
+    return RowBand{data, origin, rows, height, width, channels};
+  }
+};
+
+// Whole-tensor band over a rank-4 batch-1 tensor.
+[[nodiscard]] RowBand FullBand(const Tensor& t);
+
+// Conv2d over output rows [out.origin, out.origin + out.rows).  `w` is the
+// executor's prepared [OC, KH, KW, IC] weight, `bias` its prepared bias.
+void RunConv2dRows(const graph::Conv2dAttrs& a, const RowBand& in,
+                   const Tensor& w, const Tensor& bias,
+                   const MutableRowBand& out, const kernels::KernelTable& kt);
+
+// Depthwise conv; `w` is the executor's prepacked [KH, KW, C] weight.
+void RunDepthwiseConv2dRows(const graph::DepthwiseConv2dAttrs& a,
+                            const RowBand& in, const Tensor& w,
+                            const Tensor& bias, const MutableRowBand& out,
+                            const kernels::KernelTable& kt);
+
+// Max / average pool (op is kMaxPool or kAvgPool).
+void RunPoolRows(graph::OpType op, const graph::PoolAttrs& a,
+                 const RowBand& in, const MutableRowBand& out);
+
+// Elementwise add / mul (op is kAdd or kMul); `y` is the exterior operand,
+// read at the same global rows as the output band.
+void RunBinaryRows(graph::OpType op, const RowBand& x, const RowBand& y,
+                   const MutableRowBand& out);
+
+// Standalone activation.
+void RunActivationRows(graph::Activation act, const RowBand& in,
+                       const MutableRowBand& out);
+
+// Bilinear resize over an output row band; half-pixel centers clamped to
+// the logical input, reproducing the whole-op kernel's tap math verbatim.
+void RunResizeBilinearRows(const RowBand& in, const MutableRowBand& out);
+
+// Per-node output numerics over just the band (fp16 rounding / activation
+// fake-quant) — elementwise and identical to the whole-op post-pass.
+void ApplyNumericsRows(NumericsMode mode, const QuantParams& quant,
+                       graph::TensorId output_id, const MutableRowBand& out);
+
+}  // namespace mlpm::infer

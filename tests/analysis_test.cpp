@@ -42,7 +42,7 @@ bool Has(const DiagnosticEngine& de, std::string_view code) {
 
 TEST(DiagnosticEngine, CatalogueIsSortedAndComplete) {
   const auto cat = analysis::DiagnosticCatalogue();
-  EXPECT_EQ(cat.size(), 37u);  // +8: transform verdicts XFM001-XFM008
+  EXPECT_EQ(cat.size(), 38u);  // +1: tiled-execution config RUN008
   EXPECT_TRUE(std::is_sorted(
       cat.begin(), cat.end(),
       [](const auto& a, const auto& b) { return a.code < b.code; }));
@@ -575,7 +575,7 @@ TEST(SocMapping, ShippedSubmissionsAreClean) {
   }
 }
 
-// --- Run configuration (RUN001-RUN007) -------------------------------------
+// --- Run configuration (RUN001-RUN008) -------------------------------------
 
 TEST(RunConfig, NegativeThreadsIsRun001) {
   analysis::RunConfigView rc;
@@ -657,6 +657,53 @@ TEST(RunConfig, AvailableKernelIsaIsClean) {
   analysis::RunConfigView rc;
   rc.kernel_isa = "avx2";
   rc.kernel_isa_available = true;
+  DiagnosticEngine de;
+  analysis::CheckRunConfig(rc, de);
+  EXPECT_TRUE(de.empty()) << de.ToText();
+}
+
+TEST(RunConfig, InvalidTileRowsIsRun008Error) {
+  analysis::RunConfigView rc;
+  rc.tiling_requested = true;
+  rc.tile_rows = 0;  // 0 and every negative except -1 are invalid
+  rc.graph_has_fusable_segment = true;
+  DiagnosticEngine de;
+  analysis::CheckRunConfig(rc, de);
+  EXPECT_EQ(CodesOf(de), std::vector<std::string>{"RUN008"});
+  EXPECT_TRUE(de.HasErrors());
+
+  rc.tile_rows = -7;
+  DiagnosticEngine de2;
+  analysis::CheckRunConfig(rc, de2);
+  EXPECT_TRUE(Has(de2, "RUN008"));
+  EXPECT_TRUE(de2.HasErrors());
+}
+
+TEST(RunConfig, TilingWithoutFusableSegmentIsRun008Warning) {
+  analysis::RunConfigView rc;
+  rc.tiling_requested = true;
+  rc.tile_rows = -1;  // valid: auto
+  rc.graph_has_fusable_segment = false;
+  DiagnosticEngine de;
+  analysis::CheckRunConfig(rc, de);
+  EXPECT_EQ(CodesOf(de), std::vector<std::string>{"RUN008"});
+  EXPECT_FALSE(de.HasErrors());  // no effect, but the run is still legal
+}
+
+TEST(RunConfig, ValidTilingIsClean) {
+  analysis::RunConfigView rc;
+  rc.tiling_requested = true;
+  rc.tile_rows = 8;
+  rc.graph_has_fusable_segment = true;
+  DiagnosticEngine de;
+  analysis::CheckRunConfig(rc, de);
+  EXPECT_TRUE(de.empty()) << de.ToText();
+}
+
+TEST(RunConfig, TilingOffIgnoresTileFields) {
+  analysis::RunConfigView rc;
+  rc.tiling_requested = false;
+  rc.tile_rows = 0;  // would be RUN008 if tiling were requested
   DiagnosticEngine de;
   analysis::CheckRunConfig(rc, de);
   EXPECT_TRUE(de.empty()) << de.ToText();

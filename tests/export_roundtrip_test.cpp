@@ -30,7 +30,9 @@ const std::vector<std::string> kColumns = {
     "shed",           "rejected",
     "breaker_trips",  "kernel_isa",
     "transform_applied", "transform_passes",
-    "transform_rewrites"};
+    "transform_rewrites", "tiling_applied",
+    "tile_segments",  "tile_rows",
+    "tile_slab_bytes"};
 
 // A submission whose string fields exercise every character RFC 4180
 // forces into quotes: commas, double quotes, LF, CR and CRLF.
@@ -72,6 +74,11 @@ SubmissionResult HostileResult() {
   task.transform_applied = true;
   task.transform_passes = "split-activations,\"fuse\",\r\nconstant-fold";
   task.transform_rewrites = 9;
+  task.tiling_requested = true;
+  task.tiling_applied = true;
+  task.tile_segments = 19;
+  task.tile_rows = -1;  // auto
+  task.tile_slab_bytes = 465920;
   result.tasks.push_back(std::move(task));
   return result;
 }
@@ -116,6 +123,10 @@ TEST(ExportCsv, HostileFieldsRoundTripByteForByte) {
   EXPECT_EQ(row[28], "true");  // transform_applied
   EXPECT_EQ(row[29], result.tasks[0].transform_passes);
   EXPECT_EQ(row[30], "9");   // transform_rewrites
+  EXPECT_EQ(row[31], "true");    // tiling_applied
+  EXPECT_EQ(row[32], "19");      // tile_segments
+  EXPECT_EQ(row[33], "-1");      // tile_rows (auto)
+  EXPECT_EQ(row[34], "465920");  // tile_slab_bytes
 }
 
 TEST(ExportCsv, EveryRowHasHeaderWidth) {

@@ -101,6 +101,11 @@ TaskRunResult HostileTask(const std::string& id) {
   t.transform_nodes_before = 103;
   t.transform_nodes_after = 70;
   t.transform_detail = "equivalence probe failed on sample 0";
+  t.tiling_requested = true;
+  t.tiling_applied = true;
+  t.tile_segments = 19;
+  t.tile_rows = -1;  // auto: exercises the signed u64 image round trip
+  t.tile_slab_bytes = 465920;
   return t;
 }
 
@@ -155,6 +160,11 @@ TEST(Journal, TaskRecordRoundTripsBitExact) {
   EXPECT_EQ(decoded.transform_nodes_before, original.transform_nodes_before);
   EXPECT_EQ(decoded.transform_nodes_after, original.transform_nodes_after);
   EXPECT_EQ(decoded.transform_detail, original.transform_detail);
+  EXPECT_EQ(decoded.tiling_requested, original.tiling_requested);
+  EXPECT_EQ(decoded.tiling_applied, original.tiling_applied);
+  EXPECT_EQ(decoded.tile_segments, original.tile_segments);
+  EXPECT_EQ(decoded.tile_rows, original.tile_rows);
+  EXPECT_EQ(decoded.tile_slab_bytes, original.tile_slab_bytes);
 }
 
 TEST(Journal, MetaRoundTrips) {

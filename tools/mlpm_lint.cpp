@@ -25,7 +25,15 @@
 //                                  models: per-pass rewrite counts and
 //                                  verification timings, plus any XFM
 //                                  diagnostics as lint findings
+//   mlpm_lint --tile auto|N        lint a run configuration that requests
+//                                  tiled execution with the given tile
+//                                  height against every selected reference
+//                                  model (RUN008 when the height is invalid
+//                                  or a model has no fusable segment)
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -39,6 +47,7 @@
 #include "graph/serialize.h"
 #include "infer/kernels/registry.h"
 #include "infer/memory_plan.h"
+#include "infer/tile_planner.h"
 #include "infer/weights.h"
 #include "models/zoo.h"
 #include "soc/chipset.h"
@@ -61,6 +70,7 @@ struct Options {
   bool transform_summary = false;
   std::string chipset;     // empty = none, "all" = every catalog chipset
   std::string kernel_isa;  // empty = not requested
+  std::string tile;        // empty = not requested; "auto" or a row count
   std::vector<models::SuiteVersion> versions = {models::SuiteVersion::kV0_7,
                                                 models::SuiteVersion::kV1_0};
   std::vector<std::string> files;
@@ -70,7 +80,8 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json] [--version v0.7|v1.0|all] [--models]"
                " [--chipset NAME|all] [--codes] [--memory] [--transform]"
-               " [--kernel-isa auto|scalar|avx2|neon] [FILE.graph ...]\n";
+               " [--kernel-isa auto|scalar|avx2|neon] [--tile auto|N]"
+               " [FILE.graph ...]\n";
   return 2;
 }
 
@@ -202,6 +213,48 @@ void LintKernelIsa(const std::string& name,
   reports.push_back(std::move(r));
 }
 
+// Lints a run configuration that requests tiled execution with tile height
+// `value` ("auto" or a decimal row count) against every selected reference
+// model: RUN008 error for an invalid height, RUN008 warning per model with
+// no fusable segment (infer::HasFusableSegment) — the pre-run diagnostic
+// for a CLI `--tile` value that would have no effect (DESIGN.md §15).
+void LintTileConfig(const Options& opt, const std::string& value,
+                    std::vector<TargetReport>& reports) {
+  std::int64_t rows = -1;
+  if (value != "auto") {
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end == value.c_str() || *end != '\0' ||
+        errno == ERANGE) {
+      TargetReport r;
+      r.name = "run-config (--tile " + value + ")";
+      r.engine.Report("RUN008", analysis::ConfigSource("run.tile_rows"),
+                      "tile height '" + value +
+                          "' is not a number; use auto or a positive row "
+                          "count");
+      reports.push_back(std::move(r));
+      return;
+    }
+    rows = parsed;
+  }
+  for (const models::SuiteVersion v : opt.versions) {
+    for (const models::BenchmarkEntry& e : models::SuiteFor(v)) {
+      TargetReport r;
+      r.name = std::string(ToString(v)) + "/" + e.id + " (--tile " + value +
+               ")";
+      const graph::Graph g =
+          models::BuildReferenceGraph(e, v, models::ModelScale::kFull);
+      analysis::RunConfigView rc;
+      rc.tiling_requested = true;
+      rc.tile_rows = rows;
+      rc.graph_has_fusable_segment = infer::HasFusableSegment(g);
+      analysis::CheckRunConfig(rc, r.engine);
+      reports.push_back(std::move(r));
+    }
+  }
+}
+
 // Dry-runs the default transform pipeline over every selected reference
 // model.  Nothing outside this process is affected: the transformed graph
 // is discarded, only the per-pass summary and the XFM diagnostics remain.
@@ -265,6 +318,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--kernel-isa") {
       if (++i >= argc) return Usage(argv[0]);
       opt.kernel_isa = argv[i];
+    } else if (arg == "--tile") {
+      if (++i >= argc) return Usage(argv[0]);
+      opt.tile = argv[i];
     } else if (arg == "--version") {
       if (++i >= argc) return Usage(argv[0]);
       const std::string v = argv[i];
@@ -295,7 +351,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!opt.lint_models && opt.chipset.empty() && opt.kernel_isa.empty() &&
-      !opt.transform_summary && opt.files.empty())
+      opt.tile.empty() && !opt.transform_summary && opt.files.empty())
     return Usage(argv[0]);
 
   std::vector<TargetReport> reports;
@@ -304,6 +360,7 @@ int main(int argc, char** argv) {
     if (opt.lint_models) LintReferenceModels(opt, reports);
     if (!opt.chipset.empty()) LintSubmissions(opt, reports);
     if (!opt.kernel_isa.empty()) LintKernelIsa(opt.kernel_isa, reports);
+    if (!opt.tile.empty()) LintTileConfig(opt, opt.tile, reports);
     if (opt.transform_summary) DryRunTransforms(opt, reports);
   } catch (const std::exception& e) {
     std::cerr << "mlpm_lint: " << e.what() << '\n';
