@@ -22,6 +22,14 @@
 //   headless_cli --trace run.trace.json --profile   # open in ui.perfetto.dev
 //   headless_cli --journal run.mjl        # crash-safe WAL (DESIGN.md §12)
 //   headless_cli --resume run.mjl         # replay finished tasks, run rest
+//
+// Fleet serving mode (DESIGN.md §16): N device-simulator shards, each a
+// LoadGen Server-scenario instance, sharing prepared models per distinct
+// (chipset, task) config:
+//   headless_cli --fleet 64
+//   headless_cli --fleet 16 --fleet-mix "Snapdragon 865+:ic:3;Exynos 990:qa:1"
+//   headless_cli --fleet 64 --fleet-qps 200 --fleet-slo-ms 50 --fleet-depth 8
+//   headless_cli --fleet 64 --journal fleet.mjl   # kill -INT, then --resume
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -31,6 +39,9 @@
 #include <optional>
 #include <string>
 
+#include "common/check.h"
+#include "fleet/fleet.h"
+#include "fleet/report.h"
 #include "harness/app.h"
 #include "harness/export.h"
 #include "harness/report.h"
@@ -91,6 +102,18 @@ struct CliOptions {
   // journaling to it) so an interrupted run finishes where it left off.
   std::string journal_path;
   bool resume = false;
+  // Fleet serving mode (DESIGN.md §16): --fleet N runs N sharded device
+  // simulators under per-shard Server-scenario LoadGens.  0 = off.
+  std::size_t fleet_shards = 0;
+  std::string fleet_mix;       // "<chipset>:<task>[:<weight>];..."
+  double fleet_qps = 0.0;      // per-shard Poisson rate (0 = default)
+  double fleet_slo_ms = 0.0;   // per-shard latency bound (0 = default)
+  std::size_t fleet_queries = 0;  // offered queries per shard (0 = default)
+  std::size_t fleet_depth = 0;    // admission queue depth (0 = unbounded)
+  std::size_t fleet_workers = 0;  // worker threads (0 = hw concurrency)
+  // --accuracy was passed explicitly (fleet accuracy is opt-in; the
+  // submission path keeps its accuracy-on default).
+  bool accuracy_explicit = false;
 };
 
 // Strict positive-integer parse for --threads: rejects empty input, trailing
@@ -141,6 +164,7 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
       else if (t != "all") return std::nullopt;
     } else if (arg == "--accuracy") {
       o.accuracy = true;
+      o.accuracy_explicit = true;
     } else if (arg == "--performance-only") {
       o.accuracy = false;
     } else if (arg == "--e2e") {
@@ -215,11 +239,100 @@ std::optional<CliOptions> Parse(int argc, char** argv) {
       o.journal_path = value();
       if (o.journal_path.empty()) return std::nullopt;
       o.resume = true;
+    } else if (arg == "--fleet") {
+      const long long n = std::strtoll(value().c_str(), nullptr, 10);
+      if (n < 1 || n > 65536) {
+        std::fprintf(stderr, "--fleet: shard count must be 1..65536\n");
+        return std::nullopt;
+      }
+      o.fleet_shards = static_cast<std::size_t>(n);
+    } else if (arg == "--fleet-mix") {
+      o.fleet_mix = value();
+      if (o.fleet_mix.empty()) return std::nullopt;
+    } else if (arg == "--fleet-qps") {
+      o.fleet_qps = std::atof(value().c_str());
+      if (o.fleet_qps <= 0.0) return std::nullopt;
+    } else if (arg == "--fleet-slo-ms") {
+      o.fleet_slo_ms = std::atof(value().c_str());
+      if (o.fleet_slo_ms <= 0.0) return std::nullopt;
+    } else if (arg == "--fleet-queries") {
+      const long long n = std::strtoll(value().c_str(), nullptr, 10);
+      if (n < 1) return std::nullopt;
+      o.fleet_queries = static_cast<std::size_t>(n);
+    } else if (arg == "--fleet-depth") {
+      const long long n = std::strtoll(value().c_str(), nullptr, 10);
+      if (n < 0) return std::nullopt;
+      o.fleet_depth = static_cast<std::size_t>(n);
+    } else if (arg == "--fleet-workers") {
+      const long long n = std::strtoll(value().c_str(), nullptr, 10);
+      if (n < 0 || n > 4096) return std::nullopt;
+      o.fleet_workers = static_cast<std::size_t>(n);
     } else {
       return std::nullopt;
     }
   }
   return o;
+}
+
+// Fleet serving mode: builds FleetOptions from the CLI flags, runs the
+// fleet, prints the byte-stable aggregated report, and maps the outcome to
+// an exit status (invalid shards -> 1, interrupted -> 130).
+int RunFleetMode(const CliOptions& opts) {
+  fleet::FleetOptions fo;
+  fo.shard_count = opts.fleet_shards;
+  fo.version = opts.version;
+  fo.workers = opts.fleet_workers;
+  fo.accuracy = opts.accuracy_explicit;
+  fo.kernel_isa = opts.kernel_isa;
+  fo.journal_path = opts.journal_path;
+  fo.resume = opts.resume;
+  if (!opts.fleet_mix.empty()) fo.mix = fleet::ParseFleetMix(opts.fleet_mix);
+  if (opts.fleet_qps > 0.0) fo.settings.server_target_qps = opts.fleet_qps;
+  if (opts.fleet_slo_ms > 0.0)
+    fo.settings.server_latency_bound = loadgen::Seconds{opts.fleet_slo_ms *
+                                                        1e-3};
+  if (opts.fleet_queries > 0)
+    fo.settings.server_query_count = opts.fleet_queries;
+  fo.settings.server_max_queue_depth = opts.fleet_depth;
+  if (opts.crash_probability > 0.0) {
+    soc::FaultPlan plan;
+    plan.seed = opts.fault_seed;
+    plan.DriverCrashes(opts.crash_probability);
+    fo.fault_plan = std::move(plan);
+    fo.settings.query_timeout = loadgen::Seconds{10.0};
+  }
+  if (!opts.journal_path.empty()) {
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    fo.cancel = [] { return g_interrupted != 0; };
+  }
+
+  const bool tracing = opts.profile || !opts.trace_path.empty();
+  if (tracing) obs::TraceRecorder::Global().Enable();
+  const fleet::FleetReport report = fleet::RunFleet(fo);
+  if (tracing) obs::TraceRecorder::Global().Disable();
+
+  std::string text = fleet::FormatFleetReport(report);
+  if (opts.profile)
+    text += "\n" +
+            obs::RenderMetricsTable(obs::MetricsRegistry::Global().Snap());
+  std::printf("%s", text.c_str());
+
+  if (!opts.trace_path.empty()) {
+    std::ofstream trace(opts.trace_path);
+    trace << obs::TraceRecorder::Global().ToChromeJson();
+    std::printf("wrote %s (Chrome trace; open with ui.perfetto.dev)\n",
+                opts.trace_path.c_str());
+  }
+  if (report.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted after %zu shard(s); resume with: headless_cli "
+                 "--fleet %zu --resume %s\n",
+                 report.shards.size(), opts.fleet_shards,
+                 opts.journal_path.c_str());
+    return 130;
+  }
+  return report.invalid_count == 0 ? 0 : 1;
 }
 
 std::optional<soc::ChipsetDesc> FindChipset(const std::string& name) {
@@ -245,8 +358,20 @@ int main(int argc, char** argv) {
                  "                    [--lint off|report|strict]"
                  " [--transform] [--tile auto|off|N]\n"
                  "                    [--trace FILE] [--profile]"
-                 " [--journal FILE] [--resume FILE]\n");
+                 " [--journal FILE] [--resume FILE]\n"
+                 "                    [--fleet N] [--fleet-mix SPEC]"
+                 " [--fleet-qps X] [--fleet-slo-ms X]\n"
+                 "                    [--fleet-queries N] [--fleet-depth N]"
+                 " [--fleet-workers N]\n");
     return 2;
+  }
+  if (opts->fleet_shards > 0) {
+    try {
+      return RunFleetMode(*opts);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "fleet: %s\n", e.what());
+      return 2;
+    }
   }
   const std::optional<soc::ChipsetDesc> chipset = FindChipset(opts->chipset);
   if (!chipset) {

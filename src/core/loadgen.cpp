@@ -262,6 +262,7 @@ void FinalizeErrors(TestResult& r, Collector& collector) {
   r.unknown_count = collector.unknown_count();
   r.shed_count = collector.shed_count();
   r.rejected_count = collector.rejected_count();
+  r.issued_count = collector.issued_count();
   r.error_log = collector.TakeErrors();
   if (r.invalid_reason.empty() && r.latencies_s.empty())
     r.invalid_reason = "no queries completed within the run";
@@ -553,17 +554,19 @@ double FindMaxServerQps(
     const std::function<TestResult(double qps)>& run_at_qps, double lo,
     double hi, int iterations) {
   Expects(lo > 0.0 && hi > lo, "invalid QPS search bounds");
-  // A probe passes only if it is structurally valid *and* meets the bound:
-  // an errored run (all samples dropped, stalled SUT) reports a garbage
-  // percentile and must not steer the search.
+  // A probe passes only if it is structurally valid *and* meets both
+  // server bounds: an errored run (all samples dropped, stalled SUT)
+  // reports a garbage percentile and must not steer the search, and a run
+  // that holds the accepted-query percentile only by shedding past the
+  // allowed fraction is not actually serving that rate.
   const auto passes = [](const TestResult& r) {
-    return !r.Errored() && r.latency_bound_met;
+    return !r.Errored() && r.latency_bound_met && r.shed_bound_met;
   };
   const TestResult at_lo = run_at_qps(lo);
   // `lo` errored structurally: the SUT cannot produce a valid run at any
   // rate — probing higher rates would only re-run a broken configuration.
   if (at_lo.Errored()) return 0.0;
-  if (!at_lo.latency_bound_met) return 0.0;
+  if (!passes(at_lo)) return 0.0;
   if (passes(run_at_qps(hi))) return hi;
   double good = lo, bad = hi;
   for (int i = 0; i < iterations; ++i) {

@@ -50,6 +50,12 @@ struct TestResult {
   std::size_t unknown_count = 0;    // completions for unissued ids, ignored
   std::size_t shed_count = 0;       // refused by LoadGen admission control
   std::size_t rejected_count = 0;   // fast-failed by the SUT (breaker open)
+  // Queries actually handed to the SUT.  Every issued query resolves as
+  // exactly one of {on-time completion, timed_out, dropped, rejected}, so
+  //   issued_count == sample_count + timed_out_count + dropped_count
+  //                   + rejected_count
+  // holds for every run (fleet conformance tests pin this identity).
+  std::size_t issued_count = 0;
   std::vector<std::string> error_log;
   // Empty for a structurally valid run.  Nonempty means the run produced
   // no usable measurement (no completions, stalled SUT, incomplete
@@ -78,8 +84,10 @@ struct TestResult {
                                  const TestSettings& settings, Clock& clock);
 
 // Binary-searches the highest server QPS whose run still meets the latency
-// bound.  `run_at_qps` must execute a fresh server-scenario test at the
-// given rate (fresh SUT + clock per probe) and return its result.
+// bound and the shed bound (a rate "served" only by refusing offered load
+// past server_max_shed_fraction does not count).  `run_at_qps` must execute
+// a fresh server-scenario test at the given rate (fresh SUT + clock per
+// probe) and return its result.
 // Returns 0 if even `lo` fails.  An errored probe (TestResult::Errored())
 // is an invalid run, not a latency-bound miss: if the `lo` probe errors the
 // search stops immediately without further probes, and an errored mid

@@ -1,0 +1,19 @@
+// The immutable per-config artifact fleet shards share: a vendor submission
+// and its compiled single-stream plan (prepacked weights live inside the
+// compiled segments).  Built once per distinct (version, task, chipset)
+// through infer::PreparedCache and handed to shards as
+// shared_ptr<const PreparedShardModel> — fleet memory scales with distinct
+// configs, not devices (DESIGN.md §16).
+#pragma once
+
+#include "backends/vendor_policy.h"
+#include "soc/compile.h"
+
+namespace mlpm::fleet {
+
+struct PreparedShardModel {
+  backends::SubmissionConfig sub;
+  soc::CompiledModel single_stream;
+};
+
+}  // namespace mlpm::fleet

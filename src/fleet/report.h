@@ -1,0 +1,15 @@
+// Byte-stable text rendering of a FleetReport: fixed-precision numbers and
+// shard rows in shard-id order, so two same-seed fleet runs (and a resumed
+// run vs an uninterrupted one) produce byte-identical text — the artifact
+// the determinism tests diff.
+#pragma once
+
+#include <string>
+
+#include "fleet/fleet.h"
+
+namespace mlpm::fleet {
+
+[[nodiscard]] std::string FormatFleetReport(const FleetReport& report);
+
+}  // namespace mlpm::fleet

@@ -1,0 +1,421 @@
+#include "harness/frame_log.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define MLPM_JOURNAL_HAS_FSYNC 1
+#else
+#define MLPM_JOURNAL_HAS_FSYNC 0
+#endif
+
+namespace mlpm::harness {
+
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+constexpr std::string_view kHeader = "mlpm_journal v1";
+}  // namespace
+
+namespace wire {
+
+std::string HexDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+void PutU(std::string& out, std::string_view key, std::uint64_t v) {
+  out += "u ";
+  out += key;
+  out += ' ';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+void PutD(std::string& out, std::string_view key, double v) {
+  out += "d ";
+  out += key;
+  out += ' ';
+  out += HexDouble(v);
+  out += '\n';
+}
+
+void PutB(std::string& out, std::string_view key, bool v) {
+  out += "b ";
+  out += key;
+  out += v ? " 1\n" : " 0\n";
+}
+
+void PutS(std::string& out, std::string_view key, std::string_view bytes) {
+  out += "s ";
+  out += key;
+  out += ' ';
+  out += std::to_string(bytes.size());
+  out += '\n';
+  out += bytes;
+  out += '\n';
+}
+
+void PutDV(std::string& out, std::string_view key,
+           const std::vector<double>& v) {
+  out += "D ";
+  out += key;
+  out += ' ';
+  out += std::to_string(v.size());
+  for (const double d : v) {
+    out += ' ';
+    out += HexDouble(d);
+  }
+  out += '\n';
+}
+
+void PutUV(std::string& out, std::string_view key,
+           const std::vector<std::size_t>& v) {
+  out += "U ";
+  out += key;
+  out += ' ';
+  out += std::to_string(v.size());
+  for (const std::size_t u : v) {
+    out += ' ';
+    out += std::to_string(u);
+  }
+  out += '\n';
+}
+
+void PutL(std::string& out, std::string_view key,
+          const std::vector<std::string>& v) {
+  out += "L ";
+  out += key;
+  out += ' ';
+  out += std::to_string(v.size());
+  out += '\n';
+  for (const std::string& s : v) {
+    out += std::to_string(s.size());
+    out += '\n';
+    out += s;
+    out += '\n';
+  }
+}
+
+std::uint64_t ParseU64(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  Expects(errno == 0 && end != text.c_str() && *end == '\0',
+          "journal: bad integer '" + text + "'");
+  return v;
+}
+
+double ParseDouble(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  Expects(end != text.c_str() && *end == '\0',
+          "journal: bad double '" + text + "'");
+  return v;
+}
+
+bool PayloadParser::Next(Field& f) {
+  if (pos_ >= payload_.size()) return false;
+  const std::string line = TakeLine();
+  std::istringstream ls(line);
+  std::string tag;
+  ls >> tag;
+  Expects(tag.size() == 1, "journal: bad entry tag '" + tag + "'");
+  f = Field{};
+  f.tag = tag[0];
+  ls >> f.key;
+  Expects(!f.key.empty(), "journal: entry without key");
+  switch (f.tag) {
+    case 'u':
+    case 'd':
+    case 'b': {
+      ls >> f.scalar;
+      Expects(!ls.fail(), "journal: missing value for key " + f.key);
+      break;
+    }
+    case 's': {
+      std::string len_text;
+      ls >> len_text;
+      f.bytes = TakeBlock(ParseU64(len_text));
+      break;
+    }
+    case 'D': {
+      std::string n_text;
+      ls >> n_text;
+      const std::uint64_t n = ParseU64(n_text);
+      f.doubles.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string v;
+        ls >> v;
+        Expects(!ls.fail(), "journal: short double list for " + f.key);
+        f.doubles.push_back(ParseDouble(v));
+      }
+      break;
+    }
+    case 'U': {
+      std::string n_text;
+      ls >> n_text;
+      const std::uint64_t n = ParseU64(n_text);
+      f.uints.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string v;
+        ls >> v;
+        Expects(!ls.fail(), "journal: short uint list for " + f.key);
+        f.uints.push_back(ParseU64(v));
+      }
+      break;
+    }
+    case 'L': {
+      std::string n_text;
+      ls >> n_text;
+      const std::uint64_t n = ParseU64(n_text);
+      f.strings.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::string len_line = TakeLine();
+        f.strings.push_back(TakeBlock(ParseU64(len_line)));
+      }
+      break;
+    }
+    default:
+      Expects(false,
+              "journal: unknown entry tag '" + std::string(1, f.tag) + "'");
+  }
+  return true;
+}
+
+std::string PayloadParser::TakeLine() {
+  const std::size_t nl = payload_.find('\n', pos_);
+  Expects(nl != std::string::npos, "journal: unterminated entry line");
+  std::string line = payload_.substr(pos_, nl - pos_);
+  pos_ = nl + 1;
+  return line;
+}
+
+std::string PayloadParser::TakeBlock(std::uint64_t len) {
+  Expects(pos_ + len + 1 <= payload_.size(),
+          "journal: block runs past the payload");
+  std::string bytes = payload_.substr(pos_, len);
+  pos_ += len;
+  Expects(payload_[pos_] == '\n', "journal: block missing terminator");
+  ++pos_;
+  return bytes;
+}
+
+}  // namespace wire
+
+// ---- frame-level loader ------------------------------------------------
+
+namespace {
+
+// One frame header line: "<kind> <len> <hash-hex>".  Returns false when
+// the bytes at `pos` cannot possibly be an intact frame.  The kind is any
+// short lowercase word — which kinds are *meaningful* is the caller's
+// business, but arbitrary binary garbage must not parse as a header.
+struct FrameHeader {
+  std::string kind;
+  std::uint64_t len = 0;
+  std::uint64_t hash = 0;
+  std::size_t payload_pos = 0;  // offset of the first payload byte
+};
+
+bool IsFrameKind(const std::string& kind) {
+  if (kind.empty() || kind.size() > 16) return false;
+  for (const char c : kind)
+    if ((c < 'a' || c > 'z') && c != '_') return false;
+  return true;
+}
+
+bool ParseFrameHeader(const std::string& data, std::size_t pos,
+                      FrameHeader& out, std::string& why) {
+  const std::size_t nl = data.find('\n', pos);
+  if (nl == std::string::npos) {
+    why = "unterminated frame header";
+    return false;
+  }
+  std::istringstream ls(data.substr(pos, nl - pos));
+  std::string kind, len_text, hash_text;
+  ls >> kind >> len_text >> hash_text;
+  if (ls.fail() || !IsFrameKind(kind)) {
+    why = "malformed frame header";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t len = std::strtoull(len_text.c_str(), &end, 10);
+  if (errno != 0 || *end != '\0') {
+    why = "bad frame length";
+    return false;
+  }
+  errno = 0;
+  const std::uint64_t hash = std::strtoull(hash_text.c_str(), &end, 16);
+  if (errno != 0 || *end != '\0') {
+    why = "bad frame checksum";
+    return false;
+  }
+  out.kind = kind;
+  out.len = len;
+  out.hash = hash;
+  out.payload_pos = nl + 1;
+  return true;
+}
+
+}  // namespace
+
+FrameLogLoad LoadFrameLog(const std::string& path) {
+  FrameLogLoad load;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    load.notes.push_back("cannot open journal: " + path);
+    return load;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  load.file_size = data.size();
+
+  // Header line.
+  const std::size_t header_end = data.find('\n');
+  if (header_end == std::string::npos ||
+      data.substr(0, header_end) != kHeader) {
+    load.notes.push_back("not a journal: missing '" + std::string(kHeader) +
+                         "' header");
+    load.torn_tail = !data.empty();
+    load.torn_bytes = data.size();
+    return load;
+  }
+  load.header_valid = true;
+
+  std::size_t pos = header_end + 1;
+  while (pos < data.size()) {
+    FrameHeader frame;
+    std::string why;
+    if (!ParseFrameHeader(data, pos, frame, why)) {
+      load.notes.push_back("torn tail at byte " + std::to_string(pos) + ": " +
+                           why);
+      break;
+    }
+    // Payload must be fully present, terminated, and checksum-clean.
+    if (frame.payload_pos + frame.len + 1 > data.size()) {
+      load.notes.push_back("torn tail at byte " + std::to_string(pos) +
+                           ": frame truncated mid-payload");
+      break;
+    }
+    if (data[frame.payload_pos + frame.len] != '\n') {
+      load.notes.push_back("torn tail at byte " + std::to_string(pos) +
+                           ": frame payload unterminated");
+      break;
+    }
+    std::string payload = data.substr(frame.payload_pos, frame.len);
+    if (Fnv1a64(payload) != frame.hash) {
+      load.notes.push_back("torn tail at byte " + std::to_string(pos) +
+                           ": checksum mismatch on '" + frame.kind +
+                           "' frame");
+      break;
+    }
+    RawFrame raw;
+    raw.kind = frame.kind;
+    raw.payload = std::move(payload);
+    raw.offset = pos;
+    raw.end = frame.payload_pos + frame.len + 1;
+    pos = raw.end;
+    load.frames.push_back(std::move(raw));
+  }
+
+  load.valid_prefix_bytes = pos;
+  load.torn_bytes = data.size() - pos;
+  load.torn_tail = load.torn_bytes > 0;
+  return load;
+}
+
+// ---- writer ------------------------------------------------------------
+
+FrameLogWriter FrameLogWriter::Create(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "wb"));
+  Expects(file != nullptr, "cannot create journal: " + path);
+  FrameLogWriter writer(path, std::move(file));
+  const std::string header = std::string(kHeader) + "\n";
+  Expects(std::fwrite(header.data(), 1, header.size(), writer.file_.get()) ==
+              header.size(),
+          "journal header write failed: " + path);
+  return writer;
+}
+
+FrameLogWriter FrameLogWriter::OpenAt(const std::string& path,
+                                      std::size_t valid_prefix_bytes) {
+  // Cut anything past the valid prefix so the next append starts on a
+  // frame boundary.  Rewriting the prefix is equivalent to (and simpler
+  // than) platform truncate(), and the prefix is small — a handful of
+  // records.
+  std::ifstream in(path, std::ios::binary);
+  Expects(static_cast<bool>(in), "cannot reopen journal: " + path);
+  std::string prefix(valid_prefix_bytes, '\0');
+  in.read(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  Expects(static_cast<std::size_t>(in.gcount()) == prefix.size(),
+          "journal shrank while truncating: " + path);
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  Expects(static_cast<bool>(out), "cannot truncate journal: " + path);
+  out.write(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  Expects(static_cast<bool>(out), "cannot rewrite journal: " + path);
+  out.close();
+
+  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "ab"));
+  Expects(file != nullptr, "cannot append to journal: " + path);
+  return FrameLogWriter(path, std::move(file));
+}
+
+void FrameLogWriter::AppendFrame(std::string_view kind,
+                                 const std::string& payload) {
+  char head[64];
+  std::snprintf(head, sizeof head, "%.*s %zu %016llx\n",
+                static_cast<int>(kind.size()), kind.data(), payload.size(),
+                static_cast<unsigned long long>(Fnv1a64(payload)));
+  std::string frame = head;
+  frame += payload;
+  frame += '\n';
+  Expects(std::fwrite(frame.data(), 1, frame.size(), file_.get()) ==
+              frame.size(),
+          "journal write failed: " + path_);
+
+  // Durability point: the record is not "appended" until it has hit the
+  // disk.  fsync latency is the price of crash safety — surface it.
+  const auto t0 = std::chrono::steady_clock::now();
+  Expects(std::fflush(file_.get()) == 0, "journal flush failed: " + path_);
+#if MLPM_JOURNAL_HAS_FSYNC
+  Expects(::fsync(::fileno(file_.get())) == 0,
+          "journal fsync failed: " + path_);
+#endif
+  const double fsync_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Increment("journal.records");
+  metrics.MaxGauge("journal.fsync_seconds_max", fsync_s);
+  if (obs::TraceRecorder& rec = obs::TraceRecorder::Global(); rec.enabled())
+    rec.AddInstant(
+        obs::Domain::kHost, "journal", "journal:append", rec.NowUs(),
+        {obs::Arg("bytes", static_cast<std::uint64_t>(frame.size())),
+         obs::Arg("fsync_ms", fsync_s * 1e3)},
+        "journal");
+}
+
+}  // namespace mlpm::harness

@@ -1,256 +1,23 @@
 #include "harness/journal.h"
 
-#include <cerrno>
-#include <chrono>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "common/check.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-
-#if __has_include(<unistd.h>)
-#include <unistd.h>
-#define MLPM_JOURNAL_HAS_FSYNC 1
-#else
-#define MLPM_JOURNAL_HAS_FSYNC 0
-#endif
 
 namespace mlpm::harness {
 
-std::uint64_t Fnv1a64(std::string_view bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-namespace {
-
-constexpr std::string_view kHeader = "mlpm_journal v1";
-
-// ---- payload encoding -------------------------------------------------
-//
-// Entries are one of:
-//   u <key> <uint>\n
-//   d <key> <hexfloat>\n            (bit-exact double round trip)
-//   b <key> 0|1\n
-//   s <key> <len>\n<len bytes>\n    (arbitrary bytes, incl. newlines)
-//   D <key> <n> <hexfloat>...\n
-//   U <key> <n> <uint>...\n
-//   L <key> <n>\n  then n x  <len>\n<len bytes>\n
-
-std::string HexDouble(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%a", v);
-  return buf;
-}
-
-void PutU(std::string& out, std::string_view key, std::uint64_t v) {
-  out += "u ";
-  out += key;
-  out += ' ';
-  out += std::to_string(v);
-  out += '\n';
-}
-
-void PutD(std::string& out, std::string_view key, double v) {
-  out += "d ";
-  out += key;
-  out += ' ';
-  out += HexDouble(v);
-  out += '\n';
-}
-
-void PutB(std::string& out, std::string_view key, bool v) {
-  out += "b ";
-  out += key;
-  out += v ? " 1\n" : " 0\n";
-}
-
-void PutS(std::string& out, std::string_view key, std::string_view bytes) {
-  out += "s ";
-  out += key;
-  out += ' ';
-  out += std::to_string(bytes.size());
-  out += '\n';
-  out += bytes;
-  out += '\n';
-}
-
-void PutDV(std::string& out, std::string_view key,
-           const std::vector<double>& v) {
-  out += "D ";
-  out += key;
-  out += ' ';
-  out += std::to_string(v.size());
-  for (const double d : v) {
-    out += ' ';
-    out += HexDouble(d);
-  }
-  out += '\n';
-}
-
-void PutUV(std::string& out, std::string_view key,
-           const std::vector<std::size_t>& v) {
-  out += "U ";
-  out += key;
-  out += ' ';
-  out += std::to_string(v.size());
-  for (const std::size_t u : v) {
-    out += ' ';
-    out += std::to_string(u);
-  }
-  out += '\n';
-}
-
-void PutL(std::string& out, std::string_view key,
-          const std::vector<std::string>& v) {
-  out += "L ";
-  out += key;
-  out += ' ';
-  out += std::to_string(v.size());
-  out += '\n';
-  for (const std::string& s : v) {
-    out += std::to_string(s.size());
-    out += '\n';
-    out += s;
-    out += '\n';
-  }
-}
-
-// ---- payload decoding -------------------------------------------------
-
-struct Field {
-  char tag = '?';
-  std::string key;
-  std::string scalar;                 // u/d/b value text
-  std::string bytes;                  // s payload
-  std::vector<double> doubles;        // D
-  std::vector<std::uint64_t> uints;   // U
-  std::vector<std::string> strings;   // L
-};
-
-std::uint64_t ParseU64(const std::string& text) {
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  Expects(errno == 0 && end != text.c_str() && *end == '\0',
-          "journal: bad integer '" + text + "'");
-  return v;
-}
-
-double ParseDouble(const std::string& text) {
-  char* end = nullptr;
-  const double v = std::strtod(text.c_str(), &end);
-  Expects(end != text.c_str() && *end == '\0',
-          "journal: bad double '" + text + "'");
-  return v;
-}
-
-// Walks a payload, yielding entries.  Throws CheckError on any structural
-// damage — the caller decides whether that aborts (writer-side) or just
-// truncates the valid prefix (loader-side).
-class PayloadParser {
- public:
-  explicit PayloadParser(const std::string& payload) : payload_(payload) {}
-
-  [[nodiscard]] bool Next(Field& f) {
-    if (pos_ >= payload_.size()) return false;
-    const std::string line = TakeLine();
-    std::istringstream ls(line);
-    std::string tag;
-    ls >> tag;
-    Expects(tag.size() == 1, "journal: bad entry tag '" + tag + "'");
-    f = Field{};
-    f.tag = tag[0];
-    ls >> f.key;
-    Expects(!f.key.empty(), "journal: entry without key");
-    switch (f.tag) {
-      case 'u':
-      case 'd':
-      case 'b': {
-        ls >> f.scalar;
-        Expects(!ls.fail(), "journal: missing value for key " + f.key);
-        break;
-      }
-      case 's': {
-        std::string len_text;
-        ls >> len_text;
-        f.bytes = TakeBlock(ParseU64(len_text));
-        break;
-      }
-      case 'D': {
-        std::string n_text;
-        ls >> n_text;
-        const std::uint64_t n = ParseU64(n_text);
-        f.doubles.reserve(n);
-        for (std::uint64_t i = 0; i < n; ++i) {
-          std::string v;
-          ls >> v;
-          Expects(!ls.fail(), "journal: short double list for " + f.key);
-          f.doubles.push_back(ParseDouble(v));
-        }
-        break;
-      }
-      case 'U': {
-        std::string n_text;
-        ls >> n_text;
-        const std::uint64_t n = ParseU64(n_text);
-        f.uints.reserve(n);
-        for (std::uint64_t i = 0; i < n; ++i) {
-          std::string v;
-          ls >> v;
-          Expects(!ls.fail(), "journal: short uint list for " + f.key);
-          f.uints.push_back(ParseU64(v));
-        }
-        break;
-      }
-      case 'L': {
-        std::string n_text;
-        ls >> n_text;
-        const std::uint64_t n = ParseU64(n_text);
-        f.strings.reserve(n);
-        for (std::uint64_t i = 0; i < n; ++i) {
-          const std::string len_line = TakeLine();
-          f.strings.push_back(TakeBlock(ParseU64(len_line)));
-        }
-        break;
-      }
-      default:
-        Expects(false, "journal: unknown entry tag '" + std::string(1, f.tag) +
-                           "'");
-    }
-    return true;
-  }
-
- private:
-  [[nodiscard]] std::string TakeLine() {
-    const std::size_t nl = payload_.find('\n', pos_);
-    Expects(nl != std::string::npos, "journal: unterminated entry line");
-    std::string line = payload_.substr(pos_, nl - pos_);
-    pos_ = nl + 1;
-    return line;
-  }
-
-  [[nodiscard]] std::string TakeBlock(std::uint64_t len) {
-    Expects(pos_ + len + 1 <= payload_.size(),
-            "journal: block runs past the payload");
-    std::string bytes = payload_.substr(pos_, len);
-    pos_ += len;
-    Expects(payload_[pos_] == '\n', "journal: block missing terminator");
-    ++pos_;
-    return bytes;
-  }
-
-  const std::string& payload_;
-  std::size_t pos_ = 0;
-};
+using wire::Field;
+using wire::ParseDouble;
+using wire::ParseU64;
+using wire::PayloadParser;
+using wire::PutB;
+using wire::PutD;
+using wire::PutDV;
+using wire::PutL;
+using wire::PutS;
+using wire::PutU;
+using wire::PutUV;
 
 // ---- TestResult codec -------------------------------------------------
 
@@ -274,6 +41,7 @@ std::string EncodeTestResult(const loadgen::TestResult& r) {
   PutU(out, "unknown_count", r.unknown_count);
   PutU(out, "shed_count", r.shed_count);
   PutU(out, "rejected_count", r.rejected_count);
+  PutU(out, "issued_count", r.issued_count);
   PutL(out, "error_log", r.error_log);
   PutS(out, "invalid_reason", r.invalid_reason);
   PutS(out, "log", r.log.Serialize());
@@ -325,6 +93,8 @@ loadgen::TestResult DecodeTestResult(const std::string& payload) {
       r.shed_count = ParseU64(f.scalar);
     } else if (f.key == "rejected_count") {
       r.rejected_count = ParseU64(f.scalar);
+    } else if (f.key == "issued_count") {
+      r.issued_count = ParseU64(f.scalar);
     } else if (f.key == "error_log") {
       r.error_log = std::move(f.strings);
     } else if (f.key == "invalid_reason") {
@@ -336,8 +106,6 @@ loadgen::TestResult DecodeTestResult(const std::string& payload) {
   }
   return r;
 }
-
-}  // namespace
 
 // ---- task record codec ------------------------------------------------
 
@@ -532,7 +300,7 @@ std::uint64_t HashRunConfig(const soc::ChipsetDesc& chipset,
     canon += ';';
   };
   const auto add_d = [&](std::string_view key, double v) {
-    add(key, HexDouble(v));
+    add(key, wire::HexDouble(v));
   };
   const auto add_u = [&](std::string_view key, std::uint64_t v) {
     add(key, std::to_string(v));
@@ -613,134 +381,55 @@ std::uint64_t HashRunConfig(const soc::ChipsetDesc& chipset,
 
 // ---- loader -----------------------------------------------------------
 
-namespace {
-
-// One frame header line: "<kind> <len> <hash-hex>".  Returns false when
-// the bytes at `pos` cannot possibly be an intact frame.
-struct FrameHeader {
-  std::string kind;
-  std::uint64_t len = 0;
-  std::uint64_t hash = 0;
-  std::size_t payload_pos = 0;  // offset of the first payload byte
-};
-
-bool ParseFrameHeader(const std::string& data, std::size_t pos,
-                      FrameHeader& out, std::string& why) {
-  const std::size_t nl = data.find('\n', pos);
-  if (nl == std::string::npos) {
-    why = "unterminated frame header";
-    return false;
-  }
-  std::istringstream ls(data.substr(pos, nl - pos));
-  std::string kind, len_text, hash_text;
-  ls >> kind >> len_text >> hash_text;
-  if (ls.fail() || (kind != "meta" && kind != "rec")) {
-    why = "malformed frame header";
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const std::uint64_t len = std::strtoull(len_text.c_str(), &end, 10);
-  if (errno != 0 || *end != '\0') {
-    why = "bad frame length";
-    return false;
-  }
-  errno = 0;
-  const std::uint64_t hash = std::strtoull(hash_text.c_str(), &end, 16);
-  if (errno != 0 || *end != '\0') {
-    why = "bad frame checksum";
-    return false;
-  }
-  out.kind = kind;
-  out.len = len;
-  out.hash = hash;
-  out.payload_pos = nl + 1;
-  return true;
-}
-
-}  // namespace
-
 JournalLoad LoadJournal(const std::string& path) {
   JournalLoad load;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    load.notes.push_back("cannot open journal: " + path);
-    return load;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string data = buf.str();
+  const FrameLogLoad raw = LoadFrameLog(path);
 
-  // Header line.
-  const std::size_t header_end = data.find('\n');
-  if (header_end == std::string::npos ||
-      data.substr(0, header_end) != kHeader) {
-    load.notes.push_back("not a journal: missing '" + std::string(kHeader) +
-                         "' header");
-    load.torn_tail = !data.empty();
-    load.torn_bytes = data.size();
-    return load;
-  }
-
-  std::size_t pos = header_end + 1;
-  bool first_frame = true;
-  while (pos < data.size()) {
-    FrameHeader frame;
-    std::string why;
-    if (!ParseFrameHeader(data, pos, frame, why)) {
-      load.notes.push_back("torn tail at byte " + std::to_string(pos) + ": " +
-                           why);
-      break;
-    }
-    // Payload must be fully present, terminated, and checksum-clean.
-    if (frame.payload_pos + frame.len + 1 > data.size()) {
-      load.notes.push_back("torn tail at byte " + std::to_string(pos) +
-                           ": frame truncated mid-payload");
-      break;
-    }
-    if (data[frame.payload_pos + frame.len] != '\n') {
-      load.notes.push_back("torn tail at byte " + std::to_string(pos) +
-                           ": frame payload unterminated");
-      break;
-    }
-    const std::string payload = data.substr(frame.payload_pos, frame.len);
-    if (Fnv1a64(payload) != frame.hash) {
-      load.notes.push_back("torn tail at byte " + std::to_string(pos) +
-                           ": checksum mismatch on '" + frame.kind +
-                           "' frame");
-      break;
-    }
+  // Interpret the physically-intact frames: the first must be the meta
+  // frame, the rest task records.  A frame that violates that — or is
+  // checksum-clean but undecodable (format bug, version skew) — cuts the
+  // valid prefix right before it, like a torn tail.
+  std::size_t pos = raw.valid_prefix_bytes;
+  bool interpreted_all = true;
+  for (const RawFrame& frame : raw.frames) {
+    const bool first_frame = !load.meta_valid && load.tasks.empty();
     try {
       if (first_frame) {
         if (frame.kind != "meta") {
           load.notes.push_back("first frame is '" + frame.kind +
                                "', expected 'meta'");
+          pos = frame.offset;
+          interpreted_all = false;
           break;
         }
-        load.meta = DecodeMeta(payload);
+        load.meta = DecodeMeta(frame.payload);
         load.meta_valid = true;
       } else {
         if (frame.kind != "rec") {
           load.notes.push_back("unexpected '" + frame.kind +
                                "' frame after the meta frame");
+          pos = frame.offset;
+          interpreted_all = false;
           break;
         }
-        load.tasks.push_back(DecodeTaskRecord(payload));
+        load.tasks.push_back(DecodeTaskRecord(frame.payload));
         ++load.intact_records;
       }
     } catch (const std::exception& e) {
-      // Checksum-clean but undecodable: a format bug or version skew.
-      // Treat like a torn tail — keep the prefix, cut from here.
       load.notes.push_back("undecodable '" + frame.kind + "' frame at byte " +
-                           std::to_string(pos) + ": " + e.what());
+                           std::to_string(frame.offset) + ": " + e.what());
+      pos = frame.offset;
+      interpreted_all = false;
       break;
     }
-    first_frame = false;
-    pos = frame.payload_pos + frame.len + 1;
   }
+  // Physical damage past the interpreted prefix only matters if the
+  // interpretation got that far; an earlier semantic cut supersedes it.
+  if (interpreted_all)
+    load.notes.insert(load.notes.end(), raw.notes.begin(), raw.notes.end());
 
   load.valid_prefix_bytes = pos;
-  load.torn_bytes = data.size() - pos;
+  load.torn_bytes = raw.file_size - pos;
   load.torn_tail = load.torn_bytes > 0;
   return load;
 }
@@ -752,82 +441,19 @@ JournalWriter JournalWriter::Open(const std::string& path,
   if (resume) {
     const JournalLoad existing = LoadJournal(path);
     if (existing.meta_valid && existing.meta.Matches(meta)) {
-      if (existing.torn_tail) {
-        // Cut the torn tail so the next append starts on a frame
-        // boundary.  Rewriting the valid prefix is equivalent to (and
-        // simpler than) platform truncate(), and the prefix is small —
-        // a handful of per-task records.
-        std::ifstream in(path, std::ios::binary);
-        Expects(static_cast<bool>(in), "cannot reopen journal: " + path);
-        std::string prefix(existing.valid_prefix_bytes, '\0');
-        in.read(prefix.data(),
-                static_cast<std::streamsize>(prefix.size()));
-        Expects(static_cast<std::size_t>(in.gcount()) == prefix.size(),
-                "journal shrank while truncating: " + path);
-        in.close();
-        std::ofstream out(path, std::ios::binary | std::ios::trunc);
-        Expects(static_cast<bool>(out), "cannot truncate journal: " + path);
-        out.write(prefix.data(),
-                  static_cast<std::streamsize>(prefix.size()));
-        Expects(static_cast<bool>(out), "cannot rewrite journal: " + path);
-      }
-      std::unique_ptr<std::FILE, FileCloser> file(
-          std::fopen(path.c_str(), "ab"));
-      Expects(file != nullptr, "cannot append to journal: " + path);
-      return JournalWriter(path, std::move(file));
+      return JournalWriter(
+          FrameLogWriter::OpenAt(path, existing.valid_prefix_bytes));
     }
     // Missing, damaged beyond the meta frame, or a different run's
     // journal: fall through and start fresh.
   }
-  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "wb"));
-  Expects(file != nullptr, "cannot create journal: " + path);
-  JournalWriter writer(path, std::move(file));
-  const std::string header = std::string(kHeader) + "\n";
-  Expects(std::fwrite(header.data(), 1, header.size(), writer.file_.get()) ==
-              header.size(),
-          "journal header write failed: " + path);
-  writer.AppendFrame("meta", EncodeMeta(meta));
+  JournalWriter writer(FrameLogWriter::Create(path));
+  writer.log_.AppendFrame("meta", EncodeMeta(meta));
   return writer;
 }
 
-void JournalWriter::AppendFrame(std::string_view kind,
-                                const std::string& payload) {
-  char head[64];
-  std::snprintf(head, sizeof head, "%.*s %zu %016llx\n",
-                static_cast<int>(kind.size()), kind.data(), payload.size(),
-                static_cast<unsigned long long>(Fnv1a64(payload)));
-  std::string frame = head;
-  frame += payload;
-  frame += '\n';
-  Expects(std::fwrite(frame.data(), 1, frame.size(), file_.get()) ==
-              frame.size(),
-          "journal write failed: " + path_);
-
-  // Durability point: the record is not "appended" until it has hit the
-  // disk.  fsync latency is the price of crash safety — surface it.
-  const auto t0 = std::chrono::steady_clock::now();
-  Expects(std::fflush(file_.get()) == 0, "journal flush failed: " + path_);
-#if MLPM_JOURNAL_HAS_FSYNC
-  Expects(::fsync(::fileno(file_.get())) == 0,
-          "journal fsync failed: " + path_);
-#endif
-  const double fsync_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  metrics.Increment("journal.records");
-  metrics.MaxGauge("journal.fsync_seconds_max", fsync_s);
-  if (obs::TraceRecorder& rec = obs::TraceRecorder::Global(); rec.enabled())
-    rec.AddInstant(
-        obs::Domain::kHost, "journal", "journal:append", rec.NowUs(),
-        {obs::Arg("bytes", static_cast<std::uint64_t>(frame.size())),
-         obs::Arg("fsync_ms", fsync_s * 1e3)},
-        "journal");
-}
-
 void JournalWriter::Append(const TaskRunResult& tr) {
-  AppendFrame("rec", EncodeTaskRecord(tr));
+  log_.AppendFrame("rec", EncodeTaskRecord(tr));
 }
 
 }  // namespace mlpm::harness

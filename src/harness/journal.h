@@ -26,20 +26,15 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
-#include <memory>
 #include <string>
-#include <string_view>
 #include <vector>
 
+#include "harness/frame_log.h"
 #include "harness/run_session.h"
 #include "models/zoo.h"
 #include "soc/chipset.h"
 
 namespace mlpm::harness {
-
-// FNV-1a 64-bit over a byte string; the journal's record checksum.
-[[nodiscard]] std::uint64_t Fnv1a64(std::string_view bytes);
 
 // Identity of the run configuration a journal belongs to.  A journal only
 // resumes a run whose meta matches on every field: replaying a record from
@@ -71,6 +66,10 @@ struct JournalMeta {
 [[nodiscard]] TaskRunResult DecodeTaskRecord(const std::string& payload);
 [[nodiscard]] std::string EncodeMeta(const JournalMeta& meta);
 [[nodiscard]] JournalMeta DecodeMeta(const std::string& payload);
+// LoadGen result codec (every TestResult field except accuracy_outputs),
+// shared with the fleet journal's shard records.
+[[nodiscard]] std::string EncodeTestResult(const loadgen::TestResult& r);
+[[nodiscard]] loadgen::TestResult DecodeTestResult(const std::string& payload);
 
 // What LoadJournal recovered from a file.
 struct JournalLoad {
@@ -104,22 +103,12 @@ class JournalWriter {
                                           bool resume = false);
 
   void Append(const TaskRunResult& tr);
-  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& path() const { return log_.path(); }
 
  private:
-  struct FileCloser {
-    void operator()(std::FILE* f) const {
-      if (f != nullptr) std::fclose(f);
-    }
-  };
+  explicit JournalWriter(FrameLogWriter log) : log_(std::move(log)) {}
 
-  JournalWriter(std::string path, std::unique_ptr<std::FILE, FileCloser> file)
-      : path_(std::move(path)), file_(std::move(file)) {}
-
-  void AppendFrame(std::string_view kind, const std::string& payload);
-
-  std::string path_;
-  std::unique_ptr<std::FILE, FileCloser> file_;
+  FrameLogWriter log_;
 };
 
 }  // namespace mlpm::harness

@@ -1,0 +1,142 @@
+// Refcounted shared-artifact cache for prepared models (DESIGN.md §16).
+//
+// A fleet of simulated devices running the same (model, numerics, ISA)
+// config must not hold one prepacked-weight copy per device: preparation is
+// expensive (graph build + compile + weight prepack) and the artifacts are
+// immutable after construction, so every shard with the same key can share
+// one instance.  Acquire() hands out std::shared_ptr<const T>; the cache
+// keeps one reference of its own, so use_count()==1 inside the cache means
+// "no shard holds this any more" and EvictUnused() may drop it.
+//
+// Concurrency contract: the key space is striped over a fixed set of
+// mutexes and the builder runs *under* its stripe lock, so a key is built
+// exactly once no matter how many shards race on it, while keys on
+// different stripes build concurrently.  T itself must be safe to read from
+// many threads once constructed (immutability is the cheapest way there).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mlpm::infer {
+
+template <typename T>
+class PreparedCache {
+ public:
+  PreparedCache() = default;
+  PreparedCache(const PreparedCache&) = delete;
+  PreparedCache& operator=(const PreparedCache&) = delete;
+
+  // Returns the cached instance for `key`, building it with `build` on the
+  // first acquisition.  `build` may throw; nothing is cached in that case
+  // and the exception propagates to exactly the caller that ran it (racing
+  // acquirers of the same key retry the build themselves).
+  [[nodiscard]] std::shared_ptr<const T> Acquire(
+      const std::string& key, const std::function<T()>& build) {
+    Stripe& stripe = StripeFor(key);
+    const std::scoped_lock lock(stripe.mu);
+    auto it = stripe.entries.find(key);
+    if (it != stripe.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    auto built = std::make_shared<const T>(build());
+    stripe.entries.emplace(key, built);
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    return built;
+  }
+
+  // True if `key` is currently cached (no build).
+  [[nodiscard]] bool Contains(const std::string& key) {
+    Stripe& stripe = StripeFor(key);
+    const std::scoped_lock lock(stripe.mu);
+    return stripe.entries.count(key) != 0;
+  }
+
+  // Shards still referencing `key`, excluding the cache's own reference;
+  // 0 if absent.  Test/report hook, inherently racy under concurrent
+  // acquire/release — call it from a quiesced coordinator.
+  [[nodiscard]] std::size_t UseCount(const std::string& key) {
+    Stripe& stripe = StripeFor(key);
+    const std::scoped_lock lock(stripe.mu);
+    const auto it = stripe.entries.find(key);
+    if (it == stripe.entries.end()) return 0;
+    const long uses = it->second.use_count();
+    Expects(uses >= 1, "cache entry lost its own reference");
+    return static_cast<std::size_t>(uses - 1);
+  }
+
+  // Drops every entry no shard references any more; returns how many were
+  // evicted.  Entries still shared out survive.
+  std::size_t EvictUnused() {
+    std::size_t evicted = 0;
+    for (Stripe& stripe : stripes_) {
+      const std::scoped_lock lock(stripe.mu);
+      for (auto it = stripe.entries.begin(); it != stripe.entries.end();) {
+        if (it->second.use_count() == 1) {
+          it = stripe.entries.erase(it);
+          ++evicted;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return evicted;
+  }
+
+  // Unconditionally forgets every entry (outstanding shared_ptrs stay
+  // valid — shared ownership, not weak).
+  void Clear() {
+    for (Stripe& stripe : stripes_) {
+      const std::scoped_lock lock(stripe.mu);
+      stripe.entries.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Stripe& stripe : stripes_) {
+      const std::scoped_lock lock(stripe.mu);
+      n += stripe.entries.size();
+    }
+    return n;
+  }
+
+  // Lifetime totals: builds() is the number of distinct constructions the
+  // cache ran (fleet asserts builds() == #distinct configs), hits() the
+  // acquisitions served without building.
+  [[nodiscard]] std::uint64_t builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kStripes = 8;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<const T>> entries;
+  };
+
+  [[nodiscard]] Stripe& StripeFor(const std::string& key) {
+    return stripes_[std::hash<std::string>{}(key) % kStripes];
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<std::uint64_t> builds_{0};
+  std::atomic<std::uint64_t> hits_{0};
+};
+
+}  // namespace mlpm::infer

@@ -41,6 +41,10 @@ void SocSimulator::PublishTraceEnd(double end_s) {
   end = std::max(end, end_s);
 }
 
+std::string SocSimulator::Lane(std::string_view lane) const {
+  return trace_lane_prefix_ + std::string(lane);
+}
+
 bool SocSimulator::IsCpuOnly(const CompiledModel& model) const {
   for (const CompiledSegment& seg : model.segments) {
     const EngineClass cls = chipset_.engines[seg.engine_index].cls;
@@ -123,21 +127,22 @@ InferenceResult SocSimulator::RunInference(const CompiledModel& model) {
     if (full_run) {
       // The attempt executed end to end at nominal latency: expand the
       // per-IP dispatch/segment/transfer detail onto the engine lanes.
-      TraceInference(model, chipset_, r.throttle_factor, t0_s).AppendTo(rec);
+      TraceInference(model, chipset_, r.throttle_factor, t0_s)
+          .AppendTo(rec, trace_lane_prefix_);
     } else {
       // Stalls and crashes have no meaningful per-segment breakdown; one
       // span covers the time the attempt consumed.
-      rec.AddComplete(obs::Domain::kSim, "runtime",
+      rec.AddComplete(obs::Domain::kSim, Lane("runtime"),
                       "attempt:" + std::string(ToString(r.outcome)), t0_us,
                       r.latency_s * 1e6, {}, "soc");
     }
     if (r.outcome != InferenceOutcome::kOk)
-      rec.AddInstant(obs::Domain::kSim, "faults",
+      rec.AddInstant(obs::Domain::kSim, Lane("faults"),
                      "fault:" + std::string(ToString(r.outcome)),
                      t0_us + r.latency_s * 1e6, {}, "fault");
-    rec.AddCounter(obs::Domain::kSim, "dvfs", "throttle_factor", t0_us,
+    rec.AddCounter(obs::Domain::kSim, Lane("dvfs"), "throttle_factor", t0_us,
                    r.throttle_factor);
-    rec.AddCounter(obs::Domain::kSim, "thermal", "temperature_c",
+    rec.AddCounter(obs::Domain::kSim, Lane("thermal"), "temperature_c",
                    t0_us + r.latency_s * 1e6, r.temperature_c);
     PublishTraceEnd(t0_s + r.latency_s);
   }
@@ -203,7 +208,7 @@ BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
           r.completed[emitted] = 0;
           injector_->RecordFault(*fault, busy_time_s_ + now + frac * dt, 0.0);
           if (traced)
-            rec.AddInstant(obs::Domain::kSim, "faults",
+            rec.AddInstant(obs::Domain::kSim, Lane("faults"),
                            "fault:" + std::string(ToString(fault->kind)),
                            (batch_base_s + now + frac * dt) * 1e6, {},
                            "fault");
@@ -217,14 +222,14 @@ BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
     if (traced) {
       // One span per ALP integration step: the DVFS/thermal staircase of a
       // long offline burst, visible on the simulator timeline.
-      rec.AddComplete(obs::Domain::kSim, "batch", "alp step",
+      rec.AddComplete(obs::Domain::kSim, Lane("batch"), "alp step",
                       (batch_base_s + now - dt) * 1e6, dt * 1e6,
                       {obs::Arg("rate_sps", rate),
                        obs::Arg("throttle", throttle)},
                       "soc");
-      rec.AddCounter(obs::Domain::kSim, "dvfs", "throttle_factor",
+      rec.AddCounter(obs::Domain::kSim, Lane("dvfs"), "throttle_factor",
                      (batch_base_s + now - dt) * 1e6, throttle);
-      rec.AddCounter(obs::Domain::kSim, "thermal", "temperature_c",
+      rec.AddCounter(obs::Domain::kSim, Lane("thermal"), "temperature_c",
                      (batch_base_s + now) * 1e6, thermal_.temperature_c());
     }
   }
@@ -235,7 +240,7 @@ BatchResult SocSimulator::RunBatch(std::span<const CompiledModel> replicas,
   metrics.Increment("soc.batches");
   metrics.Increment("soc.batch_samples", sample_count);
   if (traced) {
-    rec.AddComplete(obs::Domain::kSim, "batch", "offline batch",
+    rec.AddComplete(obs::Domain::kSim, Lane("batch"), "offline batch",
                     batch_base_s * 1e6, now * 1e6,
                     {obs::Arg("samples", static_cast<std::uint64_t>(
                                              sample_count)),

@@ -11,6 +11,8 @@
 
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "soc/chipset.h"
@@ -121,6 +123,17 @@ class SocSimulator {
   [[nodiscard]] const ChipsetDesc& chipset() const { return chipset_; }
   void ResetThermal() { thermal_.Reset(); }
 
+  // Prefix for every trace lane this simulator emits ("shard-3/").  Fleet
+  // shards run concurrent simulators; without per-shard lanes their spans
+  // would interleave on the shared engine rows and the exported trace
+  // would fail structural validation (DESIGN.md §16).
+  void SetTraceLanePrefix(std::string prefix) {
+    trace_lane_prefix_ = std::move(prefix);
+  }
+  [[nodiscard]] const std::string& trace_lane_prefix() const {
+    return trace_lane_prefix_;
+  }
+
  private:
   // Maps this simulator's local busy time onto the process-wide simulated
   // timeline (obs::Domain::kSim).  Every test builds a fresh simulator whose
@@ -130,12 +143,15 @@ class SocSimulator {
   // sequential simulators occupy disjoint windows.
   [[nodiscard]] double TraceBaseSeconds();
   static void PublishTraceEnd(double end_s);
+  // The given lane with this simulator's prefix applied.
+  [[nodiscard]] std::string Lane(std::string_view lane) const;
 
   ChipsetDesc chipset_;
   ThermalModel thermal_;
   std::optional<FaultInjector> injector_;
   double busy_time_s_ = 0.0;
   double trace_epoch_s_ = -1.0;  // <0: not claimed yet
+  std::string trace_lane_prefix_;
 };
 
 }  // namespace mlpm::soc

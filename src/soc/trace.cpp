@@ -42,10 +42,14 @@ std::string ExecutionTrace::ToChromeJson() const {
       events, [&](obs::Domain, int tid) { return names.at(tid); });
 }
 
-void ExecutionTrace::AppendTo(obs::TraceRecorder& recorder) const {
-  for (const TraceEvent& e : events_)
-    recorder.AddComplete(obs::Domain::kSim, e.lane, e.name, e.begin_s * 1e6,
+void ExecutionTrace::AppendTo(obs::TraceRecorder& recorder,
+                              std::string_view lane_prefix) const {
+  for (const TraceEvent& e : events_) {
+    const std::string lane =
+        lane_prefix.empty() ? e.lane : std::string(lane_prefix) + e.lane;
+    recorder.AddComplete(obs::Domain::kSim, lane, e.name, e.begin_s * 1e6,
                          e.duration_s * 1e6, {}, "soc");
+  }
 }
 
 ExecutionTrace TraceInference(const CompiledModel& model,

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/trace.h"
@@ -36,8 +37,12 @@ class ExecutionTrace {
 
   // Feeds every event into `recorder` as a kSim complete span (category
   // "soc", lane = engine name, seconds converted to microseconds).  Used by
-  // SocSimulator to stream per-IP detail into the global recorder.
-  void AppendTo(obs::TraceRecorder& recorder) const;
+  // SocSimulator to stream per-IP detail into the global recorder.  A
+  // non-empty `lane_prefix` is prepended to every lane name ("shard-3/npu"),
+  // giving concurrent simulators disjoint lanes so their spans never
+  // interleave on one timeline row (DESIGN.md §16).
+  void AppendTo(obs::TraceRecorder& recorder,
+                std::string_view lane_prefix = {}) const;
 
  private:
   std::vector<TraceEvent> events_;

@@ -1,0 +1,452 @@
+// Fleet serving mode (DESIGN.md §16): prepared-model cache semantics,
+// seeded determinism of the aggregated report, query-accounting
+// conformance under overload, equivalence with the legacy single-stream
+// path, and crash-safe journal resume.  Also pins loadgen::FindMaxServerQps
+// bisection behavior (monotone convergence, errored probes, the shed
+// bound).
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backends/vendor_policy.h"
+#include "common/check.h"
+#include "core/dataset_qsl.h"
+#include "core/loadgen.h"
+#include "datasets/task_dataset.h"
+#include "fleet/fleet.h"
+#include "fleet/journal.h"
+#include "fleet/mix.h"
+#include "fleet/report.h"
+#include "harness/run_session.h"
+#include "infer/prepared_cache.h"
+#include "models/zoo.h"
+#include "soc/chipset.h"
+
+namespace mlpm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PreparedCache (unit)
+
+TEST(PreparedCache, BuildsOnceUnderConcurrency) {
+  infer::PreparedCache<int> cache;
+  std::atomic<int> built{0};
+  constexpr int kThreads = 16;
+  std::vector<std::shared_ptr<const int>> held(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back([&, t] {
+        held[static_cast<std::size_t>(t)] = cache.Acquire("shared", [&] {
+          built.fetch_add(1);
+          return 42;
+        });
+      });
+    for (std::thread& th : threads) th.join();
+  }
+  EXPECT_EQ(built.load(), 1);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(kThreads - 1));
+  for (const auto& p : held) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 42);
+  }
+  EXPECT_EQ(cache.UseCount("shared"), static_cast<std::size_t>(kThreads));
+}
+
+TEST(PreparedCache, RefcountTracksHoldersAndEvictionSparesThem) {
+  infer::PreparedCache<std::string> cache;
+  auto a = cache.Acquire("k", [] { return std::string("v"); });
+  EXPECT_EQ(cache.UseCount("k"), 1u);
+  auto b = a;
+  EXPECT_EQ(cache.UseCount("k"), 2u);
+
+  // A held entry survives eviction; releasing every holder frees it.
+  EXPECT_EQ(cache.EvictUnused(), 0u);
+  EXPECT_TRUE(cache.Contains("k"));
+  a.reset();
+  b.reset();
+  EXPECT_EQ(cache.UseCount("k"), 0u);
+  EXPECT_EQ(cache.EvictUnused(), 1u);
+  EXPECT_FALSE(cache.Contains("k"));
+
+  // Re-acquire after eviction is a fresh build, not a stale hit.
+  const std::uint64_t builds_before = cache.builds();
+  auto c = cache.Acquire("k", [] { return std::string("v2"); });
+  EXPECT_EQ(*c, "v2");
+  EXPECT_EQ(cache.builds(), builds_before + 1);
+}
+
+TEST(PreparedCache, DistinctKeysBuildIndependently) {
+  infer::PreparedCache<int> cache;
+  auto a = cache.Acquire("a", [] { return 1; });
+  auto b = cache.Acquire("b", [] { return 2; });
+  EXPECT_EQ(cache.builds(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.UseCount("a"), 1u);
+  EXPECT_EQ(cache.UseCount("b"), 1u);
+}
+
+TEST(PreparedCache, FailedBuildCachesNothing) {
+  infer::PreparedCache<int> cache;
+  EXPECT_THROW(
+      {
+        auto p = cache.Acquire("k", []() -> int {
+          throw CheckError("build exploded");
+        });
+      },
+      CheckError);
+  EXPECT_FALSE(cache.Contains("k"));
+  EXPECT_EQ(cache.builds(), 0u);
+  auto p = cache.Acquire("k", [] { return 7; });
+  EXPECT_EQ(*p, 7);
+  EXPECT_EQ(cache.builds(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet determinism + sharing (property)
+
+fleet::FleetOptions SmallFleet(std::size_t shards) {
+  fleet::FleetOptions fo;
+  fo.shard_count = shards;
+  fo.settings.server_query_count = 256;
+  fo.settings.server_max_queue_depth = 64;
+  fo.settings.server_max_shed_fraction = 1.0;
+  return fo;
+}
+
+TEST(Fleet, SameSeedSixtyFourShardsIsByteIdentical) {
+  const fleet::FleetOptions fo = SmallFleet(64);
+  const fleet::FleetReport a = fleet::RunFleet(fo);
+  const fleet::FleetReport b = fleet::RunFleet(fo);
+  EXPECT_EQ(fleet::FormatFleetReport(a), fleet::FormatFleetReport(b));
+  EXPECT_EQ(a.shards.size(), 64u);
+  EXPECT_FALSE(a.interrupted);
+}
+
+TEST(Fleet, ReportInvariantUnderWorkerCount) {
+  fleet::FleetOptions fo = SmallFleet(16);
+  fo.workers = 1;
+  const std::string serial = fleet::FormatFleetReport(fleet::RunFleet(fo));
+  fo.workers = 4;
+  const std::string parallel = fleet::FormatFleetReport(fleet::RunFleet(fo));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Fleet, DifferentSeedsDiverge) {
+  fleet::FleetOptions fo = SmallFleet(8);
+  const std::string a = fleet::FormatFleetReport(fleet::RunFleet(fo));
+  fo.settings.seed = fo.settings.seed + 1;
+  const std::string b = fleet::FormatFleetReport(fleet::RunFleet(fo));
+  EXPECT_NE(a, b);
+}
+
+TEST(Fleet, SharesPreparedModelsAcrossShardsOfOneConfig) {
+  const fleet::FleetReport r = fleet::RunFleet(SmallFleet(64));
+  // Default v1.0 mix: full catalog x suite tasks, far fewer configs than
+  // shards — and exactly one build per distinct config.
+  EXPECT_GT(r.shard_count, r.distinct_configs);
+  EXPECT_EQ(r.prepared_models_built, r.distinct_configs);
+}
+
+// ---------------------------------------------------------------------------
+// Query-accounting conformance under 2x overload (conformance)
+
+TEST(Fleet, OverloadAccountingIdentityHolds) {
+  fleet::FleetOptions fo;
+  fo.shard_count = 4;
+  fo.mix = fleet::ParseFleetMix("Dimensity 1100:ic");
+  fo.settings.server_query_count = 512;
+  // Far past any mobile SoC's single-stream service rate: admission
+  // control must shed, and the identity has to hold anyway.
+  fo.settings.server_target_qps = 2000.0;
+  fo.settings.server_max_queue_depth = 8;
+  fo.settings.server_max_shed_fraction = 1.0;
+  fo.settings.query_timeout = loadgen::Seconds{0.200};
+
+  const fleet::FleetReport r = fleet::RunFleet(fo);
+  ASSERT_EQ(r.shards.size(), 4u);
+  std::size_t total_shed = 0;
+  for (const fleet::ShardResult& s : r.shards) {
+    const loadgen::TestResult& t = s.result;
+    // Every offered query is either issued or shed...
+    EXPECT_EQ(t.issued_count + t.shed_count,
+              fo.settings.server_query_count)
+        << "shard " << s.shard_id;
+    // ...and every issued query resolves exactly once.
+    EXPECT_EQ(t.issued_count, t.sample_count + t.timed_out_count +
+                                  t.dropped_count + t.rejected_count)
+        << "shard " << s.shard_id;
+    total_shed += t.shed_count;
+  }
+  EXPECT_GT(total_shed, 0u) << "2x overload should trip admission control";
+  EXPECT_EQ(r.offered, r.issued + r.shed);
+  EXPECT_EQ(r.issued,
+            r.completed + r.timed_out + r.dropped + r.rejected);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet path vs legacy single-stream path (property)
+
+// Mirrors the fleet's internal performance-only stub QSL so the oracle run
+// draws sample indices from an identically-sized library.
+class OracleStubDataset final : public datasets::TaskDataset {
+ public:
+  [[nodiscard]] std::size_t size() const override { return 8; }
+  [[nodiscard]] std::vector<infer::Tensor> InputsFor(
+      std::size_t) const override {
+    std::vector<infer::Tensor> v;
+    v.emplace_back(graph::TensorShape({1}));
+    return v;
+  }
+  [[nodiscard]] double ScoreOutputs(
+      std::span<const std::vector<infer::Tensor>>) const override {
+    return 0.0;
+  }
+  [[nodiscard]] std::string_view metric_name() const override {
+    return "none";
+  }
+  [[nodiscard]] std::vector<infer::Tensor> CalibrationInputsFor(
+      std::size_t index) const override {
+    return InputsFor(index);
+  }
+};
+
+TEST(Fleet, SingleShardMatchesLegacySingleStreamPath) {
+  const models::SuiteVersion version = models::SuiteVersion::kV1_0;
+  const std::string chipset_name = "Dimensity 1100";
+
+  fleet::FleetOptions fo;
+  fo.shard_count = 1;
+  fo.version = version;
+  fo.mix = fleet::ParseFleetMix(chipset_name + ":ic");
+  fo.settings.scenario = loadgen::TestScenario::kSingleStream;
+  fo.settings.min_query_count = 256;
+  fo.settings.min_duration = loadgen::Seconds{1.0};
+  fo.split_seed_per_shard = false;  // oracle uses the same seed verbatim
+  const fleet::FleetReport r = fleet::RunFleet(fo);
+  ASSERT_EQ(r.shards.size(), 1u);
+  const loadgen::TestResult& via_fleet = r.shards[0].result;
+
+  // Legacy path: same chipset, task, graph, settings and seed on a fresh
+  // simulator — per-query latencies must agree exactly.
+  soc::ChipsetDesc chipset;
+  for (const soc::ChipsetDesc& c : soc::CatalogV10())
+    if (c.name == chipset_name) chipset = c;
+  ASSERT_EQ(chipset.name, chipset_name);
+  models::BenchmarkEntry entry;
+  for (const models::BenchmarkEntry& e : models::SuiteFor(version))
+    if (e.task == models::TaskType::kImageClassification) entry = e;
+  const backends::SubmissionConfig config =
+      backends::GetSubmission(chipset, entry.task, version);
+  const graph::Graph full =
+      models::BuildReferenceGraph(entry, version, models::ModelScale::kFull);
+  const OracleStubDataset stub;
+  const loadgen::TestResult oracle = harness::RunSingleStreamPerformance(
+      chipset, config, full, stub, fo.settings);
+
+  ASSERT_EQ(via_fleet.latencies_s.size(), oracle.latencies_s.size());
+  for (std::size_t i = 0; i < oracle.latencies_s.size(); ++i)
+    EXPECT_DOUBLE_EQ(via_fleet.latencies_s[i], oracle.latencies_s[i])
+        << "query " << i;
+  EXPECT_DOUBLE_EQ(via_fleet.throughput_sps, oracle.throughput_sps);
+  EXPECT_DOUBLE_EQ(via_fleet.percentile_latency_s,
+                   oracle.percentile_latency_s);
+  EXPECT_EQ(via_fleet.sample_count, oracle.sample_count);
+}
+
+TEST(Fleet, AccuracyPlaneMatchesTaskBundleScores) {
+  const models::SuiteVersion version = models::SuiteVersion::kV1_0;
+  fleet::FleetOptions fo;
+  fo.shard_count = 2;  // two shards, one config: scored once, stamped twice
+  fo.mix = fleet::ParseFleetMix("Dimensity 1100:ic");
+  fo.settings.server_query_count = 128;
+  fo.accuracy = true;
+  const fleet::FleetReport r = fleet::RunFleet(fo);
+  ASSERT_EQ(r.shards.size(), 2u);
+  EXPECT_GT(r.shards[0].accuracy, 0.0);
+  EXPECT_EQ(r.shards[0].accuracy, r.shards[1].accuracy);
+  EXPECT_EQ(r.shards[0].ratio_to_fp32, r.shards[1].ratio_to_fp32);
+
+  // Oracle: the same scores the harness accuracy plane computes.
+  models::BenchmarkEntry entry;
+  for (const models::BenchmarkEntry& e : models::SuiteFor(version))
+    if (e.task == models::TaskType::kImageClassification) entry = e;
+  harness::SuiteBundles bundles;
+  const harness::TaskBundle& bundle = bundles.Get(entry, version);
+  const harness::TaskBundle::PreparedModel prepared =
+      bundle.Prepare(infer::NumericsMode::kInt8, false);
+  ASSERT_NE(prepared.executor, nullptr);
+  const double accuracy = bundle.ScoreAccuracy(*prepared.executor, nullptr);
+  const double fp32 = bundle.Fp32Score(nullptr);
+  EXPECT_DOUBLE_EQ(r.shards[0].accuracy, accuracy);
+  EXPECT_DOUBLE_EQ(r.shards[0].fp32_reference, fp32);
+  EXPECT_EQ(r.shards[0].quality_passed,
+            fp32 > 0 && accuracy / fp32 >= entry.quality_target);
+}
+
+// ---------------------------------------------------------------------------
+// Journal kill-and-resume (property)
+
+TEST(Fleet, KillAndResumeReplaysIntactShardsToIdenticalReport) {
+  const std::string path = testing::TempDir() + "/fleet_resume.journal";
+
+  fleet::FleetOptions fo = SmallFleet(8);
+  fo.workers = 1;  // deterministic interruption point
+
+  // Uninterrupted reference run, no journal.
+  const std::string reference =
+      fleet::FormatFleetReport(fleet::RunFleet(fo));
+
+  // Killed run: cancel after three shards started.
+  fleet::FleetOptions killed = fo;
+  killed.journal_path = path;
+  std::atomic<int> starts{0};
+  killed.cancel = [&] { return starts.fetch_add(1) >= 3; };
+  const fleet::FleetReport partial = fleet::RunFleet(killed);
+  EXPECT_TRUE(partial.interrupted);
+  ASSERT_GT(partial.shards.size(), 0u);
+  ASSERT_LT(partial.shards.size(), 8u);
+
+  // The journal holds exactly the finished shards, intact.
+  const fleet::FleetJournalLoad load = fleet::LoadFleetJournal(path);
+  ASSERT_TRUE(load.meta_valid);
+  EXPECT_FALSE(load.torn_tail);
+  EXPECT_EQ(load.shards.size(), partial.shards.size());
+
+  // Resumed run: replays the journal, runs the rest, matches byte-for-byte.
+  fleet::FleetOptions resumed = fo;
+  resumed.journal_path = path;
+  resumed.resume = true;
+  const fleet::FleetReport full = fleet::RunFleet(resumed);
+  EXPECT_FALSE(full.interrupted);
+  EXPECT_EQ(full.resumed_shards, partial.shards.size());
+  EXPECT_EQ(fleet::FormatFleetReport(full), reference);
+}
+
+TEST(Fleet, ResumeIgnoresJournalOfDifferentConfiguration) {
+  const std::string path = testing::TempDir() + "/fleet_mismatch.journal";
+  fleet::FleetOptions fo = SmallFleet(4);
+  fo.journal_path = path;
+  const fleet::FleetReport first = fleet::RunFleet(fo);
+  EXPECT_EQ(first.resumed_shards, 0u);
+
+  // Different seed → different config identity → full re-run.
+  fleet::FleetOptions other = fo;
+  other.settings.seed = fo.settings.seed + 7;
+  other.resume = true;
+  const fleet::FleetReport second = fleet::RunFleet(other);
+  EXPECT_EQ(second.resumed_shards, 0u);
+  EXPECT_EQ(second.shards.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// FindMaxServerQps bisection behavior (unit)
+
+loadgen::TestResult ProbeResult(bool latency_ok, bool shed_ok,
+                                bool errored = false) {
+  loadgen::TestResult r;
+  r.scenario = loadgen::TestScenario::kServer;
+  r.sample_count = 1;
+  r.latency_bound_met = latency_ok;
+  r.shed_bound_met = shed_ok;
+  if (errored) r.invalid_reason = "synthetic probe failure";
+  return r;
+}
+
+TEST(FindMaxServerQps, ConvergesOnMonotonePredicate) {
+  const double capacity = 37.5;
+  int probes = 0;
+  const double qps = loadgen::FindMaxServerQps(
+      [&](double q) {
+        ++probes;
+        return ProbeResult(q <= capacity, true);
+      },
+      1.0, 100.0, 20);
+  EXPECT_LE(qps, capacity);
+  EXPECT_NEAR(qps, capacity, (100.0 - 1.0) / (1 << 20) * 4);
+  EXPECT_EQ(probes, 22);  // lo + hi + 20 bisection probes
+}
+
+TEST(FindMaxServerQps, ReturnsHiWhenHiPasses) {
+  const double qps = loadgen::FindMaxServerQps(
+      [](double) { return ProbeResult(true, true); }, 1.0, 64.0);
+  EXPECT_DOUBLE_EQ(qps, 64.0);
+}
+
+TEST(FindMaxServerQps, ErroredLoProbeStopsSearchImmediately) {
+  int probes = 0;
+  const double qps = loadgen::FindMaxServerQps(
+      [&](double) {
+        ++probes;
+        return ProbeResult(true, true, /*errored=*/true);
+      },
+      1.0, 100.0);
+  EXPECT_DOUBLE_EQ(qps, 0.0);
+  EXPECT_EQ(probes, 1);
+}
+
+TEST(FindMaxServerQps, AlwaysFailingPredicateReturnsZero) {
+  const double qps = loadgen::FindMaxServerQps(
+      [](double) { return ProbeResult(false, true); }, 1.0, 100.0);
+  EXPECT_DOUBLE_EQ(qps, 0.0);
+}
+
+TEST(FindMaxServerQps, ErroredMidProbeCountsAsFailure) {
+  // Valid at low rates, structurally broken above 30: the search must
+  // treat errored probes as failures and stay below the error cliff.
+  const double qps = loadgen::FindMaxServerQps(
+      [](double q) { return ProbeResult(true, true, /*errored=*/q > 30.0); },
+      1.0, 100.0, 20);
+  EXPECT_LE(qps, 30.0);
+  EXPECT_NEAR(qps, 30.0, 0.01);
+}
+
+TEST(FindMaxServerQps, ShedBoundViolationIsNotServingTheRate) {
+  // The SUT "meets latency" at any rate by refusing most of the load past
+  // 20 qps; the search must not count those probes as passes.
+  const double qps = loadgen::FindMaxServerQps(
+      [](double q) { return ProbeResult(true, /*shed_ok=*/q <= 20.0); },
+      1.0, 100.0, 20);
+  EXPECT_LE(qps, 20.0);
+  EXPECT_NEAR(qps, 20.0, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Mix parsing (unit)
+
+TEST(FleetMix, ParsesSpecWithAliasesAndWeights) {
+  const std::vector<fleet::FleetMixEntry> mix =
+      fleet::ParseFleetMix("Dimensity 1100:ic:2;Exynos 2100:qa");
+  ASSERT_EQ(mix.size(), 2u);
+  EXPECT_EQ(mix[0].chipset, "Dimensity 1100");
+  EXPECT_EQ(mix[0].task_id, "image_classification");
+  EXPECT_DOUBLE_EQ(mix[0].weight, 2.0);
+  EXPECT_EQ(mix[1].task_id, "question_answering");
+  EXPECT_DOUBLE_EQ(mix[1].weight, 1.0);
+}
+
+TEST(FleetMix, ShardCountsFollowWeightsExactly) {
+  std::vector<fleet::FleetMixEntry> mix =
+      fleet::ParseFleetMix("A:ic:3;B:ic:1");
+  const std::vector<std::size_t> counts =
+      fleet::AssignShardCounts(mix, 8);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 6u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[0] + counts[1], 8u);
+}
+
+TEST(FleetMix, UnknownChipsetThrows) {
+  fleet::FleetOptions fo;
+  fo.shard_count = 1;
+  fo.mix = fleet::ParseFleetMix("No Such SoC:ic");
+  EXPECT_THROW({ auto r = fleet::RunFleet(fo); }, CheckError);
+}
+
+}  // namespace
+}  // namespace mlpm

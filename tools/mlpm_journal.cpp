@@ -1,8 +1,10 @@
-// Journal validate/inspect tool (DESIGN.md §12).  Reads a crash-safe
-// submission journal, verifies the header, meta frame and every record
+// Journal validate/inspect tool (DESIGN.md §12, §16).  Reads a crash-safe
+// journal — submission or fleet, auto-detected from the meta frame (a fleet
+// meta has a shard count, a submission meta has a chipset; neither decodes
+// as the other) — verifies the header, meta frame and every record
 // checksum, and prints what a --resume run would replay: which suite tasks
-// are already on disk, which would re-run, and whether a torn tail will be
-// truncated.
+// or fleet shards are already on disk, which would re-run, and whether a
+// torn tail will be truncated.
 //
 // Usage:
 //   mlpm_journal [--verbose] FILE
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/journal.h"
 #include "harness/journal.h"
 #include "models/zoo.h"
 
@@ -35,6 +38,57 @@ std::vector<models::BenchmarkEntry> SuiteForVersionName(
        {models::SuiteVersion::kV0_7, models::SuiteVersion::kV1_0})
     if (name == ToString(v)) return models::SuiteFor(v);
   return {};
+}
+
+// Fleet-journal path (DESIGN.md §16): shard frames keyed by id, resume
+// replays intact shards and re-runs the rest.
+int InspectFleetJournal(const std::string& path,
+                        const fleet::FleetJournalLoad& load, bool verbose) {
+  std::printf("fleet journal: %s\n", path.c_str());
+  std::printf("  version:     %s\n", load.meta.version.c_str());
+  std::printf("  seed:        %llu\n",
+              static_cast<unsigned long long>(load.meta.seed));
+  std::printf("  shards:      %llu\n",
+              static_cast<unsigned long long>(load.meta.shard_count));
+  std::printf("  config hash: %016llx\n",
+              static_cast<unsigned long long>(load.meta.config_hash));
+  std::printf("  records:     %zu intact shard(s)\n", load.shards.size());
+
+  for (const auto& [id, shard] : load.shards) {
+    const std::string status{ToString(shard.state)};
+    std::printf("  shard %-4zu %-15s slo=%s %s\n", id, status.c_str(),
+                shard.slo_met ? "yes" : "no", shard.config_key.c_str());
+    if (verbose) {
+      std::printf("      issued=%zu shed=%zu trips=%zu faults=%zu\n",
+                  shard.result.issued_count, shard.result.shed_count,
+                  shard.breaker_trips, shard.fault_count);
+    }
+  }
+
+  for (const std::string& n : load.notes)
+    std::printf("  note: %s\n", n.c_str());
+  if (load.torn_tail)
+    std::printf("  torn tail: byte(s) after offset %zu would be truncated "
+                "on resume\n",
+                load.valid_prefix_bytes);
+
+  std::string pending;
+  std::size_t missing = 0;
+  for (std::size_t id = 0; id < load.meta.shard_count; ++id) {
+    if (load.shards.count(id) != 0) continue;
+    ++missing;
+    if (missing <= 8) {
+      if (!pending.empty()) pending += ", ";
+      pending += std::to_string(id);
+    }
+  }
+  if (missing > 8) pending += ", ...";
+  std::printf("  resume: %zu of %llu shard(s) replayable%s%s\n",
+              load.shards.size(),
+              static_cast<unsigned long long>(load.meta.shard_count),
+              pending.empty() ? "" : "; pending: ", pending.c_str());
+
+  return load.torn_tail ? 1 : 0;
 }
 
 }  // namespace
@@ -58,6 +112,9 @@ int main(int argc, char** argv) {
 
   const harness::JournalLoad load = harness::LoadJournal(path);
   if (!load.meta_valid) {
+    // Same file format, different meta: maybe it's a fleet journal.
+    const fleet::FleetJournalLoad fload = fleet::LoadFleetJournal(path);
+    if (fload.meta_valid) return InspectFleetJournal(path, fload, verbose);
     std::fprintf(stderr, "%s: not a readable journal\n", path.c_str());
     for (const std::string& n : load.notes)
       std::fprintf(stderr, "  %s\n", n.c_str());
